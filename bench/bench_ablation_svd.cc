@@ -1,0 +1,72 @@
+// Ablation — truncated SVD engine choice (randomized vs Lanczos).
+//
+// DESIGN.md calls out the SVD engine as the one substituted component (the
+// paper used MATLAB's svds, a Lanczos code). This bench compares the two
+// from-scratch engines on time, reconstruction error, and — what actually
+// matters — the downstream AvgDiff of the CSR+ scores they induce.
+
+#include "bench_util.h"
+#include "core/cosimrank.h"
+#include "core/csrplus_engine.h"
+
+int main() {
+  using namespace csrplus;
+  using namespace csrplus::bench;
+
+  RunConfig config = PaperDefaults();
+  PrintBanner("Ablation: SVD engine", "randomized vs Lanczos truncated SVD",
+              config);
+
+  eval::TablePrinter table({"dataset", "engine", "svd-time", "recon-err",
+                            "downstream-AvgDiff"});
+
+  for (const std::string& key : {std::string("fb"), std::string("p2p")}) {
+    auto workload = LoadWorkload(key, DefaultQuerySize());
+    if (!workload.ok()) continue;
+    PrintWorkload(*workload);
+
+    core::CoSimRankOptions exact_options;
+    exact_options.damping = config.damping;
+    exact_options.epsilon = 1e-10;
+    auto exact = core::MultiSourceCoSimRank(workload->transition,
+                                            workload->queries, exact_options);
+    CSR_CHECK_OK(exact.status());
+
+    for (auto algorithm :
+         {svd::SvdAlgorithm::kRandomized, svd::SvdAlgorithm::kLanczos}) {
+      const char* name =
+          algorithm == svd::SvdAlgorithm::kRandomized ? "randomized" : "lanczos";
+
+      WallTimer timer;
+      svd::SvdOptions svd_options;
+      svd_options.rank = config.rank;
+      svd_options.algorithm = algorithm;
+      auto factors = svd::ComputeTruncatedSvd(workload->transition, svd_options);
+      const double svd_seconds = timer.ElapsedSeconds();
+      CSR_CHECK_OK(factors.status());
+      const double recon =
+          svd::ReconstructionErrorFrobenius(workload->transition, *factors);
+
+      core::CsrPlusOptions options;
+      options.rank = config.rank;
+      options.damping = config.damping;
+      options.svd.algorithm = algorithm;
+      auto engine = core::CsrPlusEngine::PrecomputeFromTransition(
+          workload->transition, options);
+      CSR_CHECK_OK(engine.status());
+      auto scores = engine->MultiSourceQuery(workload->queries);
+      CSR_CHECK_OK(scores.status());
+
+      table.AddRow({workload->key, name, eval::FormatTime(svd_seconds),
+                    eval::FormatSci(recon),
+                    eval::FormatSci(eval::AvgDiff(*scores, *exact))});
+    }
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\nexpected: both engines give near-identical downstream "
+              "accuracy; Lanczos is typically faster at small ranks (fewer "
+              "matrix passes), randomized is more robust on clustered "
+              "spectra and stays the library default.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 3 — CSR+ time split into preprocessing vs online query as |Q|
+// grows from 100 to 700 on every dataset.
+//
+// Paper shape to match: preprocessing is flat in |Q| (one black bar per
+// dataset); query time rises linearly with |Q| and stays well below
+// preprocessing, so amortising the precomputation across query batches is
+// worthwhile (4–25x on the largest graphs).
+
+#include "bench_util.h"
+#include "core/csrplus_engine.h"
+
+int main() {
+  using namespace csrplus;
+  using namespace csrplus::bench;
+
+  RunConfig config = PaperDefaults();
+  PrintBanner("Figure 3", "CSR+ preprocessing vs query time as |Q| grows",
+              config);
+
+  const std::vector<std::string> datasets = {"fb", "p2p", "yt",
+                                             "wt", "tw", "wb"};
+  // ci scale caps |Q| at 400: the n x |Q| output block on the tw/wb-scale
+  // graphs costs multi-GiB allocations per point on a small host.
+  const std::vector<Index> query_sizes =
+      GetBenchScale() == BenchScale::kFull
+          ? std::vector<Index>{100, 300, 500, 700}
+          : std::vector<Index>{100, 200, 300, 400};
+  eval::TablePrinter table({"dataset", "|Q|", "precompute", "query", "ratio"});
+
+  for (const std::string& key : datasets) {
+    auto workload = LoadWorkload(key, query_sizes.back());
+    if (!workload.ok()) {
+      std::fprintf(stderr, "skipping %s: %s\n", key.c_str(),
+                   workload.status().ToString().c_str());
+      continue;
+    }
+    PrintWorkload(*workload);
+
+    core::CsrPlusOptions options;
+    options.rank = config.rank;
+    options.damping = config.damping;
+    options.epsilon = config.epsilon;
+    WallTimer timer;
+    auto engine = core::CsrPlusEngine::PrecomputeFromTransition(
+        workload->transition, options);
+    const double precompute_seconds = timer.ElapsedSeconds();
+    if (!engine.ok()) {
+      std::fprintf(stderr, "  precompute failed: %s\n",
+                   engine.status().ToString().c_str());
+      continue;
+    }
+
+    for (Index q : query_sizes) {
+      std::vector<Index> queries(workload->queries.begin(),
+                                 workload->queries.begin() + q);
+      timer.Restart();
+      auto scores = engine->MultiSourceQuery(queries);
+      const double query_seconds = timer.ElapsedSeconds();
+      if (!scores.ok()) {
+        table.AddRow({workload->key, std::to_string(q),
+                      eval::FormatTime(precompute_seconds),
+                      "FAIL(" + std::string(StatusCodeToString(
+                                    scores.status().code())) + ")",
+                      "-"});
+        continue;
+      }
+      table.AddRow({workload->key, std::to_string(q),
+                    eval::FormatTime(precompute_seconds),
+                    eval::FormatTime(query_seconds),
+                    StrPrintf("%.1fx", precompute_seconds / query_seconds)});
+    }
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\nratio = precompute / query: how many single batches amortise "
+              "the offline stage.\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Micro-benchmarks (google-benchmark) for the kernels every algorithm in
+// this repository is built from: SpMV/SpMM on the transition matrix, thin
+// QR, truncated SVD, the r x r repeated-squaring loop, and the CSR+ query.
+
+#include <benchmark/benchmark.h>
+
+#include "csrplus.h"
+
+namespace {
+
+using namespace csrplus;
+using linalg::CsrMatrix;
+using linalg::DenseMatrix;
+using linalg::Index;
+
+CsrMatrix MakeTransition(Index n, Index avg_degree) {
+  auto g = graph::ErdosRenyi(n, n * avg_degree, /*seed=*/1234);
+  CSR_CHECK_OK(g.status());
+  return graph::ColumnNormalizedTransition(*g);
+}
+
+void BM_SpMV(benchmark::State& state) {
+  const Index n = state.range(0);
+  const CsrMatrix q = MakeTransition(n, 8);
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  for (auto _ : state) {
+    auto y = q.Multiply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * q.nnz());
+}
+BENCHMARK(BM_SpMV)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_SpMVTranspose(benchmark::State& state) {
+  const Index n = state.range(0);
+  const CsrMatrix q = MakeTransition(n, 8);
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  for (auto _ : state) {
+    auto y = q.MultiplyTranspose(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * q.nnz());
+}
+BENCHMARK(BM_SpMVTranspose)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_SpMMDense(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Index cols = state.range(1);
+  const CsrMatrix q = MakeTransition(n, 8);
+  DenseMatrix b(n, cols);
+  for (Index i = 0; i < b.size(); ++i) b.data()[i] = 0.5;
+  for (auto _ : state) {
+    DenseMatrix c = q.MultiplyDense(b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * q.nnz() * cols);
+}
+BENCHMARK(BM_SpMMDense)->Args({1 << 14, 8})->Args({1 << 14, 32})
+    ->Args({1 << 16, 8});
+
+void BM_HouseholderQr(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Index k = state.range(1);
+  Rng rng(7);
+  DenseMatrix a(n, k);
+  for (Index i = 0; i < a.size(); ++i) a.data()[i] = rng.Gaussian();
+  for (auto _ : state) {
+    auto qr = linalg::HouseholderQr(a);
+    benchmark::DoNotOptimize(qr->q.data());
+  }
+}
+BENCHMARK(BM_HouseholderQr)->Args({1 << 14, 8})->Args({1 << 14, 32})
+    ->Args({1 << 16, 16});
+
+void BM_TruncatedSvd(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Index rank = state.range(1);
+  const bool lanczos = state.range(2) != 0;
+  const CsrMatrix q = MakeTransition(n, 8);
+  svd::SvdOptions options;
+  options.rank = rank;
+  options.algorithm =
+      lanczos ? svd::SvdAlgorithm::kLanczos : svd::SvdAlgorithm::kRandomized;
+  for (auto _ : state) {
+    auto factors = svd::ComputeTruncatedSvd(q, options);
+    benchmark::DoNotOptimize(factors->sigma.data());
+  }
+}
+BENCHMARK(BM_TruncatedSvd)
+    ->Args({1 << 13, 5, 0})
+    ->Args({1 << 13, 5, 1})
+    ->Args({1 << 15, 5, 0})
+    ->Args({1 << 13, 20, 0});
+
+void BM_RepeatedSquaringSubspace(benchmark::State& state) {
+  // The r x r P-iteration (Algorithm 1 lines 4-5) in isolation.
+  const Index r = state.range(0);
+  Rng rng(11);
+  DenseMatrix h(r, r);
+  for (Index i = 0; i < h.size(); ++i) h.data()[i] = 0.3 * rng.Gaussian();
+  const int max_k = core::RepeatedSquaringIterations(0.6, 1e-5);
+  for (auto _ : state) {
+    DenseMatrix hk = h;
+    DenseMatrix p = DenseMatrix::Identity(r);
+    double c_pow = 0.6;
+    for (int k = 0; k <= max_k; ++k) {
+      DenseMatrix hp = linalg::Gemm(hk, p);
+      DenseMatrix hpht = linalg::Gemm(hp, hk, linalg::Transpose::kNo,
+                                      linalg::Transpose::kYes);
+      linalg::AddScaled(c_pow, hpht, &p);
+      hk = linalg::Gemm(hk, hk);
+      c_pow *= c_pow;
+    }
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_RepeatedSquaringSubspace)->Arg(5)->Arg(20)->Arg(100)->Arg(200);
+
+void BM_CsrPlusPrecompute(benchmark::State& state) {
+  const Index n = state.range(0);
+  auto g = graph::ErdosRenyi(n, n * 8, 1234);
+  CSR_CHECK_OK(g.status());
+  core::CsrPlusOptions options;
+  options.rank = 5;
+  for (auto _ : state) {
+    auto engine = core::CsrPlusEngine::Precompute(*g, options);
+    benchmark::DoNotOptimize(engine->z().data());
+  }
+}
+BENCHMARK(BM_CsrPlusPrecompute)->Arg(1 << 13)->Arg(1 << 15);
+
+void BM_CsrPlusQuery(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Index num_queries = state.range(1);
+  auto g = graph::ErdosRenyi(n, n * 8, 1234);
+  CSR_CHECK_OK(g.status());
+  core::CsrPlusOptions options;
+  options.rank = 5;
+  auto engine = core::CsrPlusEngine::Precompute(*g, options);
+  CSR_CHECK_OK(engine.status());
+  auto queries = eval::SampleQueries(*g, num_queries, 3);
+  for (auto _ : state) {
+    auto scores = engine->MultiSourceQuery(queries);
+    benchmark::DoNotOptimize(scores->data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * num_queries);
+}
+BENCHMARK(BM_CsrPlusQuery)->Args({1 << 15, 100})->Args({1 << 15, 700})
+    ->Args({1 << 17, 100});
+
+}  // namespace
+
+BENCHMARK_MAIN();

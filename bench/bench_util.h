@@ -1,0 +1,99 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary prints a banner naming the paper artefact it
+// regenerates, loads datasets through the registry (cached under data/),
+// and emits one aligned table whose rows correspond to the paper's plotted
+// series. COSIM_SCALE=full switches to the large dataset configurations.
+
+#ifndef CSRPLUS_BENCH_BENCH_UTIL_H_
+#define CSRPLUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "csrplus.h"
+
+namespace csrplus::bench {
+
+using eval::Method;
+using eval::RunConfig;
+using eval::RunOutcome;
+using graph::Graph;
+using linalg::CsrMatrix;
+using linalg::Index;
+
+/// A dataset ready for experiments: the graph, its transition matrix, and a
+/// default query sample.
+struct Workload {
+  std::string key;
+  Graph graph;
+  CsrMatrix transition;
+  std::vector<Index> queries;
+};
+
+/// Loads dataset `key` at the ambient scale and samples `num_queries`
+/// distinct query nodes (seeded deterministically per dataset).
+inline Result<Workload> LoadWorkload(const std::string& key,
+                                     Index num_queries) {
+  Workload w;
+  w.key = key;
+  CSR_ASSIGN_OR_RETURN(w.graph,
+                       eval::LoadOrGenerate(key, GetBenchScale(), "data"));
+  w.transition = graph::ColumnNormalizedTransition(w.graph);
+  w.queries = eval::SampleQueries(w.graph, num_queries,
+                                  0x9E3779B9u ^ std::hash<std::string>{}(key));
+  return w;
+}
+
+/// Prints the standard banner: which paper artefact, which scale, and the
+/// shared parameters.
+inline void PrintBanner(const char* artefact, const char* description,
+                        const RunConfig& config) {
+  const bool full = GetBenchScale() == BenchScale::kFull;
+  std::printf("=== %s — %s ===\n", artefact, description);
+  std::printf("scale=%s  r=%ld  c=%.1f  eps=%.0e  memory_budget=%s  "
+              "(COSIM_SCALE=full for paper-scale graphs)\n\n",
+              full ? "full" : "ci", static_cast<long>(config.rank),
+              config.damping, config.epsilon,
+              FormatBytes(MemoryBudget::Global().limit_bytes()).c_str());
+}
+
+/// One line describing a loaded workload.
+inline void PrintWorkload(const Workload& w) {
+  std::printf("dataset %-4s %s\n", w.key.c_str(),
+              graph::ToString(graph::ComputeStats(w.graph)).c_str());
+}
+
+/// "1.23s" / "FAIL(mem)" cell for a phase or total.
+inline std::string TimeCell(const RunOutcome& outcome, double seconds) {
+  if (!outcome.status.ok()) return eval::OutcomeLabel(outcome);
+  return eval::FormatTime(seconds);
+}
+
+/// "12.3 MiB" / "FAIL(mem)" cell.
+inline std::string BytesCell(const RunOutcome& outcome, int64_t bytes) {
+  if (!outcome.status.ok()) return eval::OutcomeLabel(outcome);
+  if (!MemoryTrackingActive()) return "(hooks off)";
+  return FormatBytes(bytes);
+}
+
+/// Default paper parameters (|Q| = 100, c = 0.6, r = 5, eps = 1e-5).
+inline RunConfig PaperDefaults() {
+  RunConfig config;
+  config.rank = GetEnvInt64("COSIM_RANK", 5);
+  config.damping = GetEnvDouble("COSIM_DAMPING", 0.6);
+  config.epsilon = GetEnvDouble("COSIM_EPSILON", 1e-5);
+  config.keep_scores = false;
+  return config;
+}
+
+/// Default multi-source query size (paper: 100), overridable via COSIM_Q.
+inline Index DefaultQuerySize() {
+  return static_cast<Index>(GetEnvInt64("COSIM_Q", 100));
+}
+
+}  // namespace csrplus::bench
+
+#endif  // CSRPLUS_BENCH_BENCH_UTIL_H_

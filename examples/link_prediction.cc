@@ -1,0 +1,127 @@
+// Link prediction with CoSimRank scores (one of the applications the
+// paper's introduction motivates, citing Wang et al. 2015).
+//
+// A community-structured citation graph is generated (stochastic block
+// model); 15% of edges are held out; the remaining graph is indexed with
+// CSR+. CoSimRank under the column-normalised transition matrix is a
+// co-citation similarity ("two papers are similar if cited by similar
+// papers"), so a node's next out-link is predicted to be a node highly
+// similar to the papers it already cites: each probe's existing
+// out-neighbours form a multi-source query set and candidate targets are
+// scored by aggregate similarity to that set.
+//
+// Quality is reported as link-prediction AUC: the probability that a true
+// held-out target outscores a random non-linked node (0.5 = random).
+//
+//   $ ./build/examples/link_prediction [nodes] [rank]
+
+#include <cstdio>
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "csrplus.h"
+
+int main(int argc, char** argv) {
+  using namespace csrplus;
+  using linalg::Index;
+
+  const Index num_nodes = argc > 1 ? std::atoll(argv[1]) : 4000;
+  const Index rank = argc > 2 ? std::atoll(argv[2]) : 80;
+  const Index num_communities = std::max<Index>(num_nodes / 200, 2);
+  const double holdout_fraction = 0.15;
+
+  auto full = graph::StochasticBlockModel(num_nodes, num_communities,
+                                          num_nodes * 8, /*in_out_ratio=*/60.0,
+                                          /*seed=*/0x117F);
+  if (!full.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 full.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Citation-style graph: %s\n",
+              graph::ToString(graph::ComputeStats(*full)).c_str());
+
+  // --- Split edges into train / held-out.
+  Rng rng(0x5EED);
+  graph::GraphBuilder train_builder(num_nodes);
+  std::vector<std::pair<Index, Index>> held_out;
+  for (Index u = 0; u < num_nodes; ++u) {
+    for (int32_t v : full->OutNeighbors(u)) {
+      if (rng.Bernoulli(holdout_fraction)) {
+        held_out.emplace_back(u, v);
+      } else {
+        train_builder.AddEdge(u, v);
+      }
+    }
+  }
+  auto train = train_builder.Build();
+  if (!train.ok()) {
+    std::fprintf(stderr, "split failed: %s\n",
+                 train.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("held out %zu edges (%.0f%%), training on %ld\n",
+              held_out.size(), holdout_fraction * 100.0,
+              static_cast<long>(train->num_edges()));
+
+  // --- Index the training graph with CSR+.
+  WallTimer timer;
+  core::CsrPlusOptions options;
+  options.rank = rank;
+  options.damping = 0.8;  // deeper propagation: more shared-citer signal
+  auto engine = core::CsrPlusEngine::Precompute(*train, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "precompute failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("CSR+ rank-%ld precompute: %s\n", static_cast<long>(rank),
+              FormatSeconds(timer.ElapsedSeconds()).c_str());
+
+  // --- AUC over held-out edges: true target vs 10 random non-neighbours.
+  const int negatives_per_positive = 10;
+  int64_t wins = 0, ties = 0, total = 0;
+  int probes = 0;
+  timer.Restart();
+  for (auto [u, v] : held_out) {
+    if (train->OutDegree(u) < 3) continue;  // need anchors for the query set
+    if (++probes > 400) break;
+
+    std::vector<Index> anchors;
+    for (int32_t w : train->OutNeighbors(u)) anchors.push_back(w);
+    auto block = engine->MultiSourceQuery(anchors);
+    if (!block.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   block.status().ToString().c_str());
+      return 1;
+    }
+    const auto score = [&](Index x) {
+      double s = 0.0;
+      for (Index j = 0; j < block->cols(); ++j) s += (*block)(x, j);
+      return s;
+    };
+    const double true_score = score(v);
+    for (int t = 0; t < negatives_per_positive; ++t) {
+      Index w = static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+      while (w == u || train->HasEdge(u, w)) {
+        w = static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+      }
+      const double negative_score = score(w);
+      ++total;
+      if (true_score > negative_score) {
+        ++wins;
+      } else if (true_score == negative_score) {
+        ++ties;
+      }
+    }
+  }
+
+  std::printf("\nlink-prediction AUC over %d held-out edges: %.3f "
+              "(random = 0.500)\n",
+              probes - 1,
+              (static_cast<double>(wins) + 0.5 * static_cast<double>(ties)) /
+                  static_cast<double>(total));
+  std::printf("scoring time: %s\n", FormatSeconds(timer.ElapsedSeconds()).c_str());
+  return 0;
+}

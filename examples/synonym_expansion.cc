@@ -1,0 +1,101 @@
+// Synonym expansion — the application CoSimRank was originally designed for
+// (Rothe & Schütze 2014; also cited by the paper's introduction via SYNET).
+//
+// A small hand-crafted word co-occurrence graph links words that appear in
+// the same dictionary definitions. Given a seed set of known synonyms
+// (a multi-source query), CSR+ ranks the remaining vocabulary; words whose
+// aggregate similarity to the seed set is highest are proposed as synonym
+// candidates. The toy vocabulary has planted synonym clusters so the output
+// is easy to eyeball.
+//
+//   $ ./build/examples/synonym_expansion
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "csrplus.h"
+
+int main() {
+  using namespace csrplus;
+  using linalg::Index;
+
+  // Vocabulary with three planted clusters: "big", "small", "fast" words.
+  const std::vector<std::string> vocab = {
+      "large",    // 0  big-cluster
+      "huge",     // 1
+      "enormous", // 2
+      "gigantic", // 3
+      "tiny",     // 4  small-cluster
+      "little",   // 5
+      "minute",   // 6
+      "quick",    // 7  fast-cluster
+      "rapid",    // 8
+      "swift",    // 9
+      "object",   // 10 glue words co-occurring with everything
+      "size",     // 11
+      "speed",    // 12
+  };
+  const Index n = static_cast<Index>(vocab.size());
+
+  // Undirected co-occurrence edges (definition contexts).
+  graph::GraphBuilder builder(n);
+  builder.symmetrize(true);
+  const std::vector<std::pair<int, int>> cooccurrences = {
+      // big-cluster words share "size" and "object" contexts + each other.
+      {0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {0, 11}, {1, 11}, {2, 11},
+      {3, 11}, {0, 10}, {1, 10},
+      // small-cluster.
+      {4, 5}, {4, 6}, {5, 6}, {4, 11}, {5, 11}, {6, 11}, {5, 10},
+      // fast-cluster.
+      {7, 8}, {7, 9}, {8, 9}, {7, 12}, {8, 12}, {9, 12}, {9, 10},
+      // weak cross-cluster noise.
+      {3, 12}, {6, 12},
+  };
+  for (auto [u, v] : cooccurrences) builder.AddEdge(u, v);
+  auto graph = builder.Build();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph build failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+
+  core::CsrPlusOptions options;
+  options.rank = 6;
+  options.damping = 0.8;  // deeper propagation suits semantic graphs
+  auto engine = core::CsrPlusEngine::Precompute(*graph, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "precompute failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Expand the seed set {"large", "huge"}: the remaining big-cluster words
+  // should outrank everything else.
+  const std::vector<Index> seeds = {0, 1};
+  auto block = engine->MultiSourceQuery(seeds);
+  if (!block.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 block.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<double> aggregate(static_cast<std::size_t>(n), 0.0);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < block->cols(); ++j) {
+      aggregate[static_cast<std::size_t>(i)] += (*block)(i, j);
+    }
+  }
+  auto ranked = core::TopK(aggregate, 5, /*exclude=*/seeds);
+
+  std::printf("seed synonyms: {large, huge}\n");
+  std::printf("expansion candidates (aggregate CoSimRank):\n");
+  for (const auto& sn : ranked) {
+    std::printf("  %-9s %.4f\n", vocab[static_cast<std::size_t>(sn.node)].c_str(),
+                sn.score);
+  }
+  std::printf("\nexpected: 'enormous' and 'gigantic' at the top; the other\n"
+              "size-adjectives and glue words follow; the 'fast' cluster is\n"
+              "absent from the shortlist.\n");
+  return 0;
+}

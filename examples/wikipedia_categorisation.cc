@@ -1,0 +1,135 @@
+// Wikipedians categorisation — the paper's motivating application (§1).
+//
+// A synthetic Wikipedia-Talk-style communication graph is generated with
+// planted interest communities (stochastic block model). A handful of users
+// per community are "labelled" (they added themselves to a
+// Wikipedian-by-interest category); everyone else is unlabelled. For each
+// category, the labelled users form a multi-source query set Q, and every
+// node is assigned to the category whose query set gives it the highest
+// aggregate CoSimRank similarity — exactly the workflow sketched around
+// Figure 1 of the paper.
+//
+// The example reports categorisation accuracy against the planted ground
+// truth and the CSR+ precompute/query split so the cost profile of the
+// algorithm is visible on a realistic task.
+//
+//   $ ./build/examples/wikipedia_categorisation [nodes] [categories]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "csrplus.h"
+
+int main(int argc, char** argv) {
+  using namespace csrplus;
+  using linalg::Index;
+
+  const Index num_nodes = argc > 1 ? std::atoll(argv[1]) : 6000;
+  const Index num_categories = argc > 2 ? std::atoll(argv[2]) : 5;
+  const Index labelled_per_category = 20;
+
+  // --- Planted-community communication graph.
+  auto graph = graph::StochasticBlockModel(num_nodes, num_categories,
+                                           /*num_edges=*/num_nodes * 8,
+                                           /*in_out_ratio=*/24.0,
+                                           /*seed=*/0x31A5);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Wiki-Talk-style graph: %s\n",
+              graph::ToString(graph::ComputeStats(*graph)).c_str());
+
+  // Ground-truth category of node v (equal-sized blocks).
+  const Index base = num_nodes / num_categories;
+  const Index remainder = num_nodes % num_categories;
+  const auto category_of = [&](Index v) {
+    // Inverse of the block layout used by the SBM generator.
+    Index b = 0;
+    Index begin = 0;
+    while (true) {
+      const Index count = base + (b < remainder ? 1 : 0);
+      if (v < begin + count) return b;
+      begin += count;
+      ++b;
+    }
+  };
+
+  // --- Labelled seed users: the first few nodes of each block.
+  std::vector<std::vector<Index>> seeds(
+      static_cast<std::size_t>(num_categories));
+  {
+    Index begin = 0;
+    for (Index cat = 0; cat < num_categories; ++cat) {
+      const Index count = base + (cat < remainder ? 1 : 0);
+      for (Index i = 0; i < labelled_per_category; ++i) {
+        seeds[static_cast<std::size_t>(cat)].push_back(begin + i);
+      }
+      begin += count;
+    }
+  }
+
+  // --- CSR+ precompute once; one multi-source query per category.
+  WallTimer timer;
+  core::CsrPlusOptions options;
+  options.rank = 16;
+  options.damping = 0.6;
+  auto engine = core::CsrPlusEngine::Precompute(*graph, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "precompute failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  const double precompute_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  // Aggregate similarity of every node to each category's seed set.
+  linalg::DenseMatrix category_scores(num_nodes, num_categories);
+  for (Index cat = 0; cat < num_categories; ++cat) {
+    auto block = engine->MultiSourceQuery(seeds[static_cast<std::size_t>(cat)]);
+    if (!block.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   block.status().ToString().c_str());
+      return 1;
+    }
+    for (Index i = 0; i < num_nodes; ++i) {
+      double sum = 0.0;
+      for (Index j = 0; j < block->cols(); ++j) sum += (*block)(i, j);
+      category_scores(i, cat) = sum;
+    }
+  }
+  const double query_seconds = timer.ElapsedSeconds();
+
+  // --- Assign every unlabelled node to its best category; score accuracy.
+  Index correct = 0, total = 0;
+  for (Index v = 0; v < num_nodes; ++v) {
+    const Index truth = category_of(v);
+    bool is_seed = false;
+    for (Index s : seeds[static_cast<std::size_t>(truth)]) {
+      if (s == v) {
+        is_seed = true;
+        break;
+      }
+    }
+    if (is_seed) continue;
+    Index best = 0;
+    for (Index cat = 1; cat < num_categories; ++cat) {
+      if (category_scores(v, cat) > category_scores(v, best)) best = cat;
+    }
+    correct += best == truth ? 1 : 0;
+    ++total;
+  }
+
+  std::printf("\nCategorised %ld users into %ld interest areas\n",
+              static_cast<long>(total), static_cast<long>(num_categories));
+  std::printf("accuracy: %.1f%%  (chance: %.1f%%)\n",
+              100.0 * static_cast<double>(correct) / static_cast<double>(total),
+              100.0 / static_cast<double>(num_categories));
+  std::printf("CSR+ precompute: %s   all %ld multi-source queries: %s\n",
+              FormatSeconds(precompute_seconds).c_str(),
+              static_cast<long>(num_categories),
+              FormatSeconds(query_seconds).c_str());
+  return 0;
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary sequentially, capturing all output.
+# Usage: ./run_benches.sh [output-file]
+set -u
+out="${1:-bench_output.txt}"
+: > "$out"
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $(basename "$b") =====" >> "$out"
+    "$b" >> "$out" 2>&1
+    echo >> "$out"
+  fi
+done
+echo "BENCH SUITE DONE" >> "$out"

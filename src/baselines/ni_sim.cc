@@ -1,0 +1,172 @@
+#include "baselines/ni_sim.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/memory.h"
+#include "linalg/dense_ops.h"
+#include "linalg/kron.h"
+#include "linalg/lu.h"
+
+namespace csrplus::baselines {
+namespace {
+
+// Faithful evaluation of G = (V (x) V)^T (U (x) U): materialises both
+// tensor-product factors as n^2 x r^2 dense matrices — the published
+// method's O(r^2 n^2) memory, and the footprint that makes NI the first
+// method to exhaust memory as n or r grows (budget-guarded so the failure
+// is a clean status) — then contracts them in O(r^4 n^2) time.
+Result<DenseMatrix> FaithfulKroneckerGram(const DenseMatrix& v,
+                                          const DenseMatrix& u) {
+  const Index n = u.rows();
+  const Index r = u.cols();
+  const int64_t n2 = n * n;
+  const Index r2 = r * r;
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      2 * n2 * r2 * static_cast<int64_t>(sizeof(double)),
+      "CSR-NI tensor products (n^2 x r^2 factors)"));
+
+  // Row (a*n + b), column (i*r + j) of (V (x) V) is V[a,i] * V[b,j].
+  const auto materialize = [n, r, r2](const DenseMatrix& m) {
+    DenseMatrix out(static_cast<Index>(n) * n, r2);
+    for (Index a = 0; a < n; ++a) {
+      const double* row_a = m.RowPtr(a);
+      for (Index b = 0; b < n; ++b) {
+        const double* row_b = m.RowPtr(b);
+        double* dst = out.RowPtr(a * n + b);
+        for (Index i = 0; i < r; ++i) {
+          const double ma = row_a[i];
+          for (Index j = 0; j < r; ++j) dst[i * r + j] = ma * row_b[j];
+        }
+      }
+    }
+    return out;
+  };
+  const DenseMatrix vv = materialize(v);
+  const DenseMatrix uu = materialize(u);
+  return linalg::Gemm(vv, uu, linalg::Transpose::kYes, linalg::Transpose::kNo);
+}
+
+// Theorem 3.1 shortcut: G = Theta (x) Theta with Theta = V^T U.
+Result<DenseMatrix> MixedProductKroneckerGram(const DenseMatrix& v,
+                                              const DenseMatrix& u) {
+  const DenseMatrix theta =
+      linalg::Gemm(v, u, linalg::Transpose::kYes, linalg::Transpose::kNo);
+  return linalg::KroneckerProduct(theta, theta);
+}
+
+}  // namespace
+
+Result<NiSimEngine> NiSimEngine::Precompute(const CsrMatrix& transition,
+                                            const NiSimOptions& options) {
+  svd::SvdOptions svd_options = options.svd;
+  svd_options.rank = options.rank;
+  CSR_ASSIGN_OR_RETURN(svd::TruncatedSvd factors,
+                       svd::ComputeTruncatedSvd(transition, svd_options));
+  // Same factor convention as CsrPlusEngine: the published formulas hold for
+  // the SVD of Q^T, i.e. with the standard factors of Q swapped (see the
+  // derivation note in csrplus_engine.cc).
+  std::swap(factors.u, factors.v);
+  return PrecomputeFromFactors(factors, options);
+}
+
+Result<NiSimEngine> NiSimEngine::PrecomputeFromFactors(
+    const svd::TruncatedSvd& factors, const NiSimOptions& options) {
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping factor must be in (0, 1)");
+  }
+  const Index r = factors.rank();
+  for (double s : factors.sigma) {
+    if (s <= 0.0) {
+      return Status::NumericalError(
+          "CSR-NI requires strictly positive singular values "
+          "((Sigma (x) Sigma) must be invertible); reduce the rank");
+    }
+  }
+
+  NiSimEngine engine;
+  engine.u_ = factors.u;
+  engine.v_ = factors.v;
+  engine.sigma_ = factors.sigma;
+  engine.damping_ = options.damping;
+
+  // Gram tensor (V (x) V)^T (U (x) U).
+  Result<DenseMatrix> gram =
+      options.fidelity == NiFidelity::kFaithful
+          ? FaithfulKroneckerGram(factors.v, factors.u)
+          : MixedProductKroneckerGram(factors.v, factors.u);
+  if (!gram.ok()) return gram.status();
+
+  // Lambda = ((Sigma (x) Sigma)^{-1} - c G)^{-1}  (Eq. 6b).
+  DenseMatrix m = std::move(*gram);
+  linalg::ScaleInPlace(-options.damping, &m);
+  for (Index i = 0; i < r; ++i) {
+    for (Index j = 0; j < r; ++j) {
+      m(i * r + j, i * r + j) +=
+          1.0 / (factors.sigma[static_cast<std::size_t>(i)] *
+                 factors.sigma[static_cast<std::size_t>(j)]);
+    }
+  }
+  CSR_ASSIGN_OR_RETURN(linalg::LuFactorization lu,
+                       linalg::LuFactorization::Compute(m));
+  CSR_ASSIGN_OR_RETURN(engine.lambda_, lu.Inverse());
+  return engine;
+}
+
+Result<DenseMatrix> NiSimEngine::MultiSourceQuery(
+    const std::vector<Index>& queries) const {
+  if (queries.empty()) {
+    return Status::InvalidArgument("query set is empty");
+  }
+  const Index n = num_nodes();
+  const Index r = rank();
+  for (Index q : queries) {
+    if (q < 0 || q >= n) {
+      return Status::InvalidArgument("query node out of range");
+    }
+  }
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      n * static_cast<int64_t>(queries.size()) * sizeof(double),
+      "CSR-NI multi-source output"));
+
+  // w = (V (x) V)^T vec(I_n), computed as published (entry (i*r+j) is
+  // sum_a V[a,i] V[a,j]) rather than via the Theorem 3.2 shortcut.
+  std::vector<double> w(static_cast<std::size_t>(r * r), 0.0);
+  for (Index i = 0; i < r; ++i) {
+    for (Index j = 0; j < r; ++j) {
+      double sum = 0.0;
+      for (Index a = 0; a < n; ++a) sum += v_(a, i) * v_(a, j);
+      w[static_cast<std::size_t>(i * r + j)] = sum;
+    }
+  }
+
+  // y = Lambda w.
+  const std::vector<double> y = linalg::MatVec(lambda_, w);
+
+  // Row (x, q) of (U (x) U) dotted with y:
+  // [S]_{x,q} = [I]_{x,q} + c sum_{i,j} U[x,i] U[q,j] y[(i*r)+j].
+  DenseMatrix out(n, static_cast<Index>(queries.size()));
+  for (std::size_t col = 0; col < queries.size(); ++col) {
+    const Index q = queries[col];
+    const double* uq = u_.RowPtr(q);
+    // yq[i] = sum_j U[q,j] y[i*r + j] collapses the inner index per query.
+    std::vector<double> yq(static_cast<std::size_t>(r), 0.0);
+    for (Index i = 0; i < r; ++i) {
+      double sum = 0.0;
+      for (Index j = 0; j < r; ++j) {
+        sum += uq[j] * y[static_cast<std::size_t>(i * r + j)];
+      }
+      yq[static_cast<std::size_t>(i)] = sum;
+    }
+    for (Index x = 0; x < n; ++x) {
+      const double* ux = u_.RowPtr(x);
+      double dot = 0.0;
+      for (Index i = 0; i < r; ++i) dot += ux[i] * yq[static_cast<std::size_t>(i)];
+      out(x, static_cast<Index>(col)) = damping_ * dot;
+    }
+    out(q, static_cast<Index>(col)) += 1.0;
+  }
+  return out;
+}
+
+}  // namespace csrplus::baselines

@@ -1,0 +1,57 @@
+#include "baselines/rls.h"
+
+#include "common/memory.h"
+#include "linalg/dense_ops.h"
+
+namespace csrplus::baselines {
+
+Result<DenseMatrix> RlsMultiSource(const CsrMatrix& transition,
+                                   const std::vector<Index>& queries,
+                                   const RlsOptions& options) {
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping factor must be in (0, 1)");
+  }
+  if (options.iterations < 1) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("query set is empty");
+  }
+  const Index n = transition.rows();
+  const Index q = static_cast<Index>(queries.size());
+  for (Index node : queries) {
+    if (node < 0 || node >= n) {
+      return Status::InvalidArgument("query node out of range");
+    }
+  }
+
+  const int k_max = options.iterations;
+  const int64_t forward_bytes = static_cast<int64_t>(k_max + 2) * n * q *
+                                static_cast<int64_t>(sizeof(double));
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      forward_bytes, "CSR-RLS stored forward iterates"));
+
+  // Forward pass: V_k = Q^k E_Q, all K+1 blocks stored.
+  std::vector<DenseMatrix> forward;
+  forward.reserve(static_cast<std::size_t>(k_max) + 1);
+  DenseMatrix e_q(n, q);
+  for (Index j = 0; j < q; ++j) e_q(queries[static_cast<std::size_t>(j)], j) = 1.0;
+  forward.push_back(std::move(e_q));
+  for (int k = 1; k <= k_max; ++k) {
+    forward.push_back(transition.MultiplyDense(forward.back()));
+  }
+
+  // Horner backward pass: U = V_K; U = V_k + c Q^T U.
+  DenseMatrix u = std::move(forward.back());
+  forward.pop_back();
+  for (int k = k_max - 1; k >= 0; --k) {
+    DenseMatrix t = transition.MultiplyTransposeDense(u);
+    linalg::ScaleInPlace(options.damping, &t);
+    linalg::AddScaled(1.0, forward.back(), &t);
+    u = std::move(t);
+    forward.pop_back();
+  }
+  return u;
+}
+
+}  // namespace csrplus::baselines

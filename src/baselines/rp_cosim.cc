@@ -1,0 +1,61 @@
+#include "baselines/rp_cosim.h"
+
+#include "common/memory.h"
+#include "common/rng.h"
+#include "linalg/dense_ops.h"
+
+namespace csrplus::baselines {
+
+Result<DenseMatrix> RpCoSimMultiSource(const CsrMatrix& transition,
+                                       const std::vector<Index>& queries,
+                                       const RpCoSimOptions& options) {
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping factor must be in (0, 1)");
+  }
+  if (options.iterations < 1 || options.num_samples < 1) {
+    return Status::InvalidArgument("iterations and num_samples must be >= 1");
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("query set is empty");
+  }
+  const Index n = transition.rows();
+  const Index d = options.num_samples;
+  for (Index q : queries) {
+    if (q < 0 || q >= n) {
+      return Status::InvalidArgument("query node out of range");
+    }
+  }
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      (n * d + n * static_cast<int64_t>(queries.size())) *
+          static_cast<int64_t>(sizeof(double)),
+      "RP-CoSim sketch"));
+
+  // W_0 = G; the k = 0 term c^0 W_0 W_0^T / d estimates I_n, but is exactly
+  // I_n in expectation only — we use the exact identity for k = 0 (as the
+  // published estimator does) and sketch the k >= 1 tail.
+  Rng rng(options.seed);
+  DenseMatrix w(n, d);
+  for (Index i = 0; i < n; ++i) {
+    double* row = w.RowPtr(i);
+    for (Index j = 0; j < d; ++j) row[j] = rng.Gaussian();
+  }
+
+  DenseMatrix out(n, static_cast<Index>(queries.size()));
+  const double inv_d = 1.0 / static_cast<double>(d);
+  double ck = 1.0;
+  for (int k = 1; k <= options.iterations; ++k) {
+    w = transition.MultiplyTransposeDense(w);  // W_k = Q^T W_{k-1}
+    ck *= options.damping;
+    const DenseMatrix w_q = w.SelectRows(queries);  // |Q| x d
+    // out += c^k / d * W_k W_q^T.
+    DenseMatrix contrib = linalg::Gemm(w, w_q, linalg::Transpose::kNo,
+                                       linalg::Transpose::kYes);
+    linalg::AddScaled(ck * inv_d, contrib, &out);
+  }
+  for (std::size_t j = 0; j < queries.size(); ++j) {
+    out(queries[j], static_cast<Index>(j)) += 1.0;  // exact k = 0 term
+  }
+  return out;
+}
+
+}  // namespace csrplus::baselines

@@ -1,0 +1,45 @@
+// RP-CoSim (Renchi Yang, 2020) — randomized CoSimRank estimation via
+// Gaussian random projections (Table 1 row 5; an extension baseline here).
+//
+// Uses E[G G^T / d] = I_n for a Gaussian sketch G (n x d):
+//     S = sum_k c^k (Q^k)^T (Q^k)
+//       ~ sum_k c^k W_k W_k^T / d,   W_k = (Q^k)^T G = Q^T W_{k-1}.
+// The multi-source block needs only W_k and its query rows, so memory is
+// O(n d) — but the estimate carries Monte-Carlo variance ~ 1/sqrt(d),
+// unlike the deterministic rank-r truncation of CSR+. The ablation bench
+// compares the two accuracy/time trade-offs directly.
+
+#ifndef CSRPLUS_BASELINES_RP_COSIM_H_
+#define CSRPLUS_BASELINES_RP_COSIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace csrplus::baselines {
+
+using linalg::CsrMatrix;
+using linalg::DenseMatrix;
+using linalg::Index;
+
+/// Parameters of RP-CoSim.
+struct RpCoSimOptions {
+  double damping = 0.6;
+  /// Series length K.
+  int iterations = 5;
+  /// Number of Gaussian samples d (variance ~ 1/sqrt(d)).
+  Index num_samples = 200;
+  uint64_t seed = 0x52504353ULL;
+};
+
+/// Multi-source estimate of [S]_{*,Q} (n x |Q|).
+Result<DenseMatrix> RpCoSimMultiSource(const CsrMatrix& transition,
+                                       const std::vector<Index>& queries,
+                                       const RpCoSimOptions& options);
+
+}  // namespace csrplus::baselines
+
+#endif  // CSRPLUS_BASELINES_RP_COSIM_H_

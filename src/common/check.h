@@ -1,0 +1,80 @@
+// Assertion macros for programmer errors (contract violations).
+//
+// CSR_CHECK* abort the process with a diagnostic; they are for invariants that
+// can only be violated by a bug in the caller, never for recoverable
+// conditions (use Status for those). CSR_DCHECK* compile away in NDEBUG
+// builds and guard hot inner loops.
+
+#ifndef CSRPLUS_COMMON_CHECK_H_
+#define CSRPLUS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace csrplus {
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+// Stream sink that lets `CSR_CHECK(x) << "detail"` accumulate a message.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFail(file_, line_, expr_, stream_.str());
+  }
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace csrplus
+
+#define CSR_CHECK(cond)                                                 \
+  while (__builtin_expect(!(cond), 0))                                  \
+  ::csrplus::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define CSR_CHECK_OP(a, b, op) CSR_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ")"
+#define CSR_CHECK_EQ(a, b) CSR_CHECK_OP(a, b, ==)
+#define CSR_CHECK_NE(a, b) CSR_CHECK_OP(a, b, !=)
+#define CSR_CHECK_LT(a, b) CSR_CHECK_OP(a, b, <)
+#define CSR_CHECK_LE(a, b) CSR_CHECK_OP(a, b, <=)
+#define CSR_CHECK_GT(a, b) CSR_CHECK_OP(a, b, >)
+#define CSR_CHECK_GE(a, b) CSR_CHECK_OP(a, b, >=)
+
+/// Aborts if `status_expr` is not OK; for call sites where failure is a bug.
+#define CSR_CHECK_OK(status_expr)                                    \
+  do {                                                               \
+    ::csrplus::Status _st = (status_expr);                           \
+    CSR_CHECK(_st.ok()) << _st.ToString();                           \
+  } while (0)
+
+#ifdef NDEBUG
+#define CSR_DCHECK(cond) \
+  while (false) ::csrplus::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+#else
+#define CSR_DCHECK(cond) CSR_CHECK(cond)
+#endif
+
+#define CSR_DCHECK_EQ(a, b) CSR_DCHECK((a) == (b))
+#define CSR_DCHECK_LT(a, b) CSR_DCHECK((a) < (b))
+#define CSR_DCHECK_LE(a, b) CSR_DCHECK((a) <= (b))
+
+#endif  // CSRPLUS_COMMON_CHECK_H_

@@ -1,0 +1,33 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace csrplus {
+
+std::string GetEnvString(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  return v == nullptr ? fallback : std::string(v);
+}
+
+int64_t GetEnvInt64(const std::string& name, int64_t fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  int64_t parsed = std::strtoll(v, &end, 10);
+  return end == v ? fallback : parsed;
+}
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return end == v ? fallback : parsed;
+}
+
+BenchScale GetBenchScale() {
+  return GetEnvString("COSIM_SCALE", "ci") == "full" ? BenchScale::kFull
+                                                     : BenchScale::kCi;
+}
+
+}  // namespace csrplus

@@ -1,0 +1,30 @@
+// Environment-variable helpers used to parameterise benchmarks without
+// recompiling (e.g. COSIM_SCALE=full for the large dataset configurations).
+
+#ifndef CSRPLUS_COMMON_ENV_H_
+#define CSRPLUS_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace csrplus {
+
+/// Returns the value of environment variable `name`, or `fallback` if unset.
+std::string GetEnvString(const std::string& name, const std::string& fallback);
+
+/// Returns the integer value of `name`, or `fallback` if unset or malformed.
+int64_t GetEnvInt64(const std::string& name, int64_t fallback);
+
+/// Returns the double value of `name`, or `fallback` if unset or malformed.
+double GetEnvDouble(const std::string& name, double fallback);
+
+/// Benchmark scale selected via COSIM_SCALE: "ci" (default, minutes on one
+/// core) or "full" (paper-scale synthetic graphs; needs tens of minutes).
+enum class BenchScale { kCi, kFull };
+
+/// Reads COSIM_SCALE once per call.
+BenchScale GetBenchScale();
+
+}  // namespace csrplus
+
+#endif  // CSRPLUS_COMMON_ENV_H_

@@ -1,0 +1,74 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace csrplus {
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("CSRPLUS_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "WARN") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "OFF") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& LevelVar() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  LevelVar().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(LevelVar().load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >=
+               LevelVar().load(std::memory_order_relaxed)),
+      level_(level) {
+  if (enabled_) {
+    const char* base = std::strrchr(file, '/');
+    stream_ << "[" << LevelTag(level) << " " << (base ? base + 1 : file) << ":"
+            << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+}
+
+}  // namespace internal
+}  // namespace csrplus

@@ -1,0 +1,53 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: CSR_LOG(INFO) << "svd converged after " << iters << " sweeps";
+// The global level is settable programmatically or via the CSRPLUS_LOG_LEVEL
+// environment variable (DEBUG|INFO|WARN|ERROR|OFF), read once at startup.
+
+#ifndef CSRPLUS_COMMON_LOGGING_H_
+#define CSRPLUS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace csrplus {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace csrplus
+
+#define CSR_LOG(severity)                                             \
+  ::csrplus::internal::LogMessage(::csrplus::LogLevel::k##severity,   \
+                                  __FILE__, __LINE__)
+
+#define CSR_LOG_DEBUG CSR_LOG(Debug)
+#define CSR_LOG_INFO CSR_LOG(Info)
+#define CSR_LOG_WARN CSR_LOG(Warn)
+#define CSR_LOG_ERROR CSR_LOG(Error)
+
+#endif  // CSRPLUS_COMMON_LOGGING_H_

@@ -1,0 +1,120 @@
+#include "common/memory.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace csrplus {
+namespace {
+
+std::atomic<int64_t> g_current{0};
+std::atomic<int64_t> g_peak{0};
+std::atomic<bool> g_active{false};
+
+// Reads a "Vm...:   <kB> kB" field from /proc/self/status.
+int64_t ReadProcStatusKb(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t kb = 0;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      std::sscanf(line + field_len, " %" SCNd64, &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+MemoryStats GetTrackedMemory() {
+  MemoryStats stats;
+  stats.current_bytes = g_current.load(std::memory_order_relaxed);
+  stats.peak_bytes = g_peak.load(std::memory_order_relaxed);
+  return stats;
+}
+
+int64_t ResetPeakTrackedBytes() {
+  int64_t old_peak = g_peak.load(std::memory_order_relaxed);
+  g_peak.store(g_current.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  return old_peak;
+}
+
+bool MemoryTrackingActive() {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void RecordAlloc(std::size_t bytes) {
+  int64_t now = g_current.fetch_add(static_cast<int64_t>(bytes),
+                                    std::memory_order_relaxed) +
+                static_cast<int64_t>(bytes);
+  int64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void RecordFree(std::size_t bytes) {
+  g_current.fetch_sub(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+}
+
+void MarkTrackingActive() { g_active.store(true, std::memory_order_relaxed); }
+
+}  // namespace internal
+
+int64_t PeakRssBytes() { return ReadProcStatusKb("VmHWM:"); }
+
+int64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS:"); }
+
+MemoryBudget::MemoryBudget() {
+  constexpr int64_t kDefault = 12LL * 1024 * 1024 * 1024;  // 12 GiB
+  limit_bytes_ = kDefault;
+  if (const char* env = std::getenv("CSRPLUS_MEMORY_BUDGET_BYTES")) {
+    char* end = nullptr;
+    int64_t v = std::strtoll(env, &end, 10);
+    if (end != env && v > 0) limit_bytes_ = v;
+  }
+}
+
+MemoryBudget& MemoryBudget::Global() {
+  static MemoryBudget budget;
+  return budget;
+}
+
+Status MemoryBudget::TryReserve(int64_t bytes, std::string_view what) const {
+  if (bytes < 0) {
+    return Status::InvalidArgument("negative reservation for " +
+                                   std::string(what));
+  }
+  if (bytes > limit_bytes_) {
+    return Status::ResourceExhausted(
+        std::string(what) + " needs " + FormatBytes(bytes) +
+        " which exceeds the memory budget of " + FormatBytes(limit_bytes_));
+  }
+  return Status::OK();
+}
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1LL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / (1LL << 30));
+  } else if (bytes >= (1LL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", b / (1LL << 20));
+  } else if (bytes >= (1LL << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / (1LL << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace csrplus

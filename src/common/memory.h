@@ -1,0 +1,88 @@
+// Memory accounting for the experimental harness.
+//
+// Two complementary mechanisms:
+//
+//  1. *Tracked logical bytes* — a global counter fed by the operator
+//     new/delete hooks in memory_hooks.cc (linked into benchmark binaries
+//     only). It reports what the process actually allocates, with a
+//     resettable high-water mark so each phase of an algorithm can be
+//     measured separately (Figures 6–9).
+//
+//  2. *Memory budget* — a process-wide cap that algorithms consult before
+//     making very large allocations (TryReserve). Baselines whose published
+//     form needs O(n^2) or O(r^2 n^2) memory return ResourceExhausted when
+//     the budget would be exceeded, reproducing the paper's "fails due to
+//     memory explosion" outcomes deterministically instead of OOM-killing
+//     the process.
+
+#ifndef CSRPLUS_COMMON_MEMORY_H_
+#define CSRPLUS_COMMON_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace csrplus {
+
+/// Snapshot of the tracked-allocation counters.
+struct MemoryStats {
+  /// Bytes currently allocated (0 unless the hooks are linked).
+  int64_t current_bytes = 0;
+  /// High-water mark since the last ResetPeakTrackedBytes().
+  int64_t peak_bytes = 0;
+};
+
+/// Reads the tracked-allocation counters (zero if hooks are not linked).
+MemoryStats GetTrackedMemory();
+
+/// Resets the tracked high-water mark to the current level. Returns the peak
+/// that was in effect before the reset.
+int64_t ResetPeakTrackedBytes();
+
+/// True when the operator new/delete hooks are linked into this binary.
+bool MemoryTrackingActive();
+
+namespace internal {
+// Called by the allocation hooks. Not for direct use.
+void RecordAlloc(std::size_t bytes);
+void RecordFree(std::size_t bytes);
+void MarkTrackingActive();
+}  // namespace internal
+
+/// Peak resident set size of this process in bytes (VmHWM), or 0 on failure.
+int64_t PeakRssBytes();
+
+/// Current resident set size in bytes (VmRSS), or 0 on failure.
+int64_t CurrentRssBytes();
+
+/// Process-wide cap on a single logical reservation, used by algorithms whose
+/// published form requires memory super-linear in n. Defaults to 12 GiB or
+/// the CSRPLUS_MEMORY_BUDGET_BYTES environment variable.
+class MemoryBudget {
+ public:
+  /// The process-wide budget instance.
+  static MemoryBudget& Global();
+
+  /// Replaces the cap (bytes). Thread-compatible, not thread-safe.
+  void SetLimit(int64_t bytes) { limit_bytes_ = bytes; }
+  int64_t limit_bytes() const { return limit_bytes_; }
+
+  /// Returns OK if a reservation of `bytes` fits under the cap, otherwise a
+  /// ResourceExhausted status naming `what`. Purely advisory: nothing is
+  /// actually reserved; callers allocate on success.
+  Status TryReserve(int64_t bytes, std::string_view what) const;
+
+ private:
+  MemoryBudget();
+  int64_t limit_bytes_;
+};
+
+/// Formats a byte count as a short human string ("1.25 GiB", "340 KiB").
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace csrplus
+
+#endif  // CSRPLUS_COMMON_MEMORY_H_

@@ -1,0 +1,80 @@
+// Global operator new/delete overrides that feed the tracked-memory counters.
+//
+// This translation unit is compiled into its own library (csrplus_memhooks)
+// and linked ONLY into the benchmark binaries, where per-algorithm memory
+// accounting (Figures 6–9) is needed. Library code and unit tests are built
+// without it and observe zeroed counters.
+
+#include <malloc.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "common/memory.h"
+
+namespace {
+
+struct ActivateTracking {
+  ActivateTracking() { csrplus::internal::MarkTrackingActive(); }
+} g_activate;
+
+void* TrackedAlloc(std::size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  csrplus::internal::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+
+void* TrackedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  void* p = std::aligned_alloc(alignment, (size + alignment - 1) / alignment *
+                                              alignment);
+  if (p == nullptr) throw std::bad_alloc();
+  csrplus::internal::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+
+void TrackedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  csrplus::internal::RecordFree(malloc_usable_size(p));
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return TrackedAlloc(size); }
+void* operator new[](std::size_t size) { return TrackedAlloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p != nullptr) csrplus::internal::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return operator new(size, std::nothrow);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return TrackedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return TrackedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { TrackedFree(p); }
+void operator delete[](void* p) noexcept { TrackedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { TrackedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  TrackedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  TrackedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { TrackedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  TrackedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  TrackedFree(p);
+}

@@ -1,0 +1,182 @@
+// Status / Result error model for the csrplus library.
+//
+// Fallible public APIs never throw; they return Status (or Result<T> for a
+// value-or-error). This follows the Arrow / RocksDB convention for database
+// engine code: exceptions are disabled across the API boundary, and programmer
+// errors are handled by CSR_CHECK assertions (see check.h).
+
+#ifndef CSRPLUS_COMMON_STATUS_H_
+#define CSRPLUS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace csrplus {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kResourceExhausted = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kNumericalError = 8,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome carrying a code and a message.
+///
+/// Cheap to copy in the OK case (no allocation). Construct errors via the
+/// static factories, e.g. `return Status::InvalidArgument("rank must be > 0")`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Is this status of the given error category?
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNumericalError() const { return code_ == StatusCode::kNumericalError; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Prepends `context` to the error message; no-op on OK statuses.
+  /// Useful when propagating errors up a call chain.
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status.
+///
+/// Access the value with `ValueOrDie()` / `operator*` only after checking
+/// `ok()`; dereferencing an error Result aborts the process.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status. Must not be OK.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The status: OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& ValueOrDie() const&;
+  T& ValueOrDie() &;
+  T&& ValueOrDie() &&;
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+const T& Result<T>::ValueOrDie() const& {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(payload_));
+  return std::get<T>(payload_);
+}
+
+template <typename T>
+T& Result<T>::ValueOrDie() & {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(payload_));
+  return std::get<T>(payload_);
+}
+
+template <typename T>
+T&& Result<T>::ValueOrDie() && {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(payload_));
+  return std::move(std::get<T>(payload_));
+}
+
+/// Propagates an error Status out of the current function.
+#define CSR_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::csrplus::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define CSR_CONCAT_IMPL(a, b) a##b
+#define CSR_CONCAT(a, b) CSR_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define CSR_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  CSR_ASSIGN_OR_RETURN_IMPL(CSR_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define CSR_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                              \
+  if (!result_name.ok()) return result_name.status();      \
+  lhs = std::move(result_name).ValueOrDie()
+
+}  // namespace csrplus
+
+#endif  // CSRPLUS_COMMON_STATUS_H_

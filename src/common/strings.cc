@@ -1,0 +1,60 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace csrplus {
+
+std::vector<std::string_view> SplitFields(std::string_view text,
+                                          std::string_view delims) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t start = text.find_first_not_of(delims, pos);
+    if (start == std::string_view::npos) break;
+    std::size_t end = text.find_first_of(delims, start);
+    if (end == std::string_view::npos) end = text.size();
+    out.push_back(text.substr(start, end - start));
+    pos = end;
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  constexpr std::string_view kWs = " \t\r\n\v\f";
+  std::size_t begin = text.find_first_not_of(kWs);
+  if (begin == std::string_view::npos) return {};
+  std::size_t end = text.find_last_not_of(kWs);
+  return text.substr(begin, end - begin + 1);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string StrPrintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+}  // namespace csrplus

@@ -1,0 +1,31 @@
+// Small string utilities shared across IO and the benchmark harness.
+
+#ifndef CSRPLUS_COMMON_STRINGS_H_
+#define CSRPLUS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csrplus {
+
+/// Splits `text` on any run of the characters in `delims`; skips empty pieces.
+std::vector<std::string_view> SplitFields(std::string_view text,
+                                          std::string_view delims = " \t");
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace csrplus
+
+#endif  // CSRPLUS_COMMON_STRINGS_H_

@@ -1,0 +1,48 @@
+#include "common/timer.h"
+
+#include <cstdio>
+
+namespace csrplus {
+
+void WallTimer::Restart() {
+  accumulated_ = 0.0;
+  start_ = Clock::now();
+  running_ = true;
+}
+
+void WallTimer::Pause() {
+  if (!running_) return;
+  accumulated_ +=
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  running_ = false;
+}
+
+void WallTimer::Resume() {
+  if (running_) return;
+  start_ = Clock::now();
+  running_ = true;
+}
+
+double WallTimer::ElapsedSeconds() const {
+  double total = accumulated_;
+  if (running_) {
+    total += std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  return total;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f s", seconds);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace csrplus

@@ -1,0 +1,44 @@
+// Wall-clock timing utilities used by the benchmark harness.
+
+#ifndef CSRPLUS_COMMON_TIMER_H_
+#define CSRPLUS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <string>
+
+namespace csrplus {
+
+/// Monotonic wall-clock stopwatch with pause/resume.
+class WallTimer {
+ public:
+  /// Starts the timer immediately.
+  WallTimer() { Restart(); }
+
+  /// Resets accumulated time to zero and starts running.
+  void Restart();
+
+  /// Pauses accumulation; ElapsedSeconds() freezes until Resume().
+  void Pause();
+
+  /// Resumes after a Pause().
+  void Resume();
+
+  /// Total accumulated seconds (running or paused).
+  double ElapsedSeconds() const;
+
+  /// Accumulated milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+  double accumulated_ = 0.0;
+  bool running_ = false;
+};
+
+/// Formats a duration in seconds as a short human string ("1.23 s", "45 ms").
+std::string FormatSeconds(double seconds);
+
+}  // namespace csrplus
+
+#endif  // CSRPLUS_COMMON_TIMER_H_

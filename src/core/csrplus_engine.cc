@@ -1,0 +1,254 @@
+#include "core/csrplus_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "common/memory.h"
+#include "common/timer.h"
+#include "graph/normalize.h"
+#include "linalg/dense_ops.h"
+
+namespace csrplus::core {
+
+int RepeatedSquaringIterations(double damping, double epsilon) {
+  // max{0, floor(log2 log_c eps) + 1}; note log_c eps > 0 since both are
+  // in (0, 1).
+  const double log_c_eps = std::log(epsilon) / std::log(damping);
+  const int k = static_cast<int>(std::floor(std::log2(log_c_eps))) + 1;
+  return std::max(0, k);
+}
+
+Status ValidateCsrPlusOptions(const CsrPlusOptions& options, Index num_nodes) {
+  if (options.rank < 1) {
+    return Status::InvalidArgument("rank must be >= 1");
+  }
+  if (options.rank > num_nodes) {
+    return Status::InvalidArgument("rank " + std::to_string(options.rank) +
+                                   " exceeds node count " +
+                                   std::to_string(num_nodes));
+  }
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping factor must be in (0, 1)");
+  }
+  if (options.epsilon <= 0.0 || options.epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+Result<CsrPlusEngine> CsrPlusEngine::Precompute(const graph::Graph& g,
+                                                const CsrPlusOptions& options) {
+  WallTimer timer;
+  const CsrMatrix transition = graph::ColumnNormalizedTransition(g);
+  const double normalize_seconds = timer.ElapsedSeconds();
+  CSR_ASSIGN_OR_RETURN(CsrPlusEngine engine,
+                       PrecomputeFromTransition(transition, options));
+  engine.stats_.normalize_seconds = normalize_seconds;
+  return engine;
+}
+
+Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromTransition(
+    const CsrMatrix& transition, const CsrPlusOptions& options) {
+  if (transition.rows() != transition.cols()) {
+    return Status::InvalidArgument("transition matrix must be square");
+  }
+  CSR_RETURN_IF_ERROR(ValidateCsrPlusOptions(options, transition.rows()));
+
+  // Line 2: rank-r truncated SVD, taken of Q^T so the paper's formulas
+  // apply verbatim. Deriving Eq.(6a) from Eq.(1) with the standard
+  // convention Q = U Sigma V^T puts the *right* factor V in the query role
+  // (S = I + c V (Sigma P Sigma) V^T with H = U^T V Sigma); the paper's "U"
+  // is therefore the left factor of Q^T = V Sigma U^T. Swapping the factors
+  // of SVD(Q) yields exactly SVD(Q^T), so Algorithm 1 below reads just like
+  // the paper with `factors.u`/`factors.v` post-swap. The worked Example 3.6
+  // (node b has in-links but no out-links, yet query b returns non-trivial
+  // similarities) confirms this reading; the equivalence is covered by
+  // tests/theorems_test.cc.
+  WallTimer timer;
+  svd::SvdOptions svd_options = options.svd;
+  svd_options.rank = options.rank;
+  CSR_ASSIGN_OR_RETURN(svd::TruncatedSvd factors,
+                       svd::ComputeTruncatedSvd(transition, svd_options));
+  std::swap(factors.u, factors.v);  // factors now decompose Q^T.
+  const double svd_seconds = timer.ElapsedSeconds();
+
+  CSR_ASSIGN_OR_RETURN(CsrPlusEngine engine,
+                       PrecomputeFromPaperFactors(std::move(factors), options));
+  engine.stats_.svd_seconds = svd_seconds;
+  return engine;
+}
+
+Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromPaperFactors(
+    svd::TruncatedSvd factors, const CsrPlusOptions& options) {
+  if (factors.rank() != options.rank) {
+    return Status::InvalidArgument("factor rank does not match options.rank");
+  }
+  CSR_RETURN_IF_ERROR(ValidateCsrPlusOptions(options, factors.u.rows()));
+
+  CsrPlusEngine engine;
+  engine.damping_ = options.damping;
+
+  // Line 3: H_0 = V^T U Sigma in the r x r subspace.
+  WallTimer timer;
+  DenseMatrix h = linalg::Gemm(factors.v, factors.u, linalg::Transpose::kYes,
+                               linalg::Transpose::kNo);
+  for (Index i = 0; i < h.rows(); ++i) {
+    double* row = h.RowPtr(i);
+    for (Index j = 0; j < h.cols(); ++j) {
+      row[j] *= factors.sigma[static_cast<std::size_t>(j)];
+    }
+  }
+
+  // Lines 4-5: repeated squaring for P (Theorem 3.4 / prior work [12]).
+  const int max_k = RepeatedSquaringIterations(options.damping, options.epsilon);
+  DenseMatrix p = DenseMatrix::Identity(options.rank);
+  double c_pow = options.damping;  // c^{2^k} for k = 0.
+  for (int k = 0; k <= max_k; ++k) {
+    // P <- P + c^{2^k} H P H^T.
+    DenseMatrix hp = linalg::Gemm(h, p);
+    DenseMatrix hpht =
+        linalg::Gemm(hp, h, linalg::Transpose::kNo, linalg::Transpose::kYes);
+    linalg::AddScaled(c_pow, hpht, &p);
+    // H <- H^2, c^{2^k} -> c^{2^{k+1}}.
+    h = linalg::Gemm(h, h);
+    c_pow *= c_pow;
+  }
+  engine.stats_.squaring_iterations = max_k + 1;
+
+  // Line 6: Z = U (Sigma P Sigma), memoised for the query phase.
+  DenseMatrix sps = linalg::DiagScale(factors.sigma, p, factors.sigma);
+  engine.z_ = linalg::Gemm(factors.u, sps);
+  engine.u_ = std::move(factors.u);
+  engine.p_ = std::move(p);
+  engine.stats_.subspace_seconds = timer.ElapsedSeconds();
+  engine.stats_.state_bytes =
+      engine.u_.AllocatedBytes() + engine.z_.AllocatedBytes() +
+      engine.p_.AllocatedBytes();
+  return engine;
+}
+
+Result<DenseMatrix> CsrPlusEngine::MultiSourceQuery(
+    const std::vector<Index>& queries) const {
+  if (queries.empty()) {
+    return Status::InvalidArgument("query set is empty");
+  }
+  const Index n = num_nodes();
+  for (Index q : queries) {
+    if (q < 0 || q >= n) {
+      return Status::InvalidArgument("query node " + std::to_string(q) +
+                                     " out of range");
+    }
+  }
+  const int64_t out_bytes =
+      n * static_cast<int64_t>(queries.size()) * sizeof(double);
+  CSR_RETURN_IF_ERROR(
+      MemoryBudget::Global().TryReserve(out_bytes, "CSR+ multi-source output"));
+
+  // Line 7: [S]_{*,Q} = [I_n]_{*,Q} + c Z [U]_{Q,*}^T.
+  const DenseMatrix u_q = u_.SelectRows(queries);  // |Q| x r
+  DenseMatrix s = linalg::Gemm(z_, u_q, linalg::Transpose::kNo,
+                               linalg::Transpose::kYes);  // n x |Q|
+  linalg::ScaleInPlace(damping_, &s);
+  for (std::size_t j = 0; j < queries.size(); ++j) {
+    s(queries[j], static_cast<Index>(j)) += 1.0;
+  }
+  return s;
+}
+
+Result<std::vector<double>> CsrPlusEngine::SingleSourceQuery(
+    Index query) const {
+  const Index n = num_nodes();
+  if (query < 0 || query >= n) {
+    return Status::InvalidArgument("query node out of range");
+  }
+  const Index r = rank();
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  const double* urow = u_.RowPtr(query);
+  for (Index i = 0; i < n; ++i) {
+    const double* zrow = z_.RowPtr(i);
+    double dot = 0.0;
+    for (Index k = 0; k < r; ++k) dot += zrow[k] * urow[k];
+    out[static_cast<std::size_t>(i)] = damping_ * dot;
+  }
+  out[static_cast<std::size_t>(query)] += 1.0;
+  return out;
+}
+
+Result<double> CsrPlusEngine::SinglePairQuery(Index a, Index b) const {
+  const Index n = num_nodes();
+  if (a < 0 || a >= n || b < 0 || b >= n) {
+    return Status::InvalidArgument("node out of range");
+  }
+  const Index r = rank();
+  const double* zrow = z_.RowPtr(a);
+  const double* urow = u_.RowPtr(b);
+  double dot = 0.0;
+  for (Index k = 0; k < r; ++k) dot += zrow[k] * urow[k];
+  return damping_ * dot + (a == b ? 1.0 : 0.0);
+}
+
+Result<std::vector<std::vector<ScoredNode>>> CsrPlusEngine::TopKQuery(
+    const std::vector<Index>& queries, Index k, bool exclude_query,
+    const std::vector<Index>& exclude) const {
+  if (queries.empty()) {
+    return Status::InvalidArgument("query set is empty");
+  }
+  if (k < 0) {
+    return Status::InvalidArgument("k must be non-negative");
+  }
+  std::vector<std::vector<ScoredNode>> out;
+  out.reserve(queries.size());
+  for (Index q : queries) {
+    CSR_ASSIGN_OR_RETURN(std::vector<double> column, SingleSourceQuery(q));
+    std::vector<Index> skip = exclude;
+    if (exclude_query) skip.push_back(q);
+    out.push_back(TopK(column, k, skip));
+  }
+  return out;
+}
+
+Result<std::vector<CsrPlusEngine::ScoredPair>> CsrPlusEngine::AllPairsTopK(
+    Index k) const {
+  if (k < 0) {
+    return Status::InvalidArgument("k must be non-negative");
+  }
+  const Index n = num_nodes();
+  // Min-heap on score (worst pair at front) capped at k entries.
+  const auto better = [](const ScoredPair& x, const ScoredPair& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+  };
+  std::vector<ScoredPair> heap;
+  heap.reserve(static_cast<std::size_t>(std::max<Index>(k, 0)));
+  for (Index a = 0; a < n; ++a) {
+    CSR_ASSIGN_OR_RETURN(std::vector<double> column, SingleSourceQuery(a));
+    for (Index b = a + 1; b < n; ++b) {
+      const ScoredPair candidate{a, b, column[static_cast<std::size_t>(b)]};
+      if (static_cast<Index>(heap.size()) < k) {
+        heap.push_back(candidate);
+        std::push_heap(heap.begin(), heap.end(), better);
+      } else if (k > 0 && better(candidate, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), better);
+        heap.back() = candidate;
+        std::push_heap(heap.begin(), heap.end(), better);
+      }
+    }
+  }
+  std::sort(heap.begin(), heap.end(), better);
+  return heap;
+}
+
+Result<DenseMatrix> CsrPlusEngine::AllPairs() const {
+  const Index n = num_nodes();
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      n * n * static_cast<int64_t>(sizeof(double)), "CSR+ all-pairs output"));
+  DenseMatrix s = linalg::Gemm(z_, u_, linalg::Transpose::kNo,
+                               linalg::Transpose::kYes);
+  linalg::ScaleInPlace(damping_, &s);
+  for (Index i = 0; i < n; ++i) s(i, i) += 1.0;
+  return s;
+}
+
+}  // namespace csrplus::core

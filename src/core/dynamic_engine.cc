@@ -1,0 +1,123 @@
+#include "core/dynamic_engine.h"
+
+#include <algorithm>
+
+#include "svd/update.h"
+
+namespace csrplus::core {
+namespace {
+
+// Builds Q^T as CSR directly from in-neighbour lists: row v of Q^T holds
+// 1/indeg(v) at each in-neighbour of v.
+CsrMatrix BuildTransitionTranspose(
+    const std::vector<std::vector<int32_t>>& in_neighbors) {
+  const Index n = static_cast<Index>(in_neighbors.size());
+  std::vector<int64_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  int64_t nnz = 0;
+  for (Index v = 0; v < n; ++v) {
+    nnz += static_cast<int64_t>(in_neighbors[static_cast<std::size_t>(v)].size());
+    row_ptr[static_cast<std::size_t>(v) + 1] = nnz;
+  }
+  std::vector<int32_t> cols(static_cast<std::size_t>(nnz));
+  std::vector<double> values(static_cast<std::size_t>(nnz));
+  int64_t pos = 0;
+  for (Index v = 0; v < n; ++v) {
+    const auto& nbrs = in_neighbors[static_cast<std::size_t>(v)];
+    const double w = nbrs.empty() ? 0.0 : 1.0 / static_cast<double>(nbrs.size());
+    for (int32_t u : nbrs) {
+      cols[static_cast<std::size_t>(pos)] = u;
+      values[static_cast<std::size_t>(pos)] = w;
+      ++pos;
+    }
+  }
+  return CsrMatrix::FromParts(n, n, std::move(row_ptr), std::move(cols),
+                              std::move(values));
+}
+
+}  // namespace
+
+Result<DynamicCsrPlusEngine> DynamicCsrPlusEngine::Build(
+    const graph::Graph& g, const DynamicOptions& options) {
+  if (options.max_incremental_updates < 1) {
+    return Status::InvalidArgument("max_incremental_updates must be >= 1");
+  }
+  CSR_RETURN_IF_ERROR(ValidateCsrPlusOptions(options.base, g.num_nodes()));
+
+  DynamicCsrPlusEngine dynamic;
+  dynamic.options_ = options;
+  dynamic.in_neighbors_.resize(static_cast<std::size_t>(g.num_nodes()));
+  for (Index u = 0; u < g.num_nodes(); ++u) {
+    for (int32_t v : g.OutNeighbors(u)) {
+      dynamic.in_neighbors_[static_cast<std::size_t>(v)].push_back(
+          static_cast<int32_t>(u));
+    }
+  }
+  for (auto& nbrs : dynamic.in_neighbors_) {
+    std::sort(nbrs.begin(), nbrs.end());
+  }
+  dynamic.num_edges_ = g.num_edges();
+  CSR_RETURN_IF_ERROR(dynamic.RebuildFromScratch());
+  return dynamic;
+}
+
+Status DynamicCsrPlusEngine::RebuildFromScratch() {
+  const CsrMatrix qt = BuildTransitionTranspose(in_neighbors_);
+  svd::SvdOptions svd_options = options_.base.svd;
+  svd_options.rank = options_.base.rank;
+  // SVD(Q^T) yields the paper-convention factors directly (the left factor
+  // of Q^T is the query factor; see csrplus_engine.cc).
+  CSR_ASSIGN_OR_RETURN(factors_, svd::ComputeTruncatedSvd(qt, svd_options));
+  updates_since_rebuild_ = 0;
+  ++rebuild_count_;
+  return RefreshSubspace();
+}
+
+Status DynamicCsrPlusEngine::RefreshSubspace() {
+  CSR_ASSIGN_OR_RETURN(
+      CsrPlusEngine engine,
+      CsrPlusEngine::PrecomputeFromPaperFactors(factors_, options_.base));
+  engine_.emplace(std::move(engine));
+  return Status::OK();
+}
+
+Status DynamicCsrPlusEngine::InsertEdge(Index u, Index v) {
+  const Index n = num_nodes();
+  if (u < 0 || u >= n || v < 0 || v >= n) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loops are not supported");
+  }
+  auto& nbrs = in_neighbors_[static_cast<std::size_t>(v)];
+  const auto it =
+      std::lower_bound(nbrs.begin(), nbrs.end(), static_cast<int32_t>(u));
+  if (it != nbrs.end() && *it == static_cast<int32_t>(u)) {
+    return Status::OK();  // edge already present
+  }
+
+  // Column v of Q changes from (1/d) 1_{old} to (1/(d+1)) 1_{old + u}.
+  const double old_d = static_cast<double>(nbrs.size());
+  std::vector<double> delta(static_cast<std::size_t>(n), 0.0);
+  const double new_w = 1.0 / (old_d + 1.0);
+  if (old_d > 0.0) {
+    const double shift = new_w - 1.0 / old_d;
+    for (int32_t w : nbrs) delta[static_cast<std::size_t>(w)] = shift;
+  }
+  delta[static_cast<std::size_t>(u)] = new_w;
+
+  nbrs.insert(it, static_cast<int32_t>(u));
+  ++num_edges_;
+
+  if (updates_since_rebuild_ >= options_.max_incremental_updates) {
+    return RebuildFromScratch();
+  }
+
+  // Q'^T = Q^T + e_v delta^T: rank-1 update in the factors' orientation.
+  std::vector<double> e_v(static_cast<std::size_t>(n), 0.0);
+  e_v[static_cast<std::size_t>(v)] = 1.0;
+  CSR_RETURN_IF_ERROR(svd::ApplyRank1Update(e_v, delta, &factors_));
+  ++updates_since_rebuild_;
+  return RefreshSubspace();
+}
+
+}  // namespace csrplus::core

@@ -1,0 +1,41 @@
+// Top-k extraction over similarity score vectors.
+//
+// Applications (synonym expansion, categorisation, link prediction) rarely
+// want a full n-vector of scores; they want the k most similar nodes. These
+// helpers avoid sorting all n entries (partial heap selection, O(n log k)).
+
+#ifndef CSRPLUS_CORE_TOPK_H_
+#define CSRPLUS_CORE_TOPK_H_
+
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+
+namespace csrplus::core {
+
+using linalg::Index;
+
+/// One scored node.
+struct ScoredNode {
+  Index node;
+  double score;
+
+  bool operator==(const ScoredNode& other) const {
+    return node == other.node && score == other.score;
+  }
+};
+
+/// The k highest-scoring entries of `scores`, descending (ties broken by
+/// lower node id), excluding any ids in `exclude`.
+std::vector<ScoredNode> TopK(const std::vector<double>& scores, Index k,
+                             const std::vector<Index>& exclude = {});
+
+/// Top-k of column `col` of a score matrix (n x q layout as produced by
+/// multi-source queries).
+std::vector<ScoredNode> TopKOfColumn(const linalg::DenseMatrix& scores,
+                                     Index col, Index k,
+                                     const std::vector<Index>& exclude = {});
+
+}  // namespace csrplus::core
+
+#endif  // CSRPLUS_CORE_TOPK_H_

@@ -1,0 +1,58 @@
+// Umbrella public header for the csrplus library.
+//
+// Quick start:
+//
+//   #include "csrplus.h"
+//
+//   csrplus::graph::GraphBuilder builder(n);
+//   builder.AddEdge(u, v);  // ...
+//   auto graph = builder.Build().ValueOrDie();
+//
+//   csrplus::core::CsrPlusOptions options;   // r = 5, c = 0.6, eps = 1e-5
+//   auto engine =
+//       csrplus::core::CsrPlusEngine::Precompute(graph, options).ValueOrDie();
+//   auto scores = engine.MultiSourceQuery({q1, q2, q3}).ValueOrDie();
+//
+// See README.md for the architecture overview and examples/ for runnable
+// programs.
+
+#ifndef CSRPLUS_CSRPLUS_H_
+#define CSRPLUS_CSRPLUS_H_
+
+#include "baselines/cosimmate.h"
+#include "baselines/iterative_allpairs.h"
+#include "baselines/ni_sim.h"
+#include "baselines/rls.h"
+#include "baselines/rp_cosim.h"
+#include "common/check.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/memory.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "core/cosimrank.h"
+#include "core/csrplus_engine.h"
+#include "core/dynamic_engine.h"
+#include "core/topk.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "graph/generators/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/normalize.h"
+#include "graph/stats.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/dense_ops.h"
+#include "linalg/jacobi.h"
+#include "linalg/kron.h"
+#include "linalg/lu.h"
+#include "linalg/qr.h"
+#include "linalg/sparse_matrix.h"
+#include "svd/truncated_svd.h"
+#include "svd/update.h"
+
+#endif  // CSRPLUS_CSRPLUS_H_

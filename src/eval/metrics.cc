@@ -1,0 +1,46 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/topk.h"
+
+namespace csrplus::eval {
+
+double AvgDiff(const DenseMatrix& approx, const DenseMatrix& exact) {
+  CSR_CHECK_EQ(approx.rows(), exact.rows());
+  CSR_CHECK_EQ(approx.cols(), exact.cols());
+  const Index total = approx.size();
+  if (total == 0) return 0.0;
+  double sum = 0.0;
+  const double* pa = approx.data();
+  const double* pe = exact.data();
+  for (Index i = 0; i < total; ++i) sum += std::fabs(pa[i] - pe[i]);
+  return sum / static_cast<double>(total);
+}
+
+double MaxDiff(const DenseMatrix& approx, const DenseMatrix& exact) {
+  CSR_CHECK_EQ(approx.rows(), exact.rows());
+  CSR_CHECK_EQ(approx.cols(), exact.cols());
+  double maxd = 0.0;
+  const double* pa = approx.data();
+  const double* pe = exact.data();
+  for (Index i = 0; i < approx.size(); ++i) {
+    maxd = std::max(maxd, std::fabs(pa[i] - pe[i]));
+  }
+  return maxd;
+}
+
+double TopKOverlap(const DenseMatrix& approx, const DenseMatrix& exact,
+                   Index column, Index k) {
+  const auto top_a = core::TopKOfColumn(approx, column, k);
+  const auto top_e = core::TopKOfColumn(exact, column, k);
+  std::unordered_set<Index> exact_set;
+  for (const auto& sn : top_e) exact_set.insert(sn.node);
+  Index hits = 0;
+  for (const auto& sn : top_a) hits += exact_set.count(sn.node) > 0 ? 1 : 0;
+  return k > 0 ? static_cast<double>(hits) / static_cast<double>(k) : 0.0;
+}
+
+}  // namespace csrplus::eval

@@ -1,0 +1,32 @@
+// Accuracy metrics for similarity-score blocks.
+//
+// AvgDiff is the paper's Table 3 measure:
+//   AvgDiff_Q(S_hat, S) = (1 / (|V| |Q|)) * sum_{(i,j)} |S_hat[i,j] - S[i,j]|
+// computed over the n x |Q| multi-source blocks.
+
+#ifndef CSRPLUS_EVAL_METRICS_H_
+#define CSRPLUS_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+
+namespace csrplus::eval {
+
+using linalg::DenseMatrix;
+using linalg::Index;
+
+/// Mean absolute difference over all entries (the paper's AvgDiff).
+double AvgDiff(const DenseMatrix& approx, const DenseMatrix& exact);
+
+/// Maximum absolute difference over all entries.
+double MaxDiff(const DenseMatrix& approx, const DenseMatrix& exact);
+
+/// Fraction of overlap between the top-k sets of two score columns
+/// (|A ∩ B| / k); used by the ranking-quality ablation.
+double TopKOverlap(const DenseMatrix& approx, const DenseMatrix& exact,
+                   Index column, Index k);
+
+}  // namespace csrplus::eval
+
+#endif  // CSRPLUS_EVAL_METRICS_H_

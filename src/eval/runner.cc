@@ -1,0 +1,241 @@
+#include "eval/runner.h"
+
+#include "baselines/cosimmate.h"
+#include "baselines/iterative_allpairs.h"
+#include "baselines/rls.h"
+#include "baselines/rp_cosim.h"
+#include "common/memory.h"
+#include "common/timer.h"
+#include "core/csrplus_engine.h"
+
+namespace csrplus::eval {
+namespace {
+
+// Runs `fn` and fills `metrics` with its wall time and the allocation peak
+// above the level at entry.
+template <typename Fn>
+auto Measure(PhaseMetrics* metrics, Fn&& fn) {
+  const int64_t base = GetTrackedMemory().current_bytes;
+  ResetPeakTrackedBytes();
+  WallTimer timer;
+  auto result = fn();
+  metrics->seconds = timer.ElapsedSeconds();
+  metrics->peak_bytes =
+      std::max<int64_t>(0, GetTrackedMemory().peak_bytes - base);
+  return result;
+}
+
+RunOutcome RunCsrPlus(const CsrMatrix& transition,
+                      const std::vector<Index>& queries,
+                      const RunConfig& config) {
+  RunOutcome outcome;
+  core::CsrPlusOptions options;
+  options.rank = config.rank;
+  options.damping = config.damping;
+  options.epsilon = config.epsilon;
+
+  auto engine = Measure(&outcome.precompute, [&] {
+    return core::CsrPlusEngine::PrecomputeFromTransition(transition, options);
+  });
+  if (!engine.ok()) {
+    outcome.status = engine.status();
+    return outcome;
+  }
+  auto scores = Measure(&outcome.query,
+                        [&] { return engine->MultiSourceQuery(queries); });
+  if (!scores.ok()) {
+    outcome.status = scores.status();
+    return outcome;
+  }
+  if (config.keep_scores) outcome.scores = std::move(*scores);
+  outcome.status = Status::OK();
+  return outcome;
+}
+
+RunOutcome RunCsrNi(const CsrMatrix& transition,
+                    const std::vector<Index>& queries,
+                    const RunConfig& config) {
+  RunOutcome outcome;
+  baselines::NiSimOptions options;
+  options.rank = config.rank;
+  options.damping = config.damping;
+  options.fidelity = config.ni_fidelity;
+
+  auto engine = Measure(&outcome.precompute, [&] {
+    return baselines::NiSimEngine::Precompute(transition, options);
+  });
+  if (!engine.ok()) {
+    outcome.status = engine.status();
+    return outcome;
+  }
+  auto scores = Measure(&outcome.query,
+                        [&] { return engine->MultiSourceQuery(queries); });
+  if (!scores.ok()) {
+    outcome.status = scores.status();
+    return outcome;
+  }
+  if (config.keep_scores) outcome.scores = std::move(*scores);
+  outcome.status = Status::OK();
+  return outcome;
+}
+
+RunOutcome RunCsrIt(const CsrMatrix& transition,
+                    const std::vector<Index>& queries,
+                    const RunConfig& config) {
+  RunOutcome outcome;
+  baselines::IterativeOptions options;
+  options.damping = config.damping;
+  options.iterations = static_cast<int>(config.rank);  // paper §4.1: k = r
+
+  auto engine = Measure(&outcome.precompute, [&] {
+    return baselines::IterativeAllPairsEngine::Precompute(transition, options);
+  });
+  if (!engine.ok()) {
+    outcome.status = engine.status();
+    return outcome;
+  }
+  auto scores = Measure(&outcome.query,
+                        [&] { return engine->MultiSourceQuery(queries); });
+  if (!scores.ok()) {
+    outcome.status = scores.status();
+    return outcome;
+  }
+  if (config.keep_scores) outcome.scores = std::move(*scores);
+  outcome.status = Status::OK();
+  return outcome;
+}
+
+RunOutcome RunCsrRls(const CsrMatrix& transition,
+                     const std::vector<Index>& queries,
+                     const RunConfig& config) {
+  RunOutcome outcome;
+  baselines::RlsOptions options;
+  options.damping = config.damping;
+  options.iterations = static_cast<int>(config.rank);  // paper §4.1: k = r
+
+  // CSR-RLS has no reusable precomputation; everything is query work.
+  auto scores = Measure(&outcome.query, [&] {
+    return baselines::RlsMultiSource(transition, queries, options);
+  });
+  if (!scores.ok()) {
+    outcome.status = scores.status();
+    return outcome;
+  }
+  if (config.keep_scores) outcome.scores = std::move(*scores);
+  outcome.status = Status::OK();
+  return outcome;
+}
+
+RunOutcome RunCoSimMate(const CsrMatrix& transition,
+                        const std::vector<Index>& queries,
+                        const RunConfig& config) {
+  RunOutcome outcome;
+  baselines::CoSimMateOptions options;
+  options.damping = config.damping;
+  // 2^steps series terms >= the rank-matched iteration count.
+  int steps = 1;
+  while ((1 << steps) < config.rank) ++steps;
+  options.squaring_steps = steps;
+
+  auto all = Measure(&outcome.precompute, [&] {
+    return baselines::CoSimMateAllPairs(transition, options);
+  });
+  if (!all.ok()) {
+    outcome.status = all.status();
+    return outcome;
+  }
+  auto scores = Measure(&outcome.query, [&]() -> Result<DenseMatrix> {
+    const Index n = all->rows();
+    DenseMatrix out(n, static_cast<Index>(queries.size()));
+    for (std::size_t j = 0; j < queries.size(); ++j) {
+      for (Index i = 0; i < n; ++i) {
+        out(i, static_cast<Index>(j)) = (*all)(i, queries[j]);
+      }
+    }
+    return out;
+  });
+  if (!scores.ok()) {
+    outcome.status = scores.status();
+    return outcome;
+  }
+  if (config.keep_scores) outcome.scores = std::move(*scores);
+  outcome.status = Status::OK();
+  return outcome;
+}
+
+RunOutcome RunRpCoSim(const CsrMatrix& transition,
+                      const std::vector<Index>& queries,
+                      const RunConfig& config) {
+  RunOutcome outcome;
+  baselines::RpCoSimOptions options;
+  options.damping = config.damping;
+  options.iterations = static_cast<int>(config.rank);
+  options.num_samples = config.rp_samples;
+
+  auto scores = Measure(&outcome.query, [&] {
+    return baselines::RpCoSimMultiSource(transition, queries, options);
+  });
+  if (!scores.ok()) {
+    outcome.status = scores.status();
+    return outcome;
+  }
+  if (config.keep_scores) outcome.scores = std::move(*scores);
+  outcome.status = Status::OK();
+  return outcome;
+}
+
+}  // namespace
+
+std::string_view MethodName(Method method) {
+  switch (method) {
+    case Method::kCsrPlus:
+      return "CSR+";
+    case Method::kCsrNi:
+      return "CSR-NI";
+    case Method::kCsrIt:
+      return "CSR-IT";
+    case Method::kCsrRls:
+      return "CSR-RLS";
+    case Method::kCoSimMate:
+      return "CoSimMate";
+    case Method::kRpCoSim:
+      return "RP-CoSim";
+  }
+  return "?";
+}
+
+const std::vector<Method>& PaperMethods() {
+  static const std::vector<Method> kMethods = {
+      Method::kCsrPlus, Method::kCsrRls, Method::kCsrIt, Method::kCsrNi};
+  return kMethods;
+}
+
+RunOutcome RunMethod(Method method, const CsrMatrix& transition,
+                     const std::vector<Index>& queries,
+                     const RunConfig& config) {
+  switch (method) {
+    case Method::kCsrPlus:
+      return RunCsrPlus(transition, queries, config);
+    case Method::kCsrNi:
+      return RunCsrNi(transition, queries, config);
+    case Method::kCsrIt:
+      return RunCsrIt(transition, queries, config);
+    case Method::kCsrRls:
+      return RunCsrRls(transition, queries, config);
+    case Method::kCoSimMate:
+      return RunCoSimMate(transition, queries, config);
+    case Method::kRpCoSim:
+      return RunRpCoSim(transition, queries, config);
+  }
+  RunOutcome outcome;
+  outcome.status = Status::Internal("unknown method");
+  return outcome;
+}
+
+std::string OutcomeLabel(const RunOutcome& outcome) {
+  if (outcome.status.ok()) return "OK";
+  if (outcome.status.IsResourceExhausted()) return "FAIL(mem)";
+  return "FAIL(" + std::string(StatusCodeToString(outcome.status.code())) + ")";
+}
+
+}  // namespace csrplus::eval

@@ -1,0 +1,79 @@
+// Uniform method runner: executes any of the six algorithms on a
+// (transition matrix, query set) pair and reports per-phase wall time and
+// tracked peak memory. All figure/table benches are thin loops around this.
+
+#ifndef CSRPLUS_EVAL_RUNNER_H_
+#define CSRPLUS_EVAL_RUNNER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/ni_sim.h"
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace csrplus::eval {
+
+using linalg::CsrMatrix;
+using linalg::DenseMatrix;
+using linalg::Index;
+
+/// The algorithms under comparison. The first four are the paper's
+/// (Figures 2–9); the last two are Table 1 rows implemented as extensions.
+enum class Method {
+  kCsrPlus,    // this paper
+  kCsrNi,      // Li et al. low-rank tensor-product method
+  kCsrIt,      // Rothe & Schütze iterative (all-pairs dense)
+  kCsrRls,     // Kusumoto-style per-query scheme
+  kCoSimMate,  // repeated squaring in n-space
+  kRpCoSim,    // Gaussian random projections
+};
+
+/// Short display name ("CSR+", "CSR-NI", ...).
+std::string_view MethodName(Method method);
+
+/// The paper's four benchmarked methods, in its plotting order.
+const std::vector<Method>& PaperMethods();
+
+/// Shared algorithm parameters (defaults = the paper's §4.1 settings).
+struct RunConfig {
+  Index rank = 5;          ///< r; also the iteration count for IT/RLS.
+  double damping = 0.6;    ///< c.
+  double epsilon = 1e-5;   ///< CSR+ accuracy target.
+  baselines::NiFidelity ni_fidelity = baselines::NiFidelity::kFaithful;
+  Index rp_samples = 200;  ///< RP-CoSim sketch width.
+  bool keep_scores = true; ///< retain the score block in the outcome.
+};
+
+/// Wall time and tracked allocation peak of one phase.
+struct PhaseMetrics {
+  double seconds = 0.0;
+  int64_t peak_bytes = 0;  ///< 0 when the memory hooks are not linked.
+};
+
+/// Result of one (method, dataset, config) execution.
+struct RunOutcome {
+  Status status;           ///< ResourceExhausted == the paper's "crash".
+  PhaseMetrics precompute; ///< query-independent work.
+  PhaseMetrics query;      ///< multi-source query work.
+  DenseMatrix scores;      ///< n x |Q| block (empty if !keep_scores or fail).
+
+  double total_seconds() const { return precompute.seconds + query.seconds; }
+  int64_t peak_bytes() const {
+    return std::max(precompute.peak_bytes, query.peak_bytes);
+  }
+};
+
+/// Runs `method` end to end. Never throws; failures land in `status`.
+RunOutcome RunMethod(Method method, const CsrMatrix& transition,
+                     const std::vector<Index>& queries,
+                     const RunConfig& config);
+
+/// "OK", "FAIL(mem)" or "FAIL(<code>)" cell text for tables.
+std::string OutcomeLabel(const RunOutcome& outcome);
+
+}  // namespace csrplus::eval
+
+#endif  // CSRPLUS_EVAL_RUNNER_H_

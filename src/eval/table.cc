@@ -1,0 +1,59 @@
+#include "eval/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace csrplus::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CSR_CHECK_EQ(cells.size(), columns_.size()) << "row width mismatch";
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                   c + 1 < row.size() ? "  " : "");
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  std::string rule(total > 2 ? total - 2 : total, '-');
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::FILE* out) const {
+  std::fprintf(out, "%s\n",
+               Join(columns_, ",").c_str());
+  for (const auto& row : rows_) {
+    std::fprintf(out, "%s\n", Join(row, ",").c_str());
+  }
+}
+
+std::string FormatSci(double value) { return StrPrintf("%.4e", value); }
+
+std::string FormatTime(double seconds) {
+  if (seconds < 1e-3) return StrPrintf("%.1fus", seconds * 1e6);
+  if (seconds < 1.0) return StrPrintf("%.2fms", seconds * 1e3);
+  return StrPrintf("%.2fs", seconds);
+}
+
+}  // namespace csrplus::eval

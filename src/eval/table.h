@@ -1,0 +1,42 @@
+// Fixed-width console table printer for the benchmark harness; emits the
+// paper-style rows (dataset x method x metric) plus optional CSV.
+
+#ifndef CSRPLUS_EVAL_TABLE_H_
+#define CSRPLUS_EVAL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace csrplus::eval {
+
+/// Accumulates rows of string cells and prints them aligned.
+class TablePrinter {
+ public:
+  /// Sets the header row.
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Appends one row; must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Renders as CSV (comma-separated, no quoting of commas — cells here are
+  /// numbers and identifiers).
+  void PrintCsv(std::FILE* out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.23e-04"-style compact scientific formatting.
+std::string FormatSci(double value);
+
+/// Seconds with 3 significant digits, or "FAIL(<reason>)" helpers.
+std::string FormatTime(double seconds);
+
+}  // namespace csrplus::eval
+
+#endif  // CSRPLUS_EVAL_TABLE_H_

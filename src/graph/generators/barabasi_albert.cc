@@ -1,0 +1,54 @@
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generators/generators.h"
+
+namespace csrplus::graph {
+
+Result<Graph> BarabasiAlbert(Index num_nodes, Index edges_per_node,
+                             uint64_t seed) {
+  if (edges_per_node < 1) {
+    return Status::InvalidArgument("BarabasiAlbert: edges_per_node >= 1");
+  }
+  if (num_nodes <= edges_per_node) {
+    return Status::InvalidArgument(
+        "BarabasiAlbert: num_nodes must exceed edges_per_node");
+  }
+
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.ReserveEdges(
+      static_cast<std::size_t>(num_nodes * edges_per_node));
+
+  // `targets` holds one entry per edge endpoint so that sampling an index
+  // uniformly realises preferential attachment (probability proportional to
+  // degree). Seed with a small complete kernel.
+  std::vector<Index> targets;
+  targets.reserve(static_cast<std::size_t>(2 * num_nodes * edges_per_node));
+  const Index kernel = edges_per_node + 1;
+  for (Index u = 0; u < kernel; ++u) {
+    for (Index v = 0; v < kernel; ++v) {
+      if (u == v) continue;
+      builder.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+
+  for (Index u = kernel; u < num_nodes; ++u) {
+    for (Index e = 0; e < edges_per_node; ++e) {
+      const Index v = targets[static_cast<std::size_t>(
+          rng.Below(static_cast<uint64_t>(targets.size())))];
+      if (v == u) {
+        --e;  // resample; self-loop would be dropped anyway
+        continue;
+      }
+      builder.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace csrplus::graph

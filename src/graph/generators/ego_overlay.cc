@@ -1,0 +1,83 @@
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generators/generators.h"
+
+namespace csrplus::graph {
+
+Result<Graph> EgoOverlay(Index num_nodes, Index num_egos, Index ego_size,
+                         double within_ego_p, int64_t background_edges,
+                         uint64_t seed) {
+  if (num_egos < 1 || ego_size < 2 || ego_size > num_nodes) {
+    return Status::InvalidArgument("EgoOverlay: bad ego parameters");
+  }
+  if (within_ego_p <= 0.0 || within_ego_p > 1.0) {
+    return Status::InvalidArgument("EgoOverlay: within_ego_p must be (0, 1]");
+  }
+
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.symmetrize(true);
+
+  // Each ego circle: a hub plus ego_size-1 members drawn uniformly (circles
+  // overlap by construction), hub connected to all members, members wired
+  // pairwise with probability within_ego_p via geometric skipping.
+  std::vector<Index> members(static_cast<std::size_t>(ego_size));
+  for (Index ego = 0; ego < num_egos; ++ego) {
+    for (Index i = 0; i < ego_size; ++i) {
+      members[static_cast<std::size_t>(i)] =
+          static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+    }
+    const Index hub = members[0];
+    for (Index i = 1; i < ego_size; ++i) {
+      if (members[static_cast<std::size_t>(i)] != hub) {
+        builder.AddEdge(hub, members[static_cast<std::size_t>(i)]);
+      }
+    }
+    // Bernoulli(p) over member pairs without touching every pair: jump
+    // ahead by geometric gaps.
+    const int64_t num_pairs =
+        static_cast<int64_t>(ego_size - 1) * (ego_size - 2) / 2;
+    if (within_ego_p >= 1.0) {
+      for (Index i = 1; i < ego_size; ++i) {
+        for (Index j = i + 1; j < ego_size; ++j) {
+          builder.AddEdge(members[static_cast<std::size_t>(i)],
+                          members[static_cast<std::size_t>(j)]);
+        }
+      }
+    } else {
+      const double log_q = std::log(1.0 - within_ego_p);
+      int64_t pair = -1;
+      while (true) {
+        const double u = std::max(rng.Uniform(), 1e-300);
+        pair += 1 + static_cast<int64_t>(std::log(u) / log_q);
+        if (pair >= num_pairs) break;
+        // Decode linear pair index -> (i, j) over members[1..ego_size).
+        int64_t rem = pair;
+        Index i = 1;
+        for (Index row_len = ego_size - 2; row_len >= 1; --row_len, ++i) {
+          if (rem < row_len) break;
+          rem -= row_len;
+        }
+        const Index j = i + 1 + static_cast<Index>(rem);
+        const Index a = members[static_cast<std::size_t>(i)];
+        const Index b = members[static_cast<std::size_t>(j)];
+        if (a != b) builder.AddEdge(a, b);
+      }
+    }
+  }
+
+  for (int64_t e = 0; e < background_edges; ++e) {
+    const Index u =
+        static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+    Index v = static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+    while (v == u) {
+      v = static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+}  // namespace csrplus::graph

@@ -1,0 +1,32 @@
+#include "common/rng.h"
+#include "graph/generators/generators.h"
+
+namespace csrplus::graph {
+
+Result<Graph> ErdosRenyi(Index num_nodes, int64_t num_edges, uint64_t seed,
+                         bool symmetrize) {
+  if (num_nodes < 2) {
+    return Status::InvalidArgument("ErdosRenyi needs at least 2 nodes");
+  }
+  const int64_t max_edges =
+      static_cast<int64_t>(num_nodes) * (num_nodes - 1);
+  if (num_edges < 0 || num_edges > max_edges) {
+    return Status::InvalidArgument("ErdosRenyi: edge count out of range");
+  }
+
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.symmetrize(symmetrize);
+  builder.ReserveEdges(static_cast<std::size_t>(num_edges));
+  for (int64_t e = 0; e < num_edges; ++e) {
+    Index u = static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+    Index v = static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+    while (v == u) {
+      v = static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+}  // namespace csrplus::graph

@@ -1,0 +1,69 @@
+// Synthetic graph generators.
+//
+// These produce deterministic (seeded) analogues of the SNAP datasets the
+// paper evaluates on. Each generator's degree structure is the property that
+// matters for CoSimRank workloads: R-MAT yields the heavy-tailed in-degree
+// skew of web/social crawls (TW, WB, YT, WT analogues), ego-overlay yields
+// the dense-clique-around-hubs structure of ego-Facebook, and Erdős–Rényi
+// yields the near-uniform sparse structure of Gnutella P2P.
+
+#ifndef CSRPLUS_GRAPH_GENERATORS_GENERATORS_H_
+#define CSRPLUS_GRAPH_GENERATORS_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace csrplus::graph {
+
+/// G(n, m) Erdős–Rényi: m directed edges sampled uniformly (no self-loops,
+/// deduplicated, so the realised edge count can be slightly below m).
+Result<Graph> ErdosRenyi(Index num_nodes, int64_t num_edges, uint64_t seed,
+                         bool symmetrize = false);
+
+/// Barabási–Albert preferential attachment: each new node attaches
+/// `edges_per_node` directed edges to existing nodes with probability
+/// proportional to their current degree. Produces a power-law in-degree tail.
+Result<Graph> BarabasiAlbert(Index num_nodes, Index edges_per_node,
+                             uint64_t seed);
+
+/// Parameters of the recursive matrix (R-MAT) model.
+struct RmatParams {
+  double a = 0.57;  ///< Probability mass of the top-left quadrant.
+  double b = 0.19;  ///< Top-right.
+  double c = 0.19;  ///< Bottom-left.
+  /// d = 1 - a - b - c (bottom-right).
+  /// Per-level probability noise to avoid degree-staircase artefacts.
+  double noise = 0.1;
+};
+
+/// R-MAT (Chakrabarti et al.) over 2^scale nodes with `num_edges` edges.
+/// The standard model for skewed web/social graphs (our TW/WB analogues).
+Result<Graph> Rmat(int scale, int64_t num_edges, uint64_t seed,
+                   const RmatParams& params = {});
+
+/// Watts–Strogatz small world: ring lattice of degree k, each edge rewired
+/// with probability beta. Directed edges along the rewired lattice.
+Result<Graph> WattsStrogatz(Index num_nodes, Index k, double beta,
+                            uint64_t seed);
+
+/// Stochastic block model with `num_blocks` equal communities. Edge counts
+/// are sampled per block pair (ball-dropping), so generation is O(m) rather
+/// than O(n^2). `in_out_ratio` is the expected ratio of within-community to
+/// cross-community edge density.
+Result<Graph> StochasticBlockModel(Index num_nodes, Index num_blocks,
+                                   int64_t num_edges, double in_out_ratio,
+                                   uint64_t seed);
+
+/// Ego-overlay model of a social friendship graph: hub nodes with dense
+/// partially-overlapping friend circles plus uniform background edges;
+/// symmetrized. Approximates the ego-Facebook structure (m/n ~ 22 with
+/// strong local clustering).
+Result<Graph> EgoOverlay(Index num_nodes, Index num_egos, Index ego_size,
+                         double within_ego_p, int64_t background_edges,
+                         uint64_t seed);
+
+}  // namespace csrplus::graph
+
+#endif  // CSRPLUS_GRAPH_GENERATORS_GENERATORS_H_

@@ -1,0 +1,54 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generators/generators.h"
+
+namespace csrplus::graph {
+
+Result<Graph> Rmat(int scale, int64_t num_edges, uint64_t seed,
+                   const RmatParams& params) {
+  if (scale < 1 || scale > 30) {
+    return Status::InvalidArgument("Rmat: scale must be in [1, 30]");
+  }
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0) {
+    return Status::InvalidArgument("Rmat: quadrant probabilities invalid");
+  }
+
+  const Index n = Index{1} << scale;
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  builder.ReserveEdges(static_cast<std::size_t>(num_edges));
+
+  for (int64_t e = 0; e < num_edges; ++e) {
+    Index row = 0, col = 0;
+    for (int level = 0; level < scale; ++level) {
+      // Jitter the quadrant masses per level so degrees do not form the
+      // characteristic R-MAT staircase.
+      const double jitter =
+          1.0 + params.noise * (rng.Uniform() - 0.5) * 2.0;
+      double a = params.a * jitter;
+      const double rest = (1.0 - a) / (params.b + params.c + d);
+      const double b = params.b * rest;
+      const double c = params.c * rest;
+
+      const double p = rng.Uniform();
+      row <<= 1;
+      col <<= 1;
+      if (p < a) {
+        // top-left
+      } else if (p < a + b) {
+        col |= 1;
+      } else if (p < a + b + c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row != col) builder.AddEdge(row, col);
+  }
+  return builder.Build();
+}
+
+}  // namespace csrplus::graph

@@ -1,0 +1,71 @@
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generators/generators.h"
+
+namespace csrplus::graph {
+
+Result<Graph> StochasticBlockModel(Index num_nodes, Index num_blocks,
+                                   int64_t num_edges, double in_out_ratio,
+                                   uint64_t seed) {
+  if (num_blocks < 1 || num_blocks > num_nodes) {
+    return Status::InvalidArgument("SBM: need 1 <= blocks <= nodes");
+  }
+  if (in_out_ratio < 1.0) {
+    return Status::InvalidArgument("SBM: in_out_ratio must be >= 1");
+  }
+
+  // Split the edge budget between within-community and cross-community
+  // pairs according to the density ratio, then ball-drop edges uniformly
+  // within each category — O(m) regardless of n.
+  const double blocks = static_cast<double>(num_blocks);
+  const double block_size =
+      static_cast<double>(num_nodes) / blocks;
+  const double within_pairs = blocks * block_size * (block_size - 1.0);
+  const double cross_pairs =
+      static_cast<double>(num_nodes) * (static_cast<double>(num_nodes) - 1.0) -
+      within_pairs;
+  const double within_weight = within_pairs * in_out_ratio;
+  const double frac_within =
+      within_weight / (within_weight + cross_pairs);
+  const int64_t within_edges =
+      static_cast<int64_t>(std::llround(frac_within * static_cast<double>(num_edges)));
+
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.ReserveEdges(static_cast<std::size_t>(num_edges));
+
+  const Index base = num_nodes / num_blocks;
+  const Index remainder = num_nodes % num_blocks;
+  const auto block_begin = [&](Index b) {
+    return b * base + std::min(b, remainder);
+  };
+  const auto block_count = [&](Index b) { return base + (b < remainder ? 1 : 0); };
+
+  for (int64_t e = 0; e < within_edges; ++e) {
+    const Index b = static_cast<Index>(
+        rng.Below(static_cast<uint64_t>(num_blocks)));
+    const Index lo = block_begin(b);
+    const Index cnt = block_count(b);
+    if (cnt < 2) continue;
+    const Index u = lo + static_cast<Index>(rng.Below(static_cast<uint64_t>(cnt)));
+    Index v = lo + static_cast<Index>(rng.Below(static_cast<uint64_t>(cnt)));
+    while (v == u) {
+      v = lo + static_cast<Index>(rng.Below(static_cast<uint64_t>(cnt)));
+    }
+    builder.AddEdge(u, v);
+  }
+  for (int64_t e = within_edges; e < num_edges; ++e) {
+    const Index u =
+        static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+    Index v = static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+    while (v == u) {
+      v = static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+}  // namespace csrplus::graph

@@ -1,0 +1,33 @@
+#include "common/rng.h"
+#include "graph/generators/generators.h"
+
+namespace csrplus::graph {
+
+Result<Graph> WattsStrogatz(Index num_nodes, Index k, double beta,
+                            uint64_t seed) {
+  if (k < 1 || k >= num_nodes) {
+    return Status::InvalidArgument("WattsStrogatz: need 1 <= k < n");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("WattsStrogatz: beta must be in [0, 1]");
+  }
+
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.ReserveEdges(static_cast<std::size_t>(num_nodes * k));
+  for (Index u = 0; u < num_nodes; ++u) {
+    for (Index j = 1; j <= k; ++j) {
+      Index v = (u + j) % num_nodes;
+      if (rng.Bernoulli(beta)) {
+        v = static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+        while (v == u) {
+          v = static_cast<Index>(rng.Below(static_cast<uint64_t>(num_nodes)));
+        }
+      }
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace csrplus::graph

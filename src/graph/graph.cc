@@ -1,0 +1,86 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace csrplus::graph {
+
+GraphBuilder::GraphBuilder(Index num_nodes) : num_nodes_(num_nodes) {
+  CSR_CHECK(num_nodes >= 0);
+}
+
+void GraphBuilder::AddEdge(Index u, Index v) {
+  CSR_DCHECK(u >= 0 && u < num_nodes_) << "source out of range";
+  CSR_DCHECK(v >= 0 && v < num_nodes_) << "destination out of range";
+  edges_.push_back({u, v});
+}
+
+Result<Graph> GraphBuilder::Build() {
+  if (symmetrize_) {
+    const std::size_t original = edges_.size();
+    edges_.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      edges_.push_back({edges_[i].dst, edges_[i].src});
+    }
+  }
+  if (!keep_self_loops_) {
+    edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                                [](const Edge& e) { return e.src == e.dst; }),
+                 edges_.end());
+  }
+
+  // Counting-sort by source, then sort/dedupe within rows — the same path
+  // CsrMatrix::FromCoo takes, but specialised to unit weights so we avoid
+  // materialising a triple list with double values.
+  const std::size_t m_staged = edges_.size();
+  std::vector<int64_t> row_ptr(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++row_ptr[static_cast<std::size_t>(e.src) + 1];
+  }
+  for (std::size_t i = 1; i < row_ptr.size(); ++i) {
+    row_ptr[i] += row_ptr[i - 1];
+  }
+  std::vector<int32_t> cols(m_staged);
+  {
+    std::vector<int64_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+    for (const Edge& e : edges_) {
+      cols[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(e.src)]++)] =
+          static_cast<int32_t>(e.dst);
+    }
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  // Sort + dedupe each row in place.
+  std::vector<int64_t> new_row_ptr(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  int64_t write = 0;
+  for (Index u = 0; u < num_nodes_; ++u) {
+    const int64_t begin = row_ptr[static_cast<std::size_t>(u)];
+    const int64_t end = row_ptr[static_cast<std::size_t>(u) + 1];
+    std::sort(cols.begin() + begin, cols.begin() + end);
+    for (int64_t p = begin; p < end; ++p) {
+      if (p > begin && cols[static_cast<std::size_t>(p)] ==
+                           cols[static_cast<std::size_t>(p - 1)]) {
+        continue;
+      }
+      cols[static_cast<std::size_t>(write++)] =
+          cols[static_cast<std::size_t>(p)];
+    }
+    new_row_ptr[static_cast<std::size_t>(u) + 1] = write;
+  }
+  cols.resize(static_cast<std::size_t>(write));
+  cols.shrink_to_fit();
+
+  Graph g;
+  std::vector<double> values(static_cast<std::size_t>(write), 1.0);
+  g.adjacency_ = CsrMatrix::FromParts(num_nodes_, num_nodes_,
+                                      std::move(new_row_ptr), std::move(cols),
+                                      std::move(values));
+  g.in_degree_.assign(static_cast<std::size_t>(num_nodes_), 0);
+  for (int32_t c : g.adjacency_.col_index()) {
+    ++g.in_degree_[static_cast<std::size_t>(c)];
+  }
+  return g;
+}
+
+}  // namespace csrplus::graph

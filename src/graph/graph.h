@@ -1,0 +1,118 @@
+// Directed graph type backed by CSR adjacency.
+//
+// A Graph is immutable once built (use GraphBuilder). The adjacency matrix A
+// has A[u][v] = 1 iff the edge u -> v exists; rows are out-neighbour lists.
+// This matches the paper's storage description (§4.1): COO triples grouped
+// by source into neighbour lists — i.e. exactly CSR.
+
+#ifndef CSRPLUS_GRAPH_GRAPH_H_
+#define CSRPLUS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/sparse_matrix.h"
+
+namespace csrplus::graph {
+
+using linalg::CsrMatrix;
+using linalg::Index;
+
+/// A directed edge (source -> destination).
+struct Edge {
+  Index src;
+  Index dst;
+};
+
+/// Immutable directed graph.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of nodes n.
+  Index num_nodes() const { return adjacency_.rows(); }
+
+  /// Number of (deduplicated) directed edges m.
+  int64_t num_edges() const { return adjacency_.nnz(); }
+
+  /// The 0/1 adjacency matrix in CSR (row u = out-neighbours of u).
+  const CsrMatrix& adjacency() const { return adjacency_; }
+
+  /// Out-degree of node u.
+  Index OutDegree(Index u) const { return adjacency_.RowNnz(u); }
+
+  /// In-degree of node u (precomputed at build time).
+  Index InDegree(Index u) const {
+    return in_degree_[static_cast<std::size_t>(u)];
+  }
+
+  /// All in-degrees (length n).
+  const std::vector<Index>& in_degrees() const { return in_degree_; }
+
+  /// Out-neighbours of u, ascending.
+  std::span<const int32_t> OutNeighbors(Index u) const {
+    const auto& rp = adjacency_.row_ptr();
+    const auto begin = rp[static_cast<std::size_t>(u)];
+    const auto end = rp[static_cast<std::size_t>(u) + 1];
+    return {adjacency_.col_index().data() + begin,
+            static_cast<std::size_t>(end - begin)};
+  }
+
+  /// True if edge u -> v exists.
+  bool HasEdge(Index u, Index v) const { return adjacency_.At(u, v) != 0.0; }
+
+  /// Heap bytes held by the graph.
+  int64_t AllocatedBytes() const {
+    return adjacency_.AllocatedBytes() +
+           static_cast<int64_t>(in_degree_.capacity() * sizeof(Index));
+  }
+
+ private:
+  friend class GraphBuilder;
+  CsrMatrix adjacency_;
+  std::vector<Index> in_degree_;
+};
+
+/// Accumulates edges and produces an immutable Graph.
+///
+/// Duplicate edges collapse to one; self-loops are dropped unless
+/// `keep_self_loops(true)`. With `symmetrize(true)` every edge is added in
+/// both directions (used for undirected social graphs like ego-Facebook).
+class GraphBuilder {
+ public:
+  /// A builder for a graph over nodes {0, ..., num_nodes-1}.
+  explicit GraphBuilder(Index num_nodes);
+
+  GraphBuilder& keep_self_loops(bool keep) {
+    keep_self_loops_ = keep;
+    return *this;
+  }
+  GraphBuilder& symmetrize(bool sym) {
+    symmetrize_ = sym;
+    return *this;
+  }
+
+  /// Pre-sizes the edge buffer.
+  void ReserveEdges(std::size_t count) { edges_.reserve(count); }
+
+  /// Adds edge u -> v. Node ids must be in range.
+  void AddEdge(Index u, Index v);
+
+  /// Number of edges staged so far (before dedup).
+  std::size_t staged_edges() const { return edges_.size(); }
+
+  /// Builds the graph; the builder is left empty.
+  Result<Graph> Build();
+
+ private:
+  Index num_nodes_;
+  bool keep_self_loops_ = false;
+  bool symmetrize_ = false;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace csrplus::graph
+
+#endif  // CSRPLUS_GRAPH_GRAPH_H_

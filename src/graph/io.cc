@@ -1,0 +1,162 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace csrplus::graph {
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x43535230'47524148ULL;  // "CSR0GRAH"
+constexpr uint32_t kBinaryVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const void* data, std::size_t bytes,
+                const std::string& path) {
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, std::size_t bytes,
+               const std::string& path) {
+  if (std::fread(data, 1, bytes, f) != bytes) {
+    return Status::IOError("short read from " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Graph> LoadSnapEdgeList(const std::string& path,
+                               const EdgeListOptions& options,
+                               std::vector<int64_t>* original_ids) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return Status::IOError("cannot open " + path);
+
+  std::unordered_map<int64_t, Index> remap;
+  std::vector<Edge> edges;
+  char line[512];
+  int64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++line_no;
+    std::string_view text = StripWhitespace(line);
+    if (text.empty() || text[0] == '#' || text[0] == '%') continue;
+    int64_t raw_u = 0, raw_v = 0;
+    if (std::sscanf(text.data(), "%ld %ld", &raw_u, &raw_v) != 2) {
+      return Status::IOError("malformed edge at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    if (raw_u < 0 || raw_v < 0) {
+      return Status::IOError("negative node id at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    const auto intern = [&remap](int64_t raw) {
+      auto [it, inserted] =
+          remap.try_emplace(raw, static_cast<Index>(remap.size()));
+      return it->second;
+    };
+    edges.push_back({intern(raw_u), intern(raw_v)});
+  }
+
+  if (original_ids != nullptr) {
+    original_ids->assign(remap.size(), 0);
+    for (const auto& [raw, compact] : remap) {
+      (*original_ids)[static_cast<std::size_t>(compact)] = raw;
+    }
+  }
+
+  GraphBuilder builder(static_cast<Index>(remap.size()));
+  builder.keep_self_loops(options.keep_self_loops)
+      .symmetrize(options.symmetrize);
+  builder.ReserveEdges(edges.size());
+  for (const Edge& e : edges) builder.AddEdge(e.src, e.dst);
+  return builder.Build();
+}
+
+Status SaveSnapEdgeList(const Graph& g, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  for (Index u = 0; u < g.num_nodes(); ++u) {
+    for (int32_t v : g.OutNeighbors(u)) {
+      if (std::fprintf(f.get(), "%ld\t%d\n", static_cast<long>(u), v) < 0) {
+        return Status::IOError("write failure on " + path);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SaveBinary(const Graph& g, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+
+  const CsrMatrix& a = g.adjacency();
+  const uint64_t n = static_cast<uint64_t>(g.num_nodes());
+  const uint64_t m = static_cast<uint64_t>(g.num_edges());
+  CSR_RETURN_IF_ERROR(WriteAll(f.get(), &kBinaryMagic, sizeof(kBinaryMagic), path));
+  CSR_RETURN_IF_ERROR(
+      WriteAll(f.get(), &kBinaryVersion, sizeof(kBinaryVersion), path));
+  CSR_RETURN_IF_ERROR(WriteAll(f.get(), &n, sizeof(n), path));
+  CSR_RETURN_IF_ERROR(WriteAll(f.get(), &m, sizeof(m), path));
+  CSR_RETURN_IF_ERROR(WriteAll(f.get(), a.row_ptr().data(),
+                               a.row_ptr().size() * sizeof(int64_t), path));
+  CSR_RETURN_IF_ERROR(WriteAll(f.get(), a.col_index().data(),
+                               a.col_index().size() * sizeof(int32_t), path));
+  return Status::OK();
+}
+
+Result<Graph> LoadBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint64_t n = 0, m = 0;
+  CSR_RETURN_IF_ERROR(ReadAll(f.get(), &magic, sizeof(magic), path));
+  if (magic != kBinaryMagic) {
+    return Status::IOError(path + " is not a csrplus binary graph");
+  }
+  CSR_RETURN_IF_ERROR(ReadAll(f.get(), &version, sizeof(version), path));
+  if (version != kBinaryVersion) {
+    return Status::IOError(path + ": unsupported version " +
+                           std::to_string(version));
+  }
+  CSR_RETURN_IF_ERROR(ReadAll(f.get(), &n, sizeof(n), path));
+  CSR_RETURN_IF_ERROR(ReadAll(f.get(), &m, sizeof(m), path));
+
+  std::vector<int64_t> row_ptr(static_cast<std::size_t>(n) + 1);
+  std::vector<int32_t> cols(static_cast<std::size_t>(m));
+  CSR_RETURN_IF_ERROR(ReadAll(f.get(), row_ptr.data(),
+                              row_ptr.size() * sizeof(int64_t), path));
+  CSR_RETURN_IF_ERROR(
+      ReadAll(f.get(), cols.data(), cols.size() * sizeof(int32_t), path));
+  if (row_ptr.back() != static_cast<int64_t>(m)) {
+    return Status::IOError(path + ": inconsistent edge count");
+  }
+
+  // Rebuild through the builder to restore in-degrees and validation.
+  GraphBuilder builder(static_cast<Index>(n));
+  builder.keep_self_loops(true);  // binary files are already canonical
+  builder.ReserveEdges(static_cast<std::size_t>(m));
+  for (Index u = 0; u < static_cast<Index>(n); ++u) {
+    for (int64_t p = row_ptr[static_cast<std::size_t>(u)];
+         p < row_ptr[static_cast<std::size_t>(u) + 1]; ++p) {
+      builder.AddEdge(u, cols[static_cast<std::size_t>(p)]);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace csrplus::graph

@@ -1,0 +1,45 @@
+// Graph serialization: SNAP-style edge-list text and a fast binary format.
+//
+// The SNAP reader accepts the format of the datasets the paper evaluates on
+// (lines of "src<ws>dst", '#'-prefixed comments, arbitrary node ids that are
+// remapped to a dense [0, n) range). The binary format is used by the
+// benchmark harness to cache generated graphs between runs.
+
+#ifndef CSRPLUS_GRAPH_IO_H_
+#define CSRPLUS_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace csrplus::graph {
+
+/// Options for the edge-list reader.
+struct EdgeListOptions {
+  /// Add the reverse of every edge (undirected datasets like ego-Facebook).
+  bool symmetrize = false;
+  /// Keep u -> u edges.
+  bool keep_self_loops = false;
+};
+
+/// Loads a SNAP-style whitespace-separated edge list. Node ids may be any
+/// non-negative 64-bit integers; they are compacted to [0, n) in first-seen
+/// order. When `original_ids` is non-null it receives the inverse mapping:
+/// (*original_ids)[compact_id] == id as written in the file.
+Result<Graph> LoadSnapEdgeList(const std::string& path,
+                               const EdgeListOptions& options = {},
+                               std::vector<int64_t>* original_ids = nullptr);
+
+/// Writes "src\tdst" lines (no comments).
+Status SaveSnapEdgeList(const Graph& g, const std::string& path);
+
+/// Saves the CSR arrays in a little-endian binary container.
+Status SaveBinary(const Graph& g, const std::string& path);
+
+/// Loads a graph written by SaveBinary. Fails on bad magic or truncation.
+Result<Graph> LoadBinary(const std::string& path);
+
+}  // namespace csrplus::graph
+
+#endif  // CSRPLUS_GRAPH_IO_H_

@@ -1,0 +1,27 @@
+#include "graph/normalize.h"
+
+namespace csrplus::graph {
+
+CsrMatrix ColumnNormalizedTransition(const Graph& g) {
+  CsrMatrix q = g.adjacency();  // copy structure + unit values
+  std::vector<double> scale(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  for (Index v = 0; v < g.num_nodes(); ++v) {
+    const Index d = g.InDegree(v);
+    scale[static_cast<std::size_t>(v)] = d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
+  }
+  q.ScaleColumns(scale);
+  return q;
+}
+
+CsrMatrix RowNormalizedTransition(const Graph& g) {
+  CsrMatrix p = g.adjacency();
+  std::vector<double> scale(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  for (Index u = 0; u < g.num_nodes(); ++u) {
+    const Index d = g.OutDegree(u);
+    scale[static_cast<std::size_t>(u)] = d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
+  }
+  p.ScaleRows(scale);
+  return p;
+}
+
+}  // namespace csrplus::graph

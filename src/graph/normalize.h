@@ -1,0 +1,27 @@
+// Transition-matrix construction for CoSimRank.
+//
+// CoSimRank's Q is the *column-normalised* adjacency matrix: column y holds
+// 1/indeg(y) at each in-neighbour x of y (Q_{x,y} = A_{x,y} / indeg(y)).
+// The PPR iteration p^{(k+1)} = Q p^{(k)} then spreads a query's mass over
+// its in-neighbourhood, which is the propagation Figure 1(b) of the paper
+// illustrates. Nodes with zero in-degree yield an all-zero column (their
+// random surfer has nowhere to come from); this matches the reference
+// formulation and keeps Q sub-stochastic.
+
+#ifndef CSRPLUS_GRAPH_NORMALIZE_H_
+#define CSRPLUS_GRAPH_NORMALIZE_H_
+
+#include "graph/graph.h"
+
+namespace csrplus::graph {
+
+/// Builds Q = A * D_in^{-1}, the column-normalised adjacency (CSR).
+CsrMatrix ColumnNormalizedTransition(const Graph& g);
+
+/// Builds the row-normalised adjacency D_out^{-1} * A (random-walk matrix);
+/// provided for PageRank-style consumers of the graph substrate.
+CsrMatrix RowNormalizedTransition(const Graph& g);
+
+}  // namespace csrplus::graph
+
+#endif  // CSRPLUS_GRAPH_NORMALIZE_H_

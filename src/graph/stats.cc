@@ -1,0 +1,37 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace csrplus::graph {
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.avg_degree = s.num_nodes > 0 ? static_cast<double>(s.num_edges) /
+                                       static_cast<double>(s.num_nodes)
+                                 : 0.0;
+  for (Index u = 0; u < g.num_nodes(); ++u) {
+    const Index out = g.OutDegree(u);
+    const Index in = g.InDegree(u);
+    s.max_out_degree = std::max(s.max_out_degree, out);
+    s.max_in_degree = std::max(s.max_in_degree, in);
+    if (in == 0) ++s.num_dangling_in;
+    if (out == 0) ++s.num_dangling_out;
+  }
+  return s;
+}
+
+std::string ToString(const GraphStats& s) {
+  return StrPrintf(
+      "n=%ld m=%ld m/n=%.1f max_out=%ld max_in=%ld dangling_in=%ld "
+      "dangling_out=%ld",
+      static_cast<long>(s.num_nodes), static_cast<long>(s.num_edges),
+      s.avg_degree, static_cast<long>(s.max_out_degree),
+      static_cast<long>(s.max_in_degree), static_cast<long>(s.num_dangling_in),
+      static_cast<long>(s.num_dangling_out));
+}
+
+}  // namespace csrplus::graph

@@ -1,0 +1,31 @@
+// Summary statistics over a graph; used by dataset registration and tests.
+
+#ifndef CSRPLUS_GRAPH_STATS_H_
+#define CSRPLUS_GRAPH_STATS_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace csrplus::graph {
+
+/// Degree and size summary of a graph.
+struct GraphStats {
+  Index num_nodes = 0;
+  int64_t num_edges = 0;
+  double avg_degree = 0.0;     ///< m / n.
+  Index max_out_degree = 0;
+  Index max_in_degree = 0;
+  Index num_dangling_in = 0;   ///< nodes with in-degree 0 (zero columns of Q).
+  Index num_dangling_out = 0;  ///< nodes with out-degree 0.
+};
+
+/// Computes all fields in one pass.
+GraphStats ComputeStats(const Graph& g);
+
+/// One-line rendering, e.g. "n=4039 m=88234 m/n=21.8 ...".
+std::string ToString(const GraphStats& stats);
+
+}  // namespace csrplus::graph
+
+#endif  // CSRPLUS_GRAPH_STATS_H_

@@ -1,0 +1,98 @@
+#include "linalg/dense_matrix.h"
+
+#include <cstdio>
+
+namespace csrplus::linalg {
+
+DenseMatrix::DenseMatrix(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<Index>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<Index>(rows.begin()->size());
+  data_.reserve(static_cast<std::size_t>(rows_ * cols_));
+  for (const auto& row : rows) {
+    CSR_CHECK_EQ(static_cast<Index>(row.size()), cols_)
+        << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+DenseMatrix DenseMatrix::Identity(Index n) {
+  DenseMatrix m(n, n);
+  for (Index i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::Diagonal(const std::vector<double>& diag) {
+  const Index n = static_cast<Index>(diag.size());
+  DenseMatrix m(n, n);
+  for (Index i = 0; i < n; ++i) m(i, i) = diag[static_cast<std::size_t>(i)];
+  return m;
+}
+
+std::vector<double> DenseMatrix::Column(Index j) const {
+  CSR_CHECK(j >= 0 && j < cols_);
+  std::vector<double> out(static_cast<std::size_t>(rows_));
+  for (Index i = 0; i < rows_; ++i) out[static_cast<std::size_t>(i)] = (*this)(i, j);
+  return out;
+}
+
+std::vector<double> DenseMatrix::Row(Index i) const {
+  CSR_CHECK(i >= 0 && i < rows_);
+  return std::vector<double>(RowPtr(i), RowPtr(i) + cols_);
+}
+
+void DenseMatrix::SetColumn(Index j, const std::vector<double>& v) {
+  CSR_CHECK(j >= 0 && j < cols_);
+  CSR_CHECK_EQ(static_cast<Index>(v.size()), rows_);
+  for (Index i = 0; i < rows_; ++i) (*this)(i, j) = v[static_cast<std::size_t>(i)];
+}
+
+void DenseMatrix::SetRow(Index i, const std::vector<double>& v) {
+  CSR_CHECK(i >= 0 && i < rows_);
+  CSR_CHECK_EQ(static_cast<Index>(v.size()), cols_);
+  std::copy(v.begin(), v.end(), RowPtr(i));
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (Index i = 0; i < rows_; ++i) {
+    const double* src = RowPtr(i);
+    for (Index j = 0; j < cols_; ++j) t(j, i) = src[j];
+  }
+  return t;
+}
+
+void DenseMatrix::TransposeInPlaceSquare() {
+  CSR_CHECK_EQ(rows_, cols_) << "in-place transpose requires a square matrix";
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index j = i + 1; j < cols_; ++j) {
+      std::swap((*this)(i, j), (*this)(j, i));
+    }
+  }
+}
+
+DenseMatrix DenseMatrix::SelectRows(const std::vector<Index>& row_ids) const {
+  DenseMatrix out(static_cast<Index>(row_ids.size()), cols_);
+  for (std::size_t k = 0; k < row_ids.size(); ++k) {
+    const Index i = row_ids[k];
+    CSR_CHECK(i >= 0 && i < rows_) << "row id out of range";
+    std::copy(RowPtr(i), RowPtr(i) + cols_, out.RowPtr(static_cast<Index>(k)));
+  }
+  return out;
+}
+
+std::string DenseMatrix::ToString(int precision) const {
+  std::string out;
+  char buf[64];
+  for (Index i = 0; i < rows_; ++i) {
+    out += "[ ";
+    for (Index j = 0; j < cols_; ++j) {
+      std::snprintf(buf, sizeof(buf), "%.*f ", precision, (*this)(i, j));
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace csrplus::linalg

@@ -1,0 +1,119 @@
+// Dense row-major matrix of doubles.
+//
+// This is the workhorse for all small/skinny dense math in the library: the
+// SVD factors U, V (n x r), the r x r subspace matrices H and P of CSR+, and
+// the n x |Q| similarity blocks. Storage is a contiguous row-major buffer so
+// that sparse-times-dense products stream rows of the right-hand side.
+
+#ifndef CSRPLUS_LINALG_DENSE_MATRIX_H_
+#define CSRPLUS_LINALG_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace csrplus::linalg {
+
+/// Index type for matrix/graph dimensions.
+using Index = int64_t;
+
+/// Dense row-major matrix of doubles.
+class DenseMatrix {
+ public:
+  /// An empty 0x0 matrix.
+  DenseMatrix() : rows_(0), cols_(0) {}
+
+  /// A rows x cols matrix, zero-initialised.
+  DenseMatrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), 0.0) {
+    CSR_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Builds from nested initialiser lists; all rows must have equal length.
+  /// Intended for tests and worked examples.
+  DenseMatrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// The rows x cols zero matrix.
+  static DenseMatrix Zero(Index rows, Index cols) {
+    return DenseMatrix(rows, cols);
+  }
+
+  /// The n x n identity.
+  static DenseMatrix Identity(Index n);
+
+  /// A diagonal matrix from the given entries.
+  static DenseMatrix Diagonal(const std::vector<double>& diag);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(Index i, Index j) {
+    CSR_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  double operator()(Index i, Index j) const {
+    CSR_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  /// Pointer to the start of row i.
+  double* RowPtr(Index i) { return data_.data() + i * cols_; }
+  const double* RowPtr(Index i) const { return data_.data() + i * cols_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Heap bytes held by this matrix.
+  int64_t AllocatedBytes() const {
+    return static_cast<int64_t>(data_.capacity() * sizeof(double));
+  }
+
+  /// Releases storage and resets to 0x0.
+  void Clear() {
+    rows_ = cols_ = 0;
+    std::vector<double>().swap(data_);
+  }
+
+  /// Copies column j into a new vector.
+  std::vector<double> Column(Index j) const;
+
+  /// Copies row i into a new vector.
+  std::vector<double> Row(Index i) const;
+
+  /// Sets column j from `v` (must have rows() entries).
+  void SetColumn(Index j, const std::vector<double>& v);
+
+  /// Sets row i from `v` (must have cols() entries).
+  void SetRow(Index i, const std::vector<double>& v);
+
+  /// Returns the transpose as a new matrix.
+  DenseMatrix Transposed() const;
+
+  /// Transposes a square matrix in place (no allocation).
+  void TransposeInPlaceSquare();
+
+  /// Extracts the sub-block of the given rows (in order), all columns.
+  DenseMatrix SelectRows(const std::vector<Index>& row_ids) const;
+
+  /// Multi-line human-readable rendering (for tests / small matrices).
+  std::string ToString(int precision = 4) const;
+
+  bool operator==(const DenseMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace csrplus::linalg
+
+#endif  // CSRPLUS_LINALG_DENSE_MATRIX_H_

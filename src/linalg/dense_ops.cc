@@ -1,0 +1,197 @@
+#include "linalg/dense_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csrplus::linalg {
+namespace {
+
+// Core row-major product C = A(MxK) * B(KxN) using the ikj order so the inner
+// loop streams rows of B and C.
+DenseMatrix GemmNoTrans(const DenseMatrix& a, const DenseMatrix& b) {
+  const Index m = a.rows(), k = a.cols(), n = b.cols();
+  DenseMatrix c(m, n);
+  for (Index i = 0; i < m; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (Index p = 0; p < k; ++p) {
+      const double aip = arow[p];
+      if (aip == 0.0) continue;
+      const double* brow = b.RowPtr(p);
+      for (Index j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b, Transpose ta,
+                 Transpose tb) {
+  const Index a_rows = ta == Transpose::kNo ? a.rows() : a.cols();
+  const Index a_cols = ta == Transpose::kNo ? a.cols() : a.rows();
+  const Index b_rows = tb == Transpose::kNo ? b.rows() : b.cols();
+  const Index b_cols = tb == Transpose::kNo ? b.cols() : b.rows();
+  CSR_CHECK_EQ(a_cols, b_rows) << "Gemm: inner dimensions differ";
+
+  if (ta == Transpose::kNo && tb == Transpose::kNo) {
+    return GemmNoTrans(a, b);
+  }
+  if (ta == Transpose::kYes && tb == Transpose::kNo) {
+    // C = A^T B: accumulate outer products of rows of A with rows of B.
+    DenseMatrix c(a_rows, b_cols);
+    for (Index p = 0; p < a.rows(); ++p) {
+      const double* arow = a.RowPtr(p);
+      const double* brow = b.RowPtr(p);
+      for (Index i = 0; i < a_rows; ++i) {
+        const double api = arow[i];
+        if (api == 0.0) continue;
+        double* crow = c.RowPtr(i);
+        for (Index j = 0; j < b_cols; ++j) crow[j] += api * brow[j];
+      }
+    }
+    return c;
+  }
+  if (ta == Transpose::kNo && tb == Transpose::kYes) {
+    // C = A B^T: C_ij = <A_i., B_j.> — both row-major friendly.
+    DenseMatrix c(a_rows, b_cols);
+    for (Index i = 0; i < a_rows; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* crow = c.RowPtr(i);
+      for (Index j = 0; j < b_cols; ++j) {
+        const double* brow = b.RowPtr(j);
+        double sum = 0.0;
+        for (Index p = 0; p < a.cols(); ++p) sum += arow[p] * brow[p];
+        crow[j] = sum;
+      }
+    }
+    return c;
+  }
+  // A^T B^T = (B A)^T.
+  return Gemm(b, a).Transposed();
+}
+
+void GemmAccumulate(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+                    DenseMatrix* c) {
+  CSR_CHECK_EQ(a.cols(), b.rows());
+  CSR_CHECK_EQ(c->rows(), a.rows());
+  CSR_CHECK_EQ(c->cols(), b.cols());
+  const Index m = a.rows(), k = a.cols(), n = b.cols();
+  for (Index i = 0; i < m; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c->RowPtr(i);
+    for (Index p = 0; p < k; ++p) {
+      const double aip = alpha * arow[p];
+      if (aip == 0.0) continue;
+      const double* brow = b.RowPtr(p);
+      for (Index j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+std::vector<double> MatVec(const DenseMatrix& a, const std::vector<double>& x,
+                           Transpose ta) {
+  if (ta == Transpose::kNo) {
+    CSR_CHECK_EQ(a.cols(), static_cast<Index>(x.size()));
+    std::vector<double> y(static_cast<std::size_t>(a.rows()), 0.0);
+    for (Index i = 0; i < a.rows(); ++i) {
+      const double* arow = a.RowPtr(i);
+      double sum = 0.0;
+      for (Index j = 0; j < a.cols(); ++j) sum += arow[j] * x[static_cast<std::size_t>(j)];
+      y[static_cast<std::size_t>(i)] = sum;
+    }
+    return y;
+  }
+  CSR_CHECK_EQ(a.rows(), static_cast<Index>(x.size()));
+  std::vector<double> y(static_cast<std::size_t>(a.cols()), 0.0);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    const double xi = x[static_cast<std::size_t>(i)];
+    if (xi == 0.0) continue;
+    for (Index j = 0; j < a.cols(); ++j) y[static_cast<std::size_t>(j)] += xi * arow[j];
+  }
+  return y;
+}
+
+double Dot(const std::vector<double>& x, const std::vector<double>& y) {
+  CSR_CHECK_EQ(x.size(), y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double Norm2(const std::vector<double>& x) { return std::sqrt(Dot(x, x)); }
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  CSR_CHECK_EQ(x.size(), y->size());
+  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::vector<double>* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+void AddScaled(double alpha, const DenseMatrix& a, DenseMatrix* b) {
+  CSR_CHECK_EQ(a.rows(), b->rows());
+  CSR_CHECK_EQ(a.cols(), b->cols());
+  const double* src = a.data();
+  double* dst = b->data();
+  const Index total = a.size();
+  for (Index i = 0; i < total; ++i) dst[i] += alpha * src[i];
+}
+
+void ScaleInPlace(double alpha, DenseMatrix* a) {
+  double* dst = a->data();
+  const Index total = a->size();
+  for (Index i = 0; i < total; ++i) dst[i] *= alpha;
+}
+
+double FrobeniusNorm(const DenseMatrix& a) {
+  double sum = 0.0;
+  const double* p = a.data();
+  for (Index i = 0; i < a.size(); ++i) sum += p[i] * p[i];
+  return std::sqrt(sum);
+}
+
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  CSR_CHECK_EQ(a.rows(), b.rows());
+  CSR_CHECK_EQ(a.cols(), b.cols());
+  double maxd = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (Index i = 0; i < a.size(); ++i) {
+    maxd = std::max(maxd, std::fabs(pa[i] - pb[i]));
+  }
+  return maxd;
+}
+
+double MaxAbs(const DenseMatrix& a) {
+  double maxv = 0.0;
+  const double* p = a.data();
+  for (Index i = 0; i < a.size(); ++i) maxv = std::max(maxv, std::fabs(p[i]));
+  return maxv;
+}
+
+DenseMatrix DiagScale(const std::vector<double>& d1, const DenseMatrix& a,
+                      const std::vector<double>& d2) {
+  if (!d1.empty()) CSR_CHECK_EQ(static_cast<Index>(d1.size()), a.rows());
+  if (!d2.empty()) CSR_CHECK_EQ(static_cast<Index>(d2.size()), a.cols());
+  DenseMatrix out(a.rows(), a.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double di = d1.empty() ? 1.0 : d1[static_cast<std::size_t>(i)];
+    const double* src = a.RowPtr(i);
+    double* dst = out.RowPtr(i);
+    for (Index j = 0; j < a.cols(); ++j) {
+      const double dj = d2.empty() ? 1.0 : d2[static_cast<std::size_t>(j)];
+      dst[j] = di * src[j] * dj;
+    }
+  }
+  return out;
+}
+
+bool AllClose(const DenseMatrix& a, const DenseMatrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return MaxAbsDiff(a, b) <= tol;
+}
+
+}  // namespace csrplus::linalg

@@ -1,0 +1,69 @@
+// Dense BLAS-like kernels on DenseMatrix and std::vector<double>.
+//
+// All routines are cache-aware straight-line C++ (no SIMD intrinsics); the
+// matrices they touch in this library are skinny (n x r with r <= a few
+// hundred) or tiny (r x r), so simple ikj loops are near-optimal.
+
+#ifndef CSRPLUS_LINALG_DENSE_OPS_H_
+#define CSRPLUS_LINALG_DENSE_OPS_H_
+
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+
+namespace csrplus::linalg {
+
+/// Whether an operand is used as-is or transposed in a product.
+enum class Transpose { kNo, kYes };
+
+/// C = A * B (with optional transposition of either operand).
+/// Shapes are checked; the result is freshly allocated.
+DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b,
+                 Transpose ta = Transpose::kNo, Transpose tb = Transpose::kNo);
+
+/// C += alpha * A * B (no transposition). Shapes must already match.
+void GemmAccumulate(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+                    DenseMatrix* c);
+
+/// y = A * x  (or A^T * x when `ta` is kYes).
+std::vector<double> MatVec(const DenseMatrix& a, const std::vector<double>& x,
+                           Transpose ta = Transpose::kNo);
+
+/// Dot product of equally-sized vectors.
+double Dot(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& x);
+
+/// y += alpha * x.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// x *= alpha.
+void Scale(double alpha, std::vector<double>* x);
+
+/// B += alpha * A (equal shapes).
+void AddScaled(double alpha, const DenseMatrix& a, DenseMatrix* b);
+
+/// A *= alpha.
+void ScaleInPlace(double alpha, DenseMatrix* a);
+
+/// Frobenius norm of A.
+double FrobeniusNorm(const DenseMatrix& a);
+
+/// max_{i,j} |A_ij - B_ij| (equal shapes).
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b);
+
+/// max_{i,j} |A_ij|.
+double MaxAbs(const DenseMatrix& a);
+
+/// D1 * A * D2 where D1, D2 are given as diagonal entry vectors. Either
+/// vector may be empty to mean the identity.
+DenseMatrix DiagScale(const std::vector<double>& d1, const DenseMatrix& a,
+                      const std::vector<double>& d2);
+
+/// True if max abs difference between A and B is at most `tol`.
+bool AllClose(const DenseMatrix& a, const DenseMatrix& b, double tol);
+
+}  // namespace csrplus::linalg
+
+#endif  // CSRPLUS_LINALG_DENSE_OPS_H_

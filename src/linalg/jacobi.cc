@@ -1,0 +1,188 @@
+#include "linalg/jacobi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/dense_ops.h"
+
+namespace csrplus::linalg {
+
+Result<SymmetricEigenResult> SymmetricJacobiEigen(const DenseMatrix& a,
+                                                  int max_sweeps,
+                                                  double symmetry_tol) {
+  const Index n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("SymmetricJacobiEigen: matrix not square");
+  }
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      if (std::fabs(a(i, j) - a(j, i)) > symmetry_tol) {
+        return Status::InvalidArgument(
+            "SymmetricJacobiEigen: matrix not symmetric");
+      }
+    }
+  }
+
+  DenseMatrix m = a;
+  DenseMatrix v = DenseMatrix::Identity(n);
+  const double eps = 1e-14;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = i + 1; j < n; ++j) off += m(i, j) * m(i, j);
+    }
+    if (std::sqrt(off) < eps * std::max(1.0, FrobeniusNorm(m))) break;
+
+    for (Index p = 0; p < n; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        for (Index k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  SymmetricEigenResult out;
+  out.eigenvalues.resize(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    out.eigenvalues[static_cast<std::size_t>(i)] = m(i, i);
+  }
+  // Sort descending with matching eigenvector permutation.
+  std::vector<Index> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](Index x, Index y) {
+    return out.eigenvalues[static_cast<std::size_t>(x)] >
+           out.eigenvalues[static_cast<std::size_t>(y)];
+  });
+  std::vector<double> sorted_w(static_cast<std::size_t>(n));
+  DenseMatrix sorted_v(n, n);
+  for (Index col = 0; col < n; ++col) {
+    const Index src = perm[static_cast<std::size_t>(col)];
+    sorted_w[static_cast<std::size_t>(col)] =
+        out.eigenvalues[static_cast<std::size_t>(src)];
+    for (Index row = 0; row < n; ++row) sorted_v(row, col) = v(row, src);
+  }
+  out.eigenvalues = std::move(sorted_w);
+  out.eigenvectors = std::move(sorted_v);
+  return out;
+}
+
+Result<SvdResult> OneSidedJacobiSvd(const DenseMatrix& a, int max_sweeps) {
+  const Index m = a.rows();
+  const Index k = a.cols();
+  if (m < k) {
+    return Status::InvalidArgument(
+        "OneSidedJacobiSvd requires rows >= cols; pass the transpose");
+  }
+
+  // Column-major working copy: row j of `cols` is column j of A.
+  DenseMatrix cols = a.Transposed();  // k x m
+  DenseMatrix v = DenseMatrix::Identity(k);
+  const double tol = 1e-14;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (Index p = 0; p < k; ++p) {
+      for (Index q = p + 1; q < k; ++q) {
+        double* cp = cols.RowPtr(p);
+        double* cq = cols.RowPtr(q);
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (Index i = 0; i < m; ++i) {
+          app += cp[i] * cp[i];
+          aqq += cq[i] * cq[i];
+          apq += cp[i] * cq[i];
+        }
+        if (std::fabs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        rotated = true;
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (Index i = 0; i < m; ++i) {
+          const double xp = cp[i];
+          const double xq = cq[i];
+          cp[i] = c * xp - s * xq;
+          cq[i] = s * xp + c * xq;
+        }
+        for (Index i = 0; i < k; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  SvdResult out;
+  out.sigma.resize(static_cast<std::size_t>(k));
+  DenseMatrix u_t(k, m);  // rows are normalised columns of the rotated A.
+  for (Index j = 0; j < k; ++j) {
+    const double* cj = cols.RowPtr(j);
+    double norm_sq = 0.0;
+    for (Index i = 0; i < m; ++i) norm_sq += cj[i] * cj[i];
+    const double sigma = std::sqrt(norm_sq);
+    out.sigma[static_cast<std::size_t>(j)] = sigma;
+    if (sigma > 0.0) {
+      double* urow = u_t.RowPtr(j);
+      const double inv = 1.0 / sigma;
+      for (Index i = 0; i < m; ++i) urow[i] = cj[i] * inv;
+    }
+  }
+
+  // Sort descending by singular value.
+  std::vector<Index> perm(static_cast<std::size_t>(k));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](Index x, Index y) {
+    return out.sigma[static_cast<std::size_t>(x)] >
+           out.sigma[static_cast<std::size_t>(y)];
+  });
+
+  std::vector<double> sorted_sigma(static_cast<std::size_t>(k));
+  DenseMatrix sorted_ut(k, m);
+  DenseMatrix sorted_v(k, k);
+  for (Index col = 0; col < k; ++col) {
+    const Index src = perm[static_cast<std::size_t>(col)];
+    sorted_sigma[static_cast<std::size_t>(col)] =
+        out.sigma[static_cast<std::size_t>(src)];
+    std::copy(u_t.RowPtr(src), u_t.RowPtr(src) + m, sorted_ut.RowPtr(col));
+    for (Index row = 0; row < k; ++row) sorted_v(row, col) = v(row, src);
+  }
+  out.sigma = std::move(sorted_sigma);
+  out.u = sorted_ut.Transposed();
+  out.v = std::move(sorted_v);
+  return out;
+}
+
+}  // namespace csrplus::linalg

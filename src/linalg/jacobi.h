@@ -1,0 +1,46 @@
+// Jacobi-type dense factorisations for small matrices.
+//
+// These kernels only ever see matrices whose small dimension is the sketch
+// size of a truncated SVD (tens to a few hundred), where cyclic Jacobi is
+// simple, robust, and accurate to machine precision.
+
+#ifndef CSRPLUS_LINALG_JACOBI_H_
+#define CSRPLUS_LINALG_JACOBI_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace csrplus::linalg {
+
+/// Eigendecomposition A = V diag(w) V^T of a symmetric matrix.
+struct SymmetricEigenResult {
+  std::vector<double> eigenvalues;  ///< Descending order.
+  DenseMatrix eigenvectors;         ///< Columns match eigenvalue order.
+};
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix (checked for symmetry
+/// up to `symmetry_tol`). Converges quadratically; `max_sweeps` bounds work.
+Result<SymmetricEigenResult> SymmetricJacobiEigen(const DenseMatrix& a,
+                                                  int max_sweeps = 64,
+                                                  double symmetry_tol = 1e-9);
+
+/// Thin SVD A = U diag(sigma) V^T.
+struct SvdResult {
+  DenseMatrix u;              ///< m x k, orthonormal columns (zero columns
+                              ///< where sigma is exactly 0).
+  std::vector<double> sigma;  ///< k singular values, descending, >= 0.
+  DenseMatrix v;              ///< k x k orthogonal.
+};
+
+/// One-sided Jacobi SVD of a tall-or-square matrix (rows >= cols).
+///
+/// Orthogonalises columns by plane rotations accumulated into V; singular
+/// values are the final column norms. Accuracy is machine precision for the
+/// well-conditioned sketch matrices this library produces.
+Result<SvdResult> OneSidedJacobiSvd(const DenseMatrix& a, int max_sweeps = 64);
+
+}  // namespace csrplus::linalg
+
+#endif  // CSRPLUS_LINALG_JACOBI_H_

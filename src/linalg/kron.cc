@@ -1,0 +1,97 @@
+#include "linalg/kron.h"
+
+#include "common/memory.h"
+#include "linalg/dense_ops.h"
+
+namespace csrplus::linalg {
+
+std::vector<double> Vec(const DenseMatrix& x) {
+  std::vector<double> v(static_cast<std::size_t>(x.size()));
+  std::size_t pos = 0;
+  for (Index j = 0; j < x.cols(); ++j) {
+    for (Index i = 0; i < x.rows(); ++i) v[pos++] = x(i, j);
+  }
+  return v;
+}
+
+DenseMatrix Unvec(const std::vector<double>& v, Index rows, Index cols) {
+  CSR_CHECK_EQ(static_cast<Index>(v.size()), rows * cols);
+  DenseMatrix x(rows, cols);
+  std::size_t pos = 0;
+  for (Index j = 0; j < cols; ++j) {
+    for (Index i = 0; i < rows; ++i) x(i, j) = v[pos++];
+  }
+  return x;
+}
+
+Result<DenseMatrix> KroneckerProduct(const DenseMatrix& x,
+                                     const DenseMatrix& y) {
+  const Index rows = x.rows() * y.rows();
+  const Index cols = x.cols() * y.cols();
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      rows * cols * static_cast<int64_t>(sizeof(double)),
+      "KroneckerProduct result"));
+  DenseMatrix out(rows, cols);
+  for (Index xi = 0; xi < x.rows(); ++xi) {
+    for (Index xj = 0; xj < x.cols(); ++xj) {
+      const double scale = x(xi, xj);
+      if (scale == 0.0) continue;
+      const Index row0 = xi * y.rows();
+      const Index col0 = xj * y.cols();
+      for (Index yi = 0; yi < y.rows(); ++yi) {
+        double* dst = out.RowPtr(row0 + yi) + col0;
+        const double* src = y.RowPtr(yi);
+        for (Index yj = 0; yj < y.cols(); ++yj) dst[yj] += scale * src[yj];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> KroneckerMatVec(const DenseMatrix& a, const DenseMatrix& b,
+                                    const std::vector<double>& v) {
+  // (A (x) B) vec(X) = vec(B X A^T), X of shape b.cols x a.cols.
+  CSR_CHECK_EQ(static_cast<Index>(v.size()), a.cols() * b.cols());
+  const DenseMatrix x = Unvec(v, b.cols(), a.cols());
+  const DenseMatrix bx = Gemm(b, x);
+  const DenseMatrix bxat = Gemm(bx, a, Transpose::kNo, Transpose::kYes);
+  return Vec(bxat);
+}
+
+Result<DenseMatrix> NaiveKroneckerGram(const DenseMatrix& v,
+                                       const DenseMatrix& u) {
+  CSR_CHECK_EQ(v.rows(), u.rows());
+  CSR_CHECK_EQ(v.cols(), u.cols());
+  const Index n = v.rows();
+  const Index r = v.cols();
+  const Index r2 = r * r;
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      r2 * r2 * static_cast<int64_t>(sizeof(double)), "NaiveKroneckerGram"));
+
+  // Entry ((i*r + j), (k*r + l)) = sum_{a,b} V[a,i] V[b,j] U[a,k] U[b,l],
+  // evaluated as the published method does — a full O(n^2) contraction per
+  // entry, O(r^4 n^2) overall — deliberately NOT factorised into
+  // Theta (x) Theta (that factorisation is Theorem 3.1, the optimisation
+  // this baseline exists to be compared against).
+  DenseMatrix out(r2, r2);
+  for (Index i = 0; i < r; ++i) {
+    for (Index k = 0; k < r; ++k) {
+      for (Index j = 0; j < r; ++j) {
+        for (Index l = 0; l < r; ++l) {
+          double acc = 0.0;
+          for (Index a = 0; a < n; ++a) {
+            const double pa = v(a, i) * u(a, k);
+            if (pa == 0.0) continue;
+            double inner = 0.0;
+            for (Index b = 0; b < n; ++b) inner += v(b, j) * u(b, l);
+            acc += pa * inner;
+          }
+          out(i * r + j, k * r + l) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace csrplus::linalg

@@ -1,0 +1,52 @@
+// Kronecker (tensor) product and vec() operators.
+//
+// These exist for two consumers:
+//  1. The CSR-NI baseline (Li et al. 2010), whose published precomputation
+//     materialises tensor products — the very cost CSR+ eliminates.
+//  2. The test suite, which verifies Theorems 3.1–3.4 of the paper as exact
+//     identities on random matrices (mixed-product property, vec identities).
+//
+// All functions guard against materialising anything beyond the configured
+// memory budget, so a mis-sized call fails with ResourceExhausted instead of
+// taking the process down.
+
+#ifndef CSRPLUS_LINALG_KRON_H_
+#define CSRPLUS_LINALG_KRON_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace csrplus::linalg {
+
+/// vec(X): stacks columns of X into a single column vector (Definition 2.1).
+std::vector<double> Vec(const DenseMatrix& x);
+
+/// Inverse of Vec: reshapes a length rows*cols vector into a matrix,
+/// column-major.
+DenseMatrix Unvec(const std::vector<double>& v, Index rows, Index cols);
+
+/// Explicit Kronecker product X (x) Y (Definition 2.2). The result has
+/// (X.rows*Y.rows) x (X.cols*Y.cols) entries and is budget-checked.
+Result<DenseMatrix> KroneckerProduct(const DenseMatrix& x,
+                                     const DenseMatrix& y);
+
+/// (A (x) B) * v without forming the Kronecker product, via the identity
+/// (A (x) B) vec(X) = vec(B X A^T) where v = vec(X), X is B.cols x A.cols.
+std::vector<double> KroneckerMatVec(const DenseMatrix& a,
+                                    const DenseMatrix& b,
+                                    const std::vector<double>& v);
+
+/// The Gram-style product (V (x) V)^T (U (x) U) computed the way Li et al.'s
+/// published method does — entry (ij, kl) as an O(n^2) double sum streamed
+/// over the large dimension — in O(r^4 n^2) time but only O(r^4) memory.
+/// `budget_guard_bytes` is the logical memory the published method would
+/// allocate (2 * n^2 r^2 doubles); callers pass it so the harness can report
+/// it and refuse when it exceeds the budget.
+Result<DenseMatrix> NaiveKroneckerGram(const DenseMatrix& v,
+                                       const DenseMatrix& u);
+
+}  // namespace csrplus::linalg
+
+#endif  // CSRPLUS_LINALG_KRON_H_

@@ -1,0 +1,98 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+namespace csrplus::linalg {
+
+Result<LuFactorization> LuFactorization::Compute(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU: matrix must be square");
+  }
+  const Index n = a.rows();
+  LuFactorization f;
+  f.lu_ = a;
+  f.pivot_.resize(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) f.pivot_[static_cast<std::size_t>(i)] = i;
+
+  for (Index col = 0; col < n; ++col) {
+    // Pivot: largest magnitude in this column at or below the diagonal.
+    Index best = col;
+    double best_abs = std::fabs(f.lu_(col, col));
+    for (Index i = col + 1; i < n; ++i) {
+      const double v = std::fabs(f.lu_(i, col));
+      if (v > best_abs) {
+        best_abs = v;
+        best = i;
+      }
+    }
+    if (best_abs == 0.0) {
+      return Status::NumericalError("LU: matrix is singular at column " +
+                                    std::to_string(col));
+    }
+    if (best != col) {
+      for (Index j = 0; j < n; ++j) {
+        std::swap(f.lu_(col, j), f.lu_(best, j));
+      }
+      std::swap(f.pivot_[static_cast<std::size_t>(col)],
+                f.pivot_[static_cast<std::size_t>(best)]);
+    }
+    const double inv_piv = 1.0 / f.lu_(col, col);
+    for (Index i = col + 1; i < n; ++i) {
+      const double lik = f.lu_(i, col) * inv_piv;
+      f.lu_(i, col) = lik;
+      if (lik == 0.0) continue;
+      const double* urow = f.lu_.RowPtr(col);
+      double* irow = f.lu_.RowPtr(i);
+      for (Index j = col + 1; j < n; ++j) irow[j] -= lik * urow[j];
+    }
+  }
+  return f;
+}
+
+Result<std::vector<double>> LuFactorization::Solve(
+    const std::vector<double>& b) const {
+  const Index n = dim();
+  if (static_cast<Index>(b.size()) != n) {
+    return Status::InvalidArgument("LU solve: rhs size mismatch");
+  }
+  std::vector<double> x(static_cast<std::size_t>(n));
+  // Apply permutation, then forward substitution (L is unit lower).
+  for (Index i = 0; i < n; ++i) {
+    double sum = b[static_cast<std::size_t>(pivot_[static_cast<std::size_t>(i)])];
+    const double* row = lu_.RowPtr(i);
+    for (Index j = 0; j < i; ++j) sum -= row[j] * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = sum;
+  }
+  // Back substitution with U.
+  for (Index i = n - 1; i >= 0; --i) {
+    double sum = x[static_cast<std::size_t>(i)];
+    const double* row = lu_.RowPtr(i);
+    for (Index j = i + 1; j < n; ++j) sum -= row[j] * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = sum / row[i];
+  }
+  return x;
+}
+
+Result<DenseMatrix> LuFactorization::SolveMatrix(const DenseMatrix& b) const {
+  if (b.rows() != dim()) {
+    return Status::InvalidArgument("LU solve: rhs rows mismatch");
+  }
+  DenseMatrix x(b.rows(), b.cols());
+  for (Index j = 0; j < b.cols(); ++j) {
+    CSR_ASSIGN_OR_RETURN(std::vector<double> col, Solve(b.Column(j)));
+    x.SetColumn(j, col);
+  }
+  return x;
+}
+
+Result<DenseMatrix> LuFactorization::Inverse() const {
+  return SolveMatrix(DenseMatrix::Identity(dim()));
+}
+
+Result<DenseMatrix> SolveLinearSystem(const DenseMatrix& a,
+                                      const DenseMatrix& b) {
+  CSR_ASSIGN_OR_RETURN(LuFactorization lu, LuFactorization::Compute(a));
+  return lu.SolveMatrix(b);
+}
+
+}  // namespace csrplus::linalg

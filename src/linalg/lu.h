@@ -1,0 +1,47 @@
+// LU factorisation with partial pivoting for small dense systems.
+//
+// The CSR-NI baseline inverts the r^2 x r^2 matrix
+// (Sigma (x) Sigma)^{-1} - c (V (x) V)^T (U (x) U); this solver is what makes
+// that inversion possible for small r. It is never applied to an n-sized
+// matrix anywhere in the library.
+
+#ifndef CSRPLUS_LINALG_LU_H_
+#define CSRPLUS_LINALG_LU_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace csrplus::linalg {
+
+/// In-place LU factorisation PA = LU with partial pivoting.
+class LuFactorization {
+ public:
+  /// Factors `a` (square). Fails with NumericalError on exact singularity.
+  static Result<LuFactorization> Compute(const DenseMatrix& a);
+
+  /// Solves A x = b for a single right-hand side.
+  Result<std::vector<double>> Solve(const std::vector<double>& b) const;
+
+  /// Solves A X = B column-by-column.
+  Result<DenseMatrix> SolveMatrix(const DenseMatrix& b) const;
+
+  /// The explicit inverse (use sparingly; Solve is cheaper for few RHS).
+  Result<DenseMatrix> Inverse() const;
+
+  Index dim() const { return lu_.rows(); }
+
+ private:
+  LuFactorization() = default;
+  DenseMatrix lu_;           // L below diagonal (unit), U on/above.
+  std::vector<Index> pivot_;  // row permutation.
+};
+
+/// Convenience: solves A X = B in one call.
+Result<DenseMatrix> SolveLinearSystem(const DenseMatrix& a,
+                                      const DenseMatrix& b);
+
+}  // namespace csrplus::linalg
+
+#endif  // CSRPLUS_LINALG_LU_H_

@@ -1,0 +1,100 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+namespace csrplus::linalg {
+
+Result<QrResult> HouseholderQr(const DenseMatrix& a) {
+  const Index n = a.rows();
+  const Index k = a.cols();
+  if (n < k) {
+    return Status::InvalidArgument(
+        "HouseholderQr requires rows >= cols (got " + std::to_string(n) +
+        " x " + std::to_string(k) + ")");
+  }
+
+  // Work on a column-major copy for contiguous column access.
+  DenseMatrix work = a.Transposed();  // k x n, row j = column j of A.
+  std::vector<std::vector<double>> reflectors;
+  reflectors.reserve(static_cast<std::size_t>(k));
+  std::vector<double> betas;
+  betas.reserve(static_cast<std::size_t>(k));
+
+  for (Index j = 0; j < k; ++j) {
+    // Householder vector for column j on rows j..n-1.
+    double* col = work.RowPtr(j);
+    double norm_sq = 0.0;
+    for (Index i = j; i < n; ++i) norm_sq += col[i] * col[i];
+    const double norm = std::sqrt(norm_sq);
+
+    std::vector<double> v(static_cast<std::size_t>(n - j), 0.0);
+    double beta = 0.0;
+    if (norm > 0.0) {
+      const double alpha = col[j] >= 0.0 ? -norm : norm;
+      v[0] = col[j] - alpha;
+      for (Index i = j + 1; i < n; ++i) {
+        v[static_cast<std::size_t>(i - j)] = col[i];
+      }
+      double v_norm_sq = 0.0;
+      for (double x : v) v_norm_sq += x * x;
+      if (v_norm_sq > 0.0) beta = 2.0 / v_norm_sq;
+      col[j] = alpha;
+      for (Index i = j + 1; i < n; ++i) col[i] = 0.0;
+    }
+
+    // Apply the reflector to the remaining columns.
+    if (beta != 0.0) {
+      for (Index jj = j + 1; jj < k; ++jj) {
+        double* c = work.RowPtr(jj);
+        double dot = 0.0;
+        for (Index i = j; i < n; ++i) {
+          dot += v[static_cast<std::size_t>(i - j)] * c[i];
+        }
+        const double scale = beta * dot;
+        for (Index i = j; i < n; ++i) {
+          c[i] -= scale * v[static_cast<std::size_t>(i - j)];
+        }
+      }
+    }
+    reflectors.push_back(std::move(v));
+    betas.push_back(beta);
+  }
+
+  QrResult out;
+  out.r = DenseMatrix(k, k);
+  for (Index i = 0; i < k; ++i) {
+    for (Index j = i; j < k; ++j) out.r(i, j) = work(j, i);
+  }
+
+  // Accumulate Q = H_0 H_1 ... H_{k-1} applied to the first k identity
+  // columns, stored column-major in `qt` (k x n).
+  DenseMatrix qt(k, n);
+  for (Index j = 0; j < k; ++j) qt(j, j) = 1.0;
+  for (Index j = k - 1; j >= 0; --j) {
+    const std::vector<double>& v = reflectors[static_cast<std::size_t>(j)];
+    const double beta = betas[static_cast<std::size_t>(j)];
+    if (beta == 0.0) continue;
+    for (Index jj = 0; jj < k; ++jj) {
+      double* c = qt.RowPtr(jj);
+      double dot = 0.0;
+      for (Index i = j; i < n; ++i) {
+        dot += v[static_cast<std::size_t>(i - j)] * c[i];
+      }
+      const double scale = beta * dot;
+      for (Index i = j; i < n; ++i) {
+        c[i] -= scale * v[static_cast<std::size_t>(i - j)];
+      }
+    }
+  }
+  out.q = qt.Transposed();
+  return out;
+}
+
+Status OrthonormalizeColumns(DenseMatrix* a) {
+  CSR_ASSIGN_OR_RETURN(QrResult qr, HouseholderQr(*a));
+  *a = std::move(qr.q);
+  return Status::OK();
+}
+
+}  // namespace csrplus::linalg

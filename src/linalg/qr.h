@@ -1,0 +1,33 @@
+// Thin (economy) QR factorisation via Householder reflections.
+//
+// Used by the randomized range finder in src/svd to orthonormalise sketch
+// matrices: for a tall n x k input A (n >= k) it produces Q (n x k with
+// orthonormal columns) and R (k x k upper triangular) with A = Q R.
+
+#ifndef CSRPLUS_LINALG_QR_H_
+#define CSRPLUS_LINALG_QR_H_
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace csrplus::linalg {
+
+/// Result of a thin QR factorisation.
+struct QrResult {
+  DenseMatrix q;  ///< n x k, orthonormal columns.
+  DenseMatrix r;  ///< k x k, upper triangular.
+};
+
+/// Computes the thin QR of a tall matrix (rows >= cols required).
+///
+/// Rank deficiency is tolerated: zero columns of A yield zero diagonal
+/// entries in R and arbitrary orthonormal completion in Q.
+Result<QrResult> HouseholderQr(const DenseMatrix& a);
+
+/// Orthonormalises the columns of `a` in place via the Q factor of its QR.
+/// Convenience wrapper used by the range finder and Lanczos restarts.
+Status OrthonormalizeColumns(DenseMatrix* a);
+
+}  // namespace csrplus::linalg
+
+#endif  // CSRPLUS_LINALG_QR_H_

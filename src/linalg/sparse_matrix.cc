@@ -1,0 +1,268 @@
+#include "linalg/sparse_matrix.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace csrplus::linalg {
+
+CsrMatrix CsrMatrix::FromCoo(const CooMatrix& coo) {
+  CsrMatrix m;
+  m.rows_ = coo.rows();
+  m.cols_ = coo.cols();
+  CSR_CHECK_LE(m.cols_, std::numeric_limits<int32_t>::max())
+      << "column indices stored as int32";
+
+  const auto& triples = coo.triples();
+  // Counting pass.
+  std::vector<int64_t> counts(static_cast<std::size_t>(m.rows_) + 1, 0);
+  for (const Triple& t : triples) {
+    ++counts[static_cast<std::size_t>(t.row) + 1];
+  }
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+
+  // Scatter pass (stable within row order not guaranteed; we sort rows next).
+  std::vector<int32_t> cols(triples.size());
+  std::vector<double> vals(triples.size());
+  std::vector<int64_t> cursor = counts;
+  for (const Triple& t : triples) {
+    const int64_t pos = cursor[static_cast<std::size_t>(t.row)]++;
+    cols[static_cast<std::size_t>(pos)] = static_cast<int32_t>(t.col);
+    vals[static_cast<std::size_t>(pos)] = t.value;
+  }
+
+  // Sort each row by column and merge duplicates.
+  std::vector<int64_t> new_row_ptr(static_cast<std::size_t>(m.rows_) + 1, 0);
+  std::vector<std::pair<int32_t, double>> rowbuf;
+  int64_t write = 0;
+  for (Index i = 0; i < m.rows_; ++i) {
+    const int64_t begin = counts[static_cast<std::size_t>(i)];
+    const int64_t end = counts[static_cast<std::size_t>(i) + 1];
+    rowbuf.clear();
+    for (int64_t p = begin; p < end; ++p) {
+      rowbuf.emplace_back(cols[static_cast<std::size_t>(p)],
+                          vals[static_cast<std::size_t>(p)]);
+    }
+    std::sort(rowbuf.begin(), rowbuf.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t k = 0; k < rowbuf.size(); ++k) {
+      if (k > 0 && rowbuf[k].first == rowbuf[k - 1].first) {
+        vals[static_cast<std::size_t>(write - 1)] += rowbuf[k].second;
+      } else {
+        cols[static_cast<std::size_t>(write)] = rowbuf[k].first;
+        vals[static_cast<std::size_t>(write)] = rowbuf[k].second;
+        ++write;
+      }
+    }
+    new_row_ptr[static_cast<std::size_t>(i) + 1] = write;
+  }
+  cols.resize(static_cast<std::size_t>(write));
+  vals.resize(static_cast<std::size_t>(write));
+  cols.shrink_to_fit();
+  vals.shrink_to_fit();
+
+  m.row_ptr_ = std::move(new_row_ptr);
+  m.col_index_ = std::move(cols);
+  m.values_ = std::move(vals);
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromParts(Index rows, Index cols,
+                               std::vector<int64_t> row_ptr,
+                               std::vector<int32_t> col_index,
+                               std::vector<double> values) {
+  CSR_CHECK_EQ(static_cast<Index>(row_ptr.size()), rows + 1);
+  CSR_CHECK_EQ(col_index.size(), values.size());
+  CSR_CHECK_EQ(row_ptr.back(), static_cast<int64_t>(values.size()));
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_index_ = std::move(col_index);
+  m.values_ = std::move(values);
+  return m;
+}
+
+CsrMatrix CsrMatrix::Identity(Index n) {
+  CsrMatrix m;
+  m.rows_ = m.cols_ = n;
+  m.row_ptr_.resize(static_cast<std::size_t>(n) + 1);
+  m.col_index_.resize(static_cast<std::size_t>(n));
+  m.values_.assign(static_cast<std::size_t>(n), 1.0);
+  for (Index i = 0; i <= n; ++i) m.row_ptr_[static_cast<std::size_t>(i)] = i;
+  for (Index i = 0; i < n; ++i) {
+    m.col_index_[static_cast<std::size_t>(i)] = static_cast<int32_t>(i);
+  }
+  return m;
+}
+
+int64_t CsrMatrix::AllocatedBytes() const {
+  return static_cast<int64_t>(row_ptr_.capacity() * sizeof(int64_t) +
+                              col_index_.capacity() * sizeof(int32_t) +
+                              values_.capacity() * sizeof(double));
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  const std::size_t nz = values_.size();
+  t.row_ptr_.assign(static_cast<std::size_t>(cols_) + 1, 0);
+  t.col_index_.resize(nz);
+  t.values_.resize(nz);
+
+  for (std::size_t p = 0; p < nz; ++p) {
+    ++t.row_ptr_[static_cast<std::size_t>(col_index_[p]) + 1];
+  }
+  for (std::size_t i = 1; i < t.row_ptr_.size(); ++i) {
+    t.row_ptr_[i] += t.row_ptr_[i - 1];
+  }
+  std::vector<int64_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (Index i = 0; i < rows_; ++i) {
+    for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
+         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+      const int32_t j = col_index_[static_cast<std::size_t>(p)];
+      const int64_t pos = cursor[static_cast<std::size_t>(j)]++;
+      t.col_index_[static_cast<std::size_t>(pos)] = static_cast<int32_t>(i);
+      t.values_[static_cast<std::size_t>(pos)] =
+          values_[static_cast<std::size_t>(p)];
+    }
+  }
+  return t;  // columns within each row are ascending because i ascends.
+}
+
+std::vector<double> CsrMatrix::Multiply(const std::vector<double>& x) const {
+  CSR_CHECK_EQ(static_cast<Index>(x.size()), cols_);
+  std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
+         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+      sum += values_[static_cast<std::size_t>(p)] *
+             x[static_cast<std::size_t>(col_index_[static_cast<std::size_t>(p)])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+  return y;
+}
+
+std::vector<double> CsrMatrix::MultiplyTranspose(
+    const std::vector<double>& x) const {
+  CSR_CHECK_EQ(static_cast<Index>(x.size()), rows_);
+  std::vector<double> y(static_cast<std::size_t>(cols_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    const double xi = x[static_cast<std::size_t>(i)];
+    if (xi == 0.0) continue;
+    for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
+         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+      y[static_cast<std::size_t>(col_index_[static_cast<std::size_t>(p)])] +=
+          xi * values_[static_cast<std::size_t>(p)];
+    }
+  }
+  return y;
+}
+
+DenseMatrix CsrMatrix::MultiplyDense(const DenseMatrix& b) const {
+  CSR_CHECK_EQ(b.rows(), cols_);
+  DenseMatrix c(rows_, b.cols());
+  const Index k = b.cols();
+  for (Index i = 0; i < rows_; ++i) {
+    double* crow = c.RowPtr(i);
+    for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
+         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+      const double v = values_[static_cast<std::size_t>(p)];
+      const double* brow =
+          b.RowPtr(col_index_[static_cast<std::size_t>(p)]);
+      for (Index j = 0; j < k; ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix CsrMatrix::MultiplyTransposeDense(const DenseMatrix& b) const {
+  DenseMatrix c(cols_, b.cols());
+  MultiplyTransposeDenseInto(b, &c);
+  return c;
+}
+
+void CsrMatrix::MultiplyTransposeDenseInto(const DenseMatrix& b,
+                                           DenseMatrix* out) const {
+  CSR_CHECK_EQ(b.rows(), rows_);
+  CSR_CHECK_EQ(out->rows(), cols_);
+  CSR_CHECK_EQ(out->cols(), b.cols());
+  CSR_CHECK(out->data() != b.data()) << "out must not alias b";
+  DenseMatrix& c = *out;
+  std::fill(c.data(), c.data() + c.size(), 0.0);
+  const Index k = b.cols();
+  for (Index i = 0; i < rows_; ++i) {
+    const double* brow = b.RowPtr(i);
+    for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
+         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+      const double v = values_[static_cast<std::size_t>(p)];
+      double* crow = c.RowPtr(col_index_[static_cast<std::size_t>(p)]);
+      for (Index j = 0; j < k; ++j) crow[j] += v * brow[j];
+    }
+  }
+}
+
+std::vector<double> CsrMatrix::ColumnSums() const {
+  std::vector<double> sums(static_cast<std::size_t>(cols_), 0.0);
+  for (std::size_t p = 0; p < values_.size(); ++p) {
+    sums[static_cast<std::size_t>(col_index_[p])] += values_[p];
+  }
+  return sums;
+}
+
+std::vector<double> CsrMatrix::RowSums() const {
+  std::vector<double> sums(static_cast<std::size_t>(rows_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
+         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+      s += values_[static_cast<std::size_t>(p)];
+    }
+    sums[static_cast<std::size_t>(i)] = s;
+  }
+  return sums;
+}
+
+void CsrMatrix::ScaleColumns(const std::vector<double>& scale) {
+  CSR_CHECK_EQ(static_cast<Index>(scale.size()), cols_);
+  for (std::size_t p = 0; p < values_.size(); ++p) {
+    values_[p] *= scale[static_cast<std::size_t>(col_index_[p])];
+  }
+}
+
+void CsrMatrix::ScaleRows(const std::vector<double>& scale) {
+  CSR_CHECK_EQ(static_cast<Index>(scale.size()), rows_);
+  for (Index i = 0; i < rows_; ++i) {
+    const double s = scale[static_cast<std::size_t>(i)];
+    for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
+         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+      values_[static_cast<std::size_t>(p)] *= s;
+    }
+  }
+}
+
+DenseMatrix CsrMatrix::ToDense() const {
+  DenseMatrix d(rows_, cols_);
+  for (Index i = 0; i < rows_; ++i) {
+    for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
+         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+      d(i, col_index_[static_cast<std::size_t>(p)]) +=
+          values_[static_cast<std::size_t>(p)];
+    }
+  }
+  return d;
+}
+
+double CsrMatrix::At(Index row, Index col) const {
+  CSR_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  const int32_t target = static_cast<int32_t>(col);
+  const auto begin = col_index_.begin() + row_ptr_[static_cast<std::size_t>(row)];
+  const auto end = col_index_.begin() + row_ptr_[static_cast<std::size_t>(row) + 1];
+  auto it = std::lower_bound(begin, end, target);
+  if (it == end || *it != target) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_index_.begin())];
+}
+
+}  // namespace csrplus::linalg

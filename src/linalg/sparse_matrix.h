@@ -1,0 +1,142 @@
+// Sparse matrix storage: COO triples and compressed sparse row (CSR).
+//
+// The paper stores graphs in COO and converts to an adjacency-list-like
+// grouped form (§4.1 "Graph Storage"); CSR is exactly that grouped form.
+// The transition matrix Q of CoSimRank is held as a CsrMatrix; its SpMV /
+// SpMM kernels are the only operations the large-n loops of every algorithm
+// in this repository perform against the graph.
+
+#ifndef CSRPLUS_LINALG_SPARSE_MATRIX_H_
+#define CSRPLUS_LINALG_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace csrplus::linalg {
+
+/// One nonzero entry: value at (row, col).
+struct Triple {
+  Index row;
+  Index col;
+  double value;
+};
+
+/// Coordinate-format sparse matrix: an unordered bag of triples.
+///
+/// Cheap to append to; convert to CsrMatrix for computation. Duplicate
+/// coordinates are summed during conversion.
+class CooMatrix {
+ public:
+  CooMatrix() : rows_(0), cols_(0) {}
+  CooMatrix(Index rows, Index cols) : rows_(rows), cols_(cols) {}
+
+  /// Appends a nonzero. Coordinates must be in range.
+  void Add(Index row, Index col, double value) {
+    CSR_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    triples_.push_back({row, col, value});
+  }
+
+  void Reserve(std::size_t nnz) { triples_.reserve(nnz); }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  std::size_t nnz() const { return triples_.size(); }
+  const std::vector<Triple>& triples() const { return triples_; }
+  std::vector<Triple>& mutable_triples() { return triples_; }
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<Triple> triples_;
+};
+
+/// Compressed sparse row matrix of doubles.
+///
+/// Rows are contiguous in `col_index`/`values` between `row_ptr[i]` and
+/// `row_ptr[i+1]`; within a row, columns are sorted ascending and unique.
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0) { row_ptr_.push_back(0); }
+
+  /// Builds from COO; duplicate coordinates are summed, explicit zeros kept.
+  static CsrMatrix FromCoo(const CooMatrix& coo);
+
+  /// Builds directly from pre-sorted CSR arrays (validated with CHECKs).
+  static CsrMatrix FromParts(Index rows, Index cols,
+                             std::vector<int64_t> row_ptr,
+                             std::vector<int32_t> col_index,
+                             std::vector<double> values);
+
+  /// The n x n identity as CSR.
+  static CsrMatrix Identity(Index n);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_index() const { return col_index_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Number of nonzeros in row i.
+  Index RowNnz(Index i) const {
+    return static_cast<Index>(row_ptr_[static_cast<std::size_t>(i) + 1] -
+                              row_ptr_[static_cast<std::size_t>(i)]);
+  }
+
+  /// Heap bytes held by the three CSR arrays.
+  int64_t AllocatedBytes() const;
+
+  /// The transpose as a new CSR matrix (counting sort, O(nnz + n)).
+  CsrMatrix Transposed() const;
+
+  /// y = this * x. `x` has cols() entries; result has rows() entries.
+  std::vector<double> Multiply(const std::vector<double>& x) const;
+
+  /// y = this^T * x without materialising the transpose.
+  std::vector<double> MultiplyTranspose(const std::vector<double>& x) const;
+
+  /// C = this * B for a dense row-major B (cols() x k).
+  DenseMatrix MultiplyDense(const DenseMatrix& b) const;
+
+  /// C = this^T * B without materialising the transpose.
+  DenseMatrix MultiplyTransposeDense(const DenseMatrix& b) const;
+
+  /// As MultiplyTransposeDense but writes into a caller-owned matrix of the
+  /// right shape (zeroed first). Lets iterative consumers reuse buffers
+  /// instead of allocating per step. `out` must not alias `b`.
+  void MultiplyTransposeDenseInto(const DenseMatrix& b, DenseMatrix* out) const;
+
+  /// Per-column sums of this matrix (length cols()).
+  std::vector<double> ColumnSums() const;
+
+  /// Per-row sums (length rows()).
+  std::vector<double> RowSums() const;
+
+  /// Scales column j of the matrix by `scale[j]` in place.
+  void ScaleColumns(const std::vector<double>& scale);
+
+  /// Scales row i by `scale[i]` in place.
+  void ScaleRows(const std::vector<double>& scale);
+
+  /// Densifies; intended for tests on tiny matrices.
+  DenseMatrix ToDense() const;
+
+  /// Entry lookup by binary search within the row; 0.0 if absent.
+  double At(Index row, Index col) const;
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<int64_t> row_ptr_;    // length rows()+1
+  std::vector<int32_t> col_index_;  // length nnz
+  std::vector<double> values_;      // length nnz
+};
+
+}  // namespace csrplus::linalg
+
+#endif  // CSRPLUS_LINALG_SPARSE_MATRIX_H_

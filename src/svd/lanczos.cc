@@ -1,0 +1,132 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/dense_ops.h"
+#include "linalg/jacobi.h"
+#include "svd/truncated_svd.h"
+
+namespace csrplus::svd::internal {
+namespace {
+
+// Removes from `w` its projection onto the first `count` columns of `basis`
+// (classical Gram-Schmidt, applied twice for numerical insurance).
+void ReorthogonalizeAgainst(const DenseMatrix& basis, Index count,
+                            std::vector<double>* w) {
+  const Index n = basis.rows();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (Index j = 0; j < count; ++j) {
+      double dot = 0.0;
+      for (Index i = 0; i < n; ++i) dot += basis(i, j) * (*w)[static_cast<std::size_t>(i)];
+      if (dot == 0.0) continue;
+      for (Index i = 0; i < n; ++i) (*w)[static_cast<std::size_t>(i)] -= dot * basis(i, j);
+    }
+  }
+}
+
+}  // namespace
+
+// Golub–Kahan–Lanczos bidiagonalization with full reorthogonalization.
+//
+// Builds orthonormal bases Uk (rows x k), Vk (cols x k) and a lower
+// bidiagonal Bk with A Vk = Uk Bk (+ residual); the SVD of the small Bk then
+// lifts to a truncated SVD of A. Full reorthogonalization keeps the bases
+// numerically orthonormal at O(n k^2) extra cost, which is negligible at the
+// sketch sizes used here.
+Result<TruncatedSvd> LanczosSvd(const CsrMatrix& a, const SvdOptions& options) {
+  const Index rows = a.rows();
+  const Index cols = a.cols();
+  const Index r = options.rank;
+  const Index k =
+      std::min<Index>(r + std::max<Index>(options.oversample, 0),
+                      std::min(rows, cols));
+
+  DenseMatrix u_basis(rows, k);
+  DenseMatrix v_basis(cols, k);
+  std::vector<double> alpha(static_cast<std::size_t>(k), 0.0);
+  std::vector<double> beta(static_cast<std::size_t>(k), 0.0);  // beta[j] couples v_{j+1}
+
+  Rng rng(options.seed);
+  std::vector<double> v(static_cast<std::size_t>(cols));
+  for (double& x : v) x = rng.Gaussian();
+  {
+    const double norm = linalg::Norm2(v);
+    if (norm == 0.0) return Status::NumericalError("Lanczos: zero start vector");
+    linalg::Scale(1.0 / norm, &v);
+  }
+
+  std::vector<double> u_prev;
+  for (Index j = 0; j < k; ++j) {
+    v_basis.SetColumn(j, v);
+
+    // u_j = A v_j - beta_{j-1} u_{j-1}
+    std::vector<double> u = a.Multiply(v);
+    if (j > 0) {
+      linalg::Axpy(-beta[static_cast<std::size_t>(j - 1)], u_prev, &u);
+    }
+    ReorthogonalizeAgainst(u_basis, j, &u);
+    double a_j = linalg::Norm2(u);
+    if (a_j > 1e-300) {
+      linalg::Scale(1.0 / a_j, &u);
+    } else {
+      // Invariant subspace found: restart with a fresh random direction.
+      for (double& x : u) x = rng.Gaussian();
+      ReorthogonalizeAgainst(u_basis, j, &u);
+      const double norm = linalg::Norm2(u);
+      if (norm == 0.0) return Status::NumericalError("Lanczos: basis breakdown");
+      linalg::Scale(1.0 / norm, &u);
+      a_j = 0.0;
+    }
+    alpha[static_cast<std::size_t>(j)] = a_j;
+    u_basis.SetColumn(j, u);
+
+    if (j + 1 < k) {
+      // v_{j+1} = A^T u_j - alpha_j v_j
+      std::vector<double> w = a.MultiplyTranspose(u);
+      linalg::Axpy(-a_j, v, &w);
+      ReorthogonalizeAgainst(v_basis, j + 1, &w);
+      double b_j = linalg::Norm2(w);
+      if (b_j > 1e-300) {
+        linalg::Scale(1.0 / b_j, &w);
+      } else {
+        for (double& x : w) x = rng.Gaussian();
+        ReorthogonalizeAgainst(v_basis, j + 1, &w);
+        const double norm = linalg::Norm2(w);
+        if (norm == 0.0) {
+          return Status::NumericalError("Lanczos: basis breakdown");
+        }
+        linalg::Scale(1.0 / norm, &w);
+        b_j = 0.0;
+      }
+      beta[static_cast<std::size_t>(j)] = b_j;
+      v = std::move(w);
+    }
+    u_prev = u_basis.Column(j);
+  }
+
+  // Small dense SVD of the upper-bidiagonal Bk (k x k). The recurrence
+  // A v_j = alpha_j u_j + beta_{j-1} u_{j-1} gives A Vk = Uk Bk with
+  // B[j][j] = alpha_j and B[j][j+1] = beta_j.
+  DenseMatrix b(k, k);
+  for (Index j = 0; j < k; ++j) {
+    b(j, j) = alpha[static_cast<std::size_t>(j)];
+    if (j + 1 < k) b(j, j + 1) = beta[static_cast<std::size_t>(j)];
+  }
+  CSR_ASSIGN_OR_RETURN(linalg::SvdResult small, linalg::OneSidedJacobiSvd(b));
+
+  TruncatedSvd out;
+  DenseMatrix u_full = linalg::Gemm(u_basis, small.u);
+  DenseMatrix v_full = linalg::Gemm(v_basis, small.v);
+  out.u = DenseMatrix(rows, r);
+  for (Index i = 0; i < rows; ++i) {
+    std::copy(u_full.RowPtr(i), u_full.RowPtr(i) + r, out.u.RowPtr(i));
+  }
+  out.v = DenseMatrix(cols, r);
+  for (Index i = 0; i < cols; ++i) {
+    std::copy(v_full.RowPtr(i), v_full.RowPtr(i) + r, out.v.RowPtr(i));
+  }
+  out.sigma.assign(small.sigma.begin(), small.sigma.begin() + r);
+  return out;
+}
+
+}  // namespace csrplus::svd::internal

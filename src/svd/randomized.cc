@@ -1,0 +1,66 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/dense_ops.h"
+#include "linalg/jacobi.h"
+#include "linalg/qr.h"
+#include "svd/truncated_svd.h"
+
+namespace csrplus::svd::internal {
+
+// Randomized truncated SVD (Halko, Martinsson & Tropp 2011, Algorithm 4.4 +
+// 5.1): sketch the range of A with a Gaussian test matrix, tighten it with
+// power iterations (re-orthonormalising between applications to avoid
+// blow-up), then solve a small dense SVD on the projected matrix.
+Result<TruncatedSvd> RandomizedSvd(const CsrMatrix& a,
+                                   const SvdOptions& options) {
+  const Index rows = a.rows();
+  const Index cols = a.cols();
+  const Index r = options.rank;
+  const Index l =
+      std::min<Index>(r + std::max<Index>(options.oversample, 0),
+                      std::min(rows, cols));
+
+  // Gaussian test matrix Omega (cols x l).
+  Rng rng(options.seed);
+  DenseMatrix omega(cols, l);
+  for (Index i = 0; i < cols; ++i) {
+    double* row = omega.RowPtr(i);
+    for (Index j = 0; j < l; ++j) row[j] = rng.Gaussian();
+  }
+
+  // Range sketch Y = A * Omega, refined by power iterations.
+  DenseMatrix y = a.MultiplyDense(omega);
+  CSR_RETURN_IF_ERROR(linalg::OrthonormalizeColumns(&y));
+  for (int q = 0; q < options.power_iterations; ++q) {
+    DenseMatrix z = a.MultiplyTransposeDense(y);  // cols x l
+    CSR_RETURN_IF_ERROR(linalg::OrthonormalizeColumns(&z));
+    y = a.MultiplyDense(z);  // rows x l
+    CSR_RETURN_IF_ERROR(linalg::OrthonormalizeColumns(&y));
+  }
+
+  // Project: B = Q^T A, computed transposed as Bt = A^T Q (cols x l).
+  DenseMatrix bt = a.MultiplyTransposeDense(y);
+
+  // Small SVD of B^T (tall: cols x l): B^T = W S Z^T  =>  B = Z S W^T,
+  // so A ~= Q B = (Q Z) S W^T.
+  CSR_ASSIGN_OR_RETURN(linalg::SvdResult small,
+                       linalg::OneSidedJacobiSvd(bt));
+
+  TruncatedSvd out;
+  DenseMatrix u_full = linalg::Gemm(y, small.v);  // rows x l
+  // Truncate to rank r.
+  out.u = DenseMatrix(rows, r);
+  for (Index i = 0; i < rows; ++i) {
+    std::copy(u_full.RowPtr(i), u_full.RowPtr(i) + r, out.u.RowPtr(i));
+  }
+  out.sigma.assign(small.sigma.begin(), small.sigma.begin() + r);
+  out.v = DenseMatrix(cols, r);
+  for (Index i = 0; i < cols; ++i) {
+    std::copy(small.u.RowPtr(i), small.u.RowPtr(i) + r, out.v.RowPtr(i));
+  }
+  return out;
+}
+
+}  // namespace csrplus::svd::internal

@@ -1,0 +1,61 @@
+#include "svd/truncated_svd.h"
+
+#include <cmath>
+
+namespace csrplus::svd {
+
+Result<TruncatedSvd> ComputeTruncatedSvd(const CsrMatrix& a,
+                                         const SvdOptions& options) {
+  if (options.rank < 1) {
+    return Status::InvalidArgument("SVD rank must be >= 1");
+  }
+  const Index min_dim = std::min(a.rows(), a.cols());
+  if (options.rank > min_dim) {
+    return Status::InvalidArgument(
+        "SVD rank " + std::to_string(options.rank) +
+        " exceeds min(rows, cols) = " + std::to_string(min_dim));
+  }
+  switch (options.algorithm) {
+    case SvdAlgorithm::kRandomized:
+      return internal::RandomizedSvd(a, options);
+    case SvdAlgorithm::kLanczos:
+      return internal::LanczosSvd(a, options);
+  }
+  return Status::Internal("unknown SVD algorithm");
+}
+
+double ReconstructionErrorFrobenius(const CsrMatrix& a,
+                                    const TruncatedSvd& factors) {
+  // ||A - USV^T||_F^2 = ||A||_F^2 - 2 <A, USV^T> + ||USV^T||_F^2.
+  // <A, USV^T> = sum over nonzeros a_ij * (USV^T)_ij;
+  // ||USV^T||_F^2 = sum sigma_k^2 (orthonormal factors).
+  const Index r = factors.rank();
+  double a_sq = 0.0;
+  for (double v : a.values()) a_sq += v * v;
+
+  double cross = 0.0;
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_index = a.col_index();
+  const auto& values = a.values();
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* urow = factors.u.RowPtr(i);
+    for (int64_t p = row_ptr[static_cast<std::size_t>(i)];
+         p < row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      const double* vrow =
+          factors.v.RowPtr(col_index[static_cast<std::size_t>(p)]);
+      double entry = 0.0;
+      for (Index k = 0; k < r; ++k) {
+        entry += urow[k] * factors.sigma[static_cast<std::size_t>(k)] * vrow[k];
+      }
+      cross += values[static_cast<std::size_t>(p)] * entry;
+    }
+  }
+
+  double s_sq = 0.0;
+  for (double s : factors.sigma) s_sq += s * s;
+
+  const double err_sq = std::max(0.0, a_sq - 2.0 * cross + s_sq);
+  return std::sqrt(err_sq);
+}
+
+}  // namespace csrplus::svd

@@ -1,0 +1,88 @@
+// Truncated (low-rank) SVD of large sparse matrices.
+//
+// CSR+ (Algorithm 1, line 2) decomposes the n x n transition matrix Q into
+// U Sigma V^T at a target rank r << n. The paper used MATLAB's sparse `svds`;
+// this module provides two from-scratch engines with the same contract:
+//
+//   * kRandomized — Halko/Martinsson/Tropp randomized range finder with
+//     power iterations. Cost O((nnz + n l) * (q+1)) for sketch size
+//     l = r + oversample; the default for all experiments.
+//   * kLanczos — Golub–Kahan–Lanczos bidiagonalization with full
+//     reorthogonalization. More accurate per matvec on spectra with slow
+//     decay; kept as an ablation alternative (bench_ablation_svd).
+//
+// Both return singular values in descending order with orthonormal factors.
+
+#ifndef CSRPLUS_SVD_TRUNCATED_SVD_H_
+#define CSRPLUS_SVD_TRUNCATED_SVD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace csrplus::svd {
+
+using linalg::CsrMatrix;
+using linalg::DenseMatrix;
+using linalg::Index;
+
+/// Which factorisation engine to run.
+enum class SvdAlgorithm { kRandomized, kLanczos };
+
+/// Options controlling the truncated factorisation.
+struct SvdOptions {
+  /// Target rank r (number of singular triplets returned). Required, >= 1.
+  Index rank = 5;
+  /// Extra sketch columns beyond `rank` for accuracy; clamped to the matrix
+  /// dimension.
+  Index oversample = 8;
+  /// Power (subspace) iterations for the randomized engine. Two is plenty
+  /// for the graph spectra in this library.
+  int power_iterations = 2;
+  /// RNG seed; identical seeds give identical factors.
+  uint64_t seed = 0xC051uLL;
+  /// Engine selection.
+  SvdAlgorithm algorithm = SvdAlgorithm::kRandomized;
+};
+
+/// A rank-r factorisation A ~= U diag(sigma) V^T.
+struct TruncatedSvd {
+  DenseMatrix u;              ///< rows x r, orthonormal columns.
+  std::vector<double> sigma;  ///< r values, descending, >= 0.
+  DenseMatrix v;              ///< cols x r, orthonormal columns.
+
+  Index rank() const { return static_cast<Index>(sigma.size()); }
+
+  /// Heap bytes of the three factors (for the memory harness).
+  int64_t AllocatedBytes() const {
+    return u.AllocatedBytes() + v.AllocatedBytes() +
+           static_cast<int64_t>(sigma.capacity() * sizeof(double));
+  }
+};
+
+/// Computes a rank-`options.rank` truncated SVD of `a`.
+///
+/// Fails with InvalidArgument for a bad rank and NumericalError if the inner
+/// small factorisation does not converge.
+Result<TruncatedSvd> ComputeTruncatedSvd(const CsrMatrix& a,
+                                         const SvdOptions& options);
+
+/// Reconstruction residual ||A - U S V^T||_F computed without densifying A
+/// (streams over nonzeros and subtracts the low-rank part). For tests.
+double ReconstructionErrorFrobenius(const CsrMatrix& a,
+                                    const TruncatedSvd& factors);
+
+namespace internal {
+/// Randomized engine (exposed for targeted tests).
+Result<TruncatedSvd> RandomizedSvd(const CsrMatrix& a,
+                                   const SvdOptions& options);
+/// Lanczos engine (exposed for targeted tests).
+Result<TruncatedSvd> LanczosSvd(const CsrMatrix& a, const SvdOptions& options);
+}  // namespace internal
+
+}  // namespace csrplus::svd
+
+#endif  // CSRPLUS_SVD_TRUNCATED_SVD_H_

@@ -1,0 +1,92 @@
+#include "svd/update.h"
+
+#include <cmath>
+
+#include "linalg/dense_ops.h"
+#include "linalg/jacobi.h"
+
+namespace csrplus::svd {
+
+Status ApplyRank1Update(const std::vector<double>& a,
+                        const std::vector<double>& b, TruncatedSvd* factors) {
+  const Index rows = factors->u.rows();
+  const Index cols = factors->v.rows();
+  const Index r = factors->rank();
+  if (static_cast<Index>(a.size()) != rows ||
+      static_cast<Index>(b.size()) != cols) {
+    return Status::InvalidArgument("rank-1 update vector size mismatch");
+  }
+
+  // Project onto the current subspaces and split off the residuals.
+  const std::vector<double> p =
+      linalg::MatVec(factors->u, a, linalg::Transpose::kYes);  // r
+  const std::vector<double> q =
+      linalg::MatVec(factors->v, b, linalg::Transpose::kYes);  // r
+
+  std::vector<double> ra = a;
+  for (Index i = 0; i < rows; ++i) {
+    const double* urow = factors->u.RowPtr(i);
+    double dot = 0.0;
+    for (Index k = 0; k < r; ++k) dot += urow[k] * p[static_cast<std::size_t>(k)];
+    ra[static_cast<std::size_t>(i)] -= dot;
+  }
+  std::vector<double> rb = b;
+  for (Index i = 0; i < cols; ++i) {
+    const double* vrow = factors->v.RowPtr(i);
+    double dot = 0.0;
+    for (Index k = 0; k < r; ++k) dot += vrow[k] * q[static_cast<std::size_t>(k)];
+    rb[static_cast<std::size_t>(i)] -= dot;
+  }
+  const double alpha = linalg::Norm2(ra);
+  const double beta = linalg::Norm2(rb);
+  if (alpha > 0.0) linalg::Scale(1.0 / alpha, &ra);
+  if (beta > 0.0) linalg::Scale(1.0 / beta, &rb);
+
+  // Small core K ((r+1) x (r+1)).
+  DenseMatrix k_core(r + 1, r + 1);
+  for (Index i = 0; i < r; ++i) {
+    k_core(i, i) = factors->sigma[static_cast<std::size_t>(i)];
+  }
+  for (Index i = 0; i <= r; ++i) {
+    const double pi = i < r ? p[static_cast<std::size_t>(i)] : alpha;
+    for (Index j = 0; j <= r; ++j) {
+      const double qj = j < r ? q[static_cast<std::size_t>(j)] : beta;
+      k_core(i, j) += pi * qj;
+    }
+  }
+
+  CSR_ASSIGN_OR_RETURN(linalg::SvdResult small,
+                       linalg::OneSidedJacobiSvd(k_core));
+
+  // Rotate the extended bases [U ra] and [V rb], truncating back to r.
+  // new_U = [U ra] * small.u[:, :r].
+  DenseMatrix new_u(rows, r);
+  for (Index i = 0; i < rows; ++i) {
+    const double* urow = factors->u.RowPtr(i);
+    const double rai = ra[static_cast<std::size_t>(i)];
+    double* dst = new_u.RowPtr(i);
+    for (Index c = 0; c < r; ++c) {
+      double sum = rai * small.u(r, c);
+      for (Index k = 0; k < r; ++k) sum += urow[k] * small.u(k, c);
+      dst[c] = sum;
+    }
+  }
+  DenseMatrix new_v(cols, r);
+  for (Index i = 0; i < cols; ++i) {
+    const double* vrow = factors->v.RowPtr(i);
+    const double rbi = rb[static_cast<std::size_t>(i)];
+    double* dst = new_v.RowPtr(i);
+    for (Index c = 0; c < r; ++c) {
+      double sum = rbi * small.v(r, c);
+      for (Index k = 0; k < r; ++k) sum += vrow[k] * small.v(k, c);
+      dst[c] = sum;
+    }
+  }
+
+  factors->u = std::move(new_u);
+  factors->v = std::move(new_v);
+  factors->sigma.assign(small.sigma.begin(), small.sigma.begin() + r);
+  return Status::OK();
+}
+
+}  // namespace csrplus::svd

@@ -1,0 +1,40 @@
+// Incremental (rank-1) updates to a truncated SVD.
+//
+// Supports the dynamic-graph extension (core/dynamic_engine.h): when an
+// edge insertion changes one column of the transition matrix, the change is
+// a rank-1 modification A' = A + a b^T, and the truncated factors can be
+// refreshed in O((m + n) r + r^3) time via Brand's algorithm (M. Brand,
+// "Fast low-rank modifications of the thin singular value decomposition",
+// 2006) instead of recomputing the SVD from scratch:
+//
+//   1. project a and b onto the current subspaces:
+//        p = U^T a,  ra = a - U p   (residual, norm alpha)
+//        q = V^T b,  rb = b - V q   (residual, norm beta)
+//   2. form the (r+1) x (r+1) core K = [diag(S) 0; 0 0]
+//        + [p; alpha] [q; beta]^T
+//   3. SVD the small K and rotate the extended bases [U ra/alpha],
+//      [V rb/beta] by its factors; truncate back to rank r.
+//
+// The update is exact for the subspace spanned by the old factors plus the
+// new directions; repeated updates accumulate truncation error, so callers
+// track an update budget and recompute from scratch periodically.
+
+#ifndef CSRPLUS_SVD_UPDATE_H_
+#define CSRPLUS_SVD_UPDATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "svd/truncated_svd.h"
+
+namespace csrplus::svd {
+
+/// Applies the rank-1 update A + a b^T to `factors` in place, keeping the
+/// rank fixed. `a` must have factors->u.rows() entries and `b`
+/// factors->v.rows() entries.
+Status ApplyRank1Update(const std::vector<double>& a,
+                        const std::vector<double>& b, TruncatedSvd* factors);
+
+}  // namespace csrplus::svd
+
+#endif  // CSRPLUS_SVD_UPDATE_H_

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cosimmate.h"
+#include "baselines/iterative_allpairs.h"
+#include "baselines/ni_sim.h"
+#include "baselines/rls.h"
+#include "baselines/rp_cosim.h"
+#include "common/memory.h"
+#include "core/cosimrank.h"
+#include "graph/normalize.h"
+#include "test_util.h"
+
+namespace csrplus::baselines {
+namespace {
+
+using csrplus::testing::Figure1Graph;
+using csrplus::testing::MatricesNear;
+using csrplus::testing::RandomGraph;
+using linalg::Index;
+
+linalg::CsrMatrix Transition(const graph::Graph& g) {
+  return graph::ColumnNormalizedTransition(g);
+}
+
+// ---------------------------------------------------------------- CSR-IT --
+
+TEST(IterativeAllPairsTest, MatchesReferenceSeries) {
+  linalg::CsrMatrix q = Transition(RandomGraph(40, 220, 1));
+  IterativeOptions options;
+  options.iterations = 8;
+  auto engine = IterativeAllPairsEngine::Precompute(q, options);
+  ASSERT_TRUE(engine.ok());
+
+  core::CoSimRankOptions exact_options;
+  exact_options.iterations = 8;
+  std::vector<Index> queries = {0, 13, 39};
+  auto expected = core::MultiSourceCoSimRank(q, queries, exact_options);
+  ASSERT_TRUE(expected.ok());
+  auto got = engine->MultiSourceQuery(queries);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(MatricesNear(*got, *expected, 1e-10));
+}
+
+TEST(IterativeAllPairsTest, MemoryBudgetFailure) {
+  MemoryBudget& budget = MemoryBudget::Global();
+  const int64_t old_limit = budget.limit_bytes();
+  budget.SetLimit(1 << 10);
+  auto engine =
+      IterativeAllPairsEngine::Precompute(Transition(RandomGraph(100, 300, 2)),
+                                          IterativeOptions{});
+  budget.SetLimit(old_limit);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_TRUE(engine.status().IsResourceExhausted());
+}
+
+TEST(IterativeAllPairsTest, RejectsBadOptions) {
+  linalg::CsrMatrix q = Transition(Figure1Graph());
+  IterativeOptions options;
+  options.damping = 1.2;
+  EXPECT_FALSE(IterativeAllPairsEngine::Precompute(q, options).ok());
+  options.damping = 0.6;
+  options.iterations = 0;
+  EXPECT_FALSE(IterativeAllPairsEngine::Precompute(q, options).ok());
+}
+
+TEST(IterativeAllPairsTest, QueryValidation) {
+  auto engine = IterativeAllPairsEngine::Precompute(Transition(Figure1Graph()),
+                                                    IterativeOptions{});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(engine->MultiSourceQuery({}).status().IsInvalidArgument());
+  EXPECT_TRUE(engine->MultiSourceQuery({7}).status().IsInvalidArgument());
+}
+
+// --------------------------------------------------------------- CSR-RLS --
+
+TEST(RlsTest, MatchesReferenceSeries) {
+  linalg::CsrMatrix q = Transition(RandomGraph(50, 280, 3));
+  RlsOptions options;
+  options.iterations = 7;
+  std::vector<Index> queries = {2, 25, 44, 49};
+  auto got = RlsMultiSource(q, queries, options);
+  ASSERT_TRUE(got.ok());
+
+  core::CoSimRankOptions exact_options;
+  exact_options.iterations = 7;
+  auto expected = core::MultiSourceCoSimRank(q, queries, exact_options);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(MatricesNear(*got, *expected, 1e-10));
+}
+
+TEST(RlsTest, MemoryBudgetFailure) {
+  MemoryBudget& budget = MemoryBudget::Global();
+  const int64_t old_limit = budget.limit_bytes();
+  budget.SetLimit(1 << 10);
+  auto got = RlsMultiSource(Transition(RandomGraph(200, 600, 4)), {1, 2, 3},
+                            RlsOptions{});
+  budget.SetLimit(old_limit);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsResourceExhausted());
+}
+
+TEST(RlsTest, RejectsBadInput) {
+  linalg::CsrMatrix q = Transition(Figure1Graph());
+  EXPECT_TRUE(RlsMultiSource(q, {}, RlsOptions{}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      RlsMultiSource(q, {9}, RlsOptions{}).status().IsInvalidArgument());
+  RlsOptions bad;
+  bad.damping = 0.0;
+  EXPECT_TRUE(RlsMultiSource(q, {1}, bad).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------- CSR-NI --
+
+TEST(NiSimTest, MatchesHighRankReference) {
+  // With rank == n the NI result equals exact CoSimRank (to the damping
+  // series limit, since Lambda solves the fixed point exactly).
+  graph::Graph g = RandomGraph(20, 120, 5);
+  linalg::CsrMatrix q = Transition(g);
+  NiSimOptions options;
+  options.rank = 20;
+  options.fidelity = NiFidelity::kMixedProduct;
+  options.svd.power_iterations = 6;
+  auto engine = NiSimEngine::Precompute(q, options);
+  if (!engine.ok()) {
+    // Tiny trailing singular values can make (Sigma (x) Sigma) numerically
+    // singular at full rank; that is a legitimate NumericalError outcome.
+    EXPECT_TRUE(engine.status().IsNumericalError());
+    return;
+  }
+  core::CoSimRankOptions exact_options;
+  exact_options.epsilon = 1e-12;
+  std::vector<Index> queries = {0, 10, 19};
+  auto expected = core::MultiSourceCoSimRank(q, queries, exact_options);
+  auto got = engine->MultiSourceQuery(queries);
+  ASSERT_TRUE(expected.ok() && got.ok());
+  EXPECT_TRUE(MatricesNear(*got, *expected, 1e-5));
+}
+
+TEST(NiSimTest, MemoryBudgetFailureInFaithfulMode) {
+  MemoryBudget& budget = MemoryBudget::Global();
+  const int64_t old_limit = budget.limit_bytes();
+  budget.SetLimit(1 << 12);
+  NiSimOptions options;
+  options.rank = 3;
+  options.fidelity = NiFidelity::kFaithful;
+  auto engine = NiSimEngine::Precompute(Transition(RandomGraph(300, 900, 6)),
+                                        options);
+  budget.SetLimit(old_limit);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_TRUE(engine.status().IsResourceExhausted());
+}
+
+TEST(NiSimTest, RejectsBadDamping) {
+  NiSimOptions options;
+  options.damping = -0.1;
+  EXPECT_FALSE(
+      NiSimEngine::Precompute(Transition(Figure1Graph()), options).ok());
+}
+
+TEST(NiSimTest, QueryValidation) {
+  NiSimOptions options;
+  options.rank = 3;
+  options.fidelity = NiFidelity::kMixedProduct;
+  auto engine = NiSimEngine::Precompute(Transition(Figure1Graph()), options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(engine->MultiSourceQuery({}).status().IsInvalidArgument());
+  EXPECT_TRUE(engine->MultiSourceQuery({-1}).status().IsInvalidArgument());
+}
+
+// -------------------------------------------------------------- CoSimMate --
+
+TEST(CoSimMateTest, MatchesIterativeAtDoubledTermCount) {
+  // t squaring steps accumulate 2^t series terms, which equals 2^t
+  // iterations of CSR-IT.
+  linalg::CsrMatrix q = Transition(RandomGraph(30, 160, 7));
+  CoSimMateOptions options;
+  options.squaring_steps = 3;  // 8 terms
+  auto mate = CoSimMateAllPairs(q, options);
+  ASSERT_TRUE(mate.ok());
+
+  IterativeOptions it_options;
+  it_options.iterations = 8;
+  auto it = IterativeAllPairsEngine::Precompute(q, it_options);
+  ASSERT_TRUE(it.ok());
+  // CSR-IT after k iterations holds terms 0..k; CoSimMate after t steps
+  // holds terms 0..2^t - 1. Compare t=3 against k=7.
+  IterativeOptions it7;
+  it7.iterations = 7;
+  auto it_seven = IterativeAllPairsEngine::Precompute(q, it7);
+  ASSERT_TRUE(it_seven.ok());
+  EXPECT_TRUE(MatricesNear(*mate, it_seven->similarity(), 1e-10));
+}
+
+TEST(CoSimMateTest, MultiSourceSelectsColumns) {
+  linalg::CsrMatrix q = Transition(Figure1Graph());
+  CoSimMateOptions options;
+  auto all = CoSimMateAllPairs(q, options);
+  auto block = CoSimMateMultiSource(q, {1, 3}, options);
+  ASSERT_TRUE(all.ok() && block.ok());
+  for (Index i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ((*block)(i, 0), (*all)(i, 1));
+    EXPECT_DOUBLE_EQ((*block)(i, 1), (*all)(i, 3));
+  }
+}
+
+TEST(CoSimMateTest, MemoryBudgetFailure) {
+  MemoryBudget& budget = MemoryBudget::Global();
+  const int64_t old_limit = budget.limit_bytes();
+  budget.SetLimit(1 << 10);
+  auto got = CoSimMateAllPairs(Transition(RandomGraph(100, 400, 8)),
+                               CoSimMateOptions{});
+  budget.SetLimit(old_limit);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsResourceExhausted());
+}
+
+// --------------------------------------------------------------- RP-CoSim --
+
+TEST(RpCoSimTest, EstimatesConvergeWithSamples) {
+  linalg::CsrMatrix q = Transition(RandomGraph(50, 300, 9));
+  core::CoSimRankOptions exact_options;
+  exact_options.iterations = 5;
+  std::vector<Index> queries = {5, 25};
+  auto exact = core::MultiSourceCoSimRank(q, queries, exact_options);
+  ASSERT_TRUE(exact.ok());
+
+  double prev_err = 1e300;
+  for (Index d : {50, 800}) {
+    RpCoSimOptions options;
+    options.iterations = 5;
+    options.num_samples = d;
+    auto got = RpCoSimMultiSource(q, queries, options);
+    ASSERT_TRUE(got.ok());
+    double err = 0.0;
+    for (Index i = 0; i < got->size(); ++i) {
+      err += std::fabs(got->data()[i] - exact->data()[i]);
+    }
+    err /= static_cast<double>(got->size());
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.05);  // d=800 should be fairly tight on average
+}
+
+TEST(RpCoSimTest, DiagonalTermIsExact) {
+  // The k=0 identity term is added exactly: [S]_{q,q} >= 1.
+  linalg::CsrMatrix q = Transition(Figure1Graph());
+  RpCoSimOptions options;
+  auto got = RpCoSimMultiSource(q, {1, 3}, options);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GE((*got)(1, 0), 1.0 - 0.5);
+  EXPECT_GE((*got)(3, 1), 1.0 - 0.5);
+}
+
+TEST(RpCoSimTest, RejectsBadOptions) {
+  linalg::CsrMatrix q = Transition(Figure1Graph());
+  RpCoSimOptions bad;
+  bad.num_samples = 0;
+  EXPECT_TRUE(RpCoSimMultiSource(q, {1}, bad).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace csrplus::baselines

@@ -1,0 +1,274 @@
+#include "core/csrplus_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cosimrank.h"
+#include "graph/normalize.h"
+#include "test_util.h"
+
+namespace csrplus::core {
+namespace {
+
+using csrplus::testing::Figure1Graph;
+using csrplus::testing::MatricesNear;
+using csrplus::testing::RandomGraph;
+
+TEST(RepeatedSquaringIterationsTest, MatchesAlgorithm1Bound) {
+  // c = 0.6, eps = 1e-5: log_c(eps) = 22.54, floor(log2) = 4, +1 = 5.
+  EXPECT_EQ(RepeatedSquaringIterations(0.6, 1e-5), 5);
+  // c = 0.8, eps = 1e-5: log_c = 51.6, floor(log2) = 5, +1 = 6.
+  EXPECT_EQ(RepeatedSquaringIterations(0.8, 1e-5), 6);
+  // Very loose accuracy degenerates to a single squaring step.
+  EXPECT_EQ(RepeatedSquaringIterations(0.6, 0.59), 1);
+  // Accuracy looser than one application of c clamps at zero.
+  EXPECT_EQ(RepeatedSquaringIterations(0.6, 0.9), 0);
+}
+
+TEST(ValidateOptionsTest, CatchesEveryBadField) {
+  CsrPlusOptions options;
+  options.rank = 0;
+  EXPECT_FALSE(ValidateCsrPlusOptions(options, 10).ok());
+  options.rank = 11;
+  EXPECT_FALSE(ValidateCsrPlusOptions(options, 10).ok());
+  options.rank = 5;
+  options.damping = 0.0;
+  EXPECT_FALSE(ValidateCsrPlusOptions(options, 10).ok());
+  options.damping = 0.6;
+  options.epsilon = 1.5;
+  EXPECT_FALSE(ValidateCsrPlusOptions(options, 10).ok());
+  options.epsilon = 1e-5;
+  EXPECT_TRUE(ValidateCsrPlusOptions(options, 10).ok());
+}
+
+TEST(CsrPlusEngineTest, ReproducesPaperExample36) {
+  // Example 3.6: Q = {b, d}, r = 3, c = 0.6 on the Figure 1 graph. The paper
+  // prints [S]_{*,b} = [0.16 1.49 0.16 0.49 0.48 0.16] and
+  //        [S]_{*,d} = [0.16 0.49 0.16 1.49 0.48 0.16] (2-decimal rounding).
+  CsrPlusOptions options;
+  options.rank = 3;
+  options.damping = 0.6;
+  options.epsilon = 1e-5;
+  auto engine = CsrPlusEngine::Precompute(Figure1Graph(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto s = engine->MultiSourceQuery({1, 3});  // b, d
+  ASSERT_TRUE(s.ok());
+  const DenseMatrix expected{{0.16, 0.16}, {1.49, 0.49}, {0.16, 0.16},
+                             {0.49, 1.49}, {0.48, 0.48}, {0.16, 0.16}};
+  EXPECT_TRUE(MatricesNear(*s, expected, 0.01))
+      << "got:\n" << s->ToString(4);
+}
+
+TEST(CsrPlusEngineTest, FullRankMatchesExactCoSimRank) {
+  // With r = n the SVD is exact, so CSR+ must agree with the reference
+  // iterative evaluation to the epsilon of the series truncation.
+  graph::Graph g = RandomGraph(40, 220, 3);
+  CsrMatrix transition = graph::ColumnNormalizedTransition(g);
+
+  CsrPlusOptions options;
+  options.rank = 40;
+  options.epsilon = 1e-10;
+  auto engine = CsrPlusEngine::PrecomputeFromTransition(transition, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  std::vector<Index> queries = {0, 7, 19, 33};
+  auto approx = engine->MultiSourceQuery(queries);
+  ASSERT_TRUE(approx.ok());
+
+  CoSimRankOptions exact_options;
+  exact_options.epsilon = 1e-12;
+  auto exact = MultiSourceCoSimRank(transition, queries, exact_options);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(MatricesNear(*approx, *exact, 1e-6));
+}
+
+TEST(CsrPlusEngineTest, SingleSourceMatchesMultiSourceColumn) {
+  auto engine =
+      CsrPlusEngine::Precompute(RandomGraph(50, 300, 7), CsrPlusOptions{});
+  ASSERT_TRUE(engine.ok());
+  auto block = engine->MultiSourceQuery({11, 22});
+  auto column = engine->SingleSourceQuery(22);
+  ASSERT_TRUE(block.ok() && column.ok());
+  for (Index i = 0; i < 50; ++i) {
+    EXPECT_NEAR((*block)(i, 1), (*column)[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(CsrPlusEngineTest, SinglePairMatchesMatrixEntry) {
+  auto engine =
+      CsrPlusEngine::Precompute(RandomGraph(30, 150, 11), CsrPlusOptions{});
+  ASSERT_TRUE(engine.ok());
+  auto block = engine->MultiSourceQuery({4});
+  ASSERT_TRUE(block.ok());
+  for (Index i = 0; i < 30; ++i) {
+    auto pair = engine->SinglePairQuery(i, 4);
+    ASSERT_TRUE(pair.ok());
+    EXPECT_NEAR(*pair, (*block)(i, 0), 1e-12);
+  }
+}
+
+TEST(CsrPlusEngineTest, AllPairsMatchesQueryingEveryNode) {
+  auto engine =
+      CsrPlusEngine::Precompute(RandomGraph(25, 120, 13), CsrPlusOptions{});
+  ASSERT_TRUE(engine.ok());
+  auto all = engine->AllPairs();
+  ASSERT_TRUE(all.ok());
+  std::vector<Index> everything(25);
+  for (Index i = 0; i < 25; ++i) everything[static_cast<std::size_t>(i)] = i;
+  auto block = engine->MultiSourceQuery(everything);
+  ASSERT_TRUE(block.ok());
+  EXPECT_TRUE(MatricesNear(*all, *block, 1e-12));
+}
+
+TEST(CsrPlusEngineTest, TopKQueryMatchesFullColumn) {
+  auto engine =
+      CsrPlusEngine::Precompute(RandomGraph(60, 350, 31), CsrPlusOptions{});
+  ASSERT_TRUE(engine.ok());
+  std::vector<Index> queries = {5, 40};
+  auto topk = engine->TopKQuery(queries, 4);
+  ASSERT_TRUE(topk.ok());
+  ASSERT_EQ(topk->size(), 2u);
+  for (std::size_t j = 0; j < queries.size(); ++j) {
+    auto column = engine->SingleSourceQuery(queries[j]);
+    ASSERT_TRUE(column.ok());
+    auto expected = TopK(*column, 4, {queries[j]});
+    EXPECT_EQ((*topk)[j], expected);
+  }
+}
+
+TEST(CsrPlusEngineTest, TopKQueryCanIncludeTheQueryItself) {
+  auto engine =
+      CsrPlusEngine::Precompute(RandomGraph(30, 150, 37), CsrPlusOptions{});
+  ASSERT_TRUE(engine.ok());
+  auto topk = engine->TopKQuery({7}, 1, /*exclude_query=*/false);
+  ASSERT_TRUE(topk.ok());
+  // Self-similarity >= 1 dominates, so the query tops its own list.
+  EXPECT_EQ((*topk)[0][0].node, 7);
+}
+
+TEST(CsrPlusEngineTest, AllPairsTopKMatchesDenseScan) {
+  auto engine =
+      CsrPlusEngine::Precompute(RandomGraph(30, 160, 43), CsrPlusOptions{});
+  ASSERT_TRUE(engine.ok());
+  auto pairs = engine->AllPairsTopK(5);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 5u);
+
+  // Brute force from the dense matrix.
+  auto all = engine->AllPairs();
+  ASSERT_TRUE(all.ok());
+  std::vector<CsrPlusEngine::ScoredPair> brute;
+  for (Index a = 0; a < 30; ++a) {
+    for (Index b = a + 1; b < 30; ++b) {
+      brute.push_back({a, b, (*all)(a, b)});
+    }
+  }
+  std::sort(brute.begin(), brute.end(),
+            [](const auto& x, const auto& y) { return x.score > y.score; });
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ((*pairs)[i].a, brute[i].a) << i;
+    EXPECT_EQ((*pairs)[i].b, brute[i].b) << i;
+    EXPECT_NEAR((*pairs)[i].score, brute[i].score, 1e-12);
+  }
+}
+
+TEST(CsrPlusEngineTest, AllPairsTopKEdgeCases) {
+  auto engine =
+      CsrPlusEngine::Precompute(RandomGraph(8, 30, 47), CsrPlusOptions{});
+  ASSERT_TRUE(engine.ok());
+  auto empty = engine->AllPairsTopK(0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_TRUE(engine->AllPairsTopK(-1).status().IsInvalidArgument());
+  // k beyond the number of pairs returns all pairs, sorted.
+  auto all = engine->AllPairsTopK(1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 8u * 7u / 2u);
+  for (std::size_t i = 1; i < all->size(); ++i) {
+    EXPECT_GE((*all)[i - 1].score + 1e-15, (*all)[i].score);
+  }
+}
+
+TEST(CsrPlusEngineTest, TopKQueryValidation) {
+  auto engine =
+      CsrPlusEngine::Precompute(RandomGraph(10, 50, 41), CsrPlusOptions{});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(engine->TopKQuery({}, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(engine->TopKQuery({1}, -1).status().IsInvalidArgument());
+  EXPECT_TRUE(engine->TopKQuery({99}, 3).status().IsInvalidArgument());
+}
+
+TEST(CsrPlusEngineTest, QueryValidation) {
+  auto engine =
+      CsrPlusEngine::Precompute(RandomGraph(10, 40, 17), CsrPlusOptions{});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(engine->MultiSourceQuery({}).status().IsInvalidArgument());
+  EXPECT_TRUE(engine->MultiSourceQuery({10}).status().IsInvalidArgument());
+  EXPECT_TRUE(engine->SingleSourceQuery(-1).status().IsInvalidArgument());
+  EXPECT_TRUE(engine->SinglePairQuery(0, 99).status().IsInvalidArgument());
+}
+
+TEST(CsrPlusEngineTest, StatsArePopulated) {
+  auto engine =
+      CsrPlusEngine::Precompute(RandomGraph(60, 400, 19), CsrPlusOptions{});
+  ASSERT_TRUE(engine.ok());
+  const PrecomputeStats& stats = engine->stats();
+  EXPECT_GT(stats.state_bytes, 0);
+  EXPECT_EQ(stats.squaring_iterations, 6);  // max_k = 5 -> 6 loop trips
+  EXPECT_GE(stats.svd_seconds, 0.0);
+}
+
+TEST(CsrPlusEngineTest, DampingAffectsScores) {
+  graph::Graph g = RandomGraph(30, 200, 23);
+  CsrPlusOptions low;
+  low.damping = 0.2;
+  CsrPlusOptions high;
+  high.damping = 0.8;
+  auto engine_low = CsrPlusEngine::Precompute(g, low);
+  auto engine_high = CsrPlusEngine::Precompute(g, high);
+  ASSERT_TRUE(engine_low.ok() && engine_high.ok());
+  auto s_low = engine_low->MultiSourceQuery({5});
+  auto s_high = engine_high->MultiSourceQuery({5});
+  ASSERT_TRUE(s_low.ok() && s_high.ok());
+  // Higher damping keeps more of the series mass: off-diagonal scores grow.
+  double sum_low = 0.0, sum_high = 0.0;
+  for (Index i = 0; i < 30; ++i) {
+    if (i == 5) continue;
+    sum_low += (*s_low)(i, 0);
+    sum_high += (*s_high)(i, 0);
+  }
+  EXPECT_GT(sum_high, sum_low);
+}
+
+TEST(CsrPlusEngineTest, RankImprovesAccuracyMonotonically) {
+  graph::Graph g = RandomGraph(50, 350, 29);
+  CsrMatrix transition = graph::ColumnNormalizedTransition(g);
+  CoSimRankOptions exact_options;
+  exact_options.epsilon = 1e-12;
+  std::vector<Index> queries = {1, 2, 3};
+  auto exact = MultiSourceCoSimRank(transition, queries, exact_options);
+  ASSERT_TRUE(exact.ok());
+
+  double prev_err = 1e300;
+  for (Index rank : {5, 15, 30, 50}) {
+    CsrPlusOptions options;
+    options.rank = rank;
+    options.epsilon = 1e-10;
+    auto engine = CsrPlusEngine::PrecomputeFromTransition(transition, options);
+    ASSERT_TRUE(engine.ok());
+    auto approx = engine->MultiSourceQuery(queries);
+    ASSERT_TRUE(approx.ok());
+    double err = 0.0;
+    for (Index i = 0; i < approx->size(); ++i) {
+      err += std::fabs(approx->data()[i] - exact->data()[i]);
+    }
+    EXPECT_LE(err, prev_err + 1e-6);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-4);  // full rank is essentially exact
+}
+
+}  // namespace
+}  // namespace csrplus::core

@@ -1,0 +1,103 @@
+#include "eval/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unordered_set>
+
+#include "graph/stats.h"
+
+namespace csrplus::eval {
+namespace {
+
+TEST(DatasetRegistryTest, AllSixPaperDatasetsRegistered) {
+  std::unordered_set<std::string> keys;
+  for (const DatasetSpec& spec : AllDatasets()) keys.insert(spec.key);
+  for (const char* key : {"fb", "p2p", "yt", "wt", "tw", "wb"}) {
+    EXPECT_TRUE(keys.count(key) > 0) << "missing dataset " << key;
+  }
+}
+
+TEST(DatasetRegistryTest, PaperSizesMatchTheEvaluationSection) {
+  auto fb = FindDataset("fb");
+  ASSERT_TRUE(fb.ok());
+  EXPECT_EQ(fb->paper_nodes, 4039);
+  EXPECT_EQ(fb->paper_edges, 88234);
+  auto tw = FindDataset("tw");
+  ASSERT_TRUE(tw.ok());
+  EXPECT_EQ(tw->paper_nodes, 41625230);
+  EXPECT_EQ(tw->paper_edges, 1468365182);
+}
+
+TEST(DatasetRegistryTest, UnknownKeyIsNotFound) {
+  EXPECT_TRUE(FindDataset("nope").status().IsNotFound());
+}
+
+TEST(DatasetRegistryTest, CiSizesNeverExceedFullSizes) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    EXPECT_LE(spec.nodes_ci, spec.nodes_full) << spec.key;
+  }
+}
+
+TEST(LoadOrGenerateTest, SmallDatasetsGenerateWithExpectedShape) {
+  // fb and p2p are full-size even at ci scale.
+  auto fb = LoadOrGenerate("fb", BenchScale::kCi, /*cache_dir=*/"");
+  ASSERT_TRUE(fb.ok());
+  EXPECT_EQ(fb->num_nodes(), 4039);
+  // Symmetrized social graph: directed m lands near 2x the paper's
+  // undirected count.
+  EXPECT_GT(fb->num_edges(), 50000);
+  EXPECT_LT(fb->num_edges(), 250000);
+
+  auto p2p = LoadOrGenerate("p2p", BenchScale::kCi, "");
+  ASSERT_TRUE(p2p.ok());
+  EXPECT_EQ(p2p->num_nodes(), 5000);
+}
+
+TEST(LoadOrGenerateTest, DeterministicAcrossCalls) {
+  auto a = LoadOrGenerate("p2p", BenchScale::kCi, "");
+  auto b = LoadOrGenerate("p2p", BenchScale::kCi, "");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->adjacency().col_index(), b->adjacency().col_index());
+}
+
+TEST(LoadOrGenerateTest, CachingRoundTrips) {
+  const std::string cache =
+      (std::filesystem::temp_directory_path() / "csrplus_ds_cache").string();
+  std::filesystem::remove_all(cache);
+  auto generated = LoadOrGenerate("p2p", BenchScale::kCi, cache);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_TRUE(std::filesystem::exists(cache + "/p2p-ci.csrg"));
+  auto cached = LoadOrGenerate("p2p", BenchScale::kCi, cache);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->num_edges(), generated->num_edges());
+  EXPECT_EQ(cached->adjacency().col_index(),
+            generated->adjacency().col_index());
+  std::filesystem::remove_all(cache);
+}
+
+TEST(LoadOrGenerateTest, UnknownDatasetFails) {
+  EXPECT_TRUE(LoadOrGenerate("missing", BenchScale::kCi, "")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(SampleQueriesTest, DistinctInRangeDeterministic) {
+  auto g = LoadOrGenerate("p2p", BenchScale::kCi, "");
+  ASSERT_TRUE(g.ok());
+  auto queries = SampleQueries(*g, 100, 42);
+  EXPECT_EQ(queries.size(), 100u);
+  std::unordered_set<linalg::Index> seen;
+  for (linalg::Index q : queries) {
+    EXPECT_GE(q, 0);
+    EXPECT_LT(q, g->num_nodes());
+    EXPECT_TRUE(seen.insert(q).second) << "duplicate query " << q;
+  }
+  auto again = SampleQueries(*g, 100, 42);
+  EXPECT_EQ(queries, again);
+  auto different = SampleQueries(*g, 100, 43);
+  EXPECT_NE(queries, different);
+}
+
+}  // namespace
+}  // namespace csrplus::eval

@@ -1,0 +1,122 @@
+#include "linalg/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace csrplus::linalg {
+namespace {
+
+TEST(DenseMatrixTest, DefaultIsEmpty) {
+  DenseMatrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(DenseMatrixTest, ConstructZeroInitialised) {
+  DenseMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(DenseMatrixTest, InitializerListLaysOutRowMajor) {
+  DenseMatrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 1), 5.0);
+  EXPECT_EQ(m.data()[5], 6.0);
+}
+
+TEST(DenseMatrixTest, IdentityHasOnesOnDiagonal) {
+  DenseMatrix id = DenseMatrix::Identity(4);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrixTest, DiagonalPlacesEntries) {
+  DenseMatrix d = DenseMatrix::Diagonal({2.0, 3.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(DenseMatrixTest, RowAndColumnAccessors) {
+  DenseMatrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.Row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(m.Column(0), (std::vector<double>{1, 3, 5}));
+}
+
+TEST(DenseMatrixTest, SetRowAndColumn) {
+  DenseMatrix m(2, 2);
+  m.SetRow(0, {1, 2});
+  m.SetColumn(1, {7, 8});
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 7.0);
+  EXPECT_EQ(m(1, 1), 8.0);
+}
+
+TEST(DenseMatrixTest, TransposedSwapsIndices) {
+  DenseMatrix m{{1, 2, 3}, {4, 5, 6}};
+  DenseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(2, 0), 3.0);
+  EXPECT_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(t.Transposed(), m);
+}
+
+TEST(DenseMatrixTest, TransposeInPlaceSquare) {
+  DenseMatrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  DenseMatrix expected = m.Transposed();
+  m.TransposeInPlaceSquare();
+  EXPECT_EQ(m, expected);
+  m.TransposeInPlaceSquare();
+  m.TransposeInPlaceSquare();
+  EXPECT_EQ(m, expected);
+}
+
+TEST(DenseMatrixTest, SelectRowsPicksInOrder) {
+  DenseMatrix m{{1, 2}, {3, 4}, {5, 6}};
+  DenseMatrix sel = m.SelectRows({2, 0});
+  EXPECT_EQ(sel.rows(), 2);
+  EXPECT_EQ(sel(0, 0), 5.0);
+  EXPECT_EQ(sel(1, 1), 2.0);
+}
+
+TEST(DenseMatrixTest, SelectRowsAllowsDuplicates) {
+  DenseMatrix m{{1, 2}, {3, 4}};
+  DenseMatrix sel = m.SelectRows({1, 1});
+  EXPECT_EQ(sel(0, 0), 3.0);
+  EXPECT_EQ(sel(1, 0), 3.0);
+}
+
+TEST(DenseMatrixTest, ClearReleasesStorage) {
+  DenseMatrix m(100, 100);
+  EXPECT_GT(m.AllocatedBytes(), 0);
+  m.Clear();
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.AllocatedBytes(), 0);
+}
+
+TEST(DenseMatrixTest, ToStringRendersValues) {
+  DenseMatrix m{{1.5}};
+  EXPECT_NE(m.ToString(2).find("1.50"), std::string::npos);
+}
+
+TEST(DenseMatrixTest, EqualityIsElementwise) {
+  DenseMatrix a{{1, 2}};
+  DenseMatrix b{{1, 2}};
+  DenseMatrix c{{1, 3}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace csrplus::linalg

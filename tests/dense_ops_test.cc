@@ -1,0 +1,134 @@
+#include "linalg/dense_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace csrplus::linalg {
+namespace {
+
+using csrplus::testing::MatricesNear;
+using csrplus::testing::RandomDense;
+
+TEST(GemmTest, SmallKnownProduct) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  DenseMatrix b{{5, 6}, {7, 8}};
+  DenseMatrix c = Gemm(a, b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(GemmTest, IdentityIsNeutral) {
+  DenseMatrix a = RandomDense(5, 5, 1);
+  EXPECT_TRUE(MatricesNear(Gemm(a, DenseMatrix::Identity(5)), a, 1e-12));
+  EXPECT_TRUE(MatricesNear(Gemm(DenseMatrix::Identity(5), a), a, 1e-12));
+}
+
+TEST(GemmTest, TransposeVariantsAgreeWithExplicitTranspose) {
+  DenseMatrix a = RandomDense(4, 6, 2);
+  DenseMatrix b = RandomDense(4, 3, 3);
+  // A^T B.
+  EXPECT_TRUE(MatricesNear(Gemm(a, b, Transpose::kYes, Transpose::kNo),
+                           Gemm(a.Transposed(), b), 1e-12));
+  DenseMatrix c = RandomDense(3, 6, 4);
+  // A B^T with A 4x6, B 3x6.
+  EXPECT_TRUE(MatricesNear(Gemm(a, c, Transpose::kNo, Transpose::kYes),
+                           Gemm(a, c.Transposed()), 1e-12));
+  // A^T B^T with A 4x6, B 3x4.
+  DenseMatrix d = RandomDense(3, 4, 5);
+  EXPECT_TRUE(MatricesNear(Gemm(a, d, Transpose::kYes, Transpose::kYes),
+                           Gemm(a.Transposed(), d.Transposed()), 1e-12));
+}
+
+TEST(GemmTest, NonSquareShapes) {
+  DenseMatrix a = RandomDense(2, 7, 6);
+  DenseMatrix b = RandomDense(7, 3, 7);
+  DenseMatrix c = Gemm(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 3);
+}
+
+TEST(GemmAccumulateTest, AddsScaledProduct) {
+  DenseMatrix a{{1, 0}, {0, 1}};
+  DenseMatrix b{{2, 0}, {0, 2}};
+  DenseMatrix c{{1, 1}, {1, 1}};
+  GemmAccumulate(3.0, a, b, &c);
+  EXPECT_EQ(c(0, 0), 7.0);
+  EXPECT_EQ(c(0, 1), 1.0);
+}
+
+TEST(MatVecTest, ForwardAndTranspose) {
+  DenseMatrix a{{1, 2}, {3, 4}, {5, 6}};
+  std::vector<double> x = {1, -1};
+  auto y = MatVec(a, x);
+  EXPECT_EQ(y, (std::vector<double>{-1, -1, -1}));
+  std::vector<double> z = {1, 0, 1};
+  auto w = MatVec(a, z, Transpose::kYes);
+  EXPECT_EQ(w, (std::vector<double>{6, 8}));
+}
+
+TEST(VectorOpsTest, DotNormAxpyScale) {
+  std::vector<double> x = {3, 4};
+  std::vector<double> y = {1, 2};
+  EXPECT_EQ(Dot(x, y), 11.0);
+  EXPECT_EQ(Norm2(x), 5.0);
+  Axpy(2.0, y, &x);
+  EXPECT_EQ(x, (std::vector<double>{5, 8}));
+  Scale(0.5, &x);
+  EXPECT_EQ(x, (std::vector<double>{2.5, 4}));
+}
+
+TEST(MatrixOpsTest, AddScaledAndScaleInPlace) {
+  DenseMatrix a{{1, 1}, {1, 1}};
+  DenseMatrix b{{2, 2}, {2, 2}};
+  AddScaled(0.5, a, &b);
+  EXPECT_EQ(b(0, 0), 2.5);
+  ScaleInPlace(2.0, &b);
+  EXPECT_EQ(b(1, 1), 5.0);
+}
+
+TEST(NormsTest, FrobeniusAndMaxAbs) {
+  DenseMatrix a{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(a), 5.0);
+  EXPECT_DOUBLE_EQ(MaxAbs(a), 4.0);
+  DenseMatrix b{{3, 0}, {0, 5}};
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 1.0);
+}
+
+TEST(DiagScaleTest, ScalesBothSides) {
+  DenseMatrix a{{1, 1}, {1, 1}};
+  DenseMatrix out = DiagScale({2, 3}, a, {10, 100});
+  EXPECT_EQ(out(0, 0), 20.0);
+  EXPECT_EQ(out(0, 1), 200.0);
+  EXPECT_EQ(out(1, 0), 30.0);
+  EXPECT_EQ(out(1, 1), 300.0);
+}
+
+TEST(DiagScaleTest, EmptyDiagonalMeansIdentity) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  EXPECT_TRUE(MatricesNear(DiagScale({}, a, {}), a, 0.0));
+  DenseMatrix left = DiagScale({2, 2}, a, {});
+  EXPECT_EQ(left(1, 0), 6.0);
+}
+
+TEST(AllCloseTest, RespectsTolerance) {
+  DenseMatrix a{{1.0}};
+  DenseMatrix b{{1.0 + 1e-9}};
+  EXPECT_TRUE(AllClose(a, b, 1e-8));
+  EXPECT_FALSE(AllClose(a, b, 1e-10));
+  EXPECT_FALSE(AllClose(a, DenseMatrix(1, 2), 1.0));  // shape mismatch
+}
+
+TEST(GemmTest, AssociativityHoldsNumerically) {
+  DenseMatrix a = RandomDense(4, 5, 11);
+  DenseMatrix b = RandomDense(5, 6, 12);
+  DenseMatrix c = RandomDense(6, 3, 13);
+  EXPECT_TRUE(MatricesNear(Gemm(Gemm(a, b), c), Gemm(a, Gemm(b, c)), 1e-10));
+}
+
+}  // namespace
+}  // namespace csrplus::linalg

@@ -1,0 +1,168 @@
+#include "core/dynamic_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cosimrank.h"
+#include "eval/metrics.h"
+#include "graph/normalize.h"
+#include "test_util.h"
+
+namespace csrplus::core {
+namespace {
+
+using csrplus::testing::Figure1Graph;
+using csrplus::testing::RandomGraph;
+
+DynamicOptions DefaultOptions(Index rank = 6) {
+  DynamicOptions options;
+  options.base.rank = rank;
+  options.base.epsilon = 1e-8;
+  options.base.svd.power_iterations = 4;
+  return options;
+}
+
+// Rebuilds a Graph equal to `dynamic`'s current edge set via a reference
+// builder plus the applied insertions — used to compute ground truth.
+graph::Graph WithExtraEdges(const graph::Graph& base,
+                            const std::vector<std::pair<Index, Index>>& extra) {
+  graph::GraphBuilder builder(base.num_nodes());
+  for (Index u = 0; u < base.num_nodes(); ++u) {
+    for (int32_t v : base.OutNeighbors(u)) builder.AddEdge(u, v);
+  }
+  for (auto [u, v] : extra) builder.AddEdge(u, v);
+  return std::move(*builder.Build());
+}
+
+TEST(DynamicEngineTest, BuildMatchesStaticEngine) {
+  graph::Graph g = RandomGraph(40, 220, 1);
+  auto dynamic = DynamicCsrPlusEngine::Build(g, DefaultOptions());
+  ASSERT_TRUE(dynamic.ok()) << dynamic.status().ToString();
+
+  CsrPlusOptions static_options = DefaultOptions().base;
+  auto fixed = CsrPlusEngine::Precompute(g, static_options);
+  ASSERT_TRUE(fixed.ok());
+
+  std::vector<Index> queries = {3, 17, 39};
+  auto s_dynamic = dynamic->engine().MultiSourceQuery(queries);
+  auto s_static = fixed->MultiSourceQuery(queries);
+  ASSERT_TRUE(s_dynamic.ok() && s_static.ok());
+  // The dynamic engine sketches Q^T directly while the static one sketches
+  // Q and swaps factors; the randomized projections differ, so the two
+  // rank-6 subspaces — and the scores — agree only to truncation accuracy.
+  EXPECT_LT(eval::AvgDiff(*s_dynamic, *s_static), 2e-3);
+  EXPECT_LT(eval::MaxDiff(*s_dynamic, *s_static), 5e-2);
+}
+
+TEST(DynamicEngineTest, InsertEdgeTracksFullRecompute) {
+  graph::Graph g = RandomGraph(35, 200, 2);
+  auto dynamic = DynamicCsrPlusEngine::Build(g, DefaultOptions(8));
+  ASSERT_TRUE(dynamic.ok());
+
+  std::vector<std::pair<Index, Index>> inserted;
+  Rng rng(99);
+  for (int i = 0; i < 6; ++i) {
+    const Index u = static_cast<Index>(rng.Below(35));
+    Index v = static_cast<Index>(rng.Below(35));
+    while (v == u) v = static_cast<Index>(rng.Below(35));
+    ASSERT_TRUE(dynamic->InsertEdge(u, v).ok());
+    inserted.emplace_back(u, v);
+  }
+
+  // Ground truth: static engine on the updated graph.
+  graph::Graph updated = WithExtraEdges(g, inserted);
+  auto fixed = CsrPlusEngine::Precompute(updated, DefaultOptions(8).base);
+  ASSERT_TRUE(fixed.ok());
+
+  std::vector<Index> queries = {5, 20};
+  auto s_dynamic = dynamic->engine().MultiSourceQuery(queries);
+  auto s_static = fixed->MultiSourceQuery(queries);
+  ASSERT_TRUE(s_dynamic.ok() && s_static.ok());
+  // Incremental factors track the true subspace approximately; scores agree
+  // to a few decimal places on this small graph.
+  EXPECT_LT(eval::AvgDiff(*s_dynamic, *s_static), 5e-3);
+}
+
+TEST(DynamicEngineTest, InsertAgainstExactCoSimRank) {
+  // With near-full rank, the dynamically-maintained scores stay close to the
+  // exact CoSimRank of the evolved graph.
+  graph::Graph g = RandomGraph(25, 120, 3);
+  auto dynamic = DynamicCsrPlusEngine::Build(g, DefaultOptions(24));
+  ASSERT_TRUE(dynamic.ok());
+
+  std::vector<std::pair<Index, Index>> inserted = {{0, 9}, {10, 3}, {17, 22}};
+  for (auto [u, v] : inserted) {
+    ASSERT_TRUE(dynamic->InsertEdge(u, v).ok());
+  }
+  graph::Graph updated = WithExtraEdges(g, inserted);
+  CsrMatrix transition = graph::ColumnNormalizedTransition(updated);
+  CoSimRankOptions exact_options;
+  exact_options.epsilon = 1e-10;
+  std::vector<Index> queries = {9, 3};
+  auto exact = MultiSourceCoSimRank(transition, queries, exact_options);
+  ASSERT_TRUE(exact.ok());
+  auto got = dynamic->engine().MultiSourceQuery(queries);
+  ASSERT_TRUE(got.ok());
+  EXPECT_LT(eval::AvgDiff(*got, *exact), 5e-3);
+}
+
+TEST(DynamicEngineTest, DuplicateInsertIsNoOp) {
+  graph::Graph g = Figure1Graph();
+  auto dynamic = DynamicCsrPlusEngine::Build(g, DefaultOptions(3));
+  ASSERT_TRUE(dynamic.ok());
+  const int64_t edges = dynamic->num_edges();
+  ASSERT_TRUE(dynamic->InsertEdge(0, 1).ok());  // a -> b already exists
+  EXPECT_EQ(dynamic->num_edges(), edges);
+  EXPECT_EQ(dynamic->updates_since_rebuild(), 0);
+}
+
+TEST(DynamicEngineTest, RebuildTriggersAfterBudget) {
+  graph::Graph g = RandomGraph(30, 150, 5);
+  DynamicOptions options = DefaultOptions(6);
+  options.max_incremental_updates = 3;
+  auto dynamic = DynamicCsrPlusEngine::Build(g, options);
+  ASSERT_TRUE(dynamic.ok());
+  EXPECT_EQ(dynamic->rebuild_count(), 1);
+
+  Rng rng(7);
+  int inserted = 0;
+  while (inserted < 5) {
+    const Index u = static_cast<Index>(rng.Below(30));
+    Index v = static_cast<Index>(rng.Below(30));
+    if (v == u) continue;
+    const int64_t before = dynamic->num_edges();
+    ASSERT_TRUE(dynamic->InsertEdge(u, v).ok());
+    if (dynamic->num_edges() > before) ++inserted;
+  }
+  // The 4th insertion beyond budget forces a fresh SVD.
+  EXPECT_GE(dynamic->rebuild_count(), 2);
+  EXPECT_LE(dynamic->updates_since_rebuild(), 3);
+}
+
+TEST(DynamicEngineTest, RejectsBadEdges) {
+  auto dynamic = DynamicCsrPlusEngine::Build(Figure1Graph(), DefaultOptions(3));
+  ASSERT_TRUE(dynamic.ok());
+  EXPECT_TRUE(dynamic->InsertEdge(-1, 2).IsInvalidArgument());
+  EXPECT_TRUE(dynamic->InsertEdge(0, 6).IsInvalidArgument());
+  EXPECT_TRUE(dynamic->InsertEdge(2, 2).IsInvalidArgument());
+}
+
+TEST(DynamicEngineTest, FirstInEdgeForIsolatedNode) {
+  // Node with in-degree 0 gains its first in-neighbour: column goes from
+  // zero to e_u — the delta path with old_d == 0.
+  graph::GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  auto dynamic = DynamicCsrPlusEngine::Build(*g, DefaultOptions(3));
+  ASSERT_TRUE(dynamic.ok());
+  ASSERT_TRUE(dynamic->InsertEdge(0, 4).ok());  // node 4 had no in-edges
+  EXPECT_EQ(dynamic->num_edges(), 4);
+  auto scores = dynamic->engine().SingleSourceQuery(4);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GE((*scores)[4], 1.0 - 1e-6);
+}
+
+}  // namespace
+}  // namespace csrplus::core

@@ -1,0 +1,54 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace csrplus {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("CSRPLUS_TEST_VAR");
+    unsetenv("COSIM_SCALE");
+  }
+};
+
+TEST_F(EnvTest, StringFallbackWhenUnset) {
+  unsetenv("CSRPLUS_TEST_VAR");
+  EXPECT_EQ(GetEnvString("CSRPLUS_TEST_VAR", "fallback"), "fallback");
+}
+
+TEST_F(EnvTest, StringReadsValue) {
+  setenv("CSRPLUS_TEST_VAR", "hello", 1);
+  EXPECT_EQ(GetEnvString("CSRPLUS_TEST_VAR", "x"), "hello");
+}
+
+TEST_F(EnvTest, Int64ParsesAndFallsBack) {
+  setenv("CSRPLUS_TEST_VAR", "42", 1);
+  EXPECT_EQ(GetEnvInt64("CSRPLUS_TEST_VAR", 7), 42);
+  setenv("CSRPLUS_TEST_VAR", "not-a-number", 1);
+  EXPECT_EQ(GetEnvInt64("CSRPLUS_TEST_VAR", 7), 7);
+  unsetenv("CSRPLUS_TEST_VAR");
+  EXPECT_EQ(GetEnvInt64("CSRPLUS_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, DoubleParsesAndFallsBack) {
+  setenv("CSRPLUS_TEST_VAR", "0.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("CSRPLUS_TEST_VAR", 1.0), 0.25);
+  setenv("CSRPLUS_TEST_VAR", "abc", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("CSRPLUS_TEST_VAR", 1.0), 1.0);
+}
+
+TEST_F(EnvTest, BenchScaleDefaultsToCi) {
+  unsetenv("COSIM_SCALE");
+  EXPECT_EQ(GetBenchScale(), BenchScale::kCi);
+  setenv("COSIM_SCALE", "full", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kFull);
+  setenv("COSIM_SCALE", "anything-else", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kCi);
+}
+
+}  // namespace
+}  // namespace csrplus

@@ -1,0 +1,215 @@
+#include "graph/generators/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/stats.h"
+
+namespace csrplus::graph {
+namespace {
+
+TEST(ErdosRenyiTest, EdgeCountNearTarget) {
+  auto g = ErdosRenyi(1000, 5000, 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 1000);
+  // Dedup removes a few collisions; stay within 2%.
+  EXPECT_GE(g->num_edges(), 4900);
+  EXPECT_LE(g->num_edges(), 5000);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoops) {
+  auto g = ErdosRenyi(50, 500, 2);
+  ASSERT_TRUE(g.ok());
+  for (linalg::Index u = 0; u < 50; ++u) EXPECT_FALSE(g->HasEdge(u, u));
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  auto a = ErdosRenyi(100, 400, 3);
+  auto b = ErdosRenyi(100, 400, 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->adjacency().col_index(), b->adjacency().col_index());
+  auto c = ErdosRenyi(100, 400, 4);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->adjacency().col_index(), c->adjacency().col_index());
+}
+
+TEST(ErdosRenyiTest, RejectsBadArguments) {
+  EXPECT_FALSE(ErdosRenyi(1, 0, 1).ok());
+  EXPECT_FALSE(ErdosRenyi(10, -1, 1).ok());
+  EXPECT_FALSE(ErdosRenyi(10, 1000, 1).ok());  // exceeds n(n-1)
+}
+
+TEST(BarabasiAlbertTest, PowerLawTail) {
+  auto g = BarabasiAlbert(5000, 4, 5);
+  ASSERT_TRUE(g.ok());
+  // A heavy in-degree tail: max in-degree far above the mean.
+  GraphStats stats = ComputeStats(*g);
+  EXPECT_GT(stats.max_in_degree, 20 * static_cast<linalg::Index>(stats.avg_degree));
+}
+
+TEST(BarabasiAlbertTest, EveryNewNodeHasOutEdges) {
+  auto g = BarabasiAlbert(500, 3, 6);
+  ASSERT_TRUE(g.ok());
+  GraphStats stats = ComputeStats(*g);
+  EXPECT_EQ(stats.num_dangling_out, 0);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadArguments) {
+  EXPECT_FALSE(BarabasiAlbert(5, 5, 1).ok());
+  EXPECT_FALSE(BarabasiAlbert(10, 0, 1).ok());
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  auto g = Rmat(12, 40000, 7);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 4096);
+  GraphStats stats = ComputeStats(*g);
+  // R-MAT with default params concentrates mass heavily.
+  EXPECT_GT(stats.max_in_degree, 100);
+}
+
+TEST(RmatTest, EdgeCountAfterDedup) {
+  auto g = Rmat(10, 5000, 8);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->num_edges(), 3000);
+  EXPECT_LE(g->num_edges(), 5000);
+}
+
+TEST(RmatTest, RejectsBadScaleAndProbabilities) {
+  EXPECT_FALSE(Rmat(0, 10, 1).ok());
+  EXPECT_FALSE(Rmat(31, 10, 1).ok());
+  RmatParams params;
+  params.a = 0.9;
+  params.b = 0.2;  // a + b + c > 1
+  EXPECT_FALSE(Rmat(5, 10, 1, params).ok());
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  auto g = WattsStrogatz(20, 2, 0.0, 9);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 40);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(0, 2));
+  EXPECT_TRUE(g->HasEdge(19, 0));
+  EXPECT_TRUE(g->HasEdge(19, 1));
+}
+
+TEST(WattsStrogatzTest, FullRewiringStillCorrectDegree) {
+  auto g = WattsStrogatz(100, 3, 1.0, 10);
+  ASSERT_TRUE(g.ok());
+  // Out-degree stays <= k per node; dedupe may collapse collisions.
+  for (linalg::Index u = 0; u < 100; ++u) EXPECT_LE(g->OutDegree(u), 3);
+}
+
+TEST(WattsStrogatzTest, RejectsBadArguments) {
+  EXPECT_FALSE(WattsStrogatz(10, 0, 0.5, 1).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 10, 0.5, 1).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 2, 1.5, 1).ok());
+}
+
+TEST(SbmTest, WithinCommunityDensityHigher) {
+  const linalg::Index n = 600;
+  const linalg::Index blocks = 3;
+  auto g = StochasticBlockModel(n, blocks, 12000, 8.0, 11);
+  ASSERT_TRUE(g.ok());
+  // Count within vs cross edges given equal block sizes of 200.
+  int64_t within = 0, cross = 0;
+  for (linalg::Index u = 0; u < n; ++u) {
+    for (int32_t v : g->OutNeighbors(u)) {
+      if (u / 200 == v / 200) {
+        ++within;
+      } else {
+        ++cross;
+      }
+    }
+  }
+  // Within-pairs are ~0.5% of all pairs; with ratio 8 the within count must
+  // still exceed a uniform allocation by a wide margin.
+  EXPECT_GT(within * 50, cross);
+}
+
+TEST(SbmTest, RejectsBadArguments) {
+  EXPECT_FALSE(StochasticBlockModel(10, 0, 10, 2.0, 1).ok());
+  EXPECT_FALSE(StochasticBlockModel(10, 20, 10, 2.0, 1).ok());
+  EXPECT_FALSE(StochasticBlockModel(10, 2, 10, 0.5, 1).ok());
+}
+
+TEST(EgoOverlayTest, SymmetricAndClustered) {
+  auto g = EgoOverlay(2000, 100, 30, 0.35, 3000, 12);
+  ASSERT_TRUE(g.ok());
+  // Symmetrized: every edge has its reverse.
+  for (linalg::Index u = 0; u < 200; ++u) {
+    for (int32_t v : g->OutNeighbors(u)) {
+      EXPECT_TRUE(g->HasEdge(v, u));
+    }
+  }
+  // Denser than the background alone.
+  EXPECT_GT(g->num_edges(), 2 * 3000);
+}
+
+TEST(EgoOverlayTest, RejectsBadArguments) {
+  EXPECT_FALSE(EgoOverlay(100, 0, 10, 0.5, 10, 1).ok());
+  EXPECT_FALSE(EgoOverlay(100, 5, 1, 0.5, 10, 1).ok());
+  EXPECT_FALSE(EgoOverlay(100, 5, 10, 0.0, 10, 1).ok());
+  EXPECT_FALSE(EgoOverlay(100, 5, 10, 1.5, 10, 1).ok());
+}
+
+TEST(DegreeDistributionTest, ErdosRenyiInDegreesConcentrate) {
+  // ER in-degrees are Binomial(m, 1/n): nearly all mass within a few
+  // standard deviations of the mean.
+  auto g = ErdosRenyi(2000, 16000, 21);
+  ASSERT_TRUE(g.ok());
+  const double mean = 8.0;
+  const double stddev = std::sqrt(mean);  // ~Poisson
+  linalg::Index outliers = 0;
+  for (linalg::Index v = 0; v < 2000; ++v) {
+    if (std::fabs(static_cast<double>(g->InDegree(v)) - mean) > 5 * stddev) {
+      ++outliers;
+    }
+  }
+  EXPECT_LT(outliers, 10);  // < 0.5% beyond 5 sigma
+}
+
+TEST(DegreeDistributionTest, BarabasiAlbertTailIsHeavy) {
+  // The BA in-degree tail follows a power law: the fraction of nodes with
+  // in-degree >= 4x the mean is far above the Poisson prediction (which at
+  // 5 sigma is < 1e-5) yet well below e.g. 10%.
+  auto g = BarabasiAlbert(4000, 4, 22);
+  ASSERT_TRUE(g.ok());
+  const double mean =
+      static_cast<double>(g->num_edges()) / static_cast<double>(g->num_nodes());
+  linalg::Index heavy = 0;
+  for (linalg::Index v = 0; v < g->num_nodes(); ++v) {
+    if (static_cast<double>(g->InDegree(v)) >= 4.0 * mean) ++heavy;
+  }
+  const double frac = static_cast<double>(heavy) /
+                      static_cast<double>(g->num_nodes());
+  EXPECT_GT(frac, 0.005);
+  EXPECT_LT(frac, 0.10);
+}
+
+TEST(DegreeDistributionTest, RmatMoreSkewedThanUniform) {
+  // At equal n, m the R-MAT max in-degree dwarfs the ER max in-degree.
+  auto rmat = Rmat(11, 16000, 23);
+  auto er = ErdosRenyi(2048, 16000, 23);
+  ASSERT_TRUE(rmat.ok() && er.ok());
+  GraphStats rmat_stats = ComputeStats(*rmat);
+  GraphStats er_stats = ComputeStats(*er);
+  EXPECT_GT(rmat_stats.max_in_degree, 3 * er_stats.max_in_degree);
+}
+
+TEST(GeneratorDeterminismTest, AllGeneratorsReproducible) {
+  EXPECT_EQ(Rmat(10, 3000, 42)->num_edges(), Rmat(10, 3000, 42)->num_edges());
+  EXPECT_EQ(BarabasiAlbert(300, 3, 42)->num_edges(),
+            BarabasiAlbert(300, 3, 42)->num_edges());
+  EXPECT_EQ(StochasticBlockModel(300, 3, 2000, 4.0, 42)->num_edges(),
+            StochasticBlockModel(300, 3, 2000, 4.0, 42)->num_edges());
+  EXPECT_EQ(EgoOverlay(300, 20, 15, 0.4, 200, 42)->num_edges(),
+            EgoOverlay(300, 20, 15, 0.4, 200, 42)->num_edges());
+}
+
+}  // namespace
+}  // namespace csrplus::graph

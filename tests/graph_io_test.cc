@@ -1,0 +1,142 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "test_util.h"
+
+namespace csrplus::graph {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("csrplus_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(GraphIoTest, LoadsSnapEdgeList) {
+  WriteFile(Path("g.txt"),
+            "# Directed graph\n"
+            "# FromNodeId ToNodeId\n"
+            "0\t1\n"
+            "1\t2\n"
+            "2\t0\n");
+  auto g = LoadSnapEdgeList(Path("g.txt"));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3);
+  EXPECT_EQ(g->num_edges(), 3);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+}
+
+TEST_F(GraphIoTest, RemapsSparseNodeIds) {
+  WriteFile(Path("g.txt"), "1000000 42\n42 999\n");
+  auto g = LoadSnapEdgeList(Path("g.txt"));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3);  // compacted to {0, 1, 2}
+  EXPECT_EQ(g->num_edges(), 2);
+}
+
+TEST_F(GraphIoTest, OriginalIdMappingIsExposed) {
+  WriteFile(Path("g.txt"), "1000000 42\n42 999\n");
+  std::vector<int64_t> ids;
+  auto g = LoadSnapEdgeList(Path("g.txt"), {}, &ids);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 1000000);  // first seen
+  EXPECT_EQ(ids[1], 42);
+  EXPECT_EQ(ids[2], 999);
+  // Compact edge 0 -> 1 corresponds to 1000000 -> 42.
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 2));
+}
+
+TEST_F(GraphIoTest, SymmetrizeOption) {
+  WriteFile(Path("g.txt"), "0 1\n");
+  EdgeListOptions options;
+  options.symmetrize = true;
+  auto g = LoadSnapEdgeList(Path("g.txt"), options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+}
+
+TEST_F(GraphIoTest, SkipsCommentsAndBlanks) {
+  WriteFile(Path("g.txt"), "# c\n\n% matrix-market style\n0 1\n\n");
+  auto g = LoadSnapEdgeList(Path("g.txt"));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+}
+
+TEST_F(GraphIoTest, MalformedLineFails) {
+  WriteFile(Path("g.txt"), "0 1\nnot numbers\n");
+  auto g = LoadSnapEdgeList(Path("g.txt"));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+  EXPECT_NE(g.status().message().find(":2"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, NegativeIdFails) {
+  WriteFile(Path("g.txt"), "-1 2\n");
+  EXPECT_TRUE(LoadSnapEdgeList(Path("g.txt")).status().IsIOError());
+}
+
+TEST_F(GraphIoTest, MissingFileFails) {
+  auto g = LoadSnapEdgeList(Path("nonexistent.txt"));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+TEST_F(GraphIoTest, EdgeListRoundTrip) {
+  Graph original = csrplus::testing::Figure1Graph();
+  ASSERT_TRUE(SaveSnapEdgeList(original, Path("rt.txt")).ok());
+  auto loaded = LoadSnapEdgeList(Path("rt.txt"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+}
+
+TEST_F(GraphIoTest, BinaryRoundTripPreservesStructure) {
+  Graph original = csrplus::testing::RandomGraph(200, 1500, 7);
+  ASSERT_TRUE(SaveBinary(original, Path("g.csrg")).ok());
+  auto loaded = LoadBinary(Path("g.csrg"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+  EXPECT_EQ(loaded->adjacency().col_index(), original.adjacency().col_index());
+  EXPECT_EQ(loaded->adjacency().row_ptr(), original.adjacency().row_ptr());
+}
+
+TEST_F(GraphIoTest, BinaryRejectsGarbage) {
+  WriteFile(Path("bad.csrg"), "this is not a graph file at all........");
+  auto g = LoadBinary(Path("bad.csrg"));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+TEST_F(GraphIoTest, BinaryRejectsTruncation) {
+  Graph original = csrplus::testing::RandomGraph(50, 200, 3);
+  ASSERT_TRUE(SaveBinary(original, Path("t.csrg")).ok());
+  // Truncate the file.
+  std::filesystem::resize_file(Path("t.csrg"), 40);
+  auto g = LoadBinary(Path("t.csrg"));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace csrplus::graph

@@ -1,0 +1,129 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+#include "test_util.h"
+
+namespace csrplus::graph {
+namespace {
+
+TEST(GraphBuilderTest, BuildsSimpleGraph) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3);
+  EXPECT_EQ(g->num_edges(), 2);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 2));
+  EXPECT_FALSE(g->HasEdge(1, 0));
+}
+
+TEST(GraphBuilderTest, DeduplicatesEdges) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsByDefault) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_FALSE(g->HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, KeepsSelfLoopsWhenAsked) {
+  GraphBuilder builder(2);
+  builder.keep_self_loops(true);
+  builder.AddEdge(0, 0);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, SymmetrizeAddsReverseEdges) {
+  GraphBuilder builder(3);
+  builder.symmetrize(true);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 4);
+  EXPECT_TRUE(g->HasEdge(1, 0));
+  EXPECT_TRUE(g->HasEdge(2, 1));
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder builder(5);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 5);
+  EXPECT_EQ(g->num_edges(), 0);
+  EXPECT_EQ(g->OutDegree(0), 0);
+  EXPECT_EQ(g->InDegree(4), 0);
+}
+
+TEST(GraphTest, DegreesMatchFigure1) {
+  Graph g = csrplus::testing::Figure1Graph();
+  // a b c d e f = 0..5.
+  EXPECT_EQ(g.InDegree(0), 1);  // a <- d
+  EXPECT_EQ(g.InDegree(1), 3);  // b <- a, c, e
+  EXPECT_EQ(g.InDegree(2), 1);  // c <- d
+  EXPECT_EQ(g.InDegree(3), 3);  // d <- a, e, f
+  EXPECT_EQ(g.InDegree(4), 2);  // e <- c, f
+  EXPECT_EQ(g.InDegree(5), 1);  // f <- d
+  EXPECT_EQ(g.OutDegree(3), 3);  // d -> a, c, f
+  EXPECT_EQ(g.num_edges(), 11);
+}
+
+TEST(GraphTest, OutNeighborsSortedAscending) {
+  Graph g = csrplus::testing::Figure1Graph();
+  auto nbrs = g.OutNeighbors(3);  // d -> a, c, f
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_EQ(nbrs[1], 2);
+  EXPECT_EQ(nbrs[2], 5);
+}
+
+TEST(GraphTest, InDegreesSumToEdgeCount) {
+  Graph g = csrplus::testing::RandomGraph(50, 400, 99);
+  int64_t total = 0;
+  for (linalg::Index v = 0; v < g.num_nodes(); ++v) total += g.InDegree(v);
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(GraphStatsTest, ComputesAllFields) {
+  Graph g = csrplus::testing::Figure1Graph();
+  GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_nodes, 6);
+  EXPECT_EQ(stats.num_edges, 11);
+  EXPECT_NEAR(stats.avg_degree, 11.0 / 6.0, 1e-12);
+  EXPECT_EQ(stats.max_in_degree, 3);
+  EXPECT_EQ(stats.max_out_degree, 3);
+  EXPECT_EQ(stats.num_dangling_in, 0);
+  EXPECT_EQ(stats.num_dangling_out, 1);  // b has no outgoing edges
+}
+
+TEST(GraphStatsTest, ToStringContainsCounts) {
+  Graph g = csrplus::testing::Figure1Graph();
+  std::string s = ToString(ComputeStats(g));
+  EXPECT_NE(s.find("n=6"), std::string::npos);
+  EXPECT_NE(s.find("m=11"), std::string::npos);
+}
+
+TEST(GraphTest, AllocatedBytesPositive) {
+  Graph g = csrplus::testing::RandomGraph(100, 500, 1);
+  EXPECT_GT(g.AllocatedBytes(), 0);
+}
+
+}  // namespace
+}  // namespace csrplus::graph

@@ -1,0 +1,152 @@
+#include "linalg/jacobi.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/dense_ops.h"
+#include "test_util.h"
+
+namespace csrplus::linalg {
+namespace {
+
+using csrplus::testing::MatricesNear;
+using csrplus::testing::RandomDense;
+
+DenseMatrix RandomSymmetric(Index n, uint64_t seed) {
+  DenseMatrix a = RandomDense(n, n, seed);
+  DenseMatrix sym(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) sym(i, j) = 0.5 * (a(i, j) + a(j, i));
+  }
+  return sym;
+}
+
+TEST(SymmetricEigenTest, ReconstructsMatrix) {
+  DenseMatrix a = RandomSymmetric(6, 42);
+  auto eig = SymmetricJacobiEigen(a);
+  ASSERT_TRUE(eig.ok());
+  // A == V diag(w) V^T.
+  DenseMatrix vw = eig->eigenvectors;
+  for (Index i = 0; i < 6; ++i) {
+    for (Index j = 0; j < 6; ++j) {
+      vw(i, j) *= eig->eigenvalues[static_cast<std::size_t>(j)];
+    }
+  }
+  DenseMatrix recon =
+      Gemm(vw, eig->eigenvectors, Transpose::kNo, Transpose::kYes);
+  EXPECT_TRUE(MatricesNear(recon, a, 1e-10));
+}
+
+TEST(SymmetricEigenTest, EigenvaluesDescending) {
+  auto eig = SymmetricJacobiEigen(RandomSymmetric(8, 7));
+  ASSERT_TRUE(eig.ok());
+  for (std::size_t i = 1; i < eig->eigenvalues.size(); ++i) {
+    EXPECT_GE(eig->eigenvalues[i - 1], eig->eigenvalues[i]);
+  }
+}
+
+TEST(SymmetricEigenTest, EigenvectorsOrthonormal) {
+  auto eig = SymmetricJacobiEigen(RandomSymmetric(7, 11));
+  ASSERT_TRUE(eig.ok());
+  DenseMatrix gram = Gemm(eig->eigenvectors, eig->eigenvectors,
+                          Transpose::kYes, Transpose::kNo);
+  EXPECT_TRUE(MatricesNear(gram, DenseMatrix::Identity(7), 1e-11));
+}
+
+TEST(SymmetricEigenTest, KnownDiagonal) {
+  DenseMatrix d = DenseMatrix::Diagonal({3.0, 1.0, 2.0});
+  auto eig = SymmetricJacobiEigen(d);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 3.0, 1e-14);
+  EXPECT_NEAR(eig->eigenvalues[1], 2.0, 1e-14);
+  EXPECT_NEAR(eig->eigenvalues[2], 1.0, 1e-14);
+}
+
+TEST(SymmetricEigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(SymmetricJacobiEigen(DenseMatrix(2, 3)).ok());
+}
+
+TEST(SymmetricEigenTest, RejectsAsymmetric) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  auto eig = SymmetricJacobiEigen(a);
+  ASSERT_FALSE(eig.ok());
+  EXPECT_TRUE(eig.status().IsInvalidArgument());
+}
+
+TEST(OneSidedJacobiSvdTest, ReconstructsTallMatrix) {
+  DenseMatrix a = RandomDense(12, 5, 3);
+  auto svd = OneSidedJacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  DenseMatrix us = svd->u;
+  for (Index i = 0; i < us.rows(); ++i) {
+    for (Index j = 0; j < us.cols(); ++j) {
+      us(i, j) *= svd->sigma[static_cast<std::size_t>(j)];
+    }
+  }
+  DenseMatrix recon = Gemm(us, svd->v, Transpose::kNo, Transpose::kYes);
+  EXPECT_TRUE(MatricesNear(recon, a, 1e-10));
+}
+
+TEST(OneSidedJacobiSvdTest, SingularValuesDescendingNonNegative) {
+  auto svd = OneSidedJacobiSvd(RandomDense(10, 6, 5));
+  ASSERT_TRUE(svd.ok());
+  for (std::size_t i = 0; i < svd->sigma.size(); ++i) {
+    EXPECT_GE(svd->sigma[i], 0.0);
+    if (i > 0) {
+      EXPECT_GE(svd->sigma[i - 1], svd->sigma[i]);
+    }
+  }
+}
+
+TEST(OneSidedJacobiSvdTest, FactorsOrthonormal) {
+  auto svd = OneSidedJacobiSvd(RandomDense(15, 6, 9));
+  ASSERT_TRUE(svd.ok());
+  EXPECT_TRUE(MatricesNear(Gemm(svd->u, svd->u, Transpose::kYes, Transpose::kNo),
+                           DenseMatrix::Identity(6), 1e-11));
+  EXPECT_TRUE(MatricesNear(Gemm(svd->v, svd->v, Transpose::kYes, Transpose::kNo),
+                           DenseMatrix::Identity(6), 1e-11));
+}
+
+TEST(OneSidedJacobiSvdTest, KnownSingularValues) {
+  // diag(3, 4) has singular values {4, 3}.
+  DenseMatrix a = DenseMatrix::Diagonal({3.0, 4.0});
+  auto svd = OneSidedJacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->sigma[0], 4.0, 1e-13);
+  EXPECT_NEAR(svd->sigma[1], 3.0, 1e-13);
+}
+
+TEST(OneSidedJacobiSvdTest, MatchesEigenOfGram) {
+  // sigma_i^2 must equal eigenvalues of A^T A.
+  DenseMatrix a = RandomDense(9, 4, 17);
+  auto svd = OneSidedJacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  auto eig = SymmetricJacobiEigen(Gemm(a, a, Transpose::kYes, Transpose::kNo));
+  ASSERT_TRUE(eig.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(svd->sigma[i] * svd->sigma[i], eig->eigenvalues[i], 1e-9);
+  }
+}
+
+TEST(OneSidedJacobiSvdTest, RankDeficientHasZeroSigma) {
+  DenseMatrix a = RandomDense(8, 2, 21);
+  DenseMatrix dep(8, 3);
+  for (Index i = 0; i < 8; ++i) {
+    dep(i, 0) = a(i, 0);
+    dep(i, 1) = a(i, 1);
+    dep(i, 2) = a(i, 0) + a(i, 1);
+  }
+  auto svd = OneSidedJacobiSvd(dep);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->sigma[2], 0.0, 1e-10);
+}
+
+TEST(OneSidedJacobiSvdTest, RejectsWideMatrix) {
+  auto svd = OneSidedJacobiSvd(DenseMatrix(2, 4));
+  ASSERT_FALSE(svd.ok());
+  EXPECT_TRUE(svd.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace csrplus::linalg

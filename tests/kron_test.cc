@@ -1,0 +1,131 @@
+#include "linalg/kron.h"
+
+#include <gtest/gtest.h>
+
+#include "common/memory.h"
+#include "linalg/dense_ops.h"
+#include "test_util.h"
+
+namespace csrplus::linalg {
+namespace {
+
+using csrplus::testing::MatricesNear;
+using csrplus::testing::RandomDense;
+
+TEST(VecTest, StacksColumns) {
+  DenseMatrix x{{1, 3}, {2, 4}};
+  EXPECT_EQ(Vec(x), (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(VecTest, UnvecInvertsVec) {
+  DenseMatrix x = RandomDense(3, 4, 1);
+  EXPECT_TRUE(MatricesNear(Unvec(Vec(x), 3, 4), x, 0.0));
+}
+
+TEST(KroneckerProductTest, KnownSmallProduct) {
+  DenseMatrix x{{1, 2}};        // 1x2
+  DenseMatrix y{{0, 1}, {2, 3}};  // 2x2
+  auto k = KroneckerProduct(x, y);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(k->rows(), 2);
+  EXPECT_EQ(k->cols(), 4);
+  // [ y  2y ]
+  EXPECT_EQ((*k)(0, 1), 1.0);
+  EXPECT_EQ((*k)(1, 0), 2.0);
+  EXPECT_EQ((*k)(0, 3), 2.0);
+  EXPECT_EQ((*k)(1, 2), 4.0);
+}
+
+TEST(KroneckerProductTest, IdentityKronIdentity) {
+  auto k = KroneckerProduct(DenseMatrix::Identity(3), DenseMatrix::Identity(2));
+  ASSERT_TRUE(k.ok());
+  EXPECT_TRUE(MatricesNear(*k, DenseMatrix::Identity(6), 0.0));
+}
+
+TEST(KroneckerProductTest, MixedProductProperty) {
+  // (A (x) B)(C (x) D) == (AC) (x) (BD) — the Theorem 3.1 ingredient.
+  DenseMatrix a = RandomDense(3, 4, 2);
+  DenseMatrix b = RandomDense(2, 5, 3);
+  DenseMatrix c = RandomDense(4, 3, 4);
+  DenseMatrix d = RandomDense(5, 2, 5);
+  auto ab = KroneckerProduct(a, b);
+  auto cd = KroneckerProduct(c, d);
+  ASSERT_TRUE(ab.ok() && cd.ok());
+  auto acbd = KroneckerProduct(Gemm(a, c), Gemm(b, d));
+  ASSERT_TRUE(acbd.ok());
+  EXPECT_TRUE(MatricesNear(Gemm(*ab, *cd), *acbd, 1e-10));
+}
+
+TEST(KroneckerProductTest, TransposeDistributes) {
+  // (A (x) B)^T == A^T (x) B^T — the other Theorem 3.1 ingredient.
+  DenseMatrix a = RandomDense(3, 2, 6);
+  DenseMatrix b = RandomDense(4, 5, 7);
+  auto ab = KroneckerProduct(a, b);
+  auto atbt = KroneckerProduct(a.Transposed(), b.Transposed());
+  ASSERT_TRUE(ab.ok() && atbt.ok());
+  EXPECT_TRUE(MatricesNear(ab->Transposed(), *atbt, 0.0));
+}
+
+TEST(KroneckerProductTest, BudgetGuardRejectsHugeResults) {
+  MemoryBudget& budget = MemoryBudget::Global();
+  const int64_t old_limit = budget.limit_bytes();
+  budget.SetLimit(1024);
+  auto k = KroneckerProduct(RandomDense(40, 40, 8), RandomDense(40, 40, 9));
+  budget.SetLimit(old_limit);
+  ASSERT_FALSE(k.ok());
+  EXPECT_TRUE(k.status().IsResourceExhausted());
+}
+
+TEST(KroneckerMatVecTest, MatchesExplicitProduct) {
+  DenseMatrix a = RandomDense(3, 4, 10);
+  DenseMatrix b = RandomDense(5, 2, 11);
+  std::vector<double> v(4 * 2);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i) - 3.0;
+  auto explicit_kron = KroneckerProduct(a, b);
+  ASSERT_TRUE(explicit_kron.ok());
+  auto direct = MatVec(*explicit_kron, v);
+  auto fast = KroneckerMatVec(a, b, v);
+  ASSERT_EQ(direct.size(), fast.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], fast[i], 1e-10);
+  }
+}
+
+TEST(KroneckerMatVecTest, VecIdentity) {
+  // (A (x) B) vec(X) == vec(B X A^T).
+  DenseMatrix a = RandomDense(4, 3, 12);
+  DenseMatrix b = RandomDense(2, 5, 13);
+  DenseMatrix x = RandomDense(5, 3, 14);
+  auto lhs = KroneckerMatVec(a, b, Vec(x));
+  auto rhs = Vec(Gemm(Gemm(b, x), a, Transpose::kNo, Transpose::kYes));
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-10);
+  }
+}
+
+TEST(NaiveKroneckerGramTest, MatchesTheorem31Factorisation) {
+  // The deliberately-naive O(r^4 n^2) contraction must equal
+  // Theta (x) Theta with Theta = V^T U (Theorem 3.1).
+  DenseMatrix v = RandomDense(30, 3, 15);
+  DenseMatrix u = RandomDense(30, 3, 16);
+  auto naive = NaiveKroneckerGram(v, u);
+  ASSERT_TRUE(naive.ok());
+  DenseMatrix theta = Gemm(v, u, Transpose::kYes, Transpose::kNo);
+  auto fast = KroneckerProduct(theta, theta);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_TRUE(MatricesNear(*naive, *fast, 1e-9));
+}
+
+TEST(NaiveKroneckerGramTest, BudgetGuard) {
+  MemoryBudget& budget = MemoryBudget::Global();
+  const int64_t old_limit = budget.limit_bytes();
+  budget.SetLimit(64);
+  auto gram = NaiveKroneckerGram(RandomDense(10, 4, 17), RandomDense(10, 4, 18));
+  budget.SetLimit(old_limit);
+  ASSERT_FALSE(gram.ok());
+  EXPECT_TRUE(gram.status().IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace csrplus::linalg

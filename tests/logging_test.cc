@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace csrplus {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, SetAndGetLevel) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotCrash) {
+  SetLogLevel(LogLevel::kOff);
+  CSR_LOG_DEBUG << "suppressed " << 1;
+  CSR_LOG_INFO << "suppressed " << 2.5;
+  CSR_LOG_WARN << "suppressed " << "three";
+  CSR_LOG_ERROR << "suppressed";
+}
+
+TEST_F(LoggingTest, EmittedMessagesDoNotCrash) {
+  SetLogLevel(LogLevel::kDebug);
+  CSR_LOG_DEBUG << "visible debug";
+  CSR_LOG_ERROR << "visible error with value " << 42;
+}
+
+TEST_F(LoggingTest, LevelOrderingIsMonotonic) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn),
+            static_cast<int>(LogLevel::kError));
+  EXPECT_LT(static_cast<int>(LogLevel::kError),
+            static_cast<int>(LogLevel::kOff));
+}
+
+}  // namespace
+}  // namespace csrplus

@@ -1,0 +1,95 @@
+#include "linalg/lu.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_ops.h"
+#include "test_util.h"
+
+namespace csrplus::linalg {
+namespace {
+
+using csrplus::testing::MatricesNear;
+using csrplus::testing::RandomDense;
+
+TEST(LuTest, SolvesKnownSystem) {
+  DenseMatrix a{{2, 1}, {1, 3}};
+  auto lu = LuFactorization::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  auto x = lu->Solve({5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, SolveMatrixMatchesPerColumn) {
+  DenseMatrix a = RandomDense(6, 6, 42);
+  DenseMatrix b = RandomDense(6, 3, 43);
+  auto lu = LuFactorization::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  auto x = lu->SolveMatrix(b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(MatricesNear(Gemm(a, *x), b, 1e-9));
+}
+
+TEST(LuTest, InverseTimesMatrixIsIdentity) {
+  DenseMatrix a = RandomDense(5, 5, 7);
+  auto lu = LuFactorization::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  auto inv = lu->Inverse();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(MatricesNear(Gemm(a, *inv), DenseMatrix::Identity(5), 1e-9));
+  EXPECT_TRUE(MatricesNear(Gemm(*inv, a), DenseMatrix::Identity(5), 1e-9));
+}
+
+TEST(LuTest, PivotingHandlesZeroLeadingEntry) {
+  DenseMatrix a{{0, 1}, {1, 0}};
+  auto lu = LuFactorization::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  auto x = lu->Solve({2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-14);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-14);
+}
+
+TEST(LuTest, SingularMatrixFails) {
+  DenseMatrix a{{1, 2}, {2, 4}};
+  auto lu = LuFactorization::Compute(a);
+  ASSERT_FALSE(lu.ok());
+  EXPECT_TRUE(lu.status().IsNumericalError());
+}
+
+TEST(LuTest, NonSquareFails) {
+  EXPECT_TRUE(
+      LuFactorization::Compute(DenseMatrix(2, 3)).status().IsInvalidArgument());
+}
+
+TEST(LuTest, RhsSizeMismatchFails) {
+  auto lu = LuFactorization::Compute(DenseMatrix::Identity(3));
+  ASSERT_TRUE(lu.ok());
+  EXPECT_TRUE(lu->Solve({1, 2}).status().IsInvalidArgument());
+}
+
+TEST(SolveLinearSystemTest, OneShotWrapper) {
+  DenseMatrix a = RandomDense(4, 4, 11);
+  DenseMatrix b = RandomDense(4, 2, 12);
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(MatricesNear(Gemm(a, *x), b, 1e-9));
+}
+
+TEST(LuTest, IllConditionedStillAccurateEnough) {
+  // Hilbert-like 4x4: condition ~1e4, solution must hold to ~1e-8.
+  DenseMatrix h(4, 4);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      h(i, j) = 1.0 / static_cast<double>(i + j + 1);
+    }
+  }
+  DenseMatrix b = RandomDense(4, 1, 5);
+  auto x = SolveLinearSystem(h, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(MatricesNear(Gemm(h, *x), b, 1e-8));
+}
+
+}  // namespace
+}  // namespace csrplus::linalg

@@ -1,0 +1,72 @@
+#include "common/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace csrplus {
+namespace {
+
+TEST(MemoryBudgetTest, ReservationUnderLimitSucceeds) {
+  MemoryBudget budget = MemoryBudget::Global();  // copy with same limit
+  EXPECT_TRUE(budget.TryReserve(1024, "small buffer").ok());
+}
+
+TEST(MemoryBudgetTest, ReservationOverLimitFails) {
+  MemoryBudget budget = MemoryBudget::Global();
+  budget.SetLimit(1000);
+  Status s = budget.TryReserve(1001, "big buffer");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_NE(s.message().find("big buffer"), std::string::npos);
+}
+
+TEST(MemoryBudgetTest, ExactLimitSucceeds) {
+  MemoryBudget budget = MemoryBudget::Global();
+  budget.SetLimit(1000);
+  EXPECT_TRUE(budget.TryReserve(1000, "boundary").ok());
+}
+
+TEST(MemoryBudgetTest, NegativeReservationIsInvalid) {
+  MemoryBudget budget = MemoryBudget::Global();
+  EXPECT_TRUE(budget.TryReserve(-1, "negative").IsInvalidArgument());
+}
+
+TEST(MemoryTrackingTest, InactiveWithoutHooks) {
+  // Unit-test binaries do not link the operator new/delete hooks; counters
+  // must read zero and the active flag false.
+  EXPECT_FALSE(MemoryTrackingActive());
+  EXPECT_EQ(GetTrackedMemory().current_bytes, 0);
+}
+
+TEST(MemoryTrackingTest, ManualRecordingUpdatesCounters) {
+  internal::RecordAlloc(4096);
+  MemoryStats stats = GetTrackedMemory();
+  EXPECT_GE(stats.current_bytes, 4096);
+  EXPECT_GE(stats.peak_bytes, 4096);
+  internal::RecordFree(4096);
+  EXPECT_EQ(GetTrackedMemory().current_bytes, stats.current_bytes - 4096);
+}
+
+TEST(MemoryTrackingTest, ResetPeakDropsToCurrent) {
+  internal::RecordAlloc(1 << 20);
+  internal::RecordFree(1 << 20);
+  ResetPeakTrackedBytes();
+  MemoryStats stats = GetTrackedMemory();
+  EXPECT_EQ(stats.peak_bytes, stats.current_bytes);
+}
+
+TEST(RssTest, RssReadersReturnPlausibleValues) {
+  const int64_t current = CurrentRssBytes();
+  const int64_t peak = PeakRssBytes();
+  EXPECT_GT(current, 0);
+  EXPECT_GE(peak, current / 2);  // peak >= a good chunk of current
+}
+
+TEST(FormatBytesTest, PicksHumanUnits) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(3 << 20), "3.00 MiB");
+  EXPECT_EQ(FormatBytes(5LL << 30), "5.00 GiB");
+}
+
+}  // namespace
+}  // namespace csrplus

@@ -1,0 +1,65 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace csrplus::eval {
+namespace {
+
+TEST(AvgDiffTest, ZeroForIdenticalMatrices) {
+  DenseMatrix a = csrplus::testing::RandomDense(10, 4, 1);
+  EXPECT_EQ(AvgDiff(a, a), 0.0);
+}
+
+TEST(AvgDiffTest, MatchesHandComputedValue) {
+  DenseMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  DenseMatrix b{{1.5, 2.0}, {3.0, 3.0}};
+  // |0.5| + 0 + 0 + |1.0| over 4 entries = 0.375.
+  EXPECT_DOUBLE_EQ(AvgDiff(a, b), 0.375);
+}
+
+TEST(AvgDiffTest, SymmetricInArguments) {
+  DenseMatrix a = csrplus::testing::RandomDense(6, 3, 2);
+  DenseMatrix b = csrplus::testing::RandomDense(6, 3, 3);
+  EXPECT_DOUBLE_EQ(AvgDiff(a, b), AvgDiff(b, a));
+}
+
+TEST(MaxDiffTest, PicksLargestDeviation) {
+  DenseMatrix a{{0.0, 0.0}};
+  DenseMatrix b{{0.25, -0.75}};
+  EXPECT_DOUBLE_EQ(MaxDiff(a, b), 0.75);
+}
+
+TEST(MaxDiffTest, AtLeastAvgDiff) {
+  DenseMatrix a = csrplus::testing::RandomDense(8, 8, 4);
+  DenseMatrix b = csrplus::testing::RandomDense(8, 8, 5);
+  EXPECT_GE(MaxDiff(a, b), AvgDiff(a, b));
+}
+
+TEST(TopKOverlapTest, FullOverlapForIdenticalColumns) {
+  DenseMatrix a = csrplus::testing::RandomDense(50, 2, 6);
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, a, 0, 10), 1.0);
+}
+
+TEST(TopKOverlapTest, DisjointTopSetsGiveZero) {
+  DenseMatrix a(6, 1);
+  DenseMatrix b(6, 1);
+  // Top-3 of a = {0,1,2}; top-3 of b = {3,4,5}.
+  for (linalg::Index i = 0; i < 3; ++i) a(i, 0) = 10.0 - static_cast<double>(i);
+  for (linalg::Index i = 3; i < 6; ++i) b(i, 0) = 10.0 - static_cast<double>(i - 3);
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 0, 3), 0.0);
+}
+
+TEST(TopKOverlapTest, PartialOverlapCounted) {
+  DenseMatrix a(4, 1);
+  DenseMatrix b(4, 1);
+  a(0, 0) = 2.0;
+  a(1, 0) = 1.0;  // top-2 of a = {0, 1}
+  b(1, 0) = 2.0;
+  b(2, 0) = 1.0;  // top-2 of b = {1, 2}
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 0, 2), 0.5);
+}
+
+}  // namespace
+}  // namespace csrplus::eval

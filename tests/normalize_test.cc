@@ -1,0 +1,76 @@
+#include "graph/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace csrplus::graph {
+namespace {
+
+using linalg::Index;
+
+TEST(NormalizeTest, Figure1TransitionMatchesPaperExample36) {
+  // Example 3.6 prints the column-normalised Q of the Figure 1 graph; check
+  // every nonzero against the printed matrix (a..f = 0..5).
+  Graph g = csrplus::testing::Figure1Graph();
+  linalg::CsrMatrix q = ColumnNormalizedTransition(g);
+
+  const double third = 1.0 / 3.0;
+  EXPECT_DOUBLE_EQ(q.At(3, 0), 1.0);    // column a: d
+  EXPECT_DOUBLE_EQ(q.At(0, 1), third);  // column b: a, c, e
+  EXPECT_DOUBLE_EQ(q.At(2, 1), third);
+  EXPECT_DOUBLE_EQ(q.At(4, 1), third);
+  EXPECT_DOUBLE_EQ(q.At(3, 2), 1.0);    // column c: d
+  EXPECT_DOUBLE_EQ(q.At(0, 3), third);  // column d: a, e, f
+  EXPECT_DOUBLE_EQ(q.At(4, 3), third);
+  EXPECT_DOUBLE_EQ(q.At(5, 3), third);
+  EXPECT_DOUBLE_EQ(q.At(2, 4), 0.5);    // column e: c, f
+  EXPECT_DOUBLE_EQ(q.At(5, 4), 0.5);
+  EXPECT_DOUBLE_EQ(q.At(3, 5), 1.0);    // column f: d
+  EXPECT_EQ(q.nnz(), 11);
+}
+
+TEST(NormalizeTest, ColumnsSumToOneOrZero) {
+  Graph g = csrplus::testing::RandomGraph(80, 500, 17);
+  linalg::CsrMatrix q = ColumnNormalizedTransition(g);
+  std::vector<double> sums = q.ColumnSums();
+  for (Index v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) > 0) {
+      EXPECT_NEAR(sums[static_cast<std::size_t>(v)], 1.0, 1e-12);
+    } else {
+      EXPECT_EQ(sums[static_cast<std::size_t>(v)], 0.0);
+    }
+  }
+}
+
+TEST(NormalizeTest, RowNormalizedRowsSumToOneOrZero) {
+  Graph g = csrplus::testing::RandomGraph(80, 500, 19);
+  linalg::CsrMatrix p = RowNormalizedTransition(g);
+  std::vector<double> sums = p.RowSums();
+  for (Index u = 0; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) > 0) {
+      EXPECT_NEAR(sums[static_cast<std::size_t>(u)], 1.0, 1e-12);
+    } else {
+      EXPECT_EQ(sums[static_cast<std::size_t>(u)], 0.0);
+    }
+  }
+}
+
+TEST(NormalizeTest, StructureUnchanged) {
+  Graph g = csrplus::testing::RandomGraph(40, 200, 23);
+  linalg::CsrMatrix q = ColumnNormalizedTransition(g);
+  EXPECT_EQ(q.nnz(), g.num_edges());
+  EXPECT_EQ(q.col_index(), g.adjacency().col_index());
+}
+
+TEST(NormalizeTest, DanglingInNodeGivesZeroColumn) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);  // node 2 has in-degree 0
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  linalg::CsrMatrix q = ColumnNormalizedTransition(*g);
+  EXPECT_EQ(q.ColumnSums()[2], 0.0);
+}
+
+}  // namespace
+}  // namespace csrplus::graph

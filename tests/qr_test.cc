@@ -1,0 +1,113 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/dense_ops.h"
+#include "test_util.h"
+
+namespace csrplus::linalg {
+namespace {
+
+using csrplus::testing::MatricesNear;
+using csrplus::testing::RandomDense;
+
+void ExpectOrthonormalColumns(const DenseMatrix& q, double tol) {
+  DenseMatrix gram = Gemm(q, q, Transpose::kYes, Transpose::kNo);
+  EXPECT_TRUE(MatricesNear(gram, DenseMatrix::Identity(q.cols()), tol));
+}
+
+TEST(QrTest, ReconstructsTallMatrix) {
+  DenseMatrix a = RandomDense(20, 6, 42);
+  auto qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->q.rows(), 20);
+  EXPECT_EQ(qr->q.cols(), 6);
+  EXPECT_EQ(qr->r.rows(), 6);
+  EXPECT_TRUE(MatricesNear(Gemm(qr->q, qr->r), a, 1e-10));
+}
+
+TEST(QrTest, QHasOrthonormalColumns) {
+  DenseMatrix a = RandomDense(30, 8, 7);
+  auto qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  ExpectOrthonormalColumns(qr->q, 1e-12);
+}
+
+TEST(QrTest, RIsUpperTriangular) {
+  DenseMatrix a = RandomDense(10, 5, 9);
+  auto qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  for (Index i = 1; i < 5; ++i) {
+    for (Index j = 0; j < i; ++j) EXPECT_EQ(qr->r(i, j), 0.0);
+  }
+}
+
+TEST(QrTest, SquareMatrix) {
+  DenseMatrix a = RandomDense(6, 6, 13);
+  auto qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(MatricesNear(Gemm(qr->q, qr->r), a, 1e-10));
+  ExpectOrthonormalColumns(qr->q, 1e-12);
+}
+
+TEST(QrTest, WideMatrixIsRejected) {
+  DenseMatrix a = RandomDense(3, 5, 1);
+  auto qr = HouseholderQr(a);
+  ASSERT_FALSE(qr.ok());
+  EXPECT_TRUE(qr.status().IsInvalidArgument());
+}
+
+TEST(QrTest, SingleColumnNormalises) {
+  DenseMatrix a(4, 1);
+  a(0, 0) = 3.0;
+  a(2, 0) = 4.0;
+  auto qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_NEAR(std::fabs(qr->r(0, 0)), 5.0, 1e-12);
+  ExpectOrthonormalColumns(qr->q, 1e-12);
+}
+
+TEST(QrTest, ToleratesZeroColumn) {
+  DenseMatrix a = RandomDense(8, 3, 21);
+  for (Index i = 0; i < 8; ++i) a(i, 1) = 0.0;
+  auto qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  // Reconstruction must still hold; Q may have an arbitrary column where the
+  // input column was zero.
+  EXPECT_TRUE(MatricesNear(Gemm(qr->q, qr->r), a, 1e-10));
+}
+
+TEST(QrTest, ToleratesLinearlyDependentColumns) {
+  DenseMatrix a = RandomDense(10, 2, 33);
+  DenseMatrix dep(10, 3);
+  for (Index i = 0; i < 10; ++i) {
+    dep(i, 0) = a(i, 0);
+    dep(i, 1) = a(i, 1);
+    dep(i, 2) = 2.0 * a(i, 0) - a(i, 1);
+  }
+  auto qr = HouseholderQr(dep);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(MatricesNear(Gemm(qr->q, qr->r), dep, 1e-10));
+  EXPECT_NEAR(qr->r(2, 2), 0.0, 1e-10);
+}
+
+TEST(OrthonormalizeColumnsTest, InPlaceOrthonormalisation) {
+  DenseMatrix a = RandomDense(15, 4, 55);
+  ASSERT_TRUE(OrthonormalizeColumns(&a).ok());
+  ExpectOrthonormalColumns(a, 1e-12);
+}
+
+TEST(QrTest, PreservesColumnSpan) {
+  // Q Q^T a_j must equal a_j for every original column (span preserved).
+  DenseMatrix a = RandomDense(12, 4, 77);
+  auto qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  DenseMatrix projector =
+      Gemm(qr->q, qr->q, Transpose::kNo, Transpose::kYes);
+  EXPECT_TRUE(MatricesNear(Gemm(projector, a), a, 1e-10));
+}
+
+}  // namespace
+}  // namespace csrplus::linalg

@@ -1,0 +1,109 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/memory.h"
+#include "eval/metrics.h"
+#include "graph/normalize.h"
+#include "test_util.h"
+
+namespace csrplus::eval {
+namespace {
+
+using csrplus::testing::RandomGraph;
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = csrplus::testing::RandomGraph(80, 500, 21);
+    transition_ = graph::ColumnNormalizedTransition(graph_);
+    queries_ = {3, 17, 42, 77};
+  }
+  graph::Graph graph_;
+  CsrMatrix transition_;
+  std::vector<Index> queries_;
+};
+
+TEST_F(RunnerTest, MethodNamesAreStable) {
+  EXPECT_EQ(MethodName(Method::kCsrPlus), "CSR+");
+  EXPECT_EQ(MethodName(Method::kCsrNi), "CSR-NI");
+  EXPECT_EQ(MethodName(Method::kCsrIt), "CSR-IT");
+  EXPECT_EQ(MethodName(Method::kCsrRls), "CSR-RLS");
+  EXPECT_EQ(MethodName(Method::kCoSimMate), "CoSimMate");
+  EXPECT_EQ(MethodName(Method::kRpCoSim), "RP-CoSim");
+}
+
+TEST_F(RunnerTest, PaperMethodsListsTheFourRivals) {
+  const auto& methods = PaperMethods();
+  ASSERT_EQ(methods.size(), 4u);
+  EXPECT_EQ(methods[0], Method::kCsrPlus);
+}
+
+TEST_F(RunnerTest, EveryMethodProducesScores) {
+  RunConfig config;
+  config.ni_fidelity = baselines::NiFidelity::kMixedProduct;
+  for (Method method :
+       {Method::kCsrPlus, Method::kCsrNi, Method::kCsrIt, Method::kCsrRls,
+        Method::kCoSimMate, Method::kRpCoSim}) {
+    RunOutcome outcome = RunMethod(method, transition_, queries_, config);
+    ASSERT_TRUE(outcome.status.ok())
+        << MethodName(method) << ": " << outcome.status.ToString();
+    EXPECT_EQ(outcome.scores.rows(), 80) << MethodName(method);
+    EXPECT_EQ(outcome.scores.cols(), 4) << MethodName(method);
+    EXPECT_GE(outcome.total_seconds(), 0.0);
+  }
+}
+
+TEST_F(RunnerTest, ExactMethodsProduceIdenticalScores) {
+  RunConfig config;
+  RunOutcome it = RunMethod(Method::kCsrIt, transition_, queries_, config);
+  RunOutcome rls = RunMethod(Method::kCsrRls, transition_, queries_, config);
+  ASSERT_TRUE(it.status.ok() && rls.status.ok());
+  EXPECT_LT(MaxDiff(it.scores, rls.scores), 1e-10);
+}
+
+TEST_F(RunnerTest, CsrPlusTracksExactWithinRankError) {
+  RunConfig config;
+  config.rank = 80;  // full rank: only the series truncation remains
+  RunOutcome plus = RunMethod(Method::kCsrPlus, transition_, queries_, config);
+  RunOutcome it = RunMethod(Method::kCsrIt, transition_, queries_, config);
+  ASSERT_TRUE(plus.status.ok() && it.status.ok());
+  EXPECT_LT(AvgDiff(plus.scores, it.scores), 1e-3);
+}
+
+TEST_F(RunnerTest, MemoryFailureSurfacesAsResourceExhausted) {
+  MemoryBudget& budget = MemoryBudget::Global();
+  const int64_t old_limit = budget.limit_bytes();
+  budget.SetLimit(1 << 10);
+  RunConfig config;
+  RunOutcome outcome = RunMethod(Method::kCsrIt, transition_, queries_, config);
+  budget.SetLimit(old_limit);
+  ASSERT_FALSE(outcome.status.ok());
+  EXPECT_TRUE(outcome.status.IsResourceExhausted());
+  EXPECT_EQ(OutcomeLabel(outcome), "FAIL(mem)");
+}
+
+TEST_F(RunnerTest, OutcomeLabelForSuccess) {
+  RunConfig config;
+  RunOutcome outcome = RunMethod(Method::kCsrPlus, transition_, queries_, config);
+  EXPECT_EQ(OutcomeLabel(outcome), "OK");
+}
+
+TEST_F(RunnerTest, KeepScoresFalseDropsBlock) {
+  RunConfig config;
+  config.keep_scores = false;
+  RunOutcome outcome = RunMethod(Method::kCsrPlus, transition_, queries_, config);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_TRUE(outcome.scores.empty());
+}
+
+TEST_F(RunnerTest, CsrRlsHasNoPrecomputePhase) {
+  RunConfig config;
+  RunOutcome outcome = RunMethod(Method::kCsrRls, transition_, queries_, config);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.precompute.seconds, 0.0);
+  EXPECT_GT(outcome.query.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace csrplus::eval

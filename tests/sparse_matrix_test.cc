@@ -1,0 +1,166 @@
+#include "linalg/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_ops.h"
+#include "test_util.h"
+
+namespace csrplus::linalg {
+namespace {
+
+using csrplus::testing::MatricesNear;
+using csrplus::testing::RandomDense;
+using csrplus::testing::RandomSparse;
+
+CsrMatrix SmallCsr() {
+  // [ 0 2 0 ]
+  // [ 1 0 3 ]
+  CooMatrix coo(2, 3);
+  coo.Add(0, 1, 2.0);
+  coo.Add(1, 0, 1.0);
+  coo.Add(1, 2, 3.0);
+  return CsrMatrix::FromCoo(coo);
+}
+
+TEST(CsrFromCooTest, BasicStructure) {
+  CsrMatrix m = SmallCsr();
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.RowNnz(0), 1);
+  EXPECT_EQ(m.RowNnz(1), 2);
+  EXPECT_EQ(m.At(0, 1), 2.0);
+  EXPECT_EQ(m.At(1, 2), 3.0);
+  EXPECT_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(CsrFromCooTest, DuplicatesAreSummed) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 0, 1.0);
+  coo.Add(0, 0, 2.5);
+  coo.Add(1, 1, -1.0);
+  CsrMatrix m = CsrMatrix::FromCoo(coo);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.At(0, 0), 3.5);
+}
+
+TEST(CsrFromCooTest, ColumnsSortedWithinRow) {
+  CooMatrix coo(1, 5);
+  coo.Add(0, 4, 1.0);
+  coo.Add(0, 1, 1.0);
+  coo.Add(0, 3, 1.0);
+  CsrMatrix m = CsrMatrix::FromCoo(coo);
+  ASSERT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.col_index()[0], 1);
+  EXPECT_EQ(m.col_index()[1], 3);
+  EXPECT_EQ(m.col_index()[2], 4);
+}
+
+TEST(CsrFromCooTest, EmptyMatrix) {
+  CooMatrix coo(3, 3);
+  CsrMatrix m = CsrMatrix::FromCoo(coo);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.RowNnz(1), 0);
+}
+
+TEST(CsrIdentityTest, DiagonalOnes) {
+  CsrMatrix id = CsrMatrix::Identity(4);
+  EXPECT_EQ(id.nnz(), 4);
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(id.At(i, i), 1.0);
+  EXPECT_EQ(id.At(0, 1), 0.0);
+}
+
+TEST(CsrTransposeTest, TransposeMatchesDense) {
+  CsrMatrix m = RandomSparse(8, 5, 20, 99);
+  CsrMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 5);
+  EXPECT_EQ(t.cols(), 8);
+  EXPECT_TRUE(MatricesNear(t.ToDense(), m.ToDense().Transposed(), 1e-14));
+}
+
+TEST(CsrTransposeTest, DoubleTransposeIsIdentity) {
+  CsrMatrix m = RandomSparse(10, 10, 40, 7);
+  EXPECT_TRUE(
+      MatricesNear(m.Transposed().Transposed().ToDense(), m.ToDense(), 0.0));
+}
+
+TEST(SpMvTest, MatchesDenseProduct) {
+  CsrMatrix m = RandomSparse(12, 9, 50, 3);
+  DenseMatrix d = m.ToDense();
+  std::vector<double> x(9);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i) - 4;
+  auto sparse_y = m.Multiply(x);
+  auto dense_y = MatVec(d, x);
+  for (std::size_t i = 0; i < sparse_y.size(); ++i) {
+    EXPECT_NEAR(sparse_y[i], dense_y[i], 1e-12);
+  }
+}
+
+TEST(SpMvTest, TransposeMatchesDenseProduct) {
+  CsrMatrix m = RandomSparse(12, 9, 50, 3);
+  DenseMatrix d = m.ToDense();
+  std::vector<double> x(12);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1.0 / (1.0 + static_cast<double>(i));
+  auto sparse_y = m.MultiplyTranspose(x);
+  auto dense_y = MatVec(d, x, Transpose::kYes);
+  for (std::size_t i = 0; i < sparse_y.size(); ++i) {
+    EXPECT_NEAR(sparse_y[i], dense_y[i], 1e-12);
+  }
+}
+
+TEST(SpMmTest, DenseRightMatchesGemm) {
+  CsrMatrix m = RandomSparse(10, 8, 40, 17);
+  DenseMatrix b = RandomDense(8, 4, 18);
+  EXPECT_TRUE(MatricesNear(m.MultiplyDense(b), Gemm(m.ToDense(), b), 1e-12));
+}
+
+TEST(SpMmTest, TransposeDenseRightMatchesGemm) {
+  CsrMatrix m = RandomSparse(10, 8, 40, 19);
+  DenseMatrix b = RandomDense(10, 4, 20);
+  EXPECT_TRUE(MatricesNear(m.MultiplyTransposeDense(b),
+                           Gemm(m.ToDense(), b, Transpose::kYes), 1e-12));
+}
+
+TEST(SpMmTest, TransposeDenseIntoReusesBuffer) {
+  CsrMatrix m = RandomSparse(10, 8, 40, 21);
+  DenseMatrix b = RandomDense(10, 4, 22);
+  DenseMatrix out(8, 4);
+  out(0, 0) = 999.0;  // stale contents must be cleared
+  m.MultiplyTransposeDenseInto(b, &out);
+  EXPECT_TRUE(MatricesNear(out, m.MultiplyTransposeDense(b), 0.0));
+  // Second use with different b works without reallocation.
+  DenseMatrix b2 = RandomDense(10, 4, 23);
+  m.MultiplyTransposeDenseInto(b2, &out);
+  EXPECT_TRUE(MatricesNear(out, m.MultiplyTransposeDense(b2), 0.0));
+}
+
+TEST(SumsTest, RowAndColumnSums) {
+  CsrMatrix m = SmallCsr();
+  EXPECT_EQ(m.RowSums(), (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(m.ColumnSums(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(ScaleTest, ScaleColumnsAndRows) {
+  CsrMatrix m = SmallCsr();
+  m.ScaleColumns({10, 100, 1000});
+  EXPECT_EQ(m.At(0, 1), 200.0);
+  EXPECT_EQ(m.At(1, 0), 10.0);
+  m.ScaleRows({2, 0.5});
+  EXPECT_EQ(m.At(0, 1), 400.0);
+  EXPECT_EQ(m.At(1, 2), 1500.0);
+}
+
+TEST(FromPartsTest, RoundTripsArrays) {
+  CsrMatrix m = CsrMatrix::FromParts(2, 2, {0, 1, 2}, {1, 0}, {5.0, 6.0});
+  EXPECT_EQ(m.At(0, 1), 5.0);
+  EXPECT_EQ(m.At(1, 0), 6.0);
+}
+
+TEST(AllocatedBytesTest, GrowsWithNnz) {
+  CsrMatrix small = RandomSparse(10, 10, 10, 1);
+  CsrMatrix big = RandomSparse(10, 10, 90, 1);
+  EXPECT_GT(big.AllocatedBytes(), small.AllocatedBytes());
+}
+
+}  // namespace
+}  // namespace csrplus::linalg

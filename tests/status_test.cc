@@ -1,0 +1,120 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace csrplus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rank");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad rank");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad rank");
+}
+
+TEST(StatusTest, AllCodesRoundTripThroughNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNumericalError), "NumericalError");
+}
+
+TEST(StatusTest, PredicatesMatchOnlyTheirCode) {
+  Status s = Status::ResourceExhausted("x");
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_FALSE(s.IsIOError());
+  EXPECT_FALSE(s.IsInvalidArgument());
+}
+
+TEST(StatusTest, WithContextPrependsOnErrors) {
+  Status s = Status::IOError("disk gone").WithContext("loading graph");
+  EXPECT_EQ(s.message(), "loading graph: disk gone");
+  EXPECT_TRUE(s.IsIOError());
+}
+
+TEST(StatusTest, WithContextIsNoOpOnOk) {
+  Status s = Status::OK().WithContext("ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IOError("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace {
+Status FailingFn() { return Status::IOError("inner"); }
+
+Status Propagates() {
+  CSR_RETURN_IF_ERROR(FailingFn());
+  return Status::OK();
+}
+
+Result<int> MakeValue(bool ok) {
+  if (!ok) return Status::InvalidArgument("nope");
+  return 7;
+}
+
+Result<int> UsesAssignOrReturn(bool ok) {
+  CSR_ASSIGN_OR_RETURN(int v, MakeValue(ok));
+  return v + 1;
+}
+}  // namespace
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Propagates().IsIOError());
+}
+
+TEST(StatusMacrosTest, AssignOrReturnHappyPath) {
+  Result<int> r = UsesAssignOrReturn(true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 8);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnErrorPath) {
+  Result<int> r = UsesAssignOrReturn(false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace csrplus

@@ -1,0 +1,59 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace csrplus {
+namespace {
+
+TEST(SplitFieldsTest, SplitsOnWhitespaceRuns) {
+  auto fields = SplitFields("  12\t34  56 ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "12");
+  EXPECT_EQ(fields[1], "34");
+  EXPECT_EQ(fields[2], "56");
+}
+
+TEST(SplitFieldsTest, EmptyInputYieldsNoFields) {
+  EXPECT_TRUE(SplitFields("").empty());
+  EXPECT_TRUE(SplitFields("   \t ").empty());
+}
+
+TEST(SplitFieldsTest, CustomDelimiters) {
+  auto fields = SplitFields("a,b,,c", ",");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y \r\n"), "x y");
+  EXPECT_EQ(StripWhitespace("xy"), "xy");
+  EXPECT_EQ(StripWhitespace("  "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("# comment", "#"));
+  EXPECT_FALSE(StartsWith("x# comment", "#"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(StrPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrPrintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrPrintf("empty"), "empty");
+}
+
+TEST(StrPrintfTest, LongOutputIsNotTruncated) {
+  std::string big(500, 'a');
+  EXPECT_EQ(StrPrintf("%s", big.c_str()).size(), 500u);
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace csrplus

@@ -1,0 +1,188 @@
+#include "svd/truncated_svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/dense_ops.h"
+#include "linalg/jacobi.h"
+#include "test_util.h"
+
+namespace csrplus::svd {
+namespace {
+
+using csrplus::testing::MatricesNear;
+using csrplus::testing::RandomSparse;
+using linalg::Transpose;
+
+// A sparse matrix with a planted rapidly-decaying spectrum so truncation
+// error is predictable.
+CsrMatrix PlantedLowRank(Index n, Index true_rank, uint64_t seed) {
+  // Sum of r sparse rank-1 contributions would densify; instead use a block
+  // diagonal with decaying scales plus noise.
+  Rng rng(seed);
+  linalg::CooMatrix coo(n, n);
+  for (Index k = 0; k < true_rank; ++k) {
+    const double scale = std::pow(0.5, static_cast<double>(k));
+    // A dense-ish block of size n/true_rank on the diagonal.
+    const Index lo = k * (n / true_rank);
+    const Index hi = std::min<Index>(n, lo + n / true_rank);
+    for (Index i = lo; i < hi; ++i) {
+      for (Index j = lo; j < hi; ++j) {
+        coo.Add(i, j, scale * (1.0 + 0.01 * rng.Gaussian()));
+      }
+    }
+  }
+  return CsrMatrix::FromCoo(coo);
+}
+
+class TruncatedSvdBothEngines
+    : public ::testing::TestWithParam<SvdAlgorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, TruncatedSvdBothEngines,
+                         ::testing::Values(SvdAlgorithm::kRandomized,
+                                           SvdAlgorithm::kLanczos),
+                         [](const auto& info) {
+                           return info.param == SvdAlgorithm::kRandomized
+                                      ? "Randomized"
+                                      : "Lanczos";
+                         });
+
+TEST_P(TruncatedSvdBothEngines, FactorsHaveRightShapes) {
+  CsrMatrix a = RandomSparse(40, 40, 200, 1);
+  SvdOptions options;
+  options.rank = 6;
+  options.algorithm = GetParam();
+  auto svd = ComputeTruncatedSvd(a, options);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->u.rows(), 40);
+  EXPECT_EQ(svd->u.cols(), 6);
+  EXPECT_EQ(svd->v.rows(), 40);
+  EXPECT_EQ(svd->v.cols(), 6);
+  EXPECT_EQ(svd->rank(), 6);
+}
+
+TEST_P(TruncatedSvdBothEngines, FactorsOrthonormal) {
+  CsrMatrix a = RandomSparse(50, 50, 300, 2);
+  SvdOptions options;
+  options.rank = 8;
+  options.algorithm = GetParam();
+  auto svd = ComputeTruncatedSvd(a, options);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_TRUE(MatricesNear(
+      linalg::Gemm(svd->u, svd->u, Transpose::kYes, Transpose::kNo),
+      linalg::DenseMatrix::Identity(8), 1e-9));
+  EXPECT_TRUE(MatricesNear(
+      linalg::Gemm(svd->v, svd->v, Transpose::kYes, Transpose::kNo),
+      linalg::DenseMatrix::Identity(8), 1e-9));
+}
+
+TEST_P(TruncatedSvdBothEngines, SigmaDescendingNonNegative) {
+  CsrMatrix a = RandomSparse(30, 30, 150, 3);
+  SvdOptions options;
+  options.rank = 5;
+  options.algorithm = GetParam();
+  auto svd = ComputeTruncatedSvd(a, options);
+  ASSERT_TRUE(svd.ok());
+  for (std::size_t i = 0; i < svd->sigma.size(); ++i) {
+    EXPECT_GE(svd->sigma[i], 0.0);
+    if (i > 0) EXPECT_GE(svd->sigma[i - 1] + 1e-12, svd->sigma[i]);
+  }
+}
+
+TEST_P(TruncatedSvdBothEngines, FullRankReconstructsExactly) {
+  CsrMatrix a = RandomSparse(20, 20, 80, 4);
+  SvdOptions options;
+  options.rank = 20;
+  options.algorithm = GetParam();
+  auto svd = ComputeTruncatedSvd(a, options);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(ReconstructionErrorFrobenius(a, *svd), 1e-8);
+}
+
+TEST_P(TruncatedSvdBothEngines, SigmaMatchesDenseJacobiSvd) {
+  // A decaying spectrum (with clear gaps) is required for a truncated sketch
+  // SVD to recover leading singular values to high precision; a flat random
+  // spectrum only admits coarse estimates.
+  CsrMatrix a = PlantedLowRank(60, 6, 5);
+  SvdOptions options;
+  options.rank = 4;
+  options.power_iterations = 4;
+  options.algorithm = GetParam();
+  auto svd = ComputeTruncatedSvd(a, options);
+  ASSERT_TRUE(svd.ok());
+  auto dense = linalg::OneSidedJacobiSvd(a.ToDense());
+  ASSERT_TRUE(dense.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(svd->sigma[i], dense->sigma[i], 1e-6 * dense->sigma[0]);
+  }
+}
+
+TEST_P(TruncatedSvdBothEngines, ErrorDecreasesWithRank) {
+  CsrMatrix a = PlantedLowRank(64, 8, 6);
+  SvdOptions options;
+  options.algorithm = GetParam();
+  double prev_error = 1e300;
+  for (Index r : {2, 4, 8}) {
+    options.rank = r;
+    auto svd = ComputeTruncatedSvd(a, options);
+    ASSERT_TRUE(svd.ok());
+    const double err = ReconstructionErrorFrobenius(a, *svd);
+    EXPECT_LE(err, prev_error + 1e-9);
+    prev_error = err;
+  }
+  // Rank == planted rank captures nearly everything.
+  EXPECT_LT(prev_error, 0.2);
+}
+
+TEST_P(TruncatedSvdBothEngines, DeterministicForFixedSeed) {
+  CsrMatrix a = RandomSparse(30, 30, 150, 7);
+  SvdOptions options;
+  options.rank = 5;
+  options.algorithm = GetParam();
+  auto first = ComputeTruncatedSvd(a, options);
+  auto second = ComputeTruncatedSvd(a, options);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_TRUE(MatricesNear(first->u, second->u, 0.0));
+  EXPECT_EQ(first->sigma, second->sigma);
+}
+
+TEST(TruncatedSvdTest, RejectsBadRank) {
+  CsrMatrix a = RandomSparse(10, 10, 30, 8);
+  SvdOptions options;
+  options.rank = 0;
+  EXPECT_TRUE(ComputeTruncatedSvd(a, options).status().IsInvalidArgument());
+  options.rank = 11;
+  EXPECT_TRUE(ComputeTruncatedSvd(a, options).status().IsInvalidArgument());
+}
+
+TEST(TruncatedSvdTest, RectangularMatrixSupported) {
+  CsrMatrix a = RandomSparse(30, 12, 100, 9);
+  SvdOptions options;
+  options.rank = 4;
+  auto svd = ComputeTruncatedSvd(a, options);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->u.rows(), 30);
+  EXPECT_EQ(svd->v.rows(), 12);
+}
+
+TEST(TruncatedSvdTest, EnginesAgreeOnSigma) {
+  // On a gapped spectrum both engines converge to the true leading values,
+  // so they must agree with each other to high precision.
+  CsrMatrix a = PlantedLowRank(64, 8, 10);
+  SvdOptions options;
+  options.rank = 5;
+  options.power_iterations = 4;
+  options.algorithm = SvdAlgorithm::kRandomized;
+  auto randomized = ComputeTruncatedSvd(a, options);
+  options.algorithm = SvdAlgorithm::kLanczos;
+  auto lanczos = ComputeTruncatedSvd(a, options);
+  ASSERT_TRUE(randomized.ok() && lanczos.ok());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(randomized->sigma[i], lanczos->sigma[i],
+                1e-6 * randomized->sigma[0]);
+  }
+}
+
+}  // namespace
+}  // namespace csrplus::svd

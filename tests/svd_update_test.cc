@@ -1,0 +1,150 @@
+#include "svd/update.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/dense_ops.h"
+#include "test_util.h"
+
+namespace csrplus::svd {
+namespace {
+
+using csrplus::testing::MatricesNear;
+using csrplus::testing::RandomSparse;
+using linalg::DenseMatrix;
+using linalg::Transpose;
+
+// Dense reconstruction U diag(S) V^T of the truncated factors.
+DenseMatrix Reconstruct(const TruncatedSvd& f) {
+  DenseMatrix us = f.u;
+  for (Index i = 0; i < us.rows(); ++i) {
+    for (Index j = 0; j < us.cols(); ++j) {
+      us(i, j) *= f.sigma[static_cast<std::size_t>(j)];
+    }
+  }
+  return linalg::Gemm(us, f.v, Transpose::kNo, Transpose::kYes);
+}
+
+TruncatedSvd FullRankFactors(const CsrMatrix& a) {
+  SvdOptions options;
+  options.rank = std::min(a.rows(), a.cols());
+  options.power_iterations = 4;
+  auto f = ComputeTruncatedSvd(a, options);
+  CSR_CHECK(f.ok()) << f.status().ToString();
+  return std::move(*f);
+}
+
+TEST(Rank1UpdateTest, ExactAtFullRank) {
+  // At full rank the update must track A + a b^T exactly.
+  CsrMatrix a = RandomSparse(12, 12, 60, 1);
+  TruncatedSvd f = FullRankFactors(a);
+
+  Rng rng(7);
+  std::vector<double> va(12), vb(12);
+  for (auto& x : va) x = rng.Gaussian();
+  for (auto& x : vb) x = rng.Gaussian();
+
+  ASSERT_TRUE(ApplyRank1Update(va, vb, &f).ok());
+
+  DenseMatrix expected = a.ToDense();
+  for (Index i = 0; i < 12; ++i) {
+    for (Index j = 0; j < 12; ++j) {
+      expected(i, j) += va[static_cast<std::size_t>(i)] *
+                        vb[static_cast<std::size_t>(j)];
+    }
+  }
+  EXPECT_TRUE(MatricesNear(Reconstruct(f), expected, 1e-9));
+}
+
+TEST(Rank1UpdateTest, FactorsStayOrthonormal) {
+  CsrMatrix a = RandomSparse(30, 30, 150, 2);
+  SvdOptions options;
+  options.rank = 6;
+  auto f = ComputeTruncatedSvd(a, options);
+  ASSERT_TRUE(f.ok());
+
+  Rng rng(11);
+  for (int update = 0; update < 10; ++update) {
+    std::vector<double> va(30), vb(30);
+    for (auto& x : va) x = 0.1 * rng.Gaussian();
+    for (auto& x : vb) x = 0.1 * rng.Gaussian();
+    ASSERT_TRUE(ApplyRank1Update(va, vb, &*f).ok());
+  }
+  EXPECT_TRUE(MatricesNear(
+      linalg::Gemm(f->u, f->u, Transpose::kYes, Transpose::kNo),
+      DenseMatrix::Identity(6), 1e-9));
+  EXPECT_TRUE(MatricesNear(
+      linalg::Gemm(f->v, f->v, Transpose::kYes, Transpose::kNo),
+      DenseMatrix::Identity(6), 1e-9));
+}
+
+TEST(Rank1UpdateTest, SigmaStaysSortedNonNegative) {
+  CsrMatrix a = RandomSparse(20, 20, 100, 3);
+  SvdOptions options;
+  options.rank = 5;
+  auto f = ComputeTruncatedSvd(a, options);
+  ASSERT_TRUE(f.ok());
+  Rng rng(13);
+  std::vector<double> va(20), vb(20);
+  for (auto& x : va) x = rng.Gaussian();
+  for (auto& x : vb) x = rng.Gaussian();
+  ASSERT_TRUE(ApplyRank1Update(va, vb, &*f).ok());
+  for (std::size_t i = 0; i < f->sigma.size(); ++i) {
+    EXPECT_GE(f->sigma[i], 0.0);
+    if (i > 0) {
+      EXPECT_GE(f->sigma[i - 1] + 1e-12, f->sigma[i]);
+    }
+  }
+}
+
+TEST(Rank1UpdateTest, ZeroVectorsAreANoOpOnTheReconstruction) {
+  CsrMatrix a = RandomSparse(15, 15, 70, 4);
+  TruncatedSvd f = FullRankFactors(a);
+  const DenseMatrix before = Reconstruct(f);
+  std::vector<double> zero(15, 0.0);
+  ASSERT_TRUE(ApplyRank1Update(zero, zero, &f).ok());
+  EXPECT_TRUE(MatricesNear(Reconstruct(f), before, 1e-10));
+}
+
+TEST(Rank1UpdateTest, SizeMismatchRejected) {
+  CsrMatrix a = RandomSparse(10, 10, 40, 5);
+  TruncatedSvd f = FullRankFactors(a);
+  std::vector<double> wrong(9, 1.0);
+  std::vector<double> right(10, 1.0);
+  EXPECT_TRUE(ApplyRank1Update(wrong, right, &f).IsInvalidArgument());
+  EXPECT_TRUE(ApplyRank1Update(right, wrong, &f).IsInvalidArgument());
+}
+
+TEST(Rank1UpdateTest, TruncatedUpdateTracksDominantDirections) {
+  // A rank-limited update of a strongly-structured change should still move
+  // the reconstruction toward the new matrix.
+  CsrMatrix a = RandomSparse(40, 40, 200, 6);
+  SvdOptions options;
+  options.rank = 10;
+  options.power_iterations = 4;
+  auto f = ComputeTruncatedSvd(a, options);
+  ASSERT_TRUE(f.ok());
+
+  // Large rank-1 change.
+  Rng rng(17);
+  std::vector<double> va(40), vb(40);
+  for (auto& x : va) x = rng.Gaussian();
+  for (auto& x : vb) x = rng.Gaussian();
+  TruncatedSvd updated = *f;
+  ASSERT_TRUE(ApplyRank1Update(va, vb, &updated).ok());
+
+  DenseMatrix target = a.ToDense();
+  for (Index i = 0; i < 40; ++i) {
+    for (Index j = 0; j < 40; ++j) {
+      target(i, j) += va[static_cast<std::size_t>(i)] *
+                      vb[static_cast<std::size_t>(j)];
+    }
+  }
+  const double err_before = linalg::MaxAbsDiff(Reconstruct(*f), target);
+  const double err_after = linalg::MaxAbsDiff(Reconstruct(updated), target);
+  EXPECT_LT(err_after, err_before);
+}
+
+}  // namespace
+}  // namespace csrplus::svd

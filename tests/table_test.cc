@@ -1,0 +1,67 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace csrplus::eval {
+namespace {
+
+std::string Capture(const TablePrinter& table, bool csv = false) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "csrplus_table_test.txt")
+          .string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (csv) {
+    table.PrintCsv(f);
+  } else {
+    table.Print(f);
+  }
+  std::fclose(f);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::filesystem::remove(path);
+  return ss.str();
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = Capture(table);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(Capture(table, /*csv=*/true), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TablePrinterTest, EmptyTableStillPrintsHeader) {
+  TablePrinter table({"only"});
+  const std::string out = Capture(table);
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(FormatSciTest, ScientificRendering) {
+  EXPECT_EQ(FormatSci(0.000123456), "1.2346e-04");
+  EXPECT_EQ(FormatSci(1.0), "1.0000e+00");
+}
+
+TEST(FormatTimeTest, UnitSelection) {
+  EXPECT_EQ(FormatTime(0.0000005), "0.5us");
+  EXPECT_EQ(FormatTime(0.0015), "1.50ms");
+  EXPECT_EQ(FormatTime(2.5), "2.50s");
+}
+
+}  // namespace
+}  // namespace csrplus::eval

@@ -1,0 +1,97 @@
+// Shared helpers for the csrplus test suite.
+
+#ifndef CSRPLUS_TESTS_TEST_UTIL_H_
+#define CSRPLUS_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/dense_ops.h"
+#include "linalg/sparse_matrix.h"
+
+namespace csrplus::testing {
+
+using linalg::CsrMatrix;
+using linalg::DenseMatrix;
+using linalg::Index;
+
+/// The paper's Figure 1(a) Wiki-Talk toy graph; nodes a..f = 0..5. Its
+/// column-normalised transition matrix is printed in Example 3.6, which the
+/// tests reproduce digit for digit.
+inline graph::Graph Figure1Graph() {
+  graph::GraphBuilder builder(6);
+  const Index a = 0, b = 1, c = 2, d = 3, e = 4, f = 5;
+  for (auto [u, v] : std::vector<std::pair<Index, Index>>{
+           {d, a}, {a, b}, {c, b}, {e, b}, {d, c}, {a, d},
+           {e, d}, {f, d}, {c, e}, {f, e}, {d, f}}) {
+    builder.AddEdge(u, v);
+  }
+  auto result = builder.Build();
+  CSR_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+/// A random dense matrix with standard normal entries.
+inline DenseMatrix RandomDense(Index rows, Index cols, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+/// A random sparse matrix with ~`nnz` normal entries at uniform coordinates.
+inline CsrMatrix RandomSparse(Index rows, Index cols, int64_t nnz,
+                              uint64_t seed) {
+  Rng rng(seed);
+  linalg::CooMatrix coo(rows, cols);
+  for (int64_t k = 0; k < nnz; ++k) {
+    coo.Add(static_cast<Index>(rng.Below(static_cast<uint64_t>(rows))),
+            static_cast<Index>(rng.Below(static_cast<uint64_t>(cols))),
+            rng.Gaussian());
+  }
+  return CsrMatrix::FromCoo(coo);
+}
+
+/// A random directed graph for integration tests (Erdős–Rényi style built by
+/// hand so this header has no generator dependency).
+inline graph::Graph RandomGraph(Index nodes, int64_t edges, uint64_t seed) {
+  Rng rng(seed);
+  graph::GraphBuilder builder(nodes);
+  for (int64_t k = 0; k < edges; ++k) {
+    const Index u =
+        static_cast<Index>(rng.Below(static_cast<uint64_t>(nodes)));
+    const Index v =
+        static_cast<Index>(rng.Below(static_cast<uint64_t>(nodes)));
+    builder.AddEdge(u, v);
+  }
+  auto result = builder.Build();
+  CSR_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+/// gtest predicate: max-abs difference between two matrices at most tol.
+inline ::testing::AssertionResult MatricesNear(const DenseMatrix& a,
+                                               const DenseMatrix& b,
+                                               double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
+           << b.rows() << "x" << b.cols();
+  }
+  const double diff = linalg::MaxAbsDiff(a, b);
+  if (diff > tol) {
+    return ::testing::AssertionFailure()
+           << "max abs diff " << diff << " > " << tol;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace csrplus::testing
+
+#endif  // CSRPLUS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,265 @@
+// Numerical verification of the paper's Theorems 3.1–3.5 as exact
+// identities, plus the CSR+ <-> CSR-NI losslessness they imply.
+//
+// All identities are stated in the paper's factor convention: U, Sigma, V
+// with the query factor named U. Under the standard SVD of the transition
+// matrix Q = U* Sigma V*^T, the paper's U is V* and the paper's V is U*
+// (see the derivation note in csrplus_engine.cc); the tests below build the
+// factors from SVD(Q^T) so every formula reads exactly like the paper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ni_sim.h"
+#include "core/cosimrank.h"
+#include "core/csrplus_engine.h"
+#include "graph/normalize.h"
+#include "linalg/dense_ops.h"
+#include "linalg/kron.h"
+#include "linalg/lu.h"
+#include "svd/truncated_svd.h"
+#include "test_util.h"
+
+namespace csrplus {
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::Gemm;
+using linalg::Index;
+using linalg::Transpose;
+using csrplus::testing::MatricesNear;
+using csrplus::testing::RandomGraph;
+
+// Paper-convention factors: U (query factor), Sigma, V for a given graph.
+svd::TruncatedSvd PaperFactors(const graph::Graph& g, Index rank) {
+  linalg::CsrMatrix q = graph::ColumnNormalizedTransition(g);
+  svd::SvdOptions options;
+  options.rank = rank;
+  options.power_iterations = 4;
+  auto factors = svd::ComputeTruncatedSvd(q, options);
+  CSR_CHECK(factors.ok()) << factors.status().ToString();
+  std::swap(factors->u, factors->v);  // factors of Q^T = paper convention
+  return std::move(*factors);
+}
+
+TEST(Theorem31Test, KroneckerGramFactorises) {
+  // (V (x) V)^T (U (x) U) == Theta (x) Theta with Theta = V^T U.
+  auto f = PaperFactors(RandomGraph(40, 250, 1), 4);
+  auto vv = linalg::KroneckerProduct(f.v, f.v);
+  auto uu = linalg::KroneckerProduct(f.u, f.u);
+  ASSERT_TRUE(vv.ok() && uu.ok());
+  DenseMatrix lhs = Gemm(*vv, *uu, Transpose::kYes, Transpose::kNo);
+
+  DenseMatrix theta = Gemm(f.v, f.u, Transpose::kYes, Transpose::kNo);
+  auto rhs = linalg::KroneckerProduct(theta, theta);
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(MatricesNear(lhs, *rhs, 1e-10));
+}
+
+TEST(Theorem32Test, VKroneckerVTransposeVecIdentityIsVecIr) {
+  // (V (x) V)^T vec(I_n) == vec(I_r) because V is column-orthonormal.
+  auto f = PaperFactors(RandomGraph(35, 200, 2), 5);
+  auto vv = linalg::KroneckerProduct(f.v, f.v);
+  ASSERT_TRUE(vv.ok());
+  const std::vector<double> vec_in =
+      linalg::Vec(DenseMatrix::Identity(f.v.rows()));
+  const std::vector<double> lhs =
+      linalg::MatVec(*vv, vec_in, Transpose::kYes);
+  const std::vector<double> rhs = linalg::Vec(DenseMatrix::Identity(5));
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-10);
+  }
+}
+
+// Lambda as defined by Eq.(6b): ((Sigma (x) Sigma)^{-1} - c G)^{-1} with the
+// Gram G = (V (x) V)^T (U (x) U).
+DenseMatrix LambdaViaEq6b(const svd::TruncatedSvd& f, double c) {
+  const Index r = f.rank();
+  DenseMatrix theta = Gemm(f.v, f.u, Transpose::kYes, Transpose::kNo);
+  auto gram = linalg::KroneckerProduct(theta, theta);
+  CSR_CHECK(gram.ok());
+  DenseMatrix m = std::move(*gram);
+  linalg::ScaleInPlace(-c, &m);
+  for (Index i = 0; i < r; ++i) {
+    for (Index j = 0; j < r; ++j) {
+      m(i * r + j, i * r + j) += 1.0 / (f.sigma[static_cast<std::size_t>(i)] *
+                                        f.sigma[static_cast<std::size_t>(j)]);
+    }
+  }
+  auto lu = linalg::LuFactorization::Compute(m);
+  CSR_CHECK(lu.ok());
+  auto inv = lu->Inverse();
+  CSR_CHECK(inv.ok());
+  return std::move(*inv);
+}
+
+TEST(Theorem33Test, LambdaAlternativeExpression) {
+  // Lambda == (Sigma (x) Sigma)(I - c H (x) H)^{-1} with H = V^T U Sigma.
+  const double c = 0.6;
+  auto f = PaperFactors(RandomGraph(30, 180, 3), 4);
+  const Index r = 4;
+  DenseMatrix lambda = LambdaViaEq6b(f, c);
+
+  DenseMatrix h = Gemm(f.v, f.u, Transpose::kYes, Transpose::kNo);
+  for (Index i = 0; i < r; ++i) {
+    for (Index j = 0; j < r; ++j) {
+      h(i, j) *= f.sigma[static_cast<std::size_t>(j)];
+    }
+  }
+  auto hh = linalg::KroneckerProduct(h, h);
+  ASSERT_TRUE(hh.ok());
+  DenseMatrix inner = DenseMatrix::Identity(r * r);
+  linalg::AddScaled(-c, *hh, &inner);
+  auto lu = linalg::LuFactorization::Compute(inner);
+  ASSERT_TRUE(lu.ok());
+  auto inner_inv = lu->Inverse();
+  ASSERT_TRUE(inner_inv.ok());
+  // (Sigma (x) Sigma) is diagonal with entries sigma_i sigma_j.
+  DenseMatrix rhs = *inner_inv;
+  for (Index i = 0; i < r; ++i) {
+    for (Index j = 0; j < r; ++j) {
+      const double scale = f.sigma[static_cast<std::size_t>(i)] *
+                           f.sigma[static_cast<std::size_t>(j)];
+      for (Index col = 0; col < r * r; ++col) {
+        rhs(i * r + j, col) *= scale;
+      }
+    }
+  }
+  EXPECT_TRUE(MatricesNear(lambda, rhs, 1e-8));
+}
+
+TEST(Theorem34Test, LambdaVecIrEqualsVecSigmaPSigma) {
+  // Lambda vec(I_r) == vec(Sigma P Sigma) where P = c H P H^T + I_r.
+  const double c = 0.6;
+  const Index r = 4;
+  graph::Graph g = RandomGraph(30, 180, 4);
+  auto f = PaperFactors(g, r);
+  DenseMatrix lambda = LambdaViaEq6b(f, c);
+  const std::vector<double> lhs =
+      linalg::MatVec(lambda, linalg::Vec(DenseMatrix::Identity(r)));
+
+  // P from the engine (repeated squaring, high accuracy).
+  core::CsrPlusOptions options;
+  options.rank = r;
+  options.damping = c;
+  options.epsilon = 1e-14;
+  options.svd.power_iterations = 4;
+  auto engine = core::CsrPlusEngine::Precompute(g, options);
+  ASSERT_TRUE(engine.ok());
+  const DenseMatrix sps = linalg::DiagScale(f.sigma, engine->p(), f.sigma);
+  const std::vector<double> rhs = linalg::Vec(sps);
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-8);
+  }
+}
+
+TEST(Theorem34Test, PSatisfiesSubspaceFixedPoint) {
+  // The engine's P must satisfy P = c H P H^T + I_r exactly.
+  const Index r = 5;
+  const double c = 0.6;
+  graph::Graph g = RandomGraph(50, 300, 5);
+  auto f = PaperFactors(g, r);
+  core::CsrPlusOptions options;
+  options.rank = r;
+  options.damping = c;
+  options.epsilon = 1e-14;
+  options.svd.power_iterations = 4;
+  auto engine = core::CsrPlusEngine::Precompute(g, options);
+  ASSERT_TRUE(engine.ok());
+
+  DenseMatrix h = Gemm(f.v, f.u, Transpose::kYes, Transpose::kNo);
+  for (Index i = 0; i < r; ++i) {
+    for (Index j = 0; j < r; ++j) {
+      h(i, j) *= f.sigma[static_cast<std::size_t>(j)];
+    }
+  }
+  DenseMatrix hp = Gemm(h, engine->p());
+  DenseMatrix hpht = Gemm(hp, h, Transpose::kNo, Transpose::kYes);
+  linalg::ScaleInPlace(c, &hpht);
+  for (Index i = 0; i < r; ++i) hpht(i, i) += 1.0;
+  EXPECT_TRUE(MatricesNear(engine->p(), hpht, 1e-9));
+}
+
+TEST(Theorem35Test, QueryFormEqualsEq8Expansion) {
+  // [S]_{*,Q} from the engine must equal the unoptimised Eq.(8):
+  // vec(S) = vec(I) + c (U (x) U)(Lambda vec(I_r)), column-selected.
+  const double c = 0.6;
+  const Index r = 4;
+  graph::Graph g = RandomGraph(25, 140, 6);
+  auto f = PaperFactors(g, r);
+  const Index n = g.num_nodes();
+
+  DenseMatrix lambda = LambdaViaEq6b(f, c);
+  const std::vector<double> y =
+      linalg::MatVec(lambda, linalg::Vec(DenseMatrix::Identity(r)));
+  // (U (x) U) y = vec(U Y U^T) with Y = unvec(y).
+  const DenseMatrix y_mat = linalg::Unvec(y, r, r);
+  DenseMatrix s_full = Gemm(Gemm(f.u, y_mat), f.u, Transpose::kNo,
+                            Transpose::kYes);
+  linalg::ScaleInPlace(c, &s_full);
+  for (Index i = 0; i < n; ++i) s_full(i, i) += 1.0;
+
+  core::CsrPlusOptions options;
+  options.rank = r;
+  options.damping = c;
+  options.epsilon = 1e-14;
+  options.svd.power_iterations = 4;
+  auto engine = core::CsrPlusEngine::Precompute(g, options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<Index> queries = {0, 5, 12, 24};
+  auto s_query = engine->MultiSourceQuery(queries);
+  ASSERT_TRUE(s_query.ok());
+  for (std::size_t j = 0; j < queries.size(); ++j) {
+    for (Index i = 0; i < n; ++i) {
+      EXPECT_NEAR((*s_query)(i, static_cast<Index>(j)),
+                  s_full(i, queries[j]), 1e-8);
+    }
+  }
+}
+
+TEST(LosslessnessTest, CsrPlusEqualsNiSimOnSameFactors) {
+  // Theorems 3.1–3.5 are identities, so CSR+ and CSR-NI must return the
+  // same S to machine precision when fed the same SVD factors.
+  graph::Graph g = RandomGraph(60, 400, 7);
+  linalg::CsrMatrix q = graph::ColumnNormalizedTransition(g);
+
+  core::CsrPlusOptions plus_options;
+  plus_options.rank = 5;
+  auto plus = core::CsrPlusEngine::PrecomputeFromTransition(q, plus_options);
+  ASSERT_TRUE(plus.ok());
+
+  baselines::NiSimOptions ni_options;
+  ni_options.rank = 5;
+  ni_options.fidelity = baselines::NiFidelity::kMixedProduct;
+  auto ni = baselines::NiSimEngine::Precompute(q, ni_options);
+  ASSERT_TRUE(ni.ok());
+
+  std::vector<Index> queries = {3, 31, 59};
+  auto s_plus = plus->MultiSourceQuery(queries);
+  auto s_ni = ni->MultiSourceQuery(queries);
+  ASSERT_TRUE(s_plus.ok() && s_ni.ok());
+  EXPECT_TRUE(MatricesNear(*s_plus, *s_ni, 1e-9));
+}
+
+TEST(LosslessnessTest, FaithfulAndMixedProductNiAgree) {
+  graph::Graph g = RandomGraph(30, 160, 8);
+  linalg::CsrMatrix q = graph::ColumnNormalizedTransition(g);
+  baselines::NiSimOptions options;
+  options.rank = 3;
+  options.fidelity = baselines::NiFidelity::kFaithful;
+  auto faithful = baselines::NiSimEngine::Precompute(q, options);
+  options.fidelity = baselines::NiFidelity::kMixedProduct;
+  auto mixed = baselines::NiSimEngine::Precompute(q, options);
+  ASSERT_TRUE(faithful.ok() && mixed.ok());
+  std::vector<Index> queries = {1, 15};
+  auto s_f = faithful->MultiSourceQuery(queries);
+  auto s_m = mixed->MultiSourceQuery(queries);
+  ASSERT_TRUE(s_f.ok() && s_m.ok());
+  EXPECT_TRUE(MatricesNear(*s_f, *s_m, 1e-9));
+}
+
+}  // namespace
+}  // namespace csrplus

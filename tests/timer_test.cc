@@ -1,0 +1,56 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace csrplus {
+namespace {
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(WallTimerTest, RestartZeroes) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.010);
+}
+
+TEST(WallTimerTest, PauseFreezesAccumulation) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.Pause();
+  const double at_pause = timer.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_DOUBLE_EQ(timer.ElapsedSeconds(), at_pause);
+  timer.Resume();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GT(timer.ElapsedSeconds(), at_pause + 0.005);
+}
+
+TEST(WallTimerTest, DoublePauseAndResumeAreIdempotent) {
+  WallTimer timer;
+  timer.Pause();
+  timer.Pause();
+  const double frozen = timer.ElapsedSeconds();
+  timer.Resume();
+  timer.Resume();
+  EXPECT_GE(timer.ElapsedSeconds(), frozen);
+}
+
+TEST(FormatSecondsTest, UnitSelection) {
+  EXPECT_EQ(FormatSeconds(123.0), "123 s");
+  EXPECT_EQ(FormatSeconds(1.5), "1.50 s");
+  EXPECT_EQ(FormatSeconds(0.5), "500.00 ms");
+  EXPECT_EQ(FormatSeconds(0.0005), "500.0 us");
+}
+
+}  // namespace
+}  // namespace csrplus

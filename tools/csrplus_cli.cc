@@ -1,0 +1,264 @@
+// csrplus command-line tool.
+//
+// Operates on SNAP-style edge lists (or this library's binary graph format)
+// without writing any code:
+//
+//   csrplus stats <graph>
+//       Print node/edge counts and degree statistics.
+//
+//   csrplus convert <graph.txt> <graph.csrg>
+//       Convert a text edge list into the fast binary format.
+//
+//   csrplus query <graph> <node> [<node> ...]
+//       Multi-source CoSimRank: print the top-k most similar nodes for each
+//       query (after a one-off CSR+ precomputation).
+//
+//   csrplus pair <graph> <a> <b>
+//       Single-pair CoSimRank score.
+//
+// Common flags (before the subcommand arguments):
+//   --rank=R        target low rank (default 16)
+//   --damping=C     damping factor (default 0.6)
+//   --topk=K        results per query (default 10)
+//   --symmetrize    add the reverse of every edge when loading text input
+//
+// Graphs ending in ".csrg" are read as binary, anything else as a SNAP text
+// edge list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "csrplus.h"
+
+namespace {
+
+using namespace csrplus;
+using linalg::Index;
+
+struct CliOptions {
+  Index rank = 16;
+  double damping = 0.6;
+  Index topk = 10;
+  bool symmetrize = false;
+  std::vector<std::string> positional;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: csrplus [--rank=R] [--damping=C] [--topk=K] "
+               "[--symmetrize] <command> ...\n"
+               "commands:\n"
+               "  stats <graph>                  graph statistics\n"
+               "  convert <in.txt> <out.csrg>    edge list -> binary\n"
+               "  query <graph> <node> [...]     top-k similar per query\n"
+               "  pair <graph> <a> <b>           single-pair score\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--rank=")) {
+      options->rank = std::atoll(arg.c_str() + 7);
+    } else if (StartsWith(arg, "--damping=")) {
+      options->damping = std::atof(arg.c_str() + 10);
+    } else if (StartsWith(arg, "--topk=")) {
+      options->topk = std::atoll(arg.c_str() + 7);
+    } else if (arg == "--symmetrize") {
+      options->symmetrize = true;
+    } else if (StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else {
+      options->positional.push_back(arg);
+    }
+  }
+  return !options->positional.empty();
+}
+
+/// Loaded graph plus the original<->compact node-id mapping (identity for
+/// binary inputs, which are already canonical).
+struct LoadedGraph {
+  graph::Graph graph;
+  std::vector<int64_t> original_ids;  // empty == identity mapping
+
+  int64_t ToOriginal(Index compact) const {
+    return original_ids.empty() ? compact
+                                : original_ids[static_cast<std::size_t>(compact)];
+  }
+  Result<Index> ToCompact(int64_t original) const {
+    if (original_ids.empty()) {
+      if (original < 0 || original >= graph.num_nodes()) {
+        return Status::InvalidArgument("node id " + std::to_string(original) +
+                                       " out of range");
+      }
+      return static_cast<Index>(original);
+    }
+    for (std::size_t i = 0; i < original_ids.size(); ++i) {
+      if (original_ids[i] == original) return static_cast<Index>(i);
+    }
+    return Status::NotFound("node id " + std::to_string(original) +
+                            " does not appear in the graph");
+  }
+};
+
+Result<LoadedGraph> LoadGraph(const std::string& path,
+                              const CliOptions& options) {
+  LoadedGraph loaded;
+  if (path.size() > 5 && path.substr(path.size() - 5) == ".csrg") {
+    CSR_ASSIGN_OR_RETURN(loaded.graph, graph::LoadBinary(path));
+    return loaded;
+  }
+  graph::EdgeListOptions edge_options;
+  edge_options.symmetrize = options.symmetrize;
+  CSR_ASSIGN_OR_RETURN(
+      loaded.graph,
+      graph::LoadSnapEdgeList(path, edge_options, &loaded.original_ids));
+  return loaded;
+}
+
+int RunStats(const CliOptions& options) {
+  if (options.positional.size() != 2) {
+    PrintUsage();
+    return 2;
+  }
+  auto g = LoadGraph(options.positional[1], options);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", graph::ToString(graph::ComputeStats(g->graph)).c_str());
+  return 0;
+}
+
+int RunConvert(const CliOptions& options) {
+  if (options.positional.size() != 3) {
+    PrintUsage();
+    return 2;
+  }
+  auto g = LoadGraph(options.positional[1], options);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  Status saved = graph::SaveBinary(g->graph, options.positional[2]);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (n=%ld m=%ld)\n", options.positional[2].c_str(),
+              static_cast<long>(g->graph.num_nodes()),
+              static_cast<long>(g->graph.num_edges()));
+  if (!g->original_ids.empty()) {
+    std::fprintf(stderr,
+                 "note: node ids were compacted to [0, n) in first-seen "
+                 "order; binary queries use compact ids\n");
+  }
+  return 0;
+}
+
+Result<core::CsrPlusEngine> BuildEngine(const graph::Graph& g,
+                                        const CliOptions& options) {
+  core::CsrPlusOptions engine_options;
+  engine_options.rank = std::min<Index>(options.rank, g.num_nodes());
+  engine_options.damping = options.damping;
+  WallTimer timer;
+  auto engine = core::CsrPlusEngine::Precompute(g, engine_options);
+  if (engine.ok()) {
+    std::fprintf(stderr, "precomputed rank-%ld CSR+ state in %s\n",
+                 static_cast<long>(engine->rank()),
+                 FormatSeconds(timer.ElapsedSeconds()).c_str());
+  }
+  return engine;
+}
+
+int RunQuery(const CliOptions& options) {
+  if (options.positional.size() < 3) {
+    PrintUsage();
+    return 2;
+  }
+  auto g = LoadGraph(options.positional[1], options);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Index> queries;
+  for (std::size_t i = 2; i < options.positional.size(); ++i) {
+    auto compact = g->ToCompact(std::atoll(options.positional[i].c_str()));
+    if (!compact.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   compact.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(*compact);
+  }
+  auto engine = BuildEngine(g->graph, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  auto results = engine->TopKQuery(queries, options.topk);
+  if (!results.ok()) {
+    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  for (std::size_t j = 0; j < queries.size(); ++j) {
+    std::printf("query %ld:\n", static_cast<long>(g->ToOriginal(queries[j])));
+    for (const auto& sn : (*results)[j]) {
+      std::printf("  %8ld  %.6f\n", static_cast<long>(g->ToOriginal(sn.node)),
+                  sn.score);
+    }
+  }
+  return 0;
+}
+
+int RunPair(const CliOptions& options) {
+  if (options.positional.size() != 4) {
+    PrintUsage();
+    return 2;
+  }
+  auto g = LoadGraph(options.positional[1], options);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  auto a = g->ToCompact(std::atoll(options.positional[2].c_str()));
+  auto b = g->ToCompact(std::atoll(options.positional[3].c_str()));
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!a.ok() ? a.status() : b.status()).ToString().c_str());
+    return 1;
+  }
+  auto engine = BuildEngine(g->graph, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  auto score = engine->SinglePairQuery(*a, *b);
+  if (!score.ok()) {
+    std::fprintf(stderr, "error: %s\n", score.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%.8f\n", *score);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string& command = options.positional[0];
+  if (command == "stats") return RunStats(options);
+  if (command == "convert") return RunConvert(options);
+  if (command == "query") return RunQuery(options);
+  if (command == "pair") return RunPair(options);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  PrintUsage();
+  return 2;
+}
