@@ -46,17 +46,48 @@ BENCHMARK(BM_SpMVTranspose)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
 void BM_SpMMDense(benchmark::State& state) {
   const Index n = state.range(0);
   const Index cols = state.range(1);
+  const int threads = static_cast<int>(state.range(2));
   const CsrMatrix q = MakeTransition(n, 8);
   DenseMatrix b(n, cols);
   for (Index i = 0; i < b.size(); ++i) b.data()[i] = 0.5;
+  const int prev = GetNumThreads();
+  SetNumThreads(threads);
   for (auto _ : state) {
     DenseMatrix c = q.MultiplyDense(b);
     benchmark::DoNotOptimize(c.data());
   }
+  SetNumThreads(prev);
   state.SetItemsProcessed(state.iterations() * q.nnz() * cols);
 }
-BENCHMARK(BM_SpMMDense)->Args({1 << 14, 8})->Args({1 << 14, 32})
-    ->Args({1 << 16, 8});
+BENCHMARK(BM_SpMMDense)
+    ->Args({1 << 14, 8, 1})
+    ->Args({1 << 14, 32, 1})
+    ->Args({1 << 16, 8, 1})
+    ->Args({1 << 16, 8, 2})
+    ->Args({1 << 16, 8, 4});
+
+void BM_GemmDense(benchmark::State& state) {
+  const Index m = state.range(0);
+  const Index k = state.range(1);
+  const int threads = static_cast<int>(state.range(2));
+  Rng rng(5);
+  DenseMatrix a(m, k);
+  DenseMatrix b(k, k);
+  for (Index i = 0; i < a.size(); ++i) a.data()[i] = rng.Gaussian();
+  for (Index i = 0; i < b.size(); ++i) b.data()[i] = rng.Gaussian();
+  const int prev = GetNumThreads();
+  SetNumThreads(threads);
+  for (auto _ : state) {
+    DenseMatrix c = linalg::Gemm(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetNumThreads(prev);
+  state.SetItemsProcessed(state.iterations() * m * k * k);
+}
+BENCHMARK(BM_GemmDense)
+    ->Args({1 << 14, 64, 1})
+    ->Args({1 << 14, 64, 2})
+    ->Args({1 << 14, 64, 4});
 
 void BM_HouseholderQr(benchmark::State& state) {
   const Index n = state.range(0);

@@ -53,10 +53,10 @@ inline void PrintBanner(const char* artefact, const char* description,
                         const RunConfig& config) {
   const bool full = GetBenchScale() == BenchScale::kFull;
   std::printf("=== %s — %s ===\n", artefact, description);
-  std::printf("scale=%s  r=%ld  c=%.1f  eps=%.0e  memory_budget=%s  "
-              "(COSIM_SCALE=full for paper-scale graphs)\n\n",
+  std::printf("scale=%s  r=%ld  c=%.1f  eps=%.0e  threads=%d  "
+              "memory_budget=%s  (COSIM_SCALE=full for paper-scale graphs)\n\n",
               full ? "full" : "ci", static_cast<long>(config.rank),
-              config.damping, config.epsilon,
+              config.damping, config.epsilon, GetNumThreads(),
               FormatBytes(MemoryBudget::Global().limit_bytes()).c_str());
 }
 

@@ -1,0 +1,190 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/env.h"
+
+namespace csrplus {
+namespace {
+
+// A shard must amortise the ~microsecond dispatch cost; below this many
+// work units (roughly flops) per shard the loop runs with fewer shards or
+// inline.
+constexpr int64_t kMinWorkPerShard = 1 << 15;
+
+constexpr int kMaxThreads = 256;
+
+thread_local bool tls_in_worker = false;
+
+int DefaultNumThreads() {
+  const int64_t from_env = GetEnvInt64("CSRPLUS_NUM_THREADS", 0);
+  if (from_env > 0) {
+    return static_cast<int>(std::min<int64_t>(from_env, kMaxThreads));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min<unsigned>(hw, kMaxThreads));
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;  // joined at exit; no parallel regions run after main
+  return pool;
+}
+
+ThreadPool::ThreadPool() : num_threads_(DefaultNumThreads()) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+void ThreadPool::SetNumThreads(int n) {
+  num_threads_.store(std::clamp(n, 1, kMaxThreads), std::memory_order_relaxed);
+}
+
+void ThreadPool::EnsureWorkers(int count) {
+  while (static_cast<int>(workers_.size()) < count) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Run(int64_t n, int shards, const ShardFn& fn) {
+  if (n <= 0) return;
+  shards = static_cast<int>(std::min<int64_t>(shards, n));
+  if (shards <= 1 || num_threads() <= 1 || tls_in_worker) {
+    // Serial bypass (also the nested-region path): same shard geometry,
+    // executed inline in shard order.
+    if (shards <= 1) {
+      fn(0, 0, n);
+    } else {
+      for (int s = 0; s < shards; ++s) {
+        fn(s, n * s / shards, n * (s + 1) / shards);
+      }
+    }
+    return;
+  }
+
+  std::unique_lock<std::mutex> run_lock(run_mutex_);
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureWorkers(std::min(shards, num_threads()) - 1);
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_shards_ = shards;
+    next_shard_ = 0;
+    shards_done_ = 0;
+    job_exception_ = nullptr;
+    generation = ++job_generation_;
+  }
+  work_cv_.notify_all();
+  // The caller participates in its own region. It must count as a worker
+  // while doing so: a nested region started from one of its shards has to
+  // take the inline path rather than re-enter Run and self-deadlock on
+  // run_mutex_. WorkShards never throws (shard exceptions are captured), so
+  // plain save/restore is safe.
+  const bool was_in_worker = tls_in_worker;
+  tls_in_worker = true;
+  WorkShards(generation);
+  tls_in_worker = was_in_worker;
+  std::exception_ptr pending;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return shards_done_ >= job_shards_; });
+    job_fn_ = nullptr;
+    pending = job_exception_;
+    job_exception_ = nullptr;
+  }
+  run_lock.unlock();
+  if (pending) std::rethrow_exception(pending);
+}
+
+void ThreadPool::WorkShards(uint64_t generation) {
+  while (true) {
+    const ShardFn* fn;
+    int64_t n;
+    int shards;
+    int s;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // A worker that woke late may find a successor job (or none) in the
+      // slot; it must not claim shards it was not woken for.
+      if (job_fn_ == nullptr || job_generation_ != generation) return;
+      if (next_shard_ >= job_shards_) return;
+      s = next_shard_++;
+      fn = job_fn_;
+      n = job_n_;
+      shards = job_shards_;
+    }
+    try {
+      (*fn)(s, n * s / shards, n * (s + 1) / shards);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job_exception_) job_exception_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Holding an unfinished shard pins the job, so this is still our
+      // generation; the owner in Run() cannot retire it before the count
+      // below reaches job_shards_.
+      if (++shards_done_ == shards) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return stop_ || job_generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = job_generation_;
+    }
+    WorkShards(seen_generation);
+  }
+}
+
+int GetNumThreads() { return ThreadPool::Global().num_threads(); }
+
+void SetNumThreads(int n) { ThreadPool::Global().SetNumThreads(n); }
+
+int ParallelShardCount(int64_t n, int64_t work) {
+  if (n <= 1 || ThreadPool::InWorker()) return 1;
+  const int threads = GetNumThreads();
+  if (threads <= 1) return 1;
+  const int64_t by_work = work / kMinWorkPerShard;
+  const int64_t shards = std::min<int64_t>({threads, n, by_work});
+  return static_cast<int>(std::max<int64_t>(shards, 1));
+}
+
+void ParallelFor(int64_t n, int64_t work,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int shards = ParallelShardCount(n, work);
+  if (shards <= 1) {
+    fn(0, n);
+    return;
+  }
+  ThreadPool::Global().Run(
+      n, shards, [&fn](int, int64_t begin, int64_t end) { fn(begin, end); });
+}
+
+void ParallelForShards(int64_t n, int shards, const ShardFn& fn) {
+  if (n <= 0) return;
+  CSR_CHECK(shards >= 1);
+  ThreadPool::Global().Run(n, shards, fn);
+}
+
+}  // namespace csrplus

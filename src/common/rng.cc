@@ -24,6 +24,16 @@ Rng::Rng(uint64_t seed) {
   for (auto& w : s_) w = SplitMix64(sm);
 }
 
+Rng Rng::ForBlock(uint64_t seed, uint64_t block) {
+  // Hash the pair with two splitmix64 rounds and an asymmetric combine so
+  // that (seed, block) and (seed - d, block + d) do not collide.
+  uint64_t h = seed;
+  uint64_t mixed = SplitMix64(h);
+  h = mixed ^ (block + 0x9E3779B97F4A7C15ULL + (mixed << 6) + (mixed >> 2));
+  mixed = SplitMix64(h);
+  return Rng(mixed);
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

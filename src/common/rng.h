@@ -22,6 +22,13 @@ class Rng {
   /// (including 0) yields a well-mixed state.
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
+  /// An independent stream derived from `(seed, block)` by hashing the pair
+  /// through splitmix64. Parallel kernels draw one stream per logical block
+  /// (e.g. per matrix row), so the numbers consumed depend only on the seed
+  /// and the block index — never on how blocks are scheduled across threads
+  /// or on the thread count.
+  static Rng ForBlock(uint64_t seed, uint64_t block);
+
   /// Next raw 64 random bits.
   uint64_t Next();
 

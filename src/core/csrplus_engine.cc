@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/memory.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "graph/normalize.h"
 #include "linalg/dense_ops.h"
@@ -35,8 +36,21 @@ Status ValidateCsrPlusOptions(const CsrPlusOptions& options, Index num_nodes) {
   if (options.epsilon <= 0.0 || options.epsilon >= 1.0) {
     return Status::InvalidArgument("epsilon must be in (0, 1)");
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
   return Status::OK();
 }
+
+namespace {
+
+// Applies the per-options thread override to the shared pool (0 = keep the
+// ambient CSRPLUS_NUM_THREADS / hardware default).
+void ApplyThreadOptions(const CsrPlusOptions& options) {
+  if (options.num_threads > 0) SetNumThreads(options.num_threads);
+}
+
+}  // namespace
 
 Result<CsrPlusEngine> CsrPlusEngine::Precompute(const graph::Graph& g,
                                                 const CsrPlusOptions& options) {
@@ -55,6 +69,7 @@ Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromTransition(
     return Status::InvalidArgument("transition matrix must be square");
   }
   CSR_RETURN_IF_ERROR(ValidateCsrPlusOptions(options, transition.rows()));
+  ApplyThreadOptions(options);
 
   // Line 2: rank-r truncated SVD, taken of Q^T so the paper's formulas
   // apply verbatim. Deriving Eq.(6a) from Eq.(1) with the standard
@@ -86,6 +101,7 @@ Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromPaperFactors(
     return Status::InvalidArgument("factor rank does not match options.rank");
   }
   CSR_RETURN_IF_ERROR(ValidateCsrPlusOptions(options, factors.u.rows()));
+  ApplyThreadOptions(options);
 
   CsrPlusEngine engine;
   engine.damping_ = options.damping;
@@ -141,10 +157,15 @@ Result<DenseMatrix> CsrPlusEngine::MultiSourceQuery(
                                      " out of range");
     }
   }
+  // Account both the n x |Q| output block and the transient |Q| x r copy of
+  // [U]_{Q,*} below — near the cap the query fails for the block *plus* its
+  // scratch, keeping the "fails due to memory explosion" reproduction honest.
   const int64_t out_bytes =
       n * static_cast<int64_t>(queries.size()) * sizeof(double);
-  CSR_RETURN_IF_ERROR(
-      MemoryBudget::Global().TryReserve(out_bytes, "CSR+ multi-source output"));
+  const int64_t u_q_bytes =
+      static_cast<int64_t>(queries.size()) * rank() * sizeof(double);
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      out_bytes + u_q_bytes, "CSR+ multi-source output"));
 
   // Line 7: [S]_{*,Q} = [I_n]_{*,Q} + c Z [U]_{Q,*}^T.
   const DenseMatrix u_q = u_.SelectRows(queries);  // |Q| x r
@@ -159,21 +180,31 @@ Result<DenseMatrix> CsrPlusEngine::MultiSourceQuery(
 
 Result<std::vector<double>> CsrPlusEngine::SingleSourceQuery(
     Index query) const {
+  std::vector<double> out;
+  CSR_RETURN_IF_ERROR(SingleSourceQueryInto(query, &out));
+  return out;
+}
+
+Status CsrPlusEngine::SingleSourceQueryInto(Index query,
+                                            std::vector<double>* out) const {
   const Index n = num_nodes();
   if (query < 0 || query >= n) {
     return Status::InvalidArgument("query node out of range");
   }
   const Index r = rank();
-  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  out->resize(static_cast<std::size_t>(n));
+  double* data = out->data();
   const double* urow = u_.RowPtr(query);
-  for (Index i = 0; i < n; ++i) {
-    const double* zrow = z_.RowPtr(i);
-    double dot = 0.0;
-    for (Index k = 0; k < r; ++k) dot += zrow[k] * urow[k];
-    out[static_cast<std::size_t>(i)] = damping_ * dot;
-  }
-  out[static_cast<std::size_t>(query)] += 1.0;
-  return out;
+  ParallelFor(n, n * r, [&](Index begin, Index end) {
+    for (Index i = begin; i < end; ++i) {
+      const double* zrow = z_.RowPtr(i);
+      double dot = 0.0;
+      for (Index k = 0; k < r; ++k) dot += zrow[k] * urow[k];
+      data[i] = damping_ * dot;
+    }
+  });
+  data[query] += 1.0;
+  return Status::OK();
 }
 
 Result<double> CsrPlusEngine::SinglePairQuery(Index a, Index b) const {
@@ -198,14 +229,29 @@ Result<std::vector<std::vector<ScoredNode>>> CsrPlusEngine::TopKQuery(
   if (k < 0) {
     return Status::InvalidArgument("k must be non-negative");
   }
-  std::vector<std::vector<ScoredNode>> out;
-  out.reserve(queries.size());
+  const Index n = num_nodes();
   for (Index q : queries) {
-    CSR_ASSIGN_OR_RETURN(std::vector<double> column, SingleSourceQuery(q));
-    std::vector<Index> skip = exclude;
-    if (exclude_query) skip.push_back(q);
-    out.push_back(TopK(column, k, skip));
+    if (q < 0 || q >= n) {
+      return Status::InvalidArgument("query node " + std::to_string(q) +
+                                     " out of range");
+    }
   }
+  // Fan out over queries: each shard owns a contiguous slice of the query
+  // list and reuses one n-length column buffer across its queries. Output
+  // slots are disjoint, so the result is independent of scheduling.
+  std::vector<std::vector<ScoredNode>> out(queries.size());
+  const Index nq = static_cast<Index>(queries.size());
+  const int shards = ParallelShardCount(nq, nq * n * rank());
+  ParallelForShards(nq, shards, [&](int, Index begin, Index end) {
+    std::vector<double> column;
+    for (Index j = begin; j < end; ++j) {
+      const Index q = queries[static_cast<std::size_t>(j)];
+      CSR_CHECK_OK(SingleSourceQueryInto(q, &column));  // validated above
+      std::vector<Index> skip = exclude;
+      if (exclude_query) skip.push_back(q);
+      out[static_cast<std::size_t>(j)] = TopK(column, k, skip);
+    }
+  });
   return out;
 }
 
@@ -215,29 +261,47 @@ Result<std::vector<CsrPlusEngine::ScoredPair>> CsrPlusEngine::AllPairsTopK(
     return Status::InvalidArgument("k must be non-negative");
   }
   const Index n = num_nodes();
-  // Min-heap on score (worst pair at front) capped at k entries.
+  // Min-heap on score (worst pair at front) capped at k entries. Each shard
+  // owns a contiguous range of source rows, reuses one n-length column
+  // buffer across its sources (no per-source allocation), and keeps a
+  // private top-k heap; shard heaps are merged under the same strict total
+  // order afterwards, so the result equals the serial scan for any thread
+  // count.
   const auto better = [](const ScoredPair& x, const ScoredPair& y) {
     if (x.score != y.score) return x.score > y.score;
     return std::tie(x.a, x.b) < std::tie(y.a, y.b);
   };
-  std::vector<ScoredPair> heap;
-  heap.reserve(static_cast<std::size_t>(std::max<Index>(k, 0)));
-  for (Index a = 0; a < n; ++a) {
-    CSR_ASSIGN_OR_RETURN(std::vector<double> column, SingleSourceQuery(a));
-    for (Index b = a + 1; b < n; ++b) {
-      const ScoredPair candidate{a, b, column[static_cast<std::size_t>(b)]};
-      if (static_cast<Index>(heap.size()) < k) {
-        heap.push_back(candidate);
-        std::push_heap(heap.begin(), heap.end(), better);
-      } else if (k > 0 && better(candidate, heap.front())) {
-        std::pop_heap(heap.begin(), heap.end(), better);
-        heap.back() = candidate;
-        std::push_heap(heap.begin(), heap.end(), better);
+  const int shards = ParallelShardCount(n, n * n);
+  std::vector<std::vector<ScoredPair>> shard_heaps(
+      static_cast<std::size_t>(shards));
+  ParallelForShards(n, shards, [&](int s, Index begin, Index end) {
+    std::vector<ScoredPair>& heap = shard_heaps[static_cast<std::size_t>(s)];
+    heap.reserve(static_cast<std::size_t>(k));
+    std::vector<double> column;
+    for (Index a = begin; a < end; ++a) {
+      CSR_CHECK_OK(SingleSourceQueryInto(a, &column));
+      for (Index b = a + 1; b < n; ++b) {
+        const ScoredPair candidate{a, b, column[static_cast<std::size_t>(b)]};
+        if (static_cast<Index>(heap.size()) < k) {
+          heap.push_back(candidate);
+          std::push_heap(heap.begin(), heap.end(), better);
+        } else if (k > 0 && better(candidate, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), better);
+          heap.back() = candidate;
+          std::push_heap(heap.begin(), heap.end(), better);
+        }
       }
     }
+  });
+  std::vector<ScoredPair> merged;
+  for (const auto& heap : shard_heaps) {
+    merged.insert(merged.end(), heap.begin(), heap.end());
   }
-  std::sort(heap.begin(), heap.end(), better);
-  return heap;
+  std::sort(merged.begin(), merged.end(), better);
+  if (static_cast<Index>(merged.size()) > k) {
+    merged.resize(static_cast<std::size_t>(k));
+  }
+  return merged;
 }
 
 Result<DenseMatrix> CsrPlusEngine::AllPairs() const {

@@ -44,6 +44,11 @@ struct CsrPlusOptions {
   double damping = 0.6;
   /// Desired accuracy epsilon of the P fixed point (Algorithm 1, line 4).
   double epsilon = 1e-5;
+  /// Kernel thread count. 0 keeps the ambient process-wide setting
+  /// (CSRPLUS_NUM_THREADS env var, else hardware concurrency); a positive
+  /// value resizes the shared pool for this precompute and all subsequent
+  /// kernels. 1 bypasses the pool entirely (bit-identical serial execution).
+  int num_threads = 0;
   /// Truncated SVD engine configuration (rank is overridden by `rank`).
   svd::SvdOptions svd;
 };
@@ -83,6 +88,12 @@ class CsrPlusEngine {
 
   /// Single-source query: the column [S]_{*,q}.
   Result<std::vector<double>> SingleSourceQuery(Index query) const;
+
+  /// As SingleSourceQuery but writes into a caller-owned vector (resized to
+  /// n), so loops issuing many single-source queries (TopKQuery,
+  /// AllPairsTopK) reuse one buffer instead of allocating an n-length column
+  /// per source.
+  Status SingleSourceQueryInto(Index query, std::vector<double>* out) const;
 
   /// Single-pair score [S]_{a,b} in O(r) time from the memoised factors.
   Result<double> SinglePairQuery(Index a, Index b) const;

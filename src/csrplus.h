@@ -28,6 +28,7 @@
 #include "common/env.h"
 #include "common/logging.h"
 #include "common/memory.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"

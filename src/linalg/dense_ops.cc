@@ -3,24 +3,30 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace csrplus::linalg {
 namespace {
 
 // Core row-major product C = A(MxK) * B(KxN) using the ikj order so the inner
-// loop streams rows of B and C.
+// loop streams rows of B and C. Rows of C are written by disjoint shards, so
+// the result is identical for every thread count. No zero-skip on A entries:
+// 0 * NaN must stay NaN so upstream numerical blowups in B propagate instead
+// of being silently masked.
 DenseMatrix GemmNoTrans(const DenseMatrix& a, const DenseMatrix& b) {
   const Index m = a.rows(), k = a.cols(), n = b.cols();
   DenseMatrix c(m, n);
-  for (Index i = 0; i < m; ++i) {
-    const double* arow = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
-    for (Index p = 0; p < k; ++p) {
-      const double aip = arow[p];
-      if (aip == 0.0) continue;
-      const double* brow = b.RowPtr(p);
-      for (Index j = 0; j < n; ++j) crow[j] += aip * brow[j];
+  ParallelFor(m, m * k * n, [&](Index row_begin, Index row_end) {
+    for (Index i = row_begin; i < row_end; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* crow = c.RowPtr(i);
+      for (Index p = 0; p < k; ++p) {
+        const double aip = arow[p];
+        const double* brow = b.RowPtr(p);
+        for (Index j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -38,33 +44,54 @@ DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b, Transpose ta,
     return GemmNoTrans(a, b);
   }
   if (ta == Transpose::kYes && tb == Transpose::kNo) {
-    // C = A^T B: accumulate outer products of rows of A with rows of B.
+    // C = A^T B: accumulate outer products of rows of A with rows of B. The
+    // p-loop scatters over all of C, so the parallel path gives each shard a
+    // private accumulator and reduces them in shard order afterwards (no
+    // unsynchronised writes; deterministic for a fixed thread count). No
+    // zero-skip on A entries — 0 * NaN must propagate.
     DenseMatrix c(a_rows, b_cols);
-    for (Index p = 0; p < a.rows(); ++p) {
-      const double* arow = a.RowPtr(p);
-      const double* brow = b.RowPtr(p);
-      for (Index i = 0; i < a_rows; ++i) {
-        const double api = arow[i];
-        if (api == 0.0) continue;
-        double* crow = c.RowPtr(i);
-        for (Index j = 0; j < b_cols; ++j) crow[j] += api * brow[j];
+    const Index m = a.rows();
+    const auto accumulate = [&](DenseMatrix* acc, Index begin, Index end) {
+      for (Index p = begin; p < end; ++p) {
+        const double* arow = a.RowPtr(p);
+        const double* brow = b.RowPtr(p);
+        for (Index i = 0; i < a_rows; ++i) {
+          const double api = arow[i];
+          double* crow = acc->RowPtr(i);
+          for (Index j = 0; j < b_cols; ++j) crow[j] += api * brow[j];
+        }
       }
+    };
+    const int shards = ParallelShardCount(m, m * a_rows * b_cols);
+    if (shards <= 1) {
+      accumulate(&c, 0, m);
+      return c;
     }
+    std::vector<DenseMatrix> partial(static_cast<std::size_t>(shards),
+                                     DenseMatrix(a_rows, b_cols));
+    ParallelForShards(m, shards, [&](int s, Index begin, Index end) {
+      accumulate(&partial[static_cast<std::size_t>(s)], begin, end);
+    });
+    for (const DenseMatrix& acc : partial) AddScaled(1.0, acc, &c);
     return c;
   }
   if (ta == Transpose::kNo && tb == Transpose::kYes) {
-    // C = A B^T: C_ij = <A_i., B_j.> — both row-major friendly.
+    // C = A B^T: C_ij = <A_i., B_j.> — both row-major friendly. Row shards
+    // write disjoint rows of C; identical result for every thread count.
     DenseMatrix c(a_rows, b_cols);
-    for (Index i = 0; i < a_rows; ++i) {
-      const double* arow = a.RowPtr(i);
-      double* crow = c.RowPtr(i);
-      for (Index j = 0; j < b_cols; ++j) {
-        const double* brow = b.RowPtr(j);
-        double sum = 0.0;
-        for (Index p = 0; p < a.cols(); ++p) sum += arow[p] * brow[p];
-        crow[j] = sum;
+    const Index inner = a.cols();
+    ParallelFor(a_rows, a_rows * b_cols * inner, [&](Index row_begin, Index row_end) {
+      for (Index i = row_begin; i < row_end; ++i) {
+        const double* arow = a.RowPtr(i);
+        double* crow = c.RowPtr(i);
+        for (Index j = 0; j < b_cols; ++j) {
+          const double* brow = b.RowPtr(j);
+          double sum = 0.0;
+          for (Index p = 0; p < inner; ++p) sum += arow[p] * brow[p];
+          crow[j] = sum;
+        }
       }
-    }
+    });
     return c;
   }
   // A^T B^T = (B A)^T.
@@ -77,16 +104,19 @@ void GemmAccumulate(double alpha, const DenseMatrix& a, const DenseMatrix& b,
   CSR_CHECK_EQ(c->rows(), a.rows());
   CSR_CHECK_EQ(c->cols(), b.cols());
   const Index m = a.rows(), k = a.cols(), n = b.cols();
-  for (Index i = 0; i < m; ++i) {
-    const double* arow = a.RowPtr(i);
-    double* crow = c->RowPtr(i);
-    for (Index p = 0; p < k; ++p) {
-      const double aip = alpha * arow[p];
-      if (aip == 0.0) continue;
-      const double* brow = b.RowPtr(p);
-      for (Index j = 0; j < n; ++j) crow[j] += aip * brow[j];
+  // Row shards write disjoint rows of C. No zero-skip: alpha or A entries
+  // equal to zero must still multiply B so NaN/Inf in B propagate.
+  ParallelFor(m, m * k * n, [&](Index row_begin, Index row_end) {
+    for (Index i = row_begin; i < row_end; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* crow = c->RowPtr(i);
+      for (Index p = 0; p < k; ++p) {
+        const double aip = alpha * arow[p];
+        const double* brow = b.RowPtr(p);
+        for (Index j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
     }
-  }
+  });
 }
 
 std::vector<double> MatVec(const DenseMatrix& a, const std::vector<double>& x,
@@ -94,12 +124,14 @@ std::vector<double> MatVec(const DenseMatrix& a, const std::vector<double>& x,
   if (ta == Transpose::kNo) {
     CSR_CHECK_EQ(a.cols(), static_cast<Index>(x.size()));
     std::vector<double> y(static_cast<std::size_t>(a.rows()), 0.0);
-    for (Index i = 0; i < a.rows(); ++i) {
-      const double* arow = a.RowPtr(i);
-      double sum = 0.0;
-      for (Index j = 0; j < a.cols(); ++j) sum += arow[j] * x[static_cast<std::size_t>(j)];
-      y[static_cast<std::size_t>(i)] = sum;
-    }
+    ParallelFor(a.rows(), a.rows() * a.cols(), [&](Index begin, Index end) {
+      for (Index i = begin; i < end; ++i) {
+        const double* arow = a.RowPtr(i);
+        double sum = 0.0;
+        for (Index j = 0; j < a.cols(); ++j) sum += arow[j] * x[static_cast<std::size_t>(j)];
+        y[static_cast<std::size_t>(i)] = sum;
+      }
+    });
     return y;
   }
   CSR_CHECK_EQ(a.rows(), static_cast<Index>(x.size()));

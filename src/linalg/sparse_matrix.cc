@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/parallel.h"
+
 namespace csrplus::linalg {
 
 CsrMatrix CsrMatrix::FromCoo(const CooMatrix& coo) {
@@ -133,15 +135,19 @@ CsrMatrix CsrMatrix::Transposed() const {
 std::vector<double> CsrMatrix::Multiply(const std::vector<double>& x) const {
   CSR_CHECK_EQ(static_cast<Index>(x.size()), cols_);
   std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
-  for (Index i = 0; i < rows_; ++i) {
-    double sum = 0.0;
-    for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
-         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
-      sum += values_[static_cast<std::size_t>(p)] *
-             x[static_cast<std::size_t>(col_index_[static_cast<std::size_t>(p)])];
+  // Row shards write disjoint entries of y; identical result for every
+  // thread count.
+  ParallelFor(rows_, nnz(), [&](Index begin, Index end) {
+    for (Index i = begin; i < end; ++i) {
+      double sum = 0.0;
+      for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
+           p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+        sum += values_[static_cast<std::size_t>(p)] *
+               x[static_cast<std::size_t>(col_index_[static_cast<std::size_t>(p)])];
+      }
+      y[static_cast<std::size_t>(i)] = sum;
     }
-    y[static_cast<std::size_t>(i)] = sum;
-  }
+  });
   return y;
 }
 
@@ -149,15 +155,29 @@ std::vector<double> CsrMatrix::MultiplyTranspose(
     const std::vector<double>& x) const {
   CSR_CHECK_EQ(static_cast<Index>(x.size()), rows_);
   std::vector<double> y(static_cast<std::size_t>(cols_), 0.0);
-  for (Index i = 0; i < rows_; ++i) {
-    const double xi = x[static_cast<std::size_t>(i)];
-    if (xi == 0.0) continue;
-    for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
-         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
-      y[static_cast<std::size_t>(col_index_[static_cast<std::size_t>(p)])] +=
-          xi * values_[static_cast<std::size_t>(p)];
+  // y = A^T x scatters into y, so shards partition the *output* index range
+  // instead: each shard walks all rows but only accumulates the entries whose
+  // column lands in its range (found by binary search within the sorted
+  // row). Writes are disjoint and each y[j] is accumulated in ascending row
+  // order — exactly the serial order — so the result is identical for every
+  // thread count. No per-shard accumulator copies of y are needed.
+  ParallelFor(cols_, nnz(), [&](Index col_begin, Index col_end) {
+    const int32_t* cols_data = col_index_.data();
+    for (Index i = 0; i < rows_; ++i) {
+      const double xi = x[static_cast<std::size_t>(i)];
+      if (xi == 0.0) continue;
+      const int32_t* row_begin = cols_data + row_ptr_[static_cast<std::size_t>(i)];
+      const int32_t* row_end = cols_data + row_ptr_[static_cast<std::size_t>(i) + 1];
+      const int32_t* lo =
+          std::lower_bound(row_begin, row_end, static_cast<int32_t>(col_begin));
+      const int32_t* hi =
+          std::lower_bound(lo, row_end, static_cast<int32_t>(col_end));
+      for (const int32_t* q = lo; q < hi; ++q) {
+        y[static_cast<std::size_t>(*q)] +=
+            xi * values_[static_cast<std::size_t>(q - cols_data)];
+      }
     }
-  }
+  });
   return y;
 }
 
@@ -165,16 +185,20 @@ DenseMatrix CsrMatrix::MultiplyDense(const DenseMatrix& b) const {
   CSR_CHECK_EQ(b.rows(), cols_);
   DenseMatrix c(rows_, b.cols());
   const Index k = b.cols();
-  for (Index i = 0; i < rows_; ++i) {
-    double* crow = c.RowPtr(i);
-    for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
-         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
-      const double v = values_[static_cast<std::size_t>(p)];
-      const double* brow =
-          b.RowPtr(col_index_[static_cast<std::size_t>(p)]);
-      for (Index j = 0; j < k; ++j) crow[j] += v * brow[j];
+  // Row shards write disjoint rows of C; identical result for every thread
+  // count.
+  ParallelFor(rows_, nnz() * k, [&](Index begin, Index end) {
+    for (Index i = begin; i < end; ++i) {
+      double* crow = c.RowPtr(i);
+      for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
+           p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+        const double v = values_[static_cast<std::size_t>(p)];
+        const double* brow =
+            b.RowPtr(col_index_[static_cast<std::size_t>(p)]);
+        for (Index j = 0; j < k; ++j) crow[j] += v * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -191,17 +215,35 @@ void CsrMatrix::MultiplyTransposeDenseInto(const DenseMatrix& b,
   CSR_CHECK_EQ(out->cols(), b.cols());
   CSR_CHECK(out->data() != b.data()) << "out must not alias b";
   DenseMatrix& c = *out;
-  std::fill(c.data(), c.data() + c.size(), 0.0);
   const Index k = b.cols();
-  for (Index i = 0; i < rows_; ++i) {
-    const double* brow = b.RowPtr(i);
-    for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
-         p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
-      const double v = values_[static_cast<std::size_t>(p)];
-      double* crow = c.RowPtr(col_index_[static_cast<std::size_t>(p)]);
-      for (Index j = 0; j < k; ++j) crow[j] += v * brow[j];
+  // C = A^T B is a scatter over rows of C, so shards partition the output
+  // rows (columns of A): each shard zeroes its slice of C, walks all rows of
+  // A, and accumulates only the nonzeros whose column index lands in its
+  // range (binary search within the sorted row). Writes are disjoint and
+  // each output row is accumulated in ascending input-row order — the serial
+  // order — so the result is identical for every thread count. The even
+  // column split can be unbalanced on heavily skewed column distributions;
+  // acceptable for the near-uniform transition matrices handled here.
+  ParallelFor(cols_, nnz() * k, [&](Index col_begin, Index col_end) {
+    std::fill(c.RowPtr(col_begin), c.RowPtr(col_begin) + (col_end - col_begin) * k,
+              0.0);
+    const int32_t* cols_data = col_index_.data();
+    for (Index i = 0; i < rows_; ++i) {
+      const int32_t* row_begin = cols_data + row_ptr_[static_cast<std::size_t>(i)];
+      const int32_t* row_end = cols_data + row_ptr_[static_cast<std::size_t>(i) + 1];
+      const int32_t* lo =
+          std::lower_bound(row_begin, row_end, static_cast<int32_t>(col_begin));
+      const int32_t* hi =
+          std::lower_bound(lo, row_end, static_cast<int32_t>(col_end));
+      if (lo == hi) continue;
+      const double* brow = b.RowPtr(i);
+      for (const int32_t* q = lo; q < hi; ++q) {
+        const double v = values_[static_cast<std::size_t>(q - cols_data)];
+        double* crow = c.RowPtr(*q);
+        for (Index j = 0; j < k; ++j) crow[j] += v * brow[j];
+      }
     }
-  }
+  });
 }
 
 std::vector<double> CsrMatrix::ColumnSums() const {

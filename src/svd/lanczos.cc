@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "linalg/dense_ops.h"
 #include "linalg/jacobi.h"
@@ -16,10 +17,17 @@ void ReorthogonalizeAgainst(const DenseMatrix& basis, Index count,
   const Index n = basis.rows();
   for (int pass = 0; pass < 2; ++pass) {
     for (Index j = 0; j < count; ++j) {
+      // The dot product stays serial: its summation order must not depend on
+      // the thread count or Lanczos factors would drift across pool widths.
       double dot = 0.0;
       for (Index i = 0; i < n; ++i) dot += basis(i, j) * (*w)[static_cast<std::size_t>(i)];
       if (dot == 0.0) continue;
-      for (Index i = 0; i < n; ++i) (*w)[static_cast<std::size_t>(i)] -= dot * basis(i, j);
+      // The subtraction is elementwise over disjoint entries — safe to shard.
+      ParallelFor(n, 2 * n, [&](Index begin, Index end) {
+        for (Index i = begin; i < end; ++i) {
+          (*w)[static_cast<std::size_t>(i)] -= dot * basis(i, j);
+        }
+      });
     }
   }
 }

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "linalg/dense_ops.h"
 #include "linalg/jacobi.h"
@@ -22,13 +23,17 @@ Result<TruncatedSvd> RandomizedSvd(const CsrMatrix& a,
       std::min<Index>(r + std::max<Index>(options.oversample, 0),
                       std::min(rows, cols));
 
-  // Gaussian test matrix Omega (cols x l).
-  Rng rng(options.seed);
+  // Gaussian test matrix Omega (cols x l). One Rng stream per row, derived
+  // from (seed, row): the sketch is filled in parallel yet depends only on
+  // the seed, never on the thread count or scheduling.
   DenseMatrix omega(cols, l);
-  for (Index i = 0; i < cols; ++i) {
-    double* row = omega.RowPtr(i);
-    for (Index j = 0; j < l; ++j) row[j] = rng.Gaussian();
-  }
+  ParallelFor(cols, cols * l * 8, [&](Index row_begin, Index row_end) {
+    for (Index i = row_begin; i < row_end; ++i) {
+      Rng row_rng = Rng::ForBlock(options.seed, static_cast<uint64_t>(i));
+      double* row = omega.RowPtr(i);
+      for (Index j = 0; j < l; ++j) row[j] = row_rng.Gaussian();
+    }
+  });
 
   // Range sketch Y = A * Omega, refined by power iterations.
   DenseMatrix y = a.MultiplyDense(omega);

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/memory.h"
 #include "core/cosimrank.h"
 #include "graph/normalize.h"
 #include "test_util.h"
@@ -218,6 +219,49 @@ TEST(CsrPlusEngineTest, StatsArePopulated) {
   EXPECT_GT(stats.state_bytes, 0);
   EXPECT_EQ(stats.squaring_iterations, 6);  // max_k = 5 -> 6 loop trips
   EXPECT_GE(stats.svd_seconds, 0.0);
+}
+
+TEST(CsrPlusEngineTest, SingleSourceQueryIntoMatchesAndReusesBuffer) {
+  CsrPlusOptions options;
+  options.rank = 4;
+  auto engine = CsrPlusEngine::Precompute(RandomGraph(120, 700, 3), options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<double> column;
+  for (Index q : {Index{0}, Index{17}, Index{119}}) {
+    ASSERT_TRUE(engine->SingleSourceQueryInto(q, &column).ok());
+    auto fresh = engine->SingleSourceQuery(q);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(column, *fresh) << "query " << q;
+  }
+  // Once sized, repeated queries must not reallocate the caller's buffer.
+  const double* data = column.data();
+  const std::size_t cap = column.capacity();
+  ASSERT_TRUE(engine->SingleSourceQueryInto(5, &column).ok());
+  EXPECT_EQ(column.data(), data);
+  EXPECT_EQ(column.capacity(), cap);
+  EXPECT_FALSE(engine->SingleSourceQueryInto(120, &column).ok());
+}
+
+TEST(CsrPlusEngineTest, MultiSourceQueryBudgetsTheTransientFactorCopy) {
+  CsrPlusOptions options;
+  options.rank = 4;
+  auto engine = CsrPlusEngine::Precompute(RandomGraph(200, 1200, 9), options);
+  ASSERT_TRUE(engine.ok());
+  const std::vector<Index> queries = {0, 3, 50, 199};
+  const int64_t out_bytes =
+      int64_t{200} * static_cast<int64_t>(queries.size()) * sizeof(double);
+  const int64_t u_q_bytes =
+      static_cast<int64_t>(queries.size()) * 4 * sizeof(double);
+  const int64_t saved = MemoryBudget::Global().limit_bytes();
+  // The n x |Q| output alone fits, but output + the transient [U]_{Q,*}
+  // copy does not: the reservation must count both.
+  MemoryBudget::Global().SetLimit(out_bytes + u_q_bytes / 2);
+  auto s = engine->MultiSourceQuery(queries);
+  MemoryBudget::Global().SetLimit(saved);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kResourceExhausted);
+  auto retry = engine->MultiSourceQuery(queries);
+  EXPECT_TRUE(retry.ok());
 }
 
 TEST(CsrPlusEngineTest, DampingAffectsScores) {

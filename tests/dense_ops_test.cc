@@ -123,6 +123,37 @@ TEST(AllCloseTest, RespectsTolerance) {
   EXPECT_FALSE(AllClose(a, DenseMatrix(1, 2), 1.0));  // shape mismatch
 }
 
+// IEEE semantics: a zero in A must not mask a NaN in B. The kernels used to
+// `continue` on a(i,p) == 0.0, which silently dropped 0 * NaN = NaN and let
+// poisoned inputs produce finite-looking output.
+TEST(GemmTest, ZeroTimesNaNPropagates) {
+  DenseMatrix a{{0.0, 1.0}, {2.0, 0.0}};
+  DenseMatrix b{{std::nan(""), 3.0}, {4.0, 5.0}};
+  const DenseMatrix c = Gemm(a, b);
+  EXPECT_TRUE(std::isnan(c(0, 0)));  // 0*NaN + 1*4
+  EXPECT_TRUE(std::isnan(c(1, 0)));  // 2*NaN + 0*4
+  EXPECT_EQ(c(0, 1), 5.0);
+  EXPECT_EQ(c(1, 1), 6.0);
+}
+
+TEST(GemmTest, ZeroTimesNaNPropagatesTransposedA) {
+  DenseMatrix a{{0.0, 2.0}, {1.0, 0.0}};  // A^T = [[0,1],[2,0]]
+  DenseMatrix b{{std::nan(""), 3.0}, {4.0, 5.0}};
+  const DenseMatrix c = Gemm(a, b, Transpose::kYes, Transpose::kNo);
+  EXPECT_TRUE(std::isnan(c(0, 0)));
+  EXPECT_TRUE(std::isnan(c(1, 0)));
+  EXPECT_EQ(c(0, 1), 5.0);
+  EXPECT_EQ(c(1, 1), 6.0);
+}
+
+TEST(GemmAccumulateTest, ZeroTimesNaNPropagates) {
+  DenseMatrix a{{0.0}};
+  DenseMatrix b{{std::nan("")}};
+  DenseMatrix c{{7.0}};
+  GemmAccumulate(1.0, a, b, &c);
+  EXPECT_TRUE(std::isnan(c(0, 0)));
+}
+
 TEST(GemmTest, AssociativityHoldsNumerically) {
   DenseMatrix a = RandomDense(4, 5, 11);
   DenseMatrix b = RandomDense(5, 6, 12);

@@ -1,0 +1,161 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "test_util.h"
+
+namespace csrplus {
+namespace {
+
+using csrplus::testing::ScopedNumThreads;
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ScopedNumThreads threads(8);
+  const int64_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(n, /*work=*/n * 1000, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(ParallelForTest, SerialWhenOneThread) {
+  ScopedNumThreads threads(1);
+  EXPECT_EQ(ParallelShardCount(1 << 20, int64_t{1} << 40), 1);
+  int calls = 0;
+  ParallelFor(100, int64_t{1} << 40, [&](int64_t begin, int64_t end) {
+    // Must be a single inline invocation spanning the whole range.
+    ++calls;
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 100);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, SmallWorkRunsInline) {
+  ScopedNumThreads threads(8);
+  // Work below the per-shard floor must not pay dispatch overhead.
+  EXPECT_EQ(ParallelShardCount(1000, /*work=*/100), 1);
+}
+
+TEST(ParallelForTest, ShardCountRespectsBounds) {
+  ScopedNumThreads threads(4);
+  // Plenty of work: bounded by the thread count.
+  EXPECT_EQ(ParallelShardCount(1 << 20, int64_t{1} << 40), 4);
+  // Tiny n: bounded by n.
+  EXPECT_LE(ParallelShardCount(2, int64_t{1} << 40), 2);
+}
+
+TEST(ParallelForTest, ZeroAndNegativeSizesAreNoOps) {
+  ScopedNumThreads threads(4);
+  int calls = 0;
+  ParallelFor(0, 1 << 30, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(-5, 1 << 30, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForShardsTest, ShardIdsAreDenseAndRangesPartition) {
+  ScopedNumThreads threads(8);
+  const int64_t n = 100001;  // deliberately not a multiple of the shard count
+  const int shards = ParallelShardCount(n, n * 1000);
+  ASSERT_GE(shards, 2);
+  std::vector<std::atomic<int64_t>> counts(static_cast<std::size_t>(shards));
+  for (auto& c : counts) c.store(-1);
+  std::atomic<int64_t> total{0};
+  ParallelForShards(n, shards, [&](int s, int64_t begin, int64_t end) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, shards);
+    EXPECT_LT(begin, end);
+    counts[static_cast<std::size_t>(s)].store(end - begin);
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), n);
+  for (const auto& c : counts) EXPECT_GT(c.load(), 0);
+}
+
+TEST(ParallelForTest, NestedRegionsRunInline) {
+  ScopedNumThreads threads(4);
+  const int64_t n = 64;
+  std::vector<std::atomic<int>> hits(n * n);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(n, n * 100000, [&](int64_t ob, int64_t oe) {
+    for (int64_t i = ob; i < oe; ++i) {
+      // From inside a worker this must run serially inline, not deadlock.
+      ParallelFor(n, n * 100000, [&](int64_t ib, int64_t ie) {
+        for (int64_t j = ib; j < ie; ++j) {
+          hits[static_cast<std::size_t>(i * n + j)]++;
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ReusableAcrossManyRegions) {
+  ScopedNumThreads threads(8);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    ParallelFor(1000, 1000 * 1000, [&](int64_t begin, int64_t end) {
+      int64_t local = 0;
+      for (int64_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+  }
+}
+
+TEST(ParallelForTest, ExceptionsPropagateToCaller) {
+  ScopedNumThreads threads(4);
+  EXPECT_THROW(
+      ParallelFor(1000, 1000 * 1000,
+                  [&](int64_t begin, int64_t) {
+                    if (begin == 0) throw std::runtime_error("shard failure");
+                  }),
+      std::runtime_error);
+  // The pool must still be usable after an exception.
+  std::atomic<int64_t> count{0};
+  ParallelFor(1000, 1000 * 1000,
+              [&](int64_t begin, int64_t end) { count.fetch_add(end - begin); });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ParallelForTest, SetNumThreadsClampsToAtLeastOne) {
+  ScopedNumThreads threads(4);
+  SetNumThreads(0);
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(-3);
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(16);
+  EXPECT_EQ(GetNumThreads(), 16);
+}
+
+TEST(ParallelForTest, PartitionIsIndependentOfThreadCountForSameShardCount) {
+  // The shard geometry is a pure function of (n, shards); record it at one
+  // width and check another width reproduces it when forced to the same
+  // shard count via ParallelForShards.
+  const int64_t n = 12345;
+  const int shards = 4;
+  std::vector<std::pair<int64_t, int64_t>> first(shards), second(shards);
+  {
+    ScopedNumThreads threads(2);
+    ParallelForShards(n, shards, [&](int s, int64_t b, int64_t e) {
+      first[static_cast<std::size_t>(s)] = {b, e};
+    });
+  }
+  {
+    ScopedNumThreads threads(8);
+    ParallelForShards(n, shards, [&](int s, int64_t b, int64_t e) {
+      second[static_cast<std::size_t>(s)] = {b, e};
+    });
+  }
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace csrplus

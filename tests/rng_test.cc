@@ -115,5 +115,29 @@ TEST(RngTest, JumpDecorrelatesStreams) {
   EXPECT_LT(same, 4);
 }
 
+TEST(RngTest, ForBlockIsDeterministic) {
+  Rng a = Rng::ForBlock(42, 7);
+  Rng b = Rng::ForBlock(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, ForBlockDistinctBlocksDiverge) {
+  // Adjacent block indices (the common parallel-kernel pattern) must yield
+  // decorrelated streams, not shifted copies of one stream.
+  Rng a = Rng::ForBlock(42, 0);
+  Rng b = Rng::ForBlock(42, 1);
+  int agreements = 0;
+  for (int i = 0; i < 64; ++i) agreements += (a.Next() == b.Next());
+  EXPECT_EQ(agreements, 0);
+}
+
+TEST(RngTest, ForBlockDistinctSeedsDiverge) {
+  Rng a = Rng::ForBlock(1, 5);
+  Rng b = Rng::ForBlock(2, 5);
+  int agreements = 0;
+  for (int i = 0; i < 64; ++i) agreements += (a.Next() == b.Next());
+  EXPECT_EQ(agreements, 0);
+}
+
 }  // namespace
 }  // namespace csrplus

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "graph/graph.h"
 #include "linalg/dense_matrix.h"
@@ -74,6 +75,21 @@ inline graph::Graph RandomGraph(Index nodes, int64_t edges, uint64_t seed) {
   CSR_CHECK(result.ok()) << result.status().ToString();
   return std::move(result).ValueOrDie();
 }
+
+/// Overrides the shared pool width for one scope, restoring the ambient
+/// setting on exit (tests must not leak thread-count changes).
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n) : saved_(GetNumThreads()) {
+    SetNumThreads(n);
+  }
+  ~ScopedNumThreads() { SetNumThreads(saved_); }
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int saved_;
+};
 
 /// gtest predicate: max-abs difference between two matrices at most tol.
 inline ::testing::AssertionResult MatricesNear(const DenseMatrix& a,
