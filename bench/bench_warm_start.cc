@@ -1,0 +1,99 @@
+// Warm start — cold precompute (SVD + repeated squaring) vs restoring the
+// same state from a precompute artifact (pure I/O), per dataset.
+//
+// Expected shape: the artifact is O(rn) doubles, so load time tracks disk
+// bandwidth and sits orders of magnitude below the cold SVD path; the
+// speedup column is the amortisation argument for persisting factors in a
+// serving deployment. The query column confirms a warm engine answers the
+// same batch in the same time (the state is bit-identical, only its
+// provenance differs).
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/csrplus_engine.h"
+#include "core/precompute_io.h"
+
+int main() {
+  using namespace csrplus;
+  using namespace csrplus::bench;
+
+  RunConfig config = PaperDefaults();
+  PrintBanner("Warm start", "cold precompute vs artifact load", config);
+
+  const std::vector<std::string> datasets = {"fb", "p2p", "yt", "wt"};
+  const Index num_queries = DefaultQuerySize();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "csrplus_bench_warm_start";
+  std::filesystem::create_directories(dir);
+
+  eval::TablePrinter table({"dataset", "cold", "save", "warm", "speedup",
+                            "artifact", "query"});
+
+  for (const std::string& key : datasets) {
+    auto workload = LoadWorkload(key, num_queries);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "skipping %s: %s\n", key.c_str(),
+                   workload.status().ToString().c_str());
+      continue;
+    }
+    PrintWorkload(*workload);
+
+    core::CsrPlusOptions options;
+    options.rank = config.rank;
+    options.damping = config.damping;
+    options.epsilon = config.epsilon;
+
+    WallTimer timer;
+    auto cold = core::CsrPlusEngine::PrecomputeFromTransition(
+        workload->transition, options);
+    const double cold_seconds = timer.ElapsedSeconds();
+    if (!cold.ok()) {
+      std::fprintf(stderr, "  precompute failed: %s\n",
+                   cold.status().ToString().c_str());
+      continue;
+    }
+
+    const std::string path = (dir / (key + ".cspc")).string();
+    timer.Restart();
+    Status saved = cold->SavePrecompute(path);
+    const double save_seconds = timer.ElapsedSeconds();
+    if (!saved.ok()) {
+      std::fprintf(stderr, "  save failed: %s\n", saved.ToString().c_str());
+      continue;
+    }
+
+    timer.Restart();
+    auto warm = core::CsrPlusEngine::LoadPrecompute(path);
+    const double warm_seconds = timer.ElapsedSeconds();
+    if (!warm.ok()) {
+      std::fprintf(stderr, "  load failed: %s\n",
+                   warm.status().ToString().c_str());
+      continue;
+    }
+
+    timer.Restart();
+    auto scores = warm->MultiSourceQuery(workload->queries);
+    const double query_seconds = timer.ElapsedSeconds();
+
+    table.AddRow(
+        {key, eval::FormatTime(cold_seconds), eval::FormatTime(save_seconds),
+         eval::FormatTime(warm_seconds),
+         StrPrintf("%.0fx", cold_seconds / warm_seconds),
+         FormatBytes(static_cast<int64_t>(std::filesystem::file_size(path))),
+         scores.ok() ? eval::FormatTime(query_seconds)
+                     : "FAIL(" +
+                           std::string(StatusCodeToString(
+                               scores.status().code())) +
+                           ")"});
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\nspeedup = cold precompute / warm load: what persisting the "
+              "factor state buys a restarting server.\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

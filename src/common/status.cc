@@ -25,6 +25,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kNumericalError:
       return "NumericalError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }

@@ -26,6 +26,11 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   kInternal = 7,
   kNumericalError = 8,
+  /// Stored data is unreadable: truncation, checksum mismatch, corruption.
+  kDataLoss = 9,
+  /// The operation cannot run against the current state (e.g. an artifact
+  /// written by a newer format version, or for a different graph).
+  kFailedPrecondition = 10,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -65,6 +70,12 @@ class Status {
   static Status NumericalError(std::string msg) {
     return Status(StatusCode::kNumericalError, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -81,6 +92,10 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsNumericalError() const { return code_ == StatusCode::kNumericalError; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -8,6 +8,7 @@
 #include "common/memory.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "core/precompute_io.h"
 #include "graph/normalize.h"
 #include "linalg/dense_ops.h"
 
@@ -92,6 +93,7 @@ Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromTransition(
   CSR_ASSIGN_OR_RETURN(CsrPlusEngine engine,
                        PrecomputeFromPaperFactors(std::move(factors), options));
   engine.stats_.svd_seconds = svd_seconds;
+  engine.fingerprint_ = FingerprintTransition(transition);
   return engine;
 }
 
@@ -102,9 +104,16 @@ Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromPaperFactors(
   }
   CSR_RETURN_IF_ERROR(ValidateCsrPlusOptions(options, factors.u.rows()));
   ApplyThreadOptions(options);
+  // Charge the retained state (U, Sigma, V, P, Z) up front — the same
+  // reservation LoadPrecompute makes, so a budget that rejects a cold start
+  // rejects the matching warm start too (and vice versa).
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      precompute_io::EngineStateBytes(factors.u.rows(), options.rank),
+      "CSR+ precompute state"));
 
   CsrPlusEngine engine;
   engine.damping_ = options.damping;
+  engine.epsilon_ = options.epsilon;
 
   // Line 3: H_0 = V^T U Sigma in the r x r subspace.
   WallTimer timer;
@@ -138,6 +147,8 @@ Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromPaperFactors(
   engine.z_ = linalg::Gemm(factors.u, sps);
   engine.u_ = std::move(factors.u);
   engine.p_ = std::move(p);
+  engine.sigma_ = std::move(factors.sigma);
+  engine.v_ = std::move(factors.v);
   engine.stats_.subspace_seconds = timer.ElapsedSeconds();
   engine.stats_.state_bytes =
       engine.u_.AllocatedBytes() + engine.z_.AllocatedBytes() +

@@ -21,6 +21,7 @@
 #define CSRPLUS_CORE_CSRPLUS_ENGINE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -53,6 +54,32 @@ struct CsrPlusOptions {
   svd::SvdOptions svd;
 };
 
+/// Identity of the graph a precomputation was built from: node count, edge
+/// count and a content hash over the transition matrix's CSR arrays
+/// (structure *and* values, so renormalisation changes are caught).
+/// Persisted inside precompute artifacts and checked on warm start so a
+/// saved factorisation can never silently serve queries for another graph.
+struct GraphFingerprint {
+  Index num_nodes = 0;
+  int64_t nnz = 0;
+  uint64_t content_hash = 0;
+
+  bool operator==(const GraphFingerprint& other) const {
+    return num_nodes == other.num_nodes && nnz == other.nnz &&
+           content_hash == other.content_hash;
+  }
+  /// True for the default-constructed value (engines built directly from
+  /// factors, where no graph was ever seen).
+  bool empty() const {
+    return num_nodes == 0 && nnz == 0 && content_hash == 0;
+  }
+};
+
+/// Fingerprints a column-normalised transition matrix (FNV-1a 64 over the
+/// row_ptr / col_index / values arrays). Deterministic across runs and
+/// thread counts; see precompute_io.h for the artifact that embeds it.
+GraphFingerprint FingerprintTransition(const CsrMatrix& transition);
+
 /// Timings and sizes recorded during precomputation; consumed by the
 /// benchmark harness (Figures 3 and 7 split precompute vs query).
 struct PrecomputeStats {
@@ -82,6 +109,24 @@ class CsrPlusEngine {
   /// Used by the dynamic engine, which maintains the factors incrementally.
   static Result<CsrPlusEngine> PrecomputeFromPaperFactors(
       svd::TruncatedSvd factors, const CsrPlusOptions& options);
+
+  /// Persists the full precomputed state (U, Sigma, V, P, Z plus rank,
+  /// damping, epsilon and the graph fingerprint) to `path` in the versioned
+  /// artifact format of precompute_io.h. A later LoadPrecompute skips the
+  /// SVD and repeated-squaring stages entirely — warm start is pure I/O.
+  Status SavePrecompute(const std::string& path) const;
+
+  /// Restores an engine from a SavePrecompute artifact. Validates magic,
+  /// format version and every section checksum; any mismatch returns a
+  /// typed error (DataLoss / FailedPrecondition / ...) and never a
+  /// partially-initialised engine. Does NOT check which graph the artifact
+  /// was built from — use the two-argument overload when serving.
+  static Result<CsrPlusEngine> LoadPrecompute(const std::string& path);
+
+  /// As above, but additionally requires the artifact's embedded graph
+  /// fingerprint to equal `expected` (FailedPrecondition otherwise).
+  static Result<CsrPlusEngine> LoadPrecompute(const std::string& path,
+                                              const GraphFingerprint& expected);
 
   /// Multi-source query: returns the n x |Q| block [S]_{*,Q}.
   Result<DenseMatrix> MultiSourceQuery(const std::vector<Index>& queries) const;
@@ -140,16 +185,38 @@ class CsrPlusEngine {
   /// The subspace fixed point P (r x r) — Theorem 3.4's solution.
   const DenseMatrix& p() const { return p_; }
 
+  /// The retained singular values (r, descending) and the paper's "V"
+  /// factor (n x r). Queries never touch them, but they are kept so the
+  /// complete factorisation can be persisted (SavePrecompute) and reused at
+  /// the factor level (e.g. incremental updates on a warm-started engine).
+  const std::vector<double>& sigma() const { return sigma_; }
+  const DenseMatrix& v() const { return v_; }
+
+  double epsilon() const { return epsilon_; }
+
+  /// Fingerprint of the transition matrix this engine was precomputed from;
+  /// empty() for engines built via PrecomputeFromPaperFactors.
+  const GraphFingerprint& fingerprint() const { return fingerprint_; }
+
   /// Precomputation timings/sizes.
   const PrecomputeStats& stats() const { return stats_; }
 
  private:
   CsrPlusEngine() = default;
 
+  // Shared loader behind both LoadPrecompute overloads; `expected` may be
+  // null (no fingerprint requirement). Defined in precompute_io.cc.
+  static Result<CsrPlusEngine> LoadPrecomputeImpl(
+      const std::string& path, const GraphFingerprint* expected);
+
   DenseMatrix u_;  // n x r left singular vectors.
   DenseMatrix z_;  // n x r memoised Z = U (Sigma P Sigma).
   DenseMatrix p_;  // r x r subspace fixed point (kept for diagnostics).
+  std::vector<double> sigma_;  // r singular values (persisted, not queried).
+  DenseMatrix v_;              // n x r paper-"V" factor (persisted).
   double damping_ = 0.6;
+  double epsilon_ = 1e-5;
+  GraphFingerprint fingerprint_;
   PrecomputeStats stats_;
 };
 

@@ -1,0 +1,351 @@
+// Implementation of the versioned precompute artifact format declared in
+// precompute_io.h, plus CsrPlusEngine::SavePrecompute / LoadPrecompute.
+
+#include "core/precompute_io.h"
+
+#include <bit>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/memory.h"
+
+namespace csrplus::core {
+namespace precompute_io {
+namespace {
+
+// Fixed-size file header. Field order/widths are the format: u64 + 2*u32 +
+// nine 8-byte fields leave no padding, so the in-memory layout equals the
+// on-disk layout on any little-endian platform.
+struct Header {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t section_count;
+  double damping;
+  double epsilon;
+  int64_t rank;
+  int64_t num_nodes;
+  int64_t fp_num_nodes;
+  int64_t fp_nnz;
+  uint64_t fp_content_hash;
+  uint64_t reserved;
+  uint64_t header_checksum;  // FNV-1a 64 over the 80 bytes above
+};
+static_assert(sizeof(Header) == 88, "header layout must be padding-free");
+constexpr std::size_t kHeaderChecksummedBytes =
+    sizeof(Header) - sizeof(uint64_t);
+
+struct SectionHeader {
+  uint32_t id;
+  uint32_t reserved;
+  uint64_t payload_bytes;
+  uint64_t payload_checksum;  // FNV-1a 64 over the payload
+};
+static_assert(sizeof(SectionHeader) == 24,
+              "section header layout must be padding-free");
+
+const char* SectionName(uint32_t id) {
+  switch (id) {
+    case kSectionU: return "U";
+    case kSectionSigma: return "Sigma";
+    case kSectionV: return "V";
+    case kSectionP: return "P";
+    case kSectionZ: return "Z";
+  }
+  return "?";
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status RequireLittleEndian() {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Unimplemented(
+        "precompute artifacts are little-endian only");
+  }
+  return Status::OK();
+}
+
+Status WriteAll(std::FILE* f, const void* data, std::size_t bytes,
+                const std::string& path) {
+  if (bytes == 0) return Status::OK();
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteSection(std::FILE* f, uint32_t id, const void* payload,
+                    int64_t payload_bytes, const std::string& path) {
+  SectionHeader sh;
+  sh.id = id;
+  sh.reserved = 0;
+  sh.payload_bytes = static_cast<uint64_t>(payload_bytes);
+  sh.payload_checksum =
+      FnvHash(kFnvOffsetBasis, payload, static_cast<std::size_t>(payload_bytes));
+  CSR_RETURN_IF_ERROR(WriteAll(f, &sh, sizeof(sh), path));
+  return WriteAll(f, payload, static_cast<std::size_t>(payload_bytes), path);
+}
+
+// Reads exactly `bytes` or fails with DataLoss naming `what` (truncation is
+// a corruption condition, not a plain I/O failure: the header told us these
+// bytes must exist).
+Status ReadExact(std::FILE* f, void* data, std::size_t bytes,
+                 const std::string& path, const std::string& what) {
+  if (bytes == 0) return Status::OK();
+  if (std::fread(data, 1, bytes, f) != bytes) {
+    return Status::DataLoss(path + ": artifact truncated in " + what);
+  }
+  return Status::OK();
+}
+
+int64_t FileSize(std::FILE* f) {
+  if (std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long size = std::ftell(f);
+  if (std::fseek(f, 0, SEEK_SET) != 0) return -1;
+  return size;
+}
+
+// Opens, sizes and header-validates an artifact. On success the stream is
+// positioned at the first section.
+Result<std::pair<FilePtr, Header>> OpenAndValidateHeader(
+    const std::string& path) {
+  CSR_RETURN_IF_ERROR(RequireLittleEndian());
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+
+  const int64_t file_bytes = FileSize(f.get());
+  if (file_bytes < 0) return Status::IOError("cannot size " + path);
+  if (file_bytes == 0) {
+    return Status::DataLoss(path + ": artifact file is empty");
+  }
+  if (file_bytes < static_cast<int64_t>(sizeof(Header))) {
+    return Status::DataLoss(path + ": artifact truncated in header (" +
+                            std::to_string(file_bytes) + " bytes, header is " +
+                            std::to_string(sizeof(Header)) + ")");
+  }
+
+  Header h;
+  CSR_RETURN_IF_ERROR(ReadExact(f.get(), &h, sizeof(h), path, "header"));
+  if (h.magic != kMagic) {
+    return Status::InvalidArgument(
+        path + ": not a csrplus precompute artifact (bad magic)");
+  }
+  if (h.version > kFormatVersion) {
+    return Status::FailedPrecondition(
+        path + ": artifact format version " + std::to_string(h.version) +
+        " is newer than this build supports (" +
+        std::to_string(kFormatVersion) + "); rebuild the artifact");
+  }
+  const uint64_t expected_checksum =
+      FnvHash(kFnvOffsetBasis, &h, kHeaderChecksummedBytes);
+  if (h.header_checksum != expected_checksum) {
+    return Status::DataLoss(path + ": header checksum mismatch (corrupted)");
+  }
+  // The checksum also covers version, so a zero/garbage version with a
+  // valid checksum can only be a deliberately crafted file; reject the
+  // field ranges all the same so no size computation below trusts them.
+  if (h.version == 0 || h.section_count != kSectionCount ||
+      h.reserved != 0 || h.rank < 1 || h.num_nodes < h.rank ||
+      h.fp_num_nodes < 0 || h.fp_nnz < 0 || !(h.damping > 0.0) ||
+      !(h.damping < 1.0) || !(h.epsilon > 0.0) || !(h.epsilon < 1.0)) {
+    return Status::DataLoss(path + ": header field out of range (corrupted)");
+  }
+  return std::make_pair(std::move(f), h);
+}
+
+GraphFingerprint HeaderFingerprint(const Header& h) {
+  GraphFingerprint fp;
+  fp.num_nodes = h.fp_num_nodes;
+  fp.nnz = h.fp_nnz;
+  fp.content_hash = h.fp_content_hash;
+  return fp;
+}
+
+// Reads one section, enforcing id/order, exact payload size and checksum.
+// `out` must already be sized to `expected_bytes`.
+Status ReadSection(std::FILE* f, uint32_t expected_id, void* out,
+                   int64_t expected_bytes, const std::string& path) {
+  const std::string name = SectionName(expected_id);
+  SectionHeader sh;
+  CSR_RETURN_IF_ERROR(ReadExact(f, &sh, sizeof(sh), path,
+                                "section " + name + " descriptor"));
+  if (sh.id != expected_id) {
+    return Status::DataLoss(path + ": unexpected section id " +
+                            std::to_string(sh.id) + " where section " + name +
+                            " belongs");
+  }
+  if (sh.reserved != 0) {
+    return Status::DataLoss(path + ": corrupt descriptor for section " + name);
+  }
+  if (sh.payload_bytes != static_cast<uint64_t>(expected_bytes)) {
+    return Status::DataLoss(
+        path + ": section " + name + " payload size mismatch (descriptor says " +
+        std::to_string(sh.payload_bytes) + ", dimensions imply " +
+        std::to_string(expected_bytes) + ")");
+  }
+  CSR_RETURN_IF_ERROR(ReadExact(f, out, static_cast<std::size_t>(expected_bytes),
+                                path, "section " + name));
+  const uint64_t checksum =
+      FnvHash(kFnvOffsetBasis, out, static_cast<std::size_t>(expected_bytes));
+  if (checksum != sh.payload_checksum) {
+    return Status::DataLoss(path + ": checksum mismatch in section " + name);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ArtifactInfo> ReadArtifactInfo(const std::string& path) {
+  CSR_ASSIGN_OR_RETURN(auto opened, OpenAndValidateHeader(path));
+  const Header& h = opened.second;
+  ArtifactInfo info;
+  info.version = h.version;
+  info.rank = h.rank;
+  info.num_nodes = h.num_nodes;
+  info.damping = h.damping;
+  info.epsilon = h.epsilon;
+  info.fingerprint = HeaderFingerprint(h);
+  info.file_bytes = FileSize(opened.first.get());
+  return info;
+}
+
+}  // namespace precompute_io
+
+using precompute_io::FnvHash;
+using precompute_io::kFnvOffsetBasis;
+
+Result<CsrPlusEngine> CsrPlusEngine::LoadPrecomputeImpl(
+    const std::string& path, const GraphFingerprint* expected) {
+  CSR_ASSIGN_OR_RETURN(auto opened,
+                       precompute_io::OpenAndValidateHeader(path));
+  std::FILE* f = opened.first.get();
+  const auto& h = opened.second;
+  const Index n = h.num_nodes;
+  const Index r = h.rank;
+
+  const GraphFingerprint stored = precompute_io::HeaderFingerprint(h);
+  if (expected != nullptr && !(stored == *expected)) {
+    return Status::FailedPrecondition(
+        path + ": graph fingerprint mismatch — artifact was built for a "
+        "graph with n=" + std::to_string(stored.num_nodes) + ", nnz=" +
+        std::to_string(stored.nnz) + ", hash=" +
+        std::to_string(stored.content_hash) + " but the serving graph has n=" +
+        std::to_string(expected->num_nodes) + ", nnz=" +
+        std::to_string(expected->nnz) + ", hash=" +
+        std::to_string(expected->content_hash));
+  }
+
+  // Header fields are checksummed and range-checked, so the sizes below are
+  // trustworthy; charge them before allocating, exactly like the compute
+  // path does, so warm starts respect the same cap as cold starts.
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      precompute_io::EngineStateBytes(n, r), "CSR+ precompute state"));
+
+  CsrPlusEngine engine;
+  engine.u_ = DenseMatrix(n, r);
+  engine.sigma_.assign(static_cast<std::size_t>(r), 0.0);
+  engine.v_ = DenseMatrix(n, r);
+  engine.p_ = DenseMatrix(r, r);
+  engine.z_ = DenseMatrix(n, r);
+  CSR_RETURN_IF_ERROR(precompute_io::ReadSection(
+      f, precompute_io::kSectionU, engine.u_.data(), engine.u_.PayloadBytes(),
+      path));
+  CSR_RETURN_IF_ERROR(precompute_io::ReadSection(
+      f, precompute_io::kSectionSigma, engine.sigma_.data(),
+      static_cast<int64_t>(engine.sigma_.size() * sizeof(double)), path));
+  CSR_RETURN_IF_ERROR(precompute_io::ReadSection(
+      f, precompute_io::kSectionV, engine.v_.data(), engine.v_.PayloadBytes(),
+      path));
+  CSR_RETURN_IF_ERROR(precompute_io::ReadSection(
+      f, precompute_io::kSectionP, engine.p_.data(), engine.p_.PayloadBytes(),
+      path));
+  CSR_RETURN_IF_ERROR(precompute_io::ReadSection(
+      f, precompute_io::kSectionZ, engine.z_.data(), engine.z_.PayloadBytes(),
+      path));
+  if (std::fgetc(f) != EOF) {
+    return Status::DataLoss(path + ": trailing bytes after final section");
+  }
+
+  engine.damping_ = h.damping;
+  engine.epsilon_ = h.epsilon;
+  engine.fingerprint_ = stored;
+  engine.stats_.state_bytes = engine.u_.AllocatedBytes() +
+                              engine.z_.AllocatedBytes() +
+                              engine.p_.AllocatedBytes();
+  return engine;
+}
+
+Status CsrPlusEngine::SavePrecompute(const std::string& path) const {
+  CSR_RETURN_IF_ERROR(precompute_io::RequireLittleEndian());
+  if (u_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot save an empty engine (precompute first)");
+  }
+  precompute_io::FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+
+  precompute_io::Header h;
+  h.magic = precompute_io::kMagic;
+  h.version = precompute_io::kFormatVersion;
+  h.section_count = precompute_io::kSectionCount;
+  h.damping = damping_;
+  h.epsilon = epsilon_;
+  h.rank = rank();
+  h.num_nodes = num_nodes();
+  h.fp_num_nodes = fingerprint_.num_nodes;
+  h.fp_nnz = fingerprint_.nnz;
+  h.fp_content_hash = fingerprint_.content_hash;
+  h.reserved = 0;
+  h.header_checksum =
+      FnvHash(kFnvOffsetBasis, &h, precompute_io::kHeaderChecksummedBytes);
+  CSR_RETURN_IF_ERROR(precompute_io::WriteAll(f.get(), &h, sizeof(h), path));
+
+  CSR_RETURN_IF_ERROR(precompute_io::WriteSection(
+      f.get(), precompute_io::kSectionU, u_.data(), u_.PayloadBytes(), path));
+  CSR_RETURN_IF_ERROR(precompute_io::WriteSection(
+      f.get(), precompute_io::kSectionSigma, sigma_.data(),
+      static_cast<int64_t>(sigma_.size() * sizeof(double)), path));
+  CSR_RETURN_IF_ERROR(precompute_io::WriteSection(
+      f.get(), precompute_io::kSectionV, v_.data(), v_.PayloadBytes(), path));
+  CSR_RETURN_IF_ERROR(precompute_io::WriteSection(
+      f.get(), precompute_io::kSectionP, p_.data(), p_.PayloadBytes(), path));
+  CSR_RETURN_IF_ERROR(precompute_io::WriteSection(
+      f.get(), precompute_io::kSectionZ, z_.data(), z_.PayloadBytes(), path));
+  if (std::fflush(f.get()) != 0) {
+    return Status::IOError("flush failed on " + path);
+  }
+  return Status::OK();
+}
+
+Result<CsrPlusEngine> CsrPlusEngine::LoadPrecompute(const std::string& path) {
+  return LoadPrecomputeImpl(path, nullptr);
+}
+
+Result<CsrPlusEngine> CsrPlusEngine::LoadPrecompute(
+    const std::string& path, const GraphFingerprint& expected) {
+  return LoadPrecomputeImpl(path, &expected);
+}
+
+GraphFingerprint FingerprintTransition(const CsrMatrix& transition) {
+  GraphFingerprint fp;
+  fp.num_nodes = transition.rows();
+  fp.nnz = transition.nnz();
+  uint64_t hash = kFnvOffsetBasis;
+  hash = FnvHash(hash, transition.row_ptr().data(),
+                 transition.row_ptr().size() * sizeof(int64_t));
+  hash = FnvHash(hash, transition.col_index().data(),
+                 transition.col_index().size() * sizeof(int32_t));
+  hash = FnvHash(hash, transition.values().data(),
+                 transition.values().size() * sizeof(double));
+  fp.content_hash = hash;
+  return fp;
+}
+
+}  // namespace csrplus::core

@@ -36,6 +36,7 @@
 #include "core/cosimrank.h"
 #include "core/csrplus_engine.h"
 #include "core/dynamic_engine.h"
+#include "core/precompute_io.h"
 #include "core/topk.h"
 #include "eval/datasets.h"
 #include "eval/metrics.h"

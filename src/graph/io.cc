@@ -136,14 +136,39 @@ Result<Graph> LoadBinary(const std::string& path) {
   CSR_RETURN_IF_ERROR(ReadAll(f.get(), &n, sizeof(n), path));
   CSR_RETURN_IF_ERROR(ReadAll(f.get(), &m, sizeof(m), path));
 
+  // Validate the declared sizes against the actual file length BEFORE
+  // allocating: a corrupt or foreign header must produce a clean error, not
+  // an attempted multi-terabyte allocation.
+  const long header_end = std::ftell(f.get());
+  if (header_end < 0 || std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::IOError("cannot size " + path);
+  }
+  const int64_t file_bytes = std::ftell(f.get());
+  if (std::fseek(f.get(), header_end, SEEK_SET) != 0) {
+    return Status::IOError("cannot size " + path);
+  }
+  const uint64_t payload_bytes =
+      static_cast<uint64_t>(file_bytes) - static_cast<uint64_t>(header_end);
+  if (n > (1ULL << 40) || m > (1ULL << 48) ||
+      (n + 1) * sizeof(int64_t) + m * sizeof(int32_t) != payload_bytes) {
+    return Status::IOError(path + ": header sizes (n=" + std::to_string(n) +
+                           ", m=" + std::to_string(m) +
+                           ") do not match the file length");
+  }
+
   std::vector<int64_t> row_ptr(static_cast<std::size_t>(n) + 1);
   std::vector<int32_t> cols(static_cast<std::size_t>(m));
   CSR_RETURN_IF_ERROR(ReadAll(f.get(), row_ptr.data(),
                               row_ptr.size() * sizeof(int64_t), path));
   CSR_RETURN_IF_ERROR(
       ReadAll(f.get(), cols.data(), cols.size() * sizeof(int32_t), path));
-  if (row_ptr.back() != static_cast<int64_t>(m)) {
+  if (row_ptr.front() != 0 || row_ptr.back() != static_cast<int64_t>(m)) {
     return Status::IOError(path + ": inconsistent edge count");
+  }
+  for (std::size_t i = 1; i < row_ptr.size(); ++i) {
+    if (row_ptr[i] < row_ptr[i - 1]) {
+      return Status::IOError(path + ": corrupt row pointers");
+    }
   }
 
   // Rebuild through the builder to restore in-degrees and validation.

@@ -1,6 +1,7 @@
 #include "linalg/dense_matrix.h"
 
 #include <cstdio>
+#include <cstring>
 
 namespace csrplus::linalg {
 
@@ -79,6 +80,22 @@ DenseMatrix DenseMatrix::SelectRows(const std::vector<Index>& row_ids) const {
     std::copy(RowPtr(i), RowPtr(i) + cols_, out.RowPtr(static_cast<Index>(k)));
   }
   return out;
+}
+
+void DenseMatrix::CopyToBytes(void* out) const {
+  if (data_.empty()) return;
+  std::memcpy(out, data_.data(), static_cast<std::size_t>(PayloadBytes()));
+}
+
+DenseMatrix DenseMatrix::FromRawBuffer(Index rows, Index cols,
+                                       const double* data) {
+  CSR_CHECK(rows >= 0 && cols >= 0);
+  DenseMatrix m(rows, cols);
+  if (!m.data_.empty()) {
+    std::memcpy(m.data_.data(), data,
+                static_cast<std::size_t>(m.PayloadBytes()));
+  }
+  return m;
 }
 
 std::string DenseMatrix::ToString(int precision) const {

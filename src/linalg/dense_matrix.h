@@ -74,6 +74,20 @@ class DenseMatrix {
     return static_cast<int64_t>(data_.capacity() * sizeof(double));
   }
 
+  /// Size in bytes of the row-major payload (rows * cols * sizeof(double));
+  /// the exact amount written/read by the raw-buffer helpers below.
+  int64_t PayloadBytes() const {
+    return size() * static_cast<int64_t>(sizeof(double));
+  }
+
+  /// Copies the row-major payload into `out`, which must hold at least
+  /// PayloadBytes() bytes. Entries are native-endian IEEE-754 doubles.
+  void CopyToBytes(void* out) const;
+
+  /// Rebuilds a rows x cols matrix from a row-major buffer of exactly
+  /// rows * cols native-endian doubles (the inverse of CopyToBytes).
+  static DenseMatrix FromRawBuffer(Index rows, Index cols, const double* data);
+
   /// Releases storage and resets to 0x0.
   void Clear() {
     rows_ = cols_ = 0;

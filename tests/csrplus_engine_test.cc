@@ -1,11 +1,15 @@
 #include "core/csrplus_engine.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
+#include <filesystem>
+#include <string>
 
 #include "common/memory.h"
 #include "core/cosimrank.h"
+#include "core/precompute_io.h"
 #include "graph/normalize.h"
 #include "test_util.h"
 
@@ -312,6 +316,48 @@ TEST(CsrPlusEngineTest, RankImprovesAccuracyMonotonically) {
     prev_err = err;
   }
   EXPECT_LT(prev_err, 1e-4);  // full rank is essentially exact
+}
+
+TEST(CsrPlusEngineTest, LoadPrecomputeChargesBudgetLikeTheComputePath) {
+  const Index n = 150;
+  const Index r = 6;
+  graph::Graph g = RandomGraph(n, 900, 31);
+  CsrPlusOptions options;
+  options.rank = r;
+  auto engine = CsrPlusEngine::Precompute(g, options);
+  ASSERT_TRUE(engine.ok());
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("csrplus_engine_budget_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "state.cspc").string();
+  ASSERT_TRUE(engine->SavePrecompute(path).ok());
+
+  // Warm and cold starts must hit the same wall: with the cap one byte
+  // below the engine state's footprint, BOTH the compute path and
+  // LoadPrecompute return ResourceExhausted — a warm start cannot sneak a
+  // factorisation past the budget that a cold start would have refused.
+  const int64_t state_bytes = precompute_io::EngineStateBytes(n, r);
+  const int64_t saved = MemoryBudget::Global().limit_bytes();
+  MemoryBudget::Global().SetLimit(state_bytes - 1);
+  auto cold = CsrPlusEngine::Precompute(g, options);
+  auto warm = CsrPlusEngine::LoadPrecompute(path);
+  MemoryBudget::Global().SetLimit(saved);
+  ASSERT_FALSE(cold.ok());
+  ASSERT_FALSE(warm.ok());
+  EXPECT_EQ(cold.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(warm.status().code(), StatusCode::kResourceExhausted);
+
+  // With the cap restored both succeed and agree bit for bit.
+  auto retry = CsrPlusEngine::LoadPrecompute(path);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  auto q_cold = engine->MultiSourceQuery({0, n / 2, n - 1});
+  auto q_warm = retry->MultiSourceQuery({0, n / 2, n - 1});
+  ASSERT_TRUE(q_cold.ok() && q_warm.ok());
+  EXPECT_TRUE(*q_cold == *q_warm);
+
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

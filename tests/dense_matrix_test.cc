@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 namespace csrplus::linalg {
 namespace {
 
@@ -108,6 +111,27 @@ TEST(DenseMatrixTest, ClearReleasesStorage) {
 TEST(DenseMatrixTest, ToStringRendersValues) {
   DenseMatrix m{{1.5}};
   EXPECT_NE(m.ToString(2).find("1.50"), std::string::npos);
+}
+
+TEST(DenseMatrixTest, RawBufferRoundTripIsBitExact) {
+  DenseMatrix m{{1.5, -2.25, 1e-300}, {0.0, 3.141592653589793, -0.0}};
+  EXPECT_EQ(m.PayloadBytes(), 6 * static_cast<int64_t>(sizeof(double)));
+  std::vector<double> buffer(6, 99.0);
+  m.CopyToBytes(buffer.data());
+  DenseMatrix back = DenseMatrix::FromRawBuffer(2, 3, buffer.data());
+  EXPECT_TRUE(m == back);  // elementwise, so -0.0 == 0.0 is fine here
+  // Bit-exactness beyond operator== (e.g. the sign of -0.0 survives).
+  EXPECT_EQ(std::memcmp(m.data(), back.data(),
+                        static_cast<std::size_t>(m.PayloadBytes())),
+            0);
+}
+
+TEST(DenseMatrixTest, RawBufferHandlesEmptyMatrix) {
+  DenseMatrix empty;
+  EXPECT_EQ(empty.PayloadBytes(), 0);
+  empty.CopyToBytes(nullptr);  // must be a no-op, not a crash
+  DenseMatrix back = DenseMatrix::FromRawBuffer(0, 0, nullptr);
+  EXPECT_TRUE(back.empty());
 }
 
 TEST(DenseMatrixTest, EqualityIsElementwise) {

@@ -1,0 +1,287 @@
+// Fault injection against the precompute artifact reader: every corruption
+// mode must surface as a distinct, descriptive typed Status — never a crash,
+// never a partially-initialised engine. The whole suite also runs under
+// ASan/UBSan in CI, so an out-of-bounds read on a crafted file would fail
+// loudly there.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/csrplus_engine.h"
+#include "core/precompute_io.h"
+#include "test_util.h"
+
+namespace csrplus::core {
+namespace {
+
+// Fixture graph dimensions, from which every byte offset below follows.
+constexpr Index kNodes = 40;
+constexpr Index kRank = 5;
+
+// On-disk layout for (n=40, r=5): 88-byte header, then five sections each
+// prefixed by a 24-byte descriptor. Payload sizes: U/V/Z = n*r*8 = 1600,
+// Sigma = r*8 = 40, P = r*r*8 = 200.
+constexpr int64_t kHeaderBytes = 88;
+constexpr int64_t kDescriptorBytes = 24;
+constexpr int64_t kNr = kNodes * kRank * 8;
+constexpr int64_t kR = kRank * 8;
+constexpr int64_t kRr = kRank * kRank * 8;
+
+struct SectionLayout {
+  const char* name;
+  int64_t descriptor_offset;
+  int64_t payload_bytes;
+};
+
+std::vector<SectionLayout> Layout() {
+  std::vector<SectionLayout> sections;
+  int64_t offset = kHeaderBytes;
+  for (const auto& [name, bytes] :
+       std::vector<std::pair<const char*, int64_t>>{
+           {"U", kNr}, {"Sigma", kR}, {"V", kNr}, {"P", kRr}, {"Z", kNr}}) {
+    sections.push_back({name, offset, bytes});
+    offset += kDescriptorBytes + bytes;
+  }
+  return sections;
+}
+
+constexpr int64_t kFileBytes =
+    kHeaderBytes + 5 * kDescriptorBytes + 3 * kNr + kR + kRr;
+
+class PrecomputeFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("csrplus_fault_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+
+    const graph::Graph g = csrplus::testing::RandomGraph(kNodes, 220, 0xF00D);
+    CsrPlusOptions options;
+    options.rank = kRank;
+    auto engine = CsrPlusEngine::Precompute(g, options);
+    CSR_CHECK(engine.ok()) << engine.status().ToString();
+    good_path_ = Path("good.cspc");
+    CSR_CHECK(engine->SavePrecompute(good_path_).ok());
+    good_fingerprint_ = engine->fingerprint();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  static std::vector<char> ReadBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+  }
+
+  static void WriteBytes(const std::string& path,
+                         const std::vector<char>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // Copies the good artifact, XOR-flipping one byte at `offset`.
+  std::string CorruptAt(int64_t offset, const std::string& name) {
+    std::vector<char> bytes = ReadBytes(good_path_);
+    CSR_CHECK(offset >= 0 &&
+              offset < static_cast<int64_t>(bytes.size()));
+    bytes[static_cast<std::size_t>(offset)] ^= 0x5A;
+    const std::string path = Path(name);
+    WriteBytes(path, bytes);
+    return path;
+  }
+
+  // Copies the good artifact truncated to `keep_bytes`.
+  std::string TruncateTo(int64_t keep_bytes, const std::string& name) {
+    std::vector<char> bytes = ReadBytes(good_path_);
+    CSR_CHECK(keep_bytes <= static_cast<int64_t>(bytes.size()));
+    bytes.resize(static_cast<std::size_t>(keep_bytes));
+    const std::string path = Path(name);
+    WriteBytes(path, bytes);
+    return path;
+  }
+
+  // Expects LoadPrecompute to fail with `code` and a message containing
+  // `needle`; ReadArtifactInfo must agree whenever the fault is in the
+  // header (both go through the same validation).
+  void ExpectLoadFails(const std::string& path, StatusCode code,
+                       const std::string& needle) {
+    auto result = CsrPlusEngine::LoadPrecompute(path);
+    ASSERT_FALSE(result.ok()) << path;
+    EXPECT_EQ(result.status().code(), code) << result.status().ToString();
+    EXPECT_NE(result.status().message().find(needle), std::string::npos)
+        << "status '" << result.status().ToString()
+        << "' does not mention '" << needle << "'";
+  }
+
+  std::filesystem::path dir_;
+  std::string good_path_;
+  GraphFingerprint good_fingerprint_;
+};
+
+TEST_F(PrecomputeFaultTest, GoodArtifactHasTheExpectedSizeAndLoads) {
+  ASSERT_EQ(static_cast<int64_t>(ReadBytes(good_path_).size()), kFileBytes);
+  EXPECT_TRUE(CsrPlusEngine::LoadPrecompute(good_path_).ok());
+}
+
+TEST_F(PrecomputeFaultTest, MissingFileIsIOError) {
+  auto result = CsrPlusEngine::LoadPrecompute(Path("does_not_exist.cspc"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST_F(PrecomputeFaultTest, ZeroLengthFileIsDataLoss) {
+  const std::string path = Path("empty.cspc");
+  WriteBytes(path, {});
+  ExpectLoadFails(path, StatusCode::kDataLoss, "empty");
+}
+
+TEST_F(PrecomputeFaultTest, TruncatedHeaderIsDataLoss) {
+  ExpectLoadFails(TruncateTo(40, "header_cut.cspc"), StatusCode::kDataLoss,
+                  "truncated in header");
+}
+
+TEST_F(PrecomputeFaultTest, WrongMagicIsInvalidArgument) {
+  ExpectLoadFails(CorruptAt(0, "magic.cspc"), StatusCode::kInvalidArgument,
+                  "bad magic");
+}
+
+TEST_F(PrecomputeFaultTest, FutureFormatVersionIsFailedPrecondition) {
+  // Bump the u32 version at offset 8 WITHOUT fixing the header checksum:
+  // the version gate must fire before checksum verification, because a
+  // future format may not even checksum the same way.
+  std::vector<char> bytes = ReadBytes(good_path_);
+  const uint32_t future = precompute_io::kFormatVersion + 1;
+  std::memcpy(bytes.data() + 8, &future, sizeof(future));
+  const std::string path = Path("future.cspc");
+  WriteBytes(path, bytes);
+  ExpectLoadFails(path, StatusCode::kFailedPrecondition, "newer");
+}
+
+TEST_F(PrecomputeFaultTest, FlippedHeaderByteIsChecksumDataLoss) {
+  // Offset 16 = first byte of the damping field (see precompute_io.cc).
+  ExpectLoadFails(CorruptAt(16, "header_flip.cspc"), StatusCode::kDataLoss,
+                  "header checksum mismatch");
+}
+
+TEST_F(PrecomputeFaultTest, FlippedFingerprintByteIsChecksumDataLoss) {
+  // Fingerprint fields live at offsets [48, 72); they are covered by the
+  // header checksum, so corruption there cannot masquerade as a different
+  // graph — it reads as corruption.
+  ExpectLoadFails(CorruptAt(64, "fp_flip.cspc"), StatusCode::kDataLoss,
+                  "header checksum mismatch");
+}
+
+TEST_F(PrecomputeFaultTest, FlippedByteInEachSectionPayloadNamesTheSection) {
+  for (const SectionLayout& s : Layout()) {
+    const int64_t mid =
+        s.descriptor_offset + kDescriptorBytes + s.payload_bytes / 2;
+    ExpectLoadFails(CorruptAt(mid, std::string("payload_") + s.name + ".cspc"),
+                    StatusCode::kDataLoss,
+                    std::string("checksum mismatch in section ") + s.name);
+  }
+}
+
+TEST_F(PrecomputeFaultTest, FlippedSectionIdIsDataLoss) {
+  for (const SectionLayout& s : Layout()) {
+    ExpectLoadFails(
+        CorruptAt(s.descriptor_offset, std::string("id_") + s.name + ".cspc"),
+        StatusCode::kDataLoss, "unexpected section id");
+  }
+}
+
+TEST_F(PrecomputeFaultTest, CorruptedDescriptorSizeIsDataLoss) {
+  // payload_bytes lives 8 bytes into the descriptor.
+  const SectionLayout sigma = Layout()[1];
+  ExpectLoadFails(CorruptAt(sigma.descriptor_offset + 8, "size.cspc"),
+                  StatusCode::kDataLoss, "payload size mismatch");
+}
+
+TEST_F(PrecomputeFaultTest, TruncationInsideEachSectionIsDataLoss) {
+  for (const SectionLayout& s : Layout()) {
+    const int64_t cut =
+        s.descriptor_offset + kDescriptorBytes + s.payload_bytes / 3;
+    ExpectLoadFails(
+        TruncateTo(cut, std::string("cut_") + s.name + ".cspc"),
+        StatusCode::kDataLoss,
+        std::string("truncated in section ") + s.name);
+  }
+}
+
+TEST_F(PrecomputeFaultTest, TruncatedDescriptorIsDataLoss) {
+  const SectionLayout z = Layout().back();
+  ExpectLoadFails(TruncateTo(z.descriptor_offset + 10, "desc_cut.cspc"),
+                  StatusCode::kDataLoss, "descriptor");
+}
+
+TEST_F(PrecomputeFaultTest, TrailingBytesAreDataLoss) {
+  std::vector<char> bytes = ReadBytes(good_path_);
+  bytes.push_back('x');
+  const std::string path = Path("trailing.cspc");
+  WriteBytes(path, bytes);
+  ExpectLoadFails(path, StatusCode::kDataLoss, "trailing bytes");
+}
+
+TEST_F(PrecomputeFaultTest, FingerprintMismatchIsFailedPrecondition) {
+  GraphFingerprint other = good_fingerprint_;
+  other.content_hash ^= 1;
+  auto result = CsrPlusEngine::LoadPrecompute(good_path_, other);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+  EXPECT_NE(result.status().message().find("fingerprint mismatch"),
+            std::string::npos);
+
+  // The exact fingerprint still loads.
+  EXPECT_TRUE(CsrPlusEngine::LoadPrecompute(good_path_, good_fingerprint_).ok());
+}
+
+TEST_F(PrecomputeFaultTest, EveryFaultYieldsADistinctMessage) {
+  // The suite's corruption modes, one representative each; their messages
+  // must be pairwise distinct so operators can tell faults apart from logs.
+  std::vector<std::string> paths = {
+      TruncateTo(0, "d0.cspc"),
+      TruncateTo(40, "d1.cspc"),
+      CorruptAt(0, "d2.cspc"),
+      CorruptAt(16, "d3.cspc"),
+      CorruptAt(Layout()[0].descriptor_offset, "d4.cspc"),
+      CorruptAt(Layout()[0].descriptor_offset + 8, "d5.cspc"),
+      CorruptAt(Layout()[3].descriptor_offset + kDescriptorBytes + 4,
+                "d6.cspc"),
+      TruncateTo(kFileBytes - 100, "d7.cspc"),
+  };
+  std::vector<std::string> messages;
+  for (const std::string& path : paths) {
+    auto result = CsrPlusEngine::LoadPrecompute(path);
+    ASSERT_FALSE(result.ok()) << path;
+    // Strip the path prefix so only the diagnostic text is compared.
+    std::string message = std::string(result.status().message());
+    const std::size_t colon = message.find(": ");
+    if (colon != std::string::npos) message = message.substr(colon + 2);
+    messages.push_back(message);
+  }
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    for (std::size_t j = i + 1; j < messages.size(); ++j) {
+      EXPECT_NE(messages[i], messages[j])
+          << "faults " << i << " and " << j << " are indistinguishable";
+    }
+  }
+}
+
+TEST_F(PrecomputeFaultTest, ReadArtifactInfoRejectsCorruptHeadersToo) {
+  EXPECT_TRUE(precompute_io::ReadArtifactInfo(good_path_).ok());
+  EXPECT_FALSE(precompute_io::ReadArtifactInfo(
+                   CorruptAt(16, "info_flip.cspc")).ok());
+  EXPECT_FALSE(precompute_io::ReadArtifactInfo(
+                   TruncateTo(40, "info_cut.cspc")).ok());
+}
+
+}  // namespace
+}  // namespace csrplus::core

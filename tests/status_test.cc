@@ -29,6 +29,21 @@ TEST(StatusTest, AllCodesRoundTripThroughNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
   EXPECT_EQ(StatusCodeToString(StatusCode::kNumericalError), "NumericalError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
+}
+
+TEST(StatusTest, DataLossAndFailedPreconditionFactories) {
+  Status corrupt = Status::DataLoss("checksum mismatch");
+  EXPECT_TRUE(corrupt.IsDataLoss());
+  EXPECT_FALSE(corrupt.IsIOError());
+  EXPECT_EQ(corrupt.ToString(), "DataLoss: checksum mismatch");
+
+  Status stale = Status::FailedPrecondition("artifact is for another graph");
+  EXPECT_TRUE(stale.IsFailedPrecondition());
+  EXPECT_FALSE(stale.IsDataLoss());
+  EXPECT_EQ(stale.code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(StatusTest, PredicatesMatchOnlyTheirCode) {
