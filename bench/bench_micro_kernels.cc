@@ -179,6 +179,81 @@ void BM_CsrPlusQuery(benchmark::State& state) {
 BENCHMARK(BM_CsrPlusQuery)->Args({1 << 15, 100})->Args({1 << 15, 700})
     ->Args({1 << 17, 100});
 
+// --- Observability overhead -----------------------------------------------
+//
+// The same kernels with metric recording toggled at runtime (arg 0 = off,
+// 1 = on). Benchmark names are identical in the default and the
+// -DCSRPLUS_OBS_DISABLED=ON build, so tools/check_obs_overhead.py can
+// compare the two builds' JSON output and fail CI if the instrumented
+// query is more than 5% slower than the compiled-out one. Both variants
+// run single-threaded: the hooks under test cost the same per call either
+// way, and thread-pool scheduling jitter on shared CI runners would
+// otherwise swamp the 5% budget with noise unrelated to observability.
+
+void BM_SpMMDenseObs(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Index cols = state.range(1);
+  const bool metrics = state.range(2) != 0;
+  const CsrMatrix q = MakeTransition(n, 8);
+  DenseMatrix b(n, cols);
+  for (Index i = 0; i < b.size(); ++i) b.data()[i] = 0.5;
+  // The Into variant reuses a preallocated output: per-iteration 1 MB
+  // allocations would make the timing hostage to glibc's adaptive mmap
+  // threshold, which shifts with unrelated allocation history and would
+  // masquerade as cross-build overhead.
+  DenseMatrix c(q.cols(), cols);
+  const int prev_threads = GetNumThreads();
+  SetNumThreads(1);
+  const bool prev = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(metrics);
+  for (auto _ : state) {
+    q.MultiplyTransposeDenseInto(b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  obs::SetMetricsEnabled(prev);
+  SetNumThreads(prev_threads);
+  state.SetItemsProcessed(state.iterations() * q.nnz() * cols);
+}
+// Cache-resident shapes only: they have the highest hook-to-work ratio
+// (most sensitive to an accidentally hot hook) and, unlike L3-spilling
+// sizes, are not hostage to co-tenant cache pressure on shared runners.
+BENCHMARK(BM_SpMMDenseObs)
+    ->Args({1 << 13, 8, 0})
+    ->Args({1 << 13, 8, 1})
+    ->Args({1 << 14, 8, 0})
+    ->Args({1 << 14, 8, 1});
+
+void BM_CsrPlusQueryObs(benchmark::State& state) {
+  // RMAT graph: the skewed-degree shape of the paper's web graphs, scaled
+  // down for CI; the per-query work is identical to BM_CsrPlusQuery.
+  const int scale = static_cast<int>(state.range(0));
+  const Index num_queries = state.range(1);
+  const bool metrics = state.range(2) != 0;
+  auto g = graph::Rmat(scale, (int64_t{1} << scale) * 8, 1234);
+  CSR_CHECK_OK(g.status());
+  core::CsrPlusOptions options;
+  options.rank = 5;
+  auto engine = core::CsrPlusEngine::Precompute(*g, options);
+  CSR_CHECK_OK(engine.status());
+  auto queries = eval::SampleQueries(*g, num_queries, 3);
+  const int prev_threads = GetNumThreads();
+  SetNumThreads(1);
+  const bool prev = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(metrics);
+  for (auto _ : state) {
+    auto scores = engine->MultiSourceQuery(queries);
+    benchmark::DoNotOptimize(scores->data());
+  }
+  obs::SetMetricsEnabled(prev);
+  SetNumThreads(prev_threads);
+  state.SetItemsProcessed(state.iterations() * g->num_nodes() * num_queries);
+}
+BENCHMARK(BM_CsrPlusQueryObs)
+    ->Args({14, 100, 0})
+    ->Args({14, 100, 1})
+    ->Args({15, 400, 0})
+    ->Args({15, 400, 1});
+
 }  // namespace
 
 BENCHMARK_MAIN();

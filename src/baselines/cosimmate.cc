@@ -2,11 +2,17 @@
 
 #include "common/memory.h"
 #include "linalg/dense_ops.h"
+#include "obs/trace.h"
 
 namespace csrplus::baselines {
 
 Result<DenseMatrix> CoSimMateAllPairs(const CsrMatrix& transition,
                                       const CoSimMateOptions& options) {
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.baseline.cosimmate.all_pairs", "calls",
+                          "CoSimMate all-pairs invocations", 1);
+  CSRPLUS_OBS_SCOPED_US("csrplus.baseline.cosimmate.all_pairs_us",
+                        "CoSimMate all-pairs wall time");
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kBaseline, "n", transition.rows());
   if (options.damping <= 0.0 || options.damping >= 1.0) {
     return Status::InvalidArgument("damping factor must be in (0, 1)");
   }
@@ -39,6 +45,8 @@ Result<DenseMatrix> CoSimMateAllPairs(const CsrMatrix& transition,
 Result<DenseMatrix> CoSimMateMultiSource(const CsrMatrix& transition,
                                          const std::vector<Index>& queries,
                                          const CoSimMateOptions& options) {
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.baseline.cosimmate.queries", "calls",
+                          "CoSimMate multi-source query invocations", 1);
   if (queries.empty()) {
     return Status::InvalidArgument("query set is empty");
   }

@@ -2,11 +2,17 @@
 
 #include "common/memory.h"
 #include "linalg/dense_ops.h"
+#include "obs/trace.h"
 
 namespace csrplus::baselines {
 
 Result<IterativeAllPairsEngine> IterativeAllPairsEngine::Precompute(
     const CsrMatrix& transition, const IterativeOptions& options) {
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.baseline.iterative.precomputes", "calls",
+                          "CSR-IT dense-iteration precompute invocations", 1);
+  CSRPLUS_OBS_SCOPED_US("csrplus.baseline.iterative.precompute_us",
+                        "CSR-IT dense-iteration precompute wall time");
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kBaseline, "n", transition.rows());
   if (options.damping <= 0.0 || options.damping >= 1.0) {
     return Status::InvalidArgument("damping factor must be in (0, 1)");
   }

@@ -7,6 +7,7 @@
 #include "linalg/dense_ops.h"
 #include "linalg/kron.h"
 #include "linalg/lu.h"
+#include "obs/trace.h"
 
 namespace csrplus::baselines {
 namespace {
@@ -72,6 +73,11 @@ Result<NiSimEngine> NiSimEngine::Precompute(const CsrMatrix& transition,
 
 Result<NiSimEngine> NiSimEngine::PrecomputeFromFactors(
     const svd::TruncatedSvd& factors, const NiSimOptions& options) {
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.baseline.ni_sim.precomputes", "calls",
+                          "CSR-NI precompute invocations", 1);
+  CSRPLUS_OBS_SCOPED_US("csrplus.baseline.ni_sim.precompute_us",
+                        "CSR-NI precompute wall time");
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kBaseline, "rank", factors.rank());
   if (options.damping <= 0.0 || options.damping >= 1.0) {
     return Status::InvalidArgument("damping factor must be in (0, 1)");
   }
@@ -115,6 +121,12 @@ Result<NiSimEngine> NiSimEngine::PrecomputeFromFactors(
 
 Result<DenseMatrix> NiSimEngine::MultiSourceQuery(
     const std::vector<Index>& queries) const {
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.baseline.ni_sim.queries", "calls",
+                          "CSR-NI multi-source query invocations", 1);
+  CSRPLUS_OBS_SCOPED_US("csrplus.baseline.ni_sim.query_us",
+                        "CSR-NI multi-source query wall time");
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kBaseline, "num_queries",
+                         static_cast<int64_t>(queries.size()));
   if (queries.empty()) {
     return Status::InvalidArgument("query set is empty");
   }

@@ -2,12 +2,19 @@
 
 #include "common/memory.h"
 #include "linalg/dense_ops.h"
+#include "obs/trace.h"
 
 namespace csrplus::baselines {
 
 Result<DenseMatrix> RlsMultiSource(const CsrMatrix& transition,
                                    const std::vector<Index>& queries,
                                    const RlsOptions& options) {
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.baseline.rls.queries", "calls",
+                          "CSR-RLS multi-source query invocations", 1);
+  CSRPLUS_OBS_SCOPED_US("csrplus.baseline.rls.query_us",
+                        "CSR-RLS multi-source query wall time");
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kBaseline, "num_queries",
+                         static_cast<int64_t>(queries.size()));
   if (options.damping <= 0.0 || options.damping >= 1.0) {
     return Status::InvalidArgument("damping factor must be in (0, 1)");
   }

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/stats.h"
+
 namespace csrplus {
 namespace {
 
@@ -95,10 +97,21 @@ Status MemoryBudget::TryReserve(int64_t bytes, std::string_view what) const {
                                    std::string(what));
   }
   if (bytes > limit_bytes_) {
+    CSRPLUS_OBS_COUNTER_ADD(
+        "csrplus.mem.reserve_rejected", "calls",
+        "budget reservations refused with ResourceExhausted", 1);
     return Status::ResourceExhausted(
         std::string(what) + " needs " + FormatBytes(bytes) +
         " which exceeds the memory budget of " + FormatBytes(limit_bytes_));
   }
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.mem.reserve_ok", "calls",
+                          "budget reservations that fit under the cap", 1);
+  CSRPLUS_OBS_HISTOGRAM_RECORD("csrplus.mem.reserve_bytes", "bytes",
+                               "size distribution of granted reservations",
+                               static_cast<uint64_t>(bytes));
+  CSRPLUS_OBS_GAUGE_SET_MAX("csrplus.mem.largest_reservation_bytes", "bytes",
+                            "largest single reservation granted so far",
+                            bytes);
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/env.h"
+#include "obs/trace.h"
 
 namespace csrplus {
 namespace {
@@ -62,6 +63,10 @@ void ThreadPool::Run(int64_t n, int shards, const ShardFn& fn) {
   if (shards <= 1 || num_threads() <= 1 || tls_in_worker) {
     // Serial bypass (also the nested-region path): same shard geometry,
     // executed inline in shard order.
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.pool.regions_inline", "calls",
+                            "parallel regions executed inline (serial width, "
+                            "single shard, or nested in a worker)",
+                            1);
     if (shards <= 1) {
       fn(0, 0, n);
     } else {
@@ -71,6 +76,24 @@ void ThreadPool::Run(int64_t n, int shards, const ShardFn& fn) {
     }
     return;
   }
+
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.pool.regions_pooled", "calls",
+                          "parallel regions dispatched to the shared pool", 1);
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.pool.shards_executed", "shards",
+                          "shards executed by pooled regions", shards);
+  CSRPLUS_OBS_GAUGE_SET("csrplus.pool.threads", "threads",
+                        "configured pool width at the last pooled region",
+                        num_threads());
+  CSRPLUS_OBS_GAUGE_SET(
+      "csrplus.pool.region_shards", "shards",
+      "shard count of the most recent pooled region (the pool has a single "
+      "job slot with static partitioning — this is its queue depth)",
+      shards);
+  CSRPLUS_OBS_SCOPED_US("csrplus.pool.region_us",
+                        "wall time of each pooled parallel region");
+  CSRPLUS_TRACE_SPAN_ARG(region_span, obs::spans::kPoolRegion, "shards",
+                         shards);
+  CSRPLUS_TRACE_ARG(region_span, "n", n);
 
   std::unique_lock<std::mutex> run_lock(run_mutex_);
   uint64_t generation;
@@ -84,6 +107,9 @@ void ThreadPool::Run(int64_t n, int shards, const ShardFn& fn) {
     shards_done_ = 0;
     job_exception_ = nullptr;
     generation = ++job_generation_;
+#if !defined(CSRPLUS_OBS_DISABLED)
+    job_post_us_ = obs::NowMicros();
+#endif
   }
   work_cv_.notify_all();
   // The caller participates in its own region. It must count as a worker
@@ -108,11 +134,19 @@ void ThreadPool::Run(int64_t n, int shards, const ShardFn& fn) {
 }
 
 void ThreadPool::WorkShards(uint64_t generation) {
+#if !defined(CSRPLUS_OBS_DISABLED)
+  // First shard claimed by this thread for this generation measures the
+  // post-to-pickup latency (wake + scheduling), the pool's "wait time".
+  thread_local uint64_t tls_last_wait_generation = 0;
+#endif
   while (true) {
     const ShardFn* fn;
     int64_t n;
     int shards;
     int s;
+#if !defined(CSRPLUS_OBS_DISABLED)
+    int64_t wait_us = -1;
+#endif
     {
       std::lock_guard<std::mutex> lock(mu_);
       // A worker that woke late may find a successor job (or none) in the
@@ -123,7 +157,21 @@ void ThreadPool::WorkShards(uint64_t generation) {
       fn = job_fn_;
       n = job_n_;
       shards = job_shards_;
+#if !defined(CSRPLUS_OBS_DISABLED)
+      if (tls_last_wait_generation != generation) {
+        tls_last_wait_generation = generation;
+        wait_us = static_cast<int64_t>(obs::NowMicros() - job_post_us_);
+      }
+#endif
     }
+#if !defined(CSRPLUS_OBS_DISABLED)
+    if (wait_us >= 0) {
+      CSRPLUS_OBS_HISTOGRAM_RECORD(
+          "csrplus.pool.worker_wait_us", "us",
+          "latency from region post to a thread's first shard pickup",
+          static_cast<uint64_t>(wait_us));
+    }
+#endif
     try {
       (*fn)(s, n * s / shards, n * (s + 1) / shards);
     } catch (...) {
@@ -174,6 +222,10 @@ void ParallelFor(int64_t n, int64_t work,
   if (n <= 0) return;
   const int shards = ParallelShardCount(n, work);
   if (shards <= 1) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.pool.regions_inline", "calls",
+                            "parallel regions executed inline (serial width, "
+                            "single shard, or nested in a worker)",
+                            1);
     fn(0, n);
     return;
   }

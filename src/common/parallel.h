@@ -86,6 +86,7 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   uint64_t job_generation_ = 0;
+  uint64_t job_post_us_ = 0;  // obs timestamp of the current job's post
   const ShardFn* job_fn_ = nullptr;
   int64_t job_n_ = 0;
   int job_shards_ = 0;

@@ -11,6 +11,7 @@
 #include "core/precompute_io.h"
 #include "graph/normalize.h"
 #include "linalg/dense_ops.h"
+#include "obs/trace.h"
 
 namespace csrplus::core {
 
@@ -71,6 +72,9 @@ Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromTransition(
   }
   CSR_RETURN_IF_ERROR(ValidateCsrPlusOptions(options, transition.rows()));
   ApplyThreadOptions(options);
+  CSRPLUS_TRACE_SPAN_ARG(precompute_span, obs::spans::kPrecompute, "rank",
+                         options.rank);
+  CSRPLUS_TRACE_ARG(precompute_span, "n", transition.rows());
 
   // Line 2: rank-r truncated SVD, taken of Q^T so the paper's formulas
   // apply verbatim. Deriving Eq.(6a) from Eq.(1) with the standard
@@ -111,40 +115,57 @@ Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromPaperFactors(
       precompute_io::EngineStateBytes(factors.u.rows(), options.rank),
       "CSR+ precompute state"));
 
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.precompute.runs", "calls",
+                          "CSR+ precomputations (Algorithm 1 lines 3-6)", 1);
   CsrPlusEngine engine;
   engine.damping_ = options.damping;
   engine.epsilon_ = options.epsilon;
 
   // Line 3: H_0 = V^T U Sigma in the r x r subspace.
   WallTimer timer;
-  DenseMatrix h = linalg::Gemm(factors.v, factors.u, linalg::Transpose::kYes,
-                               linalg::Transpose::kNo);
-  for (Index i = 0; i < h.rows(); ++i) {
-    double* row = h.RowPtr(i);
-    for (Index j = 0; j < h.cols(); ++j) {
-      row[j] *= factors.sigma[static_cast<std::size_t>(j)];
+  int max_k = 0;
+  DenseMatrix p;
+  {
+    CSRPLUS_OBS_SCOPED_US(
+        "csrplus.phase.squaring_us",
+        "repeated squaring for the subspace fixed point P (Thm 3.4)");
+    CSRPLUS_TRACE_SPAN_ARG(squaring_span, obs::spans::kRepeatedSquaring,
+                           "rank", options.rank);
+    DenseMatrix h = linalg::Gemm(factors.v, factors.u, linalg::Transpose::kYes,
+                                 linalg::Transpose::kNo);
+    for (Index i = 0; i < h.rows(); ++i) {
+      double* row = h.RowPtr(i);
+      for (Index j = 0; j < h.cols(); ++j) {
+        row[j] *= factors.sigma[static_cast<std::size_t>(j)];
+      }
     }
-  }
 
-  // Lines 4-5: repeated squaring for P (Theorem 3.4 / prior work [12]).
-  const int max_k = RepeatedSquaringIterations(options.damping, options.epsilon);
-  DenseMatrix p = DenseMatrix::Identity(options.rank);
-  double c_pow = options.damping;  // c^{2^k} for k = 0.
-  for (int k = 0; k <= max_k; ++k) {
-    // P <- P + c^{2^k} H P H^T.
-    DenseMatrix hp = linalg::Gemm(h, p);
-    DenseMatrix hpht =
-        linalg::Gemm(hp, h, linalg::Transpose::kNo, linalg::Transpose::kYes);
-    linalg::AddScaled(c_pow, hpht, &p);
-    // H <- H^2, c^{2^k} -> c^{2^{k+1}}.
-    h = linalg::Gemm(h, h);
-    c_pow *= c_pow;
+    // Lines 4-5: repeated squaring for P (Theorem 3.4 / prior work [12]).
+    max_k = RepeatedSquaringIterations(options.damping, options.epsilon);
+    p = DenseMatrix::Identity(options.rank);
+    double c_pow = options.damping;  // c^{2^k} for k = 0.
+    for (int k = 0; k <= max_k; ++k) {
+      // P <- P + c^{2^k} H P H^T.
+      DenseMatrix hp = linalg::Gemm(h, p);
+      DenseMatrix hpht =
+          linalg::Gemm(hp, h, linalg::Transpose::kNo, linalg::Transpose::kYes);
+      linalg::AddScaled(c_pow, hpht, &p);
+      // H <- H^2, c^{2^k} -> c^{2^{k+1}}.
+      h = linalg::Gemm(h, h);
+      c_pow *= c_pow;
+    }
+    CSRPLUS_TRACE_ARG(squaring_span, "iterations", max_k + 1);
   }
   engine.stats_.squaring_iterations = max_k + 1;
 
   // Line 6: Z = U (Sigma P Sigma), memoised for the query phase.
-  DenseMatrix sps = linalg::DiagScale(factors.sigma, p, factors.sigma);
-  engine.z_ = linalg::Gemm(factors.u, sps);
+  {
+    CSRPLUS_OBS_SCOPED_US("csrplus.phase.z_memoise_us",
+                          "memoising Z = U (Sigma P Sigma) (Thm 3.5)");
+    CSRPLUS_TRACE_SPAN(z_span, obs::spans::kZMemoise);
+    DenseMatrix sps = linalg::DiagScale(factors.sigma, p, factors.sigma);
+    engine.z_ = linalg::Gemm(factors.u, sps);
+  }
   engine.u_ = std::move(factors.u);
   engine.p_ = std::move(p);
   engine.sigma_ = std::move(factors.sigma);
@@ -153,6 +174,9 @@ Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromPaperFactors(
   engine.stats_.state_bytes =
       engine.u_.AllocatedBytes() + engine.z_.AllocatedBytes() +
       engine.p_.AllocatedBytes();
+  CSRPLUS_OBS_GAUGE_SET("csrplus.engine.state_bytes", "bytes",
+                        "heap bytes of the most recent engine's U + Z + P",
+                        engine.stats_.state_bytes);
   return engine;
 }
 
@@ -177,6 +201,16 @@ Result<DenseMatrix> CsrPlusEngine::MultiSourceQuery(
       static_cast<int64_t>(queries.size()) * rank() * sizeof(double);
   CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
       out_bytes + u_q_bytes, "CSR+ multi-source output"));
+  CSRPLUS_OBS_SCOPED_US("csrplus.phase.query_us",
+                        "top-level CSR+ query entry points (Alg. 1 line 7)");
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.query.multi_source", "calls",
+                          "MultiSourceQuery invocations", 1);
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.query.sources", "nodes",
+                          "total query sources across all query calls",
+                          queries.size());
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kQuery, "num_queries",
+                         static_cast<int64_t>(queries.size()));
+  CSRPLUS_TRACE_ARG(span, "n", n);
 
   // Line 7: [S]_{*,Q} = [I_n]_{*,Q} + c Z [U]_{Q,*}^T.
   const DenseMatrix u_q = u_.SelectRows(queries);  // |Q| x r
@@ -191,6 +225,8 @@ Result<DenseMatrix> CsrPlusEngine::MultiSourceQuery(
 
 Result<std::vector<double>> CsrPlusEngine::SingleSourceQuery(
     Index query) const {
+  CSRPLUS_OBS_SCOPED_US("csrplus.phase.query_us",
+                        "top-level CSR+ query entry points (Alg. 1 line 7)");
   std::vector<double> out;
   CSR_RETURN_IF_ERROR(SingleSourceQueryInto(query, &out));
   return out;
@@ -202,6 +238,12 @@ Status CsrPlusEngine::SingleSourceQueryInto(Index query,
   if (query < 0 || query >= n) {
     return Status::InvalidArgument("query node out of range");
   }
+  CSRPLUS_OBS_SCOPED_US(
+      "csrplus.query.latency_us",
+      "per-source query latency (may nest under batch entry points)");
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.query.single_source", "calls",
+                          "single-source query columns computed", 1);
+  CSRPLUS_TRACE_SPAN(span, obs::spans::kQuery);
   const Index r = rank();
   out->resize(static_cast<std::size_t>(n));
   double* data = out->data();
@@ -223,6 +265,9 @@ Result<double> CsrPlusEngine::SinglePairQuery(Index a, Index b) const {
   if (a < 0 || a >= n || b < 0 || b >= n) {
     return Status::InvalidArgument("node out of range");
   }
+  // O(r) work: a counter only — a clock pair here would dominate the query.
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.query.single_pair", "calls",
+                          "single-pair O(r) score lookups", 1);
   const Index r = rank();
   const double* zrow = z_.RowPtr(a);
   const double* urow = u_.RowPtr(b);
@@ -247,6 +292,13 @@ Result<std::vector<std::vector<ScoredNode>>> CsrPlusEngine::TopKQuery(
                                      " out of range");
     }
   }
+  CSRPLUS_OBS_SCOPED_US("csrplus.phase.query_us",
+                        "top-level CSR+ query entry points (Alg. 1 line 7)");
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.query.sources", "nodes",
+                          "total query sources across all query calls",
+                          queries.size());
+  CSRPLUS_TRACE_SPAN_ARG(topk_span, obs::spans::kQuery, "num_queries",
+                         static_cast<int64_t>(queries.size()));
   // Fan out over queries: each shard owns a contiguous slice of the query
   // list and reuses one n-length column buffer across its queries. Output
   // slots are disjoint, so the result is independent of scheduling.
@@ -260,6 +312,10 @@ Result<std::vector<std::vector<ScoredNode>>> CsrPlusEngine::TopKQuery(
       CSR_CHECK_OK(SingleSourceQueryInto(q, &column));  // validated above
       std::vector<Index> skip = exclude;
       if (exclude_query) skip.push_back(q);
+      CSRPLUS_OBS_SCOPED_US(
+          "csrplus.query.topk_select_us",
+          "top-k selection per score column (sub-phase of query)");
+      CSRPLUS_TRACE_SPAN(select_span, obs::spans::kTopKSelect);
       out[static_cast<std::size_t>(j)] = TopK(column, k, skip);
     }
   });
@@ -272,6 +328,9 @@ Result<std::vector<CsrPlusEngine::ScoredPair>> CsrPlusEngine::AllPairsTopK(
     return Status::InvalidArgument("k must be non-negative");
   }
   const Index n = num_nodes();
+  CSRPLUS_OBS_SCOPED_US("csrplus.phase.query_us",
+                        "top-level CSR+ query entry points (Alg. 1 line 7)");
+  CSRPLUS_TRACE_SPAN_ARG(join_span, obs::spans::kQuery, "n", n);
   // Min-heap on score (worst pair at front) capped at k entries. Each shard
   // owns a contiguous range of source rows, reuses one n-length column
   // buffer across its sources (no per-source allocation), and keeps a
@@ -319,6 +378,9 @@ Result<DenseMatrix> CsrPlusEngine::AllPairs() const {
   const Index n = num_nodes();
   CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
       n * n * static_cast<int64_t>(sizeof(double)), "CSR+ all-pairs output"));
+  CSRPLUS_OBS_SCOPED_US("csrplus.phase.query_us",
+                        "top-level CSR+ query entry points (Alg. 1 line 7)");
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kQuery, "n", n);
   DenseMatrix s = linalg::Gemm(z_, u_, linalg::Transpose::kNo,
                                linalg::Transpose::kYes);
   linalg::ScaleInPlace(damping_, &s);

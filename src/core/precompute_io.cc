@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/memory.h"
+#include "obs/trace.h"
 
 namespace csrplus::core {
 namespace precompute_io {
@@ -223,6 +224,11 @@ using precompute_io::kFnvOffsetBasis;
 
 Result<CsrPlusEngine> CsrPlusEngine::LoadPrecomputeImpl(
     const std::string& path, const GraphFingerprint* expected) {
+  CSRPLUS_OBS_SCOPED_US("csrplus.phase.artifact_load_us",
+                        "restoring an engine from a .cspc artifact");
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.artifact.loads", "calls",
+                          "LoadPrecompute attempts (success or failure)", 1);
+  CSRPLUS_TRACE_SPAN(span, obs::spans::kArtifactLoad);
   CSR_ASSIGN_OR_RETURN(auto opened,
                        precompute_io::OpenAndValidateHeader(path));
   std::FILE* f = opened.first.get();
@@ -283,6 +289,11 @@ Result<CsrPlusEngine> CsrPlusEngine::LoadPrecomputeImpl(
 }
 
 Status CsrPlusEngine::SavePrecompute(const std::string& path) const {
+  CSRPLUS_OBS_SCOPED_US("csrplus.phase.artifact_save_us",
+                        "persisting an engine to a .cspc artifact");
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.artifact.saves", "calls",
+                          "SavePrecompute invocations", 1);
+  CSRPLUS_TRACE_SPAN(span, obs::spans::kArtifactSave);
   CSR_RETURN_IF_ERROR(precompute_io::RequireLittleEndian());
   if (u_.empty()) {
     return Status::FailedPrecondition(
@@ -325,15 +336,31 @@ Status CsrPlusEngine::SavePrecompute(const std::string& path) const {
 }
 
 Result<CsrPlusEngine> CsrPlusEngine::LoadPrecompute(const std::string& path) {
-  return LoadPrecomputeImpl(path, nullptr);
+  auto result = LoadPrecomputeImpl(path, nullptr);
+  if (!result.ok()) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.artifact.load_failures", "calls",
+                            "LoadPrecompute attempts that returned an error",
+                            1);
+  }
+  return result;
 }
 
 Result<CsrPlusEngine> CsrPlusEngine::LoadPrecompute(
     const std::string& path, const GraphFingerprint& expected) {
-  return LoadPrecomputeImpl(path, &expected);
+  auto result = LoadPrecomputeImpl(path, &expected);
+  if (!result.ok()) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.artifact.load_failures", "calls",
+                            "LoadPrecompute attempts that returned an error",
+                            1);
+  }
+  return result;
 }
 
 GraphFingerprint FingerprintTransition(const CsrMatrix& transition) {
+  CSRPLUS_OBS_SCOPED_US("csrplus.phase.fingerprint_us",
+                        "FNV-1a fingerprint of the transition matrix");
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kFingerprint, "n",
+                         transition.rows());
   GraphFingerprint fp;
   fp.num_nodes = transition.rows();
   fp.nnz = transition.nnz();

@@ -54,6 +54,8 @@
 #include "linalg/lu.h"
 #include "linalg/qr.h"
 #include "linalg/sparse_matrix.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "svd/truncated_svd.h"
 #include "svd/update.h"
 

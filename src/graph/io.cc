@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace csrplus::graph {
 namespace {
@@ -42,6 +43,11 @@ Status ReadAll(std::FILE* f, void* data, std::size_t bytes,
 Result<Graph> LoadSnapEdgeList(const std::string& path,
                                const EdgeListOptions& options,
                                std::vector<int64_t>* original_ids) {
+  CSRPLUS_OBS_SCOPED_US("csrplus.phase.graph_load_us",
+                        "loading a graph from disk (text or binary)");
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.graph.loads", "calls",
+                          "graph files loaded (text or binary)", 1);
+  CSRPLUS_TRACE_SPAN(span, obs::spans::kGraphLoad);
   FilePtr f(std::fopen(path.c_str(), "r"));
   if (!f) return Status::IOError("cannot open " + path);
 
@@ -118,6 +124,11 @@ Status SaveBinary(const Graph& g, const std::string& path) {
 }
 
 Result<Graph> LoadBinary(const std::string& path) {
+  CSRPLUS_OBS_SCOPED_US("csrplus.phase.graph_load_us",
+                        "loading a graph from disk (text or binary)");
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.graph.loads", "calls",
+                          "graph files loaded (text or binary)", 1);
+  CSRPLUS_TRACE_SPAN(span, obs::spans::kGraphLoad);
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IOError("cannot open " + path);
 

@@ -1,8 +1,13 @@
 #include "graph/normalize.h"
 
+#include "obs/trace.h"
+
 namespace csrplus::graph {
 
 CsrMatrix ColumnNormalizedTransition(const Graph& g) {
+  CSRPLUS_OBS_SCOPED_US("csrplus.phase.normalize_us",
+                        "building the column-normalised transition Q");
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kNormalize, "n", g.num_nodes());
   CsrMatrix q = g.adjacency();  // copy structure + unit values
   std::vector<double> scale(static_cast<std::size_t>(g.num_nodes()), 0.0);
   for (Index v = 0; v < g.num_nodes(); ++v) {

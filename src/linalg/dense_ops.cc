@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "obs/stats.h"
 
 namespace csrplus::linalg {
 namespace {
@@ -39,6 +40,11 @@ DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b, Transpose ta,
   const Index b_rows = tb == Transpose::kNo ? b.rows() : b.cols();
   const Index b_cols = tb == Transpose::kNo ? b.cols() : b.rows();
   CSR_CHECK_EQ(a_cols, b_rows) << "Gemm: inner dimensions differ";
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.kernel.gemm_calls", "calls",
+                          "dense GEMM kernel invocations", 1);
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.kernel.gemm_flops", "flops",
+                          "multiply-add pairs issued by dense GEMM kernels",
+                          2 * a_rows * static_cast<int64_t>(a_cols) * b_cols);
 
   if (ta == Transpose::kNo && tb == Transpose::kNo) {
     return GemmNoTrans(a, b);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/parallel.h"
+#include "obs/stats.h"
 
 namespace csrplus::linalg {
 
@@ -183,6 +184,11 @@ std::vector<double> CsrMatrix::MultiplyTranspose(
 
 DenseMatrix CsrMatrix::MultiplyDense(const DenseMatrix& b) const {
   CSR_CHECK_EQ(b.rows(), cols_);
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.kernel.spmm_calls", "calls",
+                          "sparse-times-dense (SpMM) kernel invocations", 1);
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.kernel.spmm_flops", "flops",
+                          "multiply-add pairs issued by SpMM kernels",
+                          2 * nnz() * b.cols());
   DenseMatrix c(rows_, b.cols());
   const Index k = b.cols();
   // Row shards write disjoint rows of C; identical result for every thread
@@ -214,6 +220,11 @@ void CsrMatrix::MultiplyTransposeDenseInto(const DenseMatrix& b,
   CSR_CHECK_EQ(out->rows(), cols_);
   CSR_CHECK_EQ(out->cols(), b.cols());
   CSR_CHECK(out->data() != b.data()) << "out must not alias b";
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.kernel.spmm_calls", "calls",
+                          "sparse-times-dense (SpMM) kernel invocations", 1);
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.kernel.spmm_flops", "flops",
+                          "multiply-add pairs issued by SpMM kernels",
+                          2 * nnz() * b.cols());
   DenseMatrix& c = *out;
   const Index k = b.cols();
   // C = A^T B is a scatter over rows of C, so shards partition the output

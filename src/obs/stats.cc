@@ -1,0 +1,322 @@
+#include "obs/stats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <variant>
+
+#include "common/env.h"
+#include "common/memory.h"
+#include "common/strings.h"
+#include "obs/trace.h"
+
+namespace csrplus::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Runtime toggles, initialised once from CSRPLUS_STATS:
+//   "0" / "off"          -> no recording at all
+//   "1" / "on" / unset   -> counters/gauges/histograms
+//   "trace"              -> metrics + span tracing
+struct RuntimeToggles {
+  std::atomic<bool> metrics{true};
+  std::atomic<bool> tracing{false};
+  RuntimeToggles() {
+    const std::string v = GetEnvString("CSRPLUS_STATS", "1");
+    if (v == "0" || v == "off") {
+      metrics.store(false, std::memory_order_relaxed);
+    } else if (v == "trace") {
+      tracing.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+
+RuntimeToggles& Toggles() {
+  static RuntimeToggles* toggles = new RuntimeToggles;  // leaked: see stats.h
+  return *toggles;
+}
+
+Clock::time_point Epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+// Minimal JSON string escaping; metric names/units/help are controlled
+// ASCII identifiers, but keep the output valid for any input.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return Toggles().metrics.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  Toggles().metrics.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return Toggles().tracing.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  Toggles().tracing.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            Epoch())
+          .count());
+}
+
+void Init() {
+  (void)Epoch();
+  (void)Toggles();
+  (void)StatsRegistry::Global();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+struct StatsRegistry::Impl {
+  struct CallbackGauge {
+    std::string unit;
+    std::string help;
+    std::function<int64_t()> fn;
+  };
+  template <typename M>
+  struct Entry {
+    std::string unit;
+    std::string help;
+    std::unique_ptr<M> metric;
+  };
+
+  mutable std::mutex mu;
+  // std::map: stable iteration order, pointers never invalidated.
+  std::map<std::string, Entry<Counter>, std::less<>> counters;
+  std::map<std::string, Entry<Gauge>, std::less<>> gauges;
+  std::map<std::string, Entry<Histogram>, std::less<>> histograms;
+  std::map<std::string, CallbackGauge, std::less<>> callback_gauges;
+
+  template <typename M>
+  M* FindOrCreate(std::map<std::string, Entry<M>, std::less<>>* metrics,
+                  std::string_view name, std::string_view unit,
+                  std::string_view help) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = metrics->find(name);
+    if (it == metrics->end()) {
+      it = metrics
+               ->emplace(std::string(name),
+                         Entry<M>{std::string(unit), std::string(help),
+                                  std::make_unique<M>()})
+               .first;
+    }
+    return it->second.metric.get();
+  }
+};
+
+StatsRegistry::StatsRegistry() : impl_(new Impl) {
+#if !defined(CSRPLUS_OBS_DISABLED)
+  // Memory visibility rides on what other subsystems already track; these
+  // read at snapshot time instead of double-counting.
+  RegisterCallbackGauge(
+      "csrplus.mem.tracked_current_bytes", "bytes",
+      "bytes currently allocated (0 unless the new/delete hooks are linked)",
+      [] { return GetTrackedMemory().current_bytes; });
+  RegisterCallbackGauge(
+      "csrplus.mem.tracked_peak_bytes", "bytes",
+      "tracked-allocation high-water mark since the last reset",
+      [] { return GetTrackedMemory().peak_bytes; });
+  RegisterCallbackGauge("csrplus.mem.rss_current_bytes", "bytes",
+                        "resident set size (VmRSS)",
+                        [] { return CurrentRssBytes(); });
+  RegisterCallbackGauge("csrplus.mem.rss_peak_bytes", "bytes",
+                        "peak resident set size (VmHWM)",
+                        [] { return PeakRssBytes(); });
+  RegisterCallbackGauge("csrplus.mem.budget_limit_bytes", "bytes",
+                        "process-wide memory budget cap",
+                        [] { return MemoryBudget::Global().limit_bytes(); });
+  RegisterCallbackGauge(
+      "csrplus.trace.dropped_events", "events",
+      "trace events lost to per-thread ring buffer overwrites",
+      [] { return static_cast<int64_t>(TraceDroppedEvents()); });
+#endif
+}
+
+StatsRegistry& StatsRegistry::Global() {
+  // Leaked: instrumentation may run during static destruction (pool workers
+  // join at exit) and must never observe a destroyed registry.
+  static StatsRegistry* registry = new StatsRegistry;
+  return *registry;
+}
+
+Counter* StatsRegistry::FindOrCreateCounter(std::string_view name,
+                                            std::string_view unit,
+                                            std::string_view help) {
+  return impl_->FindOrCreate(&impl_->counters, name, unit, help);
+}
+
+Gauge* StatsRegistry::FindOrCreateGauge(std::string_view name,
+                                        std::string_view unit,
+                                        std::string_view help) {
+  return impl_->FindOrCreate(&impl_->gauges, name, unit, help);
+}
+
+Histogram* StatsRegistry::FindOrCreateHistogram(std::string_view name,
+                                                std::string_view unit,
+                                                std::string_view help) {
+  return impl_->FindOrCreate(&impl_->histograms, name, unit, help);
+}
+
+void StatsRegistry::RegisterCallbackGauge(std::string_view name,
+                                          std::string_view unit,
+                                          std::string_view help,
+                                          std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->callback_gauges.emplace(
+      std::string(name),
+      Impl::CallbackGauge{std::string(unit), std::string(help), std::move(fn)});
+}
+
+std::vector<std::string> StatsRegistry::Names() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto& [name, entry] : impl_->counters) names.push_back(name);
+    for (const auto& [name, entry] : impl_->gauges) names.push_back(name);
+    for (const auto& [name, entry] : impl_->histograms) names.push_back(name);
+    for (const auto& [name, cb] : impl_->callback_gauges) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string StatsRegistry::SnapshotJson() const {
+  // Callback gauges run outside the lock (they may touch other subsystems);
+  // collect them first.
+  std::vector<std::pair<std::string, int64_t>> callback_values;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    callback_values.reserve(impl_->callback_gauges.size());
+    for (const auto& [name, cb] : impl_->callback_gauges) {
+      callback_values.emplace_back(name, 0);
+    }
+  }
+  for (auto& [name, value] : callback_values) {
+    std::function<int64_t()> fn;
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      fn = impl_->callback_gauges.find(name)->second.fn;
+    }
+    value = fn ? fn() : 0;
+  }
+
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out;
+  out += StrPrintf("{\n  \"version\": 1,\n  \"uptime_us\": %llu,\n",
+                   static_cast<unsigned long long>(NowMicros()));
+
+  out += "  \"counters\": [";
+  bool first = true;
+  for (const auto& [name, entry] : impl_->counters) {
+    out += StrPrintf(
+        "%s\n    {\"name\": \"%s\", \"unit\": \"%s\", \"help\": \"%s\", "
+        "\"value\": %llu}",
+        first ? "" : ",", JsonEscape(name).c_str(),
+        JsonEscape(entry.unit).c_str(), JsonEscape(entry.help).c_str(),
+        static_cast<unsigned long long>(entry.metric->value()));
+    first = false;
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"gauges\": [";
+  first = true;
+  auto emit_gauge = [&](const std::string& name, const std::string& unit,
+                        const std::string& help, int64_t value) {
+    out += StrPrintf(
+        "%s\n    {\"name\": \"%s\", \"unit\": \"%s\", \"help\": \"%s\", "
+        "\"value\": %lld}",
+        first ? "" : ",", JsonEscape(name).c_str(), JsonEscape(unit).c_str(),
+        JsonEscape(help).c_str(), static_cast<long long>(value));
+    first = false;
+  };
+  for (const auto& [name, entry] : impl_->gauges) {
+    emit_gauge(name, entry.unit, entry.help, entry.metric->value());
+  }
+  for (const auto& [name, value] : callback_values) {
+    const auto& cb = impl_->callback_gauges.find(name)->second;
+    emit_gauge(name, cb.unit, cb.help, value);
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"histograms\": [";
+  first = true;
+  for (const auto& [name, entry] : impl_->histograms) {
+    const Histogram& h = *entry.metric;
+    out += StrPrintf(
+        "%s\n    {\"name\": \"%s\", \"unit\": \"%s\", \"help\": \"%s\", "
+        "\"count\": %llu, \"sum\": %llu, \"buckets\": [",
+        first ? "" : ",", JsonEscape(name).c_str(),
+        JsonEscape(entry.unit).c_str(), JsonEscape(entry.help).c_str(),
+        static_cast<unsigned long long>(h.count()),
+        static_cast<unsigned long long>(h.sum()));
+    // Sparse emission: only non-empty buckets (the layout is fixed and
+    // documented, so empty buckets carry no information).
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t c = h.bucket_count(i);
+      if (c == 0) continue;
+      if (i < Histogram::kNumFiniteBuckets) {
+        out += StrPrintf("%s{\"le\": %llu, \"count\": %llu}",
+                         first_bucket ? "" : ", ",
+                         static_cast<unsigned long long>(
+                             Histogram::BucketUpperBound(i)),
+                         static_cast<unsigned long long>(c));
+      } else {
+        out += StrPrintf("%s{\"le\": \"+Inf\", \"count\": %llu}",
+                         first_bucket ? "" : ", ",
+                         static_cast<unsigned long long>(c));
+      }
+      first_bucket = false;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void StatsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, entry] : impl_->counters) entry.metric->Reset();
+  for (auto& [name, entry] : impl_->gauges) entry.metric->Reset();
+  for (auto& [name, entry] : impl_->histograms) entry.metric->Reset();
+}
+
+}  // namespace csrplus::obs

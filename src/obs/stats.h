@@ -1,0 +1,263 @@
+// Process-wide observability: a thread-safe registry of monotonic counters,
+// gauges and fixed-bucket histograms with lock-free hot paths.
+//
+// The paper's entire evaluation (Sec. 5, Figs. 2-9) is a phase and memory
+// breakdown; this module makes the same breakdown a first-class runtime
+// surface instead of something only the bench harness can see. Design:
+//
+//  * Metrics are registered lazily on first use and live forever (the
+//    registry is a leaked singleton, so instrumented code in static
+//    destructors and pool workers can never touch a dead object).
+//  * Registration takes a mutex (cold path, once per call site via a
+//    function-local static); recording is a single relaxed atomic RMW.
+//  * Histograms use one fixed power-of-two bucket layout (le = 2^i for
+//    i = 0..47, plus overflow) shared by every histogram, so bucket
+//    boundaries are stable across builds and directly comparable.
+//  * Runtime toggle: the CSRPLUS_STATS environment variable ("0"/"off"
+//    disables recording, "1"/"on" enables metrics, "trace" additionally
+//    enables span tracing — see obs/trace.h) or SetMetricsEnabled().
+//  * Compile-time kill switch: building with -DCSRPLUS_OBS_DISABLED turns
+//    every CSRPLUS_OBS_* / CSRPLUS_TRACE_* hook into nothing, so the
+//    instrumented hot paths are bit-identical to uninstrumented code. The
+//    registry API itself stays available (snapshots are just empty).
+//
+// Naming convention: dot-separated lowercase, "csrplus.<area>.<metric>",
+// with the unit as a suffix where one applies (_us, _bytes). Every name
+// emitted at runtime must be documented in docs/observability.md — a test
+// (tests/obs_test.cc) diffs the registry against the doc.
+
+#ifndef CSRPLUS_OBS_STATS_H_
+#define CSRPLUS_OBS_STATS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csrplus::obs {
+
+/// Monotonically increasing event count. Lock-free.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (level, size, high-water mark). Lock-free.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if `v` is larger (lock-free max).
+  void SetMax(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram of non-negative integer samples (latencies in
+/// microseconds, sizes in bytes). Bucket i (0 <= i < kNumFiniteBuckets)
+/// counts samples with value <= 2^i that did not fit an earlier bucket;
+/// the final bucket counts everything above 2^47. Recording is three
+/// relaxed atomic adds (bucket, count, sum).
+class Histogram {
+ public:
+  static constexpr int kNumFiniteBuckets = 48;
+  static constexpr int kNumBuckets = kNumFiniteBuckets + 1;  // + overflow
+
+  /// Upper bound of finite bucket i: 2^i.
+  static constexpr uint64_t BucketUpperBound(int i) { return uint64_t{1} << i; }
+
+  /// Index of the bucket a sample lands in.
+  static int BucketIndex(uint64_t value) {
+    if (value <= 1) return 0;
+    const int width = std::bit_width(value - 1);  // smallest i: 2^i >= value
+    return width < kNumFiniteBuckets ? width : kNumFiniteBuckets;
+  }
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// True when runtime metric recording is on (CSRPLUS_STATS != "0"/"off").
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Microseconds since the process observability epoch (first obs use, or
+/// the explicit Init() call). Monotonic.
+uint64_t NowMicros();
+
+/// Pins the observability epoch to "now". Call early in main() so snapshot
+/// uptime covers the whole run; harmless to skip (the epoch then starts at
+/// first metric/span use).
+void Init();
+
+/// The process-wide metric registry.
+class StatsRegistry {
+ public:
+  /// The leaked process-wide instance.
+  static StatsRegistry& Global();
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// `unit` and `help` are recorded on creation and ignored afterwards.
+  /// The returned pointer is valid for the process lifetime; call sites
+  /// should cache it (the CSRPLUS_OBS_* macros do) — lookup takes a mutex.
+  Counter* FindOrCreateCounter(std::string_view name, std::string_view unit,
+                               std::string_view help);
+  Gauge* FindOrCreateGauge(std::string_view name, std::string_view unit,
+                           std::string_view help);
+  Histogram* FindOrCreateHistogram(std::string_view name,
+                                   std::string_view unit,
+                                   std::string_view help);
+
+  /// Registers a gauge whose value is produced by `fn` at snapshot time
+  /// (for values another subsystem already tracks, e.g. RSS or the tracked
+  /// allocation counters — no double accounting). Idempotent per name.
+  void RegisterCallbackGauge(std::string_view name, std::string_view unit,
+                             std::string_view help,
+                             std::function<int64_t()> fn);
+
+  /// All registered metric names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// JSON snapshot of every registered metric; schema documented in
+  /// docs/observability.md ("Stats snapshot schema") and validated by
+  /// tests/obs_test.cc.
+  std::string SnapshotJson() const;
+
+  /// Zeroes every counter/gauge/histogram (callback gauges are untouched).
+  /// For tests and long-lived processes that window their stats.
+  void ResetValues();
+
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+ private:
+  StatsRegistry();
+  struct Impl;
+  Impl* impl_;  // leaked with the registry
+};
+
+/// RAII stopwatch recording its scope's duration (µs) into a histogram on
+/// destruction. Used via CSRPLUS_OBS_SCOPED_US below.
+class ScopedDurationUs {
+ public:
+  explicit ScopedDurationUs(Histogram* h) : histogram_(h), start_(NowMicros()) {}
+  ~ScopedDurationUs() {
+    if (MetricsEnabled()) histogram_->Record(NowMicros() - start_);
+  }
+  ScopedDurationUs(const ScopedDurationUs&) = delete;
+  ScopedDurationUs& operator=(const ScopedDurationUs&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_;
+};
+
+}  // namespace csrplus::obs
+
+// ---------------------------------------------------------------------------
+// Hot-path hooks. Each caches its metric pointer in a function-local static
+// (one registry lookup per call site per process) and is compiled out
+// entirely under CSRPLUS_OBS_DISABLED.
+
+#if defined(CSRPLUS_OBS_DISABLED)
+
+#define CSRPLUS_OBS_COUNTER_ADD(name, unit, help, delta) \
+  do {                                                   \
+  } while (0)
+#define CSRPLUS_OBS_GAUGE_SET(name, unit, help, value) \
+  do {                                                 \
+  } while (0)
+#define CSRPLUS_OBS_GAUGE_SET_MAX(name, unit, help, value) \
+  do {                                                     \
+  } while (0)
+#define CSRPLUS_OBS_HISTOGRAM_RECORD(name, unit, help, value) \
+  do {                                                        \
+  } while (0)
+#define CSRPLUS_OBS_SCOPED_US(name, help)
+
+#else  // !CSRPLUS_OBS_DISABLED
+
+#define CSRPLUS_OBS_COUNTER_ADD(name, unit, help, delta)            \
+  do {                                                              \
+    if (::csrplus::obs::MetricsEnabled()) {                         \
+      static ::csrplus::obs::Counter* _csr_obs_c =                  \
+          ::csrplus::obs::StatsRegistry::Global().FindOrCreateCounter( \
+              name, unit, help);                                    \
+      _csr_obs_c->Add(delta);                                       \
+    }                                                               \
+  } while (0)
+
+#define CSRPLUS_OBS_GAUGE_SET(name, unit, help, value)            \
+  do {                                                            \
+    if (::csrplus::obs::MetricsEnabled()) {                       \
+      static ::csrplus::obs::Gauge* _csr_obs_g =                  \
+          ::csrplus::obs::StatsRegistry::Global().FindOrCreateGauge( \
+              name, unit, help);                                  \
+      _csr_obs_g->Set(value);                                     \
+    }                                                             \
+  } while (0)
+
+#define CSRPLUS_OBS_GAUGE_SET_MAX(name, unit, help, value)        \
+  do {                                                            \
+    if (::csrplus::obs::MetricsEnabled()) {                       \
+      static ::csrplus::obs::Gauge* _csr_obs_g =                  \
+          ::csrplus::obs::StatsRegistry::Global().FindOrCreateGauge( \
+              name, unit, help);                                  \
+      _csr_obs_g->SetMax(value);                                  \
+    }                                                             \
+  } while (0)
+
+#define CSRPLUS_OBS_HISTOGRAM_RECORD(name, unit, help, value)         \
+  do {                                                                \
+    if (::csrplus::obs::MetricsEnabled()) {                           \
+      static ::csrplus::obs::Histogram* _csr_obs_h =                  \
+          ::csrplus::obs::StatsRegistry::Global().FindOrCreateHistogram( \
+              name, unit, help);                                      \
+      _csr_obs_h->Record(value);                                      \
+    }                                                                 \
+  } while (0)
+
+// Times the rest of the enclosing scope into a "_us" histogram. The static
+// lookup runs unconditionally (cheap after the first call); the record is
+// skipped when metrics are disabled.
+#define CSRPLUS_OBS_SCOPED_US(name, help)                          \
+  static ::csrplus::obs::Histogram* _csr_obs_scoped_h =            \
+      ::csrplus::obs::StatsRegistry::Global().FindOrCreateHistogram( \
+          name, "us", help);                                       \
+  ::csrplus::obs::ScopedDurationUs _csr_obs_scoped_timer(_csr_obs_scoped_h)
+
+#endif  // CSRPLUS_OBS_DISABLED
+
+#endif  // CSRPLUS_OBS_STATS_H_

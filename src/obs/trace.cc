@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/strings.h"
+
+namespace csrplus::obs {
+namespace {
+
+// One ring per thread. `next` is a monotonic write cursor; the event at
+// logical index i lives in events[i % kRingCapacity], so the buffer always
+// holds the most recent min(next, kRingCapacity) events.
+struct ThreadBuffer {
+  TraceEvent events[kRingCapacity];
+  std::atomic<uint64_t> next{0};
+  int32_t tid = 0;
+};
+
+struct Tracer {
+  std::mutex mu;  // guards `buffers` (registration + dump); never on record
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::atomic<uint64_t> dropped{0};
+
+  ThreadBuffer* RegisterThread() {
+    std::lock_guard<std::mutex> lock(mu);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<int32_t>(buffers.size());
+    buffers.push_back(std::move(buffer));
+    return buffers.back().get();
+  }
+};
+
+Tracer& GlobalTracer() {
+  // Leaked: pool workers may record while statics are being destroyed.
+  static Tracer* tracer = new Tracer;
+  return *tracer;
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+thread_local int32_t tls_depth = 0;
+
+ThreadBuffer* Buffer() {
+  if (tls_buffer == nullptr) tls_buffer = GlobalTracer().RegisterThread();
+  return tls_buffer;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!TracingEnabled()) return;
+  active_ = true;
+  event_.name = name;
+  event_.depth = tls_depth++;
+  mem_start_bytes_ = GetTrackedMemory().current_bytes;
+  event_.start_us = NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  event_.dur_us = NowMicros() - event_.start_us;
+  event_.mem_delta_bytes = GetTrackedMemory().current_bytes - mem_start_bytes_;
+  --tls_depth;
+  ThreadBuffer* buffer = Buffer();
+  event_.tid = buffer->tid;
+  const uint64_t slot = buffer->next.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kRingCapacity) {
+    GlobalTracer().dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  buffer->events[slot % kRingCapacity] = event_;
+}
+
+void TraceSpan::AddArg(const char* key, int64_t value) {
+  if (!active_) return;
+  for (int i = 0; i < TraceEvent::kMaxArgs; ++i) {
+    if (event_.arg_key[i] == nullptr) {
+      event_.arg_key[i] = key;
+      event_.arg_value[i] = value;
+      return;
+    }
+  }
+}
+
+uint64_t TraceDroppedEvents() {
+  return GlobalTracer().dropped.load(std::memory_order_relaxed);
+}
+
+void ClearTraceBuffers() {
+  Tracer& tracer = GlobalTracer();
+  std::lock_guard<std::mutex> lock(tracer.mu);
+  for (auto& buffer : tracer.buffers) {
+    buffer->next.store(0, std::memory_order_relaxed);
+  }
+  tracer.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::string DumpTraceJson() {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  Tracer& tracer = GlobalTracer();
+  std::lock_guard<std::mutex> lock(tracer.mu);
+  bool first = true;
+  for (const auto& buffer : tracer.buffers) {
+    const uint64_t next = buffer->next.load(std::memory_order_acquire);
+    const uint64_t count =
+        next < kRingCapacity ? next : static_cast<uint64_t>(kRingCapacity);
+    for (uint64_t i = next - count; i < next; ++i) {
+      const TraceEvent& e = buffer->events[i % kRingCapacity];
+      out += StrPrintf(
+          "%s\n  {\"name\": \"%s\", \"cat\": \"csrplus\", \"ph\": \"X\", "
+          "\"ts\": %llu, \"dur\": %llu, \"pid\": 1, \"tid\": %d, "
+          "\"args\": {\"depth\": %d, \"mem_delta_bytes\": %lld",
+          first ? "" : ",", e.name, static_cast<unsigned long long>(e.start_us),
+          static_cast<unsigned long long>(e.dur_us), e.tid, e.depth,
+          static_cast<long long>(e.mem_delta_bytes));
+      for (int a = 0; a < TraceEvent::kMaxArgs; ++a) {
+        if (e.arg_key[a] != nullptr) {
+          out += StrPrintf(", \"%s\": %lld", e.arg_key[a],
+                           static_cast<long long>(e.arg_value[a]));
+        }
+      }
+      out += "}}";
+      first = false;
+    }
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+}  // namespace csrplus::obs

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace csrplus::svd {
 
 Result<TruncatedSvd> ComputeTruncatedSvd(const CsrMatrix& a,
@@ -15,6 +17,12 @@ Result<TruncatedSvd> ComputeTruncatedSvd(const CsrMatrix& a,
         "SVD rank " + std::to_string(options.rank) +
         " exceeds min(rows, cols) = " + std::to_string(min_dim));
   }
+  CSRPLUS_OBS_SCOPED_US("csrplus.phase.svd_us",
+                        "rank-r truncated SVD (randomized or Lanczos)");
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.svd.runs", "calls",
+                          "truncated SVD factorizations computed", 1);
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kSvd, "rank", options.rank);
+  CSRPLUS_TRACE_ARG(span, "n", a.rows());
   switch (options.algorithm) {
     case SvdAlgorithm::kRandomized:
       return internal::RandomizedSvd(a, options);

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Fails if any relative markdown link in the repo docs points at a missing
+file. Checked files: README.md, DESIGN.md, docs/*.md (run from anywhere;
+paths resolve against the repo root, i.e. this script's parent directory).
+
+Usage: python3 tools/check_doc_links.py
+"""
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "chrome://")
+
+def main():
+    root = pathlib.Path(__file__).resolve().parent.parent
+    docs = [root / "README.md", root / "DESIGN.md"]
+    docs += sorted((root / "docs").glob("*.md"))
+
+    errors = []
+    for doc in docs:
+        if not doc.exists():
+            errors.append(f"{doc.relative_to(root)}: file missing")
+            continue
+        text = doc.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                errors.append(
+                    f"{doc.relative_to(root)}:{line}: dead link -> {target}")
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(f"checked {len(docs)} files, all relative links resolve")
+
+if __name__ == "__main__":
+    main()

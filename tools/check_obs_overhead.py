@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compares two google-benchmark JSON files (stats-enabled build vs
+-DCSRPLUS_OBS_DISABLED=ON build) and fails if any shared benchmark is more
+than --tolerance slower in the enabled build.
+
+Usage:
+  python3 tools/check_obs_overhead.py enabled.json disabled.json \
+      [--tolerance=0.05] [--filter=BM_CsrPlusQueryObs]
+
+The benchmark names must match across the files (bench_micro_kernels emits
+identical names in both builds). Pass --filter to restrict the comparison
+(e.g. to the query benchmarks the CI gate is about).
+
+Either positional argument may be a comma-separated list of JSON files;
+the minimum across all of them is used per benchmark. CI runs the two
+binaries in A/B/A/B order and passes both rounds here, so slow drift in
+shared-runner load hits both sides instead of biasing one.
+
+--paired switches to a within-binary comparison: only the first positional
+is read, and each benchmark whose last argument is 1 (metric recording on)
+is compared against its .../0 sibling (recording off) from the same run.
+Tight single kernels need this mode — two separately linked binaries can
+differ by +-5-10% from code-layout luck alone, which would swamp a
+cross-build gate; the paired variants share one binary and one layout, so
+the ratio isolates exactly the cost of recording.
+"""
+
+import argparse
+import json
+import sys
+
+def load(paths, name_filter):
+    # With --benchmark_repetitions each file holds every repetition plus
+    # aggregates. Compare the minimum across repetitions (and across files,
+    # when given a comma-separated list): scheduling noise on shared CI
+    # runners only ever adds time, so min is the stable estimate of the
+    # true cost (median still carries the noise floor). Without
+    # repetitions, each name appears once as a plain iteration.
+    best = {}
+    for path in paths.split(","):
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        for bench in doc.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench.get("run_name", bench["name"])
+            if name_filter and name_filter not in name:
+                continue
+            t = float(bench["real_time"])
+            if name not in best or t < best[name]:
+                best[name] = t
+    return best
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("enabled_json")
+    parser.add_argument("disabled_json", nargs="?", default="")
+    parser.add_argument("--tolerance", type=float, default=0.05)
+    parser.add_argument("--filter", default="")
+    parser.add_argument("--paired", action="store_true")
+    args = parser.parse_args()
+
+    if args.paired:
+        times = load(args.enabled_json, args.filter)
+        enabled = {n[: -len("/1")]: t for n, t in times.items()
+                   if n.endswith("/1")}
+        disabled = {n[: -len("/0")]: t for n, t in times.items()
+                    if n.endswith("/0")}
+    else:
+        if not args.disabled_json:
+            parser.error("disabled_json is required unless --paired")
+        enabled = load(args.enabled_json, args.filter)
+        disabled = load(args.disabled_json, args.filter)
+    shared = sorted(set(enabled) & set(disabled))
+    if not shared:
+        print("no shared benchmark names between the two files", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    for name in shared:
+        ratio = enabled[name] / disabled[name]
+        status = "ok" if ratio <= 1.0 + args.tolerance else "TOO SLOW"
+        print(f"{name}: enabled {enabled[name]:.0f} ns vs disabled "
+              f"{disabled[name]:.0f} ns -> {ratio:.3f}x ({status})")
+        if ratio > 1.0 + args.tolerance:
+            failures.append(name)
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) exceed the "
+              f"{args.tolerance:.0%} overhead budget: {', '.join(failures)}",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"\nall {len(shared)} shared benchmarks within "
+          f"{args.tolerance:.0%} of the disabled build")
+
+if __name__ == "__main__":
+    main()

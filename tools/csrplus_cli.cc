@@ -6,6 +6,11 @@
 //   csrplus stats <graph>
 //       Print node/edge counts and degree statistics.
 //
+//   csrplus stats
+//       (no graph) Print the observability registry snapshot as JSON — the
+//       same document `--stats-out=` writes. Mostly useful for inspecting
+//       metric names, units and help strings; see docs/observability.md.
+//
 //   csrplus convert <graph.txt> <graph.csrg>
 //       Convert a text edge list into the fast binary format.
 //
@@ -33,6 +38,10 @@
 //   --symmetrize    add the reverse of every edge when loading text input
 //   --artifact=P    (query only) warm-start from a precompute artifact; the
 //                   artifact's graph fingerprint must match the graph
+//   --stats-out=P   after the command finishes, write the stats registry
+//                   snapshot (counters/gauges/histograms) to P as JSON
+//   --trace-out=P   enable span tracing for the whole run and write a Chrome
+//                   trace (load in chrome://tracing or Perfetto) to P
 //
 // Graphs ending in ".csrg" are read as binary, anything else as a SNAP text
 // edge list.
@@ -55,16 +64,20 @@ struct CliOptions {
   double damping = 0.6;
   Index topk = 10;
   bool symmetrize = false;
-  std::string artifact;  // warm-start path for `query`
+  std::string artifact;   // warm-start path for `query`
+  std::string stats_out;  // write SnapshotJson here after the command
+  std::string trace_out;  // enable tracing; write DumpTraceJson here
   std::vector<std::string> positional;
 };
 
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: csrplus [--rank=R] [--damping=C] [--topk=K] "
-               "[--symmetrize] [--artifact=P] <command> ...\n"
+               "[--symmetrize] [--artifact=P]\n"
+               "               [--stats-out=P] [--trace-out=P] <command> ...\n"
                "commands:\n"
                "  stats <graph>                  graph statistics\n"
+               "  stats                          observability snapshot JSON\n"
                "  convert <in.txt> <out.csrg>    edge list -> binary\n"
                "  query <graph> <node> [...]     top-k similar per query\n"
                "  pair <graph> <a> <b>           single-pair score\n"
@@ -85,6 +98,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->symmetrize = true;
     } else if (StartsWith(arg, "--artifact=")) {
       options->artifact = arg.substr(11);
+    } else if (StartsWith(arg, "--stats-out=")) {
+      options->stats_out = arg.substr(12);
+    } else if (StartsWith(arg, "--trace-out=")) {
+      options->trace_out = arg.substr(12);
     } else if (StartsWith(arg, "--")) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -137,6 +154,13 @@ Result<LoadedGraph> LoadGraph(const std::string& path,
 }
 
 int RunStats(const CliOptions& options) {
+  if (options.positional.size() == 1) {
+    // Bare `stats`: dump the observability registry snapshot. On a fresh
+    // process this shows the callback gauges plus whatever static
+    // registration already ran — handy for discovering metric names.
+    std::printf("%s", obs::StatsRegistry::Global().SnapshotJson().c_str());
+    return 0;
+  }
   if (options.positional.size() != 2) {
     PrintUsage();
     return 2;
@@ -339,22 +363,78 @@ int RunArtifactInfo(const CliOptions& options) {
   return 0;
 }
 
+int WriteTextFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// Emits --stats-out / --trace-out after the command body ran. Observability
+/// output failures do not mask a successful command exit code distinction:
+/// the command's own code wins unless it succeeded and the dump failed.
+int FlushObsOutputs(const CliOptions& options, int command_code) {
+  int code = command_code;
+  if (!options.stats_out.empty()) {
+    const int rc =
+        WriteTextFile(options.stats_out,
+                      obs::StatsRegistry::Global().SnapshotJson());
+    if (rc == 0) {
+      std::fprintf(stderr, "wrote stats snapshot to %s\n",
+                   options.stats_out.c_str());
+    } else if (code == 0) {
+      code = rc;
+    }
+  }
+  if (!options.trace_out.empty()) {
+    const int rc = WriteTextFile(options.trace_out, obs::DumpTraceJson());
+    if (rc == 0) {
+      std::fprintf(stderr, "wrote trace to %s\n", options.trace_out.c_str());
+    } else if (code == 0) {
+      code = rc;
+    }
+  }
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pin the observability epoch to process start so snapshot uptime_us
+  // brackets the whole run (phase coverage is measured against it).
+  obs::Init();
   CliOptions options;
   if (!ParseArgs(argc, argv, &options)) {
     PrintUsage();
     return 2;
   }
+  if (!options.trace_out.empty()) obs::SetTracingEnabled(true);
   const std::string& command = options.positional[0];
-  if (command == "stats") return RunStats(options);
-  if (command == "convert") return RunConvert(options);
-  if (command == "query") return RunQuery(options);
-  if (command == "pair") return RunPair(options);
-  if (command == "precompute") return RunPrecompute(options);
-  if (command == "artifact-info") return RunArtifactInfo(options);
-  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-  PrintUsage();
-  return 2;
+  int code;
+  if (command == "stats") {
+    code = RunStats(options);
+  } else if (command == "convert") {
+    code = RunConvert(options);
+  } else if (command == "query") {
+    code = RunQuery(options);
+  } else if (command == "pair") {
+    code = RunPair(options);
+  } else if (command == "precompute") {
+    code = RunPrecompute(options);
+  } else if (command == "artifact-info") {
+    code = RunArtifactInfo(options);
+  } else {
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    PrintUsage();
+    return 2;
+  }
+  return FlushObsOutputs(options, code);
 }
