@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/query_engine.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/sparse_matrix.h"
 
@@ -41,6 +42,26 @@ Result<DenseMatrix> CoSimMateAllPairs(const CsrMatrix& transition,
 Result<DenseMatrix> CoSimMateMultiSource(const CsrMatrix& transition,
                                          const std::vector<Index>& queries,
                                          const CoSimMateOptions& options);
+
+/// QueryEngine adapter. Runs the doubling recurrence once at Precompute and
+/// answers queries by selecting columns of the stored S (O(n^2) memory, so
+/// small graphs only — the same Table 1 trade-off as the free functions).
+class CoSimMateEngine : public core::QueryEngine {
+ public:
+  static Result<CoSimMateEngine> Precompute(const CsrMatrix& transition,
+                                            const CoSimMateOptions& options);
+
+  Result<DenseMatrix> MultiSourceQuery(
+      const std::vector<Index>& queries) const override;
+  Status SingleSourceQueryInto(Index query,
+                               std::vector<double>* out) const override;
+  Index NumNodes() const override { return s_.rows(); }
+  std::string_view Name() const override { return "CoSimMate"; }
+
+ private:
+  CoSimMateEngine() = default;
+  DenseMatrix s_;
+};
 
 }  // namespace csrplus::baselines
 

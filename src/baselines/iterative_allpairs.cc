@@ -45,19 +45,25 @@ Result<IterativeAllPairsEngine> IterativeAllPairsEngine::Precompute(
 
 Result<DenseMatrix> IterativeAllPairsEngine::MultiSourceQuery(
     const std::vector<Index>& queries) const {
-  if (queries.empty()) {
-    return Status::InvalidArgument("query set is empty");
-  }
   const Index n = s_.rows();
+  CSR_RETURN_IF_ERROR(core::ValidateQueries(queries, n));
   DenseMatrix out(n, static_cast<Index>(queries.size()));
   for (std::size_t j = 0; j < queries.size(); ++j) {
     const Index q = queries[j];
-    if (q < 0 || q >= n) {
-      return Status::InvalidArgument("query node out of range");
-    }
     for (Index i = 0; i < n; ++i) out(i, static_cast<Index>(j)) = s_(i, q);
   }
   return out;
+}
+
+Status IterativeAllPairsEngine::SingleSourceQueryInto(
+    Index query, std::vector<double>* out) const {
+  const Index n = s_.rows();
+  CSR_RETURN_IF_ERROR(core::ValidateQueries({query}, n));
+  out->resize(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    (*out)[static_cast<std::size_t>(i)] = s_(i, query);
+  }
+  return Status::OK();
 }
 
 }  // namespace csrplus::baselines

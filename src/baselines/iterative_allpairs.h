@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/query_engine.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/sparse_matrix.h"
 
@@ -32,17 +33,25 @@ struct IterativeOptions {
 };
 
 /// All-pairs iterative engine.
-class IterativeAllPairsEngine {
+class IterativeAllPairsEngine : public core::QueryEngine {
  public:
   /// Runs the k dense iterations (the "precompute"; everything happens here).
   static Result<IterativeAllPairsEngine> Precompute(
       const CsrMatrix& transition, const IterativeOptions& options);
 
   /// Selects the columns of the precomputed S for the query set.
-  Result<DenseMatrix> MultiSourceQuery(const std::vector<Index>& queries) const;
+  Result<DenseMatrix> MultiSourceQuery(
+      const std::vector<Index>& queries) const override;
+
+  /// Copies column q of the precomputed S into `out`.
+  Status SingleSourceQueryInto(Index query,
+                               std::vector<double>* out) const override;
 
   /// The full similarity matrix.
   const DenseMatrix& similarity() const { return s_; }
+
+  Index NumNodes() const override { return s_.rows(); }
+  std::string_view Name() const override { return "CSR-IT"; }
 
  private:
   IterativeAllPairsEngine() = default;

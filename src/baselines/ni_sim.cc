@@ -127,16 +127,9 @@ Result<DenseMatrix> NiSimEngine::MultiSourceQuery(
                         "CSR-NI multi-source query wall time");
   CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kBaseline, "num_queries",
                          static_cast<int64_t>(queries.size()));
-  if (queries.empty()) {
-    return Status::InvalidArgument("query set is empty");
-  }
   const Index n = num_nodes();
   const Index r = rank();
-  for (Index q : queries) {
-    if (q < 0 || q >= n) {
-      return Status::InvalidArgument("query node out of range");
-    }
-  }
+  CSR_RETURN_IF_ERROR(core::ValidateQueries(queries, n));
   CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
       n * static_cast<int64_t>(queries.size()) * sizeof(double),
       "CSR-NI multi-source output"));

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/query_engine.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/sparse_matrix.h"
 #include "svd/truncated_svd.h"
@@ -45,7 +46,7 @@ struct NiSimOptions {
 };
 
 /// Precomputed Lambda plus the SVD factors needed by the query phase.
-class NiSimEngine {
+class NiSimEngine : public core::QueryEngine {
  public:
   /// Runs the SVD and the Eq.(6b) precomputation.
   static Result<NiSimEngine> Precompute(const CsrMatrix& transition,
@@ -59,10 +60,20 @@ class NiSimEngine {
       const svd::TruncatedSvd& factors, const NiSimOptions& options);
 
   /// Multi-source query via Eq.(6a): n x |Q| block of S.
-  Result<DenseMatrix> MultiSourceQuery(const std::vector<Index>& queries) const;
+  Result<DenseMatrix> MultiSourceQuery(
+      const std::vector<Index>& queries) const override;
+
+  /// Single source as a one-column multi-source query.
+  Status SingleSourceQueryInto(Index query,
+                               std::vector<double>* out) const override {
+    return core::SingleSourceViaMultiSource(*this, query, out);
+  }
 
   Index num_nodes() const { return u_.rows(); }
   Index rank() const { return u_.cols(); }
+
+  Index NumNodes() const override { return num_nodes(); }
+  std::string_view Name() const override { return "CSR-NI"; }
 
   /// Lambda (r^2 x r^2), exposed for the Theorem 3.3/3.4 equivalence tests.
   const DenseMatrix& lambda() const { return lambda_; }

@@ -21,16 +21,9 @@ Result<DenseMatrix> RlsMultiSource(const CsrMatrix& transition,
   if (options.iterations < 1) {
     return Status::InvalidArgument("iterations must be >= 1");
   }
-  if (queries.empty()) {
-    return Status::InvalidArgument("query set is empty");
-  }
   const Index n = transition.rows();
   const Index q = static_cast<Index>(queries.size());
-  for (Index node : queries) {
-    if (node < 0 || node >= n) {
-      return Status::InvalidArgument("query node out of range");
-    }
-  }
+  CSR_RETURN_IF_ERROR(core::ValidateQueries(queries, n));
 
   const int k_max = options.iterations;
   const int64_t forward_bytes = static_cast<int64_t>(k_max + 2) * n * q *

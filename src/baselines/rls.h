@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/query_engine.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/sparse_matrix.h"
 
@@ -39,6 +40,30 @@ struct RlsOptions {
 Result<DenseMatrix> RlsMultiSource(const CsrMatrix& transition,
                                    const std::vector<Index>& queries,
                                    const RlsOptions& options);
+
+/// QueryEngine adapter. CSR-RLS keeps no precomputed state, so the engine
+/// only holds a pointer to the transition matrix (which must outlive it)
+/// and re-runs the forward/backward passes per query call.
+class RlsEngine : public core::QueryEngine {
+ public:
+  RlsEngine(const CsrMatrix* transition, RlsOptions options)
+      : transition_(transition), options_(options) {}
+
+  Result<DenseMatrix> MultiSourceQuery(
+      const std::vector<Index>& queries) const override {
+    return RlsMultiSource(*transition_, queries, options_);
+  }
+  Status SingleSourceQueryInto(Index query,
+                               std::vector<double>* out) const override {
+    return core::SingleSourceViaMultiSource(*this, query, out);
+  }
+  Index NumNodes() const override { return transition_->rows(); }
+  std::string_view Name() const override { return "CSR-RLS"; }
+
+ private:
+  const CsrMatrix* transition_;  // not owned
+  RlsOptions options_;
+};
 
 }  // namespace csrplus::baselines
 

@@ -22,16 +22,9 @@ Result<DenseMatrix> RpCoSimMultiSource(const CsrMatrix& transition,
   if (options.iterations < 1 || options.num_samples < 1) {
     return Status::InvalidArgument("iterations and num_samples must be >= 1");
   }
-  if (queries.empty()) {
-    return Status::InvalidArgument("query set is empty");
-  }
   const Index n = transition.rows();
   const Index d = options.num_samples;
-  for (Index q : queries) {
-    if (q < 0 || q >= n) {
-      return Status::InvalidArgument("query node out of range");
-    }
-  }
+  CSR_RETURN_IF_ERROR(core::ValidateQueries(queries, n));
   CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
       (n * d + n * static_cast<int64_t>(queries.size())) *
           static_cast<int64_t>(sizeof(double)),

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/query_engine.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/sparse_matrix.h"
 
@@ -39,6 +40,30 @@ struct RpCoSimOptions {
 Result<DenseMatrix> RpCoSimMultiSource(const CsrMatrix& transition,
                                        const std::vector<Index>& queries,
                                        const RpCoSimOptions& options);
+
+/// QueryEngine adapter. Holds a pointer to the transition matrix (which
+/// must outlive it) and re-runs the sketch per query call; the fixed seed
+/// makes repeated calls deterministic.
+class RpCosimEngine : public core::QueryEngine {
+ public:
+  RpCosimEngine(const CsrMatrix* transition, RpCoSimOptions options)
+      : transition_(transition), options_(options) {}
+
+  Result<DenseMatrix> MultiSourceQuery(
+      const std::vector<Index>& queries) const override {
+    return RpCoSimMultiSource(*transition_, queries, options_);
+  }
+  Status SingleSourceQueryInto(Index query,
+                               std::vector<double>* out) const override {
+    return core::SingleSourceViaMultiSource(*this, query, out);
+  }
+  Index NumNodes() const override { return transition_->rows(); }
+  std::string_view Name() const override { return "RP-CoSim"; }
+
+ private:
+  const CsrMatrix* transition_;  // not owned
+  RpCoSimOptions options_;
+};
 
 }  // namespace csrplus::baselines
 

@@ -29,6 +29,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "DataLoss";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

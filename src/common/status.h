@@ -31,6 +31,10 @@ enum class StatusCode : int {
   /// The operation cannot run against the current state (e.g. an artifact
   /// written by a newer format version, or for a different graph).
   kFailedPrecondition = 10,
+  /// A per-request deadline expired before the result could be produced.
+  kDeadlineExceeded = 11,
+  /// The operation was cancelled by the caller before completion.
+  kCancelled = 12,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -76,6 +80,12 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -96,6 +106,10 @@ class Status {
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -23,23 +23,28 @@ int RepeatedSquaringIterations(double damping, double epsilon) {
   return std::max(0, k);
 }
 
-Status ValidateCsrPlusOptions(const CsrPlusOptions& options, Index num_nodes) {
-  if (options.rank < 1) {
+Status CsrPlusOptions::Validate() const {
+  if (rank < 1) {
     return Status::InvalidArgument("rank must be >= 1");
   }
+  if (damping <= 0.0 || damping >= 1.0) {
+    return Status::InvalidArgument("damping factor must be in (0, 1)");
+  }
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status ValidateCsrPlusOptions(const CsrPlusOptions& options, Index num_nodes) {
+  CSR_RETURN_IF_ERROR(options.Validate());
   if (options.rank > num_nodes) {
     return Status::InvalidArgument("rank " + std::to_string(options.rank) +
                                    " exceeds node count " +
                                    std::to_string(num_nodes));
-  }
-  if (options.damping <= 0.0 || options.damping >= 1.0) {
-    return Status::InvalidArgument("damping factor must be in (0, 1)");
-  }
-  if (options.epsilon <= 0.0 || options.epsilon >= 1.0) {
-    return Status::InvalidArgument("epsilon must be in (0, 1)");
-  }
-  if (options.num_threads < 0) {
-    return Status::InvalidArgument("num_threads must be >= 0");
   }
   return Status::OK();
 }
@@ -182,16 +187,8 @@ Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromPaperFactors(
 
 Result<DenseMatrix> CsrPlusEngine::MultiSourceQuery(
     const std::vector<Index>& queries) const {
-  if (queries.empty()) {
-    return Status::InvalidArgument("query set is empty");
-  }
   const Index n = num_nodes();
-  for (Index q : queries) {
-    if (q < 0 || q >= n) {
-      return Status::InvalidArgument("query node " + std::to_string(q) +
-                                     " out of range");
-    }
-  }
+  CSR_RETURN_IF_ERROR(ValidateQueries(queries, n));
   // Account both the n x |Q| output block and the transient |Q| x r copy of
   // [U]_{Q,*} below — near the cap the query fails for the block *plus* its
   // scratch, keeping the "fails due to memory explosion" reproduction honest.
@@ -279,19 +276,11 @@ Result<double> CsrPlusEngine::SinglePairQuery(Index a, Index b) const {
 Result<std::vector<std::vector<ScoredNode>>> CsrPlusEngine::TopKQuery(
     const std::vector<Index>& queries, Index k, bool exclude_query,
     const std::vector<Index>& exclude) const {
-  if (queries.empty()) {
-    return Status::InvalidArgument("query set is empty");
-  }
   if (k < 0) {
     return Status::InvalidArgument("k must be non-negative");
   }
   const Index n = num_nodes();
-  for (Index q : queries) {
-    if (q < 0 || q >= n) {
-      return Status::InvalidArgument("query node " + std::to_string(q) +
-                                     " out of range");
-    }
-  }
+  CSR_RETURN_IF_ERROR(ValidateQueries(queries, n));
   CSRPLUS_OBS_SCOPED_US("csrplus.phase.query_us",
                         "top-level CSR+ query entry points (Alg. 1 line 7)");
   CSRPLUS_OBS_COUNTER_ADD("csrplus.query.sources", "nodes",

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/query_engine.h"
 #include "core/topk.h"
 #include "graph/graph.h"
 #include "linalg/dense_matrix.h"
@@ -52,6 +53,11 @@ struct CsrPlusOptions {
   int num_threads = 0;
   /// Truncated SVD engine configuration (rank is overridden by `rank`).
   svd::SvdOptions svd;
+
+  /// Graph-independent validation: rank >= 1, damping in (0, 1),
+  /// epsilon in (0, 1), num_threads >= 0. Every Precompute* entry point
+  /// calls this (plus the rank <= n check) before doing any work.
+  Status Validate() const;
 };
 
 /// Identity of the graph a precomputation was built from: node count, edge
@@ -94,7 +100,7 @@ struct PrecomputeStats {
 ///
 /// Construction runs Algorithm 1 lines 1–6; queries run line 7 and are safe
 /// to issue concurrently from multiple threads (the state is immutable).
-class CsrPlusEngine {
+class CsrPlusEngine : public QueryEngine {
  public:
   /// Precomputes from a graph (builds the column-normalised Q internally).
   static Result<CsrPlusEngine> Precompute(const graph::Graph& g,
@@ -129,7 +135,8 @@ class CsrPlusEngine {
                                               const GraphFingerprint& expected);
 
   /// Multi-source query: returns the n x |Q| block [S]_{*,Q}.
-  Result<DenseMatrix> MultiSourceQuery(const std::vector<Index>& queries) const;
+  Result<DenseMatrix> MultiSourceQuery(
+      const std::vector<Index>& queries) const override;
 
   /// Single-source query: the column [S]_{*,q}.
   Result<std::vector<double>> SingleSourceQuery(Index query) const;
@@ -138,7 +145,8 @@ class CsrPlusEngine {
   /// n), so loops issuing many single-source queries (TopKQuery,
   /// AllPairsTopK) reuse one buffer instead of allocating an n-length column
   /// per source.
-  Status SingleSourceQueryInto(Index query, std::vector<double>* out) const;
+  Status SingleSourceQueryInto(Index query,
+                               std::vector<double>* out) const override;
 
   /// Single-pair score [S]_{a,b} in O(r) time from the memoised factors.
   Result<double> SinglePairQuery(Index a, Index b) const;
@@ -169,6 +177,10 @@ class CsrPlusEngine {
 
   /// Number of nodes n.
   Index num_nodes() const { return u_.rows(); }
+
+  // QueryEngine identity.
+  Index NumNodes() const override { return num_nodes(); }
+  std::string_view Name() const override { return "CSR+"; }
 
   /// The configured rank r.
   Index rank() const { return u_.cols(); }

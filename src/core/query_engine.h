@@ -1,0 +1,73 @@
+// The unified query interface every CoSimRank engine implements.
+//
+// CSR+ and all five comparison baselines expose the same online contract —
+// "given a query set Q, produce the n x |Q| similarity block [S]_{*,Q}" —
+// but each used to do so through a concrete type with a near-duplicate
+// signature. QueryEngine makes the contract explicit so the serving layer
+// (src/service/), the eval runner and the CLI can hold *any* engine behind
+// one pointer:
+//
+//   std::unique_ptr<core::QueryEngine> engine = ...;   // CSR+, NI, IT, ...
+//   auto block = engine->MultiSourceQuery({q1, q2});
+//
+// Implementations must be safe for concurrent queries from multiple threads
+// once constructed (all engines here hold immutable precomputed state).
+
+#ifndef CSRPLUS_CORE_QUERY_ENGINE_H_
+#define CSRPLUS_CORE_QUERY_ENGINE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace csrplus::core {
+
+using linalg::DenseMatrix;
+using linalg::Index;
+
+/// Abstract multi-source CoSimRank query engine.
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  /// Multi-source query: the n x |Q| block [S]_{*,Q}, one column per query
+  /// in request order. Column j must depend only on queries[j], so a batch
+  /// over a union of query sets is bit-identical to the per-request blocks
+  /// (the property the service layer's micro-batching relies on).
+  virtual Result<DenseMatrix> MultiSourceQuery(
+      const std::vector<Index>& queries) const = 0;
+
+  /// Single-source query written into a caller-owned buffer (resized to n).
+  virtual Status SingleSourceQueryInto(Index query,
+                                       std::vector<double>* out) const = 0;
+
+  /// Number of nodes n this engine serves.
+  virtual Index NumNodes() const = 0;
+
+  /// Stable display name ("CSR+", "CSR-NI", ...); matches eval::MethodName.
+  virtual std::string_view Name() const = 0;
+};
+
+/// Whether a query set may mention the same node twice.
+enum class QueryDuplicates {
+  kAllow,   ///< engines: a duplicate just repeats a column.
+  kReject,  ///< service requests: a duplicate is almost certainly a bug.
+};
+
+/// The one shared query-set validation: non-empty, every index in
+/// [0, num_nodes), and (under kReject) no duplicate nodes. Every engine and
+/// the service layer funnel through this instead of inlining their own copy.
+Status ValidateQueries(const std::vector<Index>& queries, Index num_nodes,
+                       QueryDuplicates duplicates = QueryDuplicates::kAllow);
+
+/// Default SingleSourceQueryInto for engines whose natural unit of work is
+/// the multi-source block: runs MultiSourceQuery({query}) and copies the
+/// single column into `out`.
+Status SingleSourceViaMultiSource(const QueryEngine& engine, Index query,
+                                  std::vector<double>* out);
+
+}  // namespace csrplus::core
+
+#endif  // CSRPLUS_CORE_QUERY_ENGINE_H_

@@ -1,18 +1,21 @@
 // Umbrella public header for the csrplus library.
 //
-// Quick start:
+// Quick start (errors propagate as Status — see common/status.h):
 //
 //   #include "csrplus.h"
 //
 //   csrplus::graph::GraphBuilder builder(n);
 //   builder.AddEdge(u, v);  // ...
-//   auto graph = builder.Build().ValueOrDie();
+//   auto graph = builder.Build();
+//   if (!graph.ok()) return graph.status();
 //
 //   csrplus::core::CsrPlusOptions options;   // r = 5, c = 0.6, eps = 1e-5
-//   auto engine =
-//       csrplus::core::CsrPlusEngine::Precompute(graph, options).ValueOrDie();
-//   auto scores = engine.MultiSourceQuery({q1, q2, q3}).ValueOrDie();
+//   CSR_ASSIGN_OR_RETURN(
+//       auto engine, csrplus::core::CsrPlusEngine::Precompute(*graph, options));
+//   CSR_ASSIGN_OR_RETURN(auto scores, engine.MultiSourceQuery({q1, q2, q3}));
 //
+// Every engine (CSR+ and the baselines) implements core::QueryEngine, and
+// service::QueryService turns any of them into a concurrent batching server.
 // See README.md for the architecture overview and examples/ for runnable
 // programs.
 
@@ -37,6 +40,7 @@
 #include "core/csrplus_engine.h"
 #include "core/dynamic_engine.h"
 #include "core/precompute_io.h"
+#include "core/query_engine.h"
 #include "core/topk.h"
 #include "eval/datasets.h"
 #include "eval/metrics.h"
@@ -56,6 +60,7 @@
 #include "linalg/sparse_matrix.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
+#include "service/query_service.h"
 #include "svd/truncated_svd.h"
 #include "svd/update.h"
 

@@ -25,163 +25,13 @@ auto Measure(PhaseMetrics* metrics, Fn&& fn) {
   return result;
 }
 
-RunOutcome RunCsrPlus(const CsrMatrix& transition,
-                      const std::vector<Index>& queries,
-                      const RunConfig& config) {
-  RunOutcome outcome;
-  core::CsrPlusOptions options;
-  options.rank = config.rank;
-  options.damping = config.damping;
-  options.epsilon = config.epsilon;
+using EnginePtr = std::unique_ptr<core::QueryEngine>;
 
-  auto engine = Measure(&outcome.precompute, [&] {
-    return core::CsrPlusEngine::PrecomputeFromTransition(transition, options);
-  });
-  if (!engine.ok()) {
-    outcome.status = engine.status();
-    return outcome;
-  }
-  auto scores = Measure(&outcome.query,
-                        [&] { return engine->MultiSourceQuery(queries); });
-  if (!scores.ok()) {
-    outcome.status = scores.status();
-    return outcome;
-  }
-  if (config.keep_scores) outcome.scores = std::move(*scores);
-  outcome.status = Status::OK();
-  return outcome;
-}
-
-RunOutcome RunCsrNi(const CsrMatrix& transition,
-                    const std::vector<Index>& queries,
-                    const RunConfig& config) {
-  RunOutcome outcome;
-  baselines::NiSimOptions options;
-  options.rank = config.rank;
-  options.damping = config.damping;
-  options.fidelity = config.ni_fidelity;
-
-  auto engine = Measure(&outcome.precompute, [&] {
-    return baselines::NiSimEngine::Precompute(transition, options);
-  });
-  if (!engine.ok()) {
-    outcome.status = engine.status();
-    return outcome;
-  }
-  auto scores = Measure(&outcome.query,
-                        [&] { return engine->MultiSourceQuery(queries); });
-  if (!scores.ok()) {
-    outcome.status = scores.status();
-    return outcome;
-  }
-  if (config.keep_scores) outcome.scores = std::move(*scores);
-  outcome.status = Status::OK();
-  return outcome;
-}
-
-RunOutcome RunCsrIt(const CsrMatrix& transition,
-                    const std::vector<Index>& queries,
-                    const RunConfig& config) {
-  RunOutcome outcome;
-  baselines::IterativeOptions options;
-  options.damping = config.damping;
-  options.iterations = static_cast<int>(config.rank);  // paper §4.1: k = r
-
-  auto engine = Measure(&outcome.precompute, [&] {
-    return baselines::IterativeAllPairsEngine::Precompute(transition, options);
-  });
-  if (!engine.ok()) {
-    outcome.status = engine.status();
-    return outcome;
-  }
-  auto scores = Measure(&outcome.query,
-                        [&] { return engine->MultiSourceQuery(queries); });
-  if (!scores.ok()) {
-    outcome.status = scores.status();
-    return outcome;
-  }
-  if (config.keep_scores) outcome.scores = std::move(*scores);
-  outcome.status = Status::OK();
-  return outcome;
-}
-
-RunOutcome RunCsrRls(const CsrMatrix& transition,
-                     const std::vector<Index>& queries,
-                     const RunConfig& config) {
-  RunOutcome outcome;
-  baselines::RlsOptions options;
-  options.damping = config.damping;
-  options.iterations = static_cast<int>(config.rank);  // paper §4.1: k = r
-
-  // CSR-RLS has no reusable precomputation; everything is query work.
-  auto scores = Measure(&outcome.query, [&] {
-    return baselines::RlsMultiSource(transition, queries, options);
-  });
-  if (!scores.ok()) {
-    outcome.status = scores.status();
-    return outcome;
-  }
-  if (config.keep_scores) outcome.scores = std::move(*scores);
-  outcome.status = Status::OK();
-  return outcome;
-}
-
-RunOutcome RunCoSimMate(const CsrMatrix& transition,
-                        const std::vector<Index>& queries,
-                        const RunConfig& config) {
-  RunOutcome outcome;
-  baselines::CoSimMateOptions options;
-  options.damping = config.damping;
-  // 2^steps series terms >= the rank-matched iteration count.
-  int steps = 1;
-  while ((1 << steps) < config.rank) ++steps;
-  options.squaring_steps = steps;
-
-  auto all = Measure(&outcome.precompute, [&] {
-    return baselines::CoSimMateAllPairs(transition, options);
-  });
-  if (!all.ok()) {
-    outcome.status = all.status();
-    return outcome;
-  }
-  auto scores = Measure(&outcome.query, [&]() -> Result<DenseMatrix> {
-    const Index n = all->rows();
-    DenseMatrix out(n, static_cast<Index>(queries.size()));
-    for (std::size_t j = 0; j < queries.size(); ++j) {
-      for (Index i = 0; i < n; ++i) {
-        out(i, static_cast<Index>(j)) = (*all)(i, queries[j]);
-      }
-    }
-    return out;
-  });
-  if (!scores.ok()) {
-    outcome.status = scores.status();
-    return outcome;
-  }
-  if (config.keep_scores) outcome.scores = std::move(*scores);
-  outcome.status = Status::OK();
-  return outcome;
-}
-
-RunOutcome RunRpCoSim(const CsrMatrix& transition,
-                      const std::vector<Index>& queries,
-                      const RunConfig& config) {
-  RunOutcome outcome;
-  baselines::RpCoSimOptions options;
-  options.damping = config.damping;
-  options.iterations = static_cast<int>(config.rank);
-  options.num_samples = config.rp_samples;
-
-  auto scores = Measure(&outcome.query, [&] {
-    return baselines::RpCoSimMultiSource(transition, queries, options);
-  });
-  if (!scores.ok()) {
-    outcome.status = scores.status();
-    return outcome;
-  }
-  if (config.keep_scores) outcome.scores = std::move(*scores);
-  outcome.status = Status::OK();
-  return outcome;
+// Moves a by-value engine into the type-erased pointer the runner hands out.
+template <typename Engine>
+Result<EnginePtr> Erase(Result<Engine> engine) {
+  if (!engine.ok()) return engine.status();
+  return EnginePtr(std::make_unique<Engine>(std::move(*engine)));
 }
 
 }  // namespace
@@ -210,25 +60,78 @@ const std::vector<Method>& PaperMethods() {
   return kMethods;
 }
 
+Result<EnginePtr> CreateEngine(Method method, const CsrMatrix& transition,
+                               const RunConfig& config) {
+  switch (method) {
+    case Method::kCsrPlus: {
+      core::CsrPlusOptions options;
+      options.rank = config.rank;
+      options.damping = config.damping;
+      options.epsilon = config.epsilon;
+      return Erase(
+          core::CsrPlusEngine::PrecomputeFromTransition(transition, options));
+    }
+    case Method::kCsrNi: {
+      baselines::NiSimOptions options;
+      options.rank = config.rank;
+      options.damping = config.damping;
+      options.fidelity = config.ni_fidelity;
+      return Erase(baselines::NiSimEngine::Precompute(transition, options));
+    }
+    case Method::kCsrIt: {
+      baselines::IterativeOptions options;
+      options.damping = config.damping;
+      options.iterations = static_cast<int>(config.rank);  // §4.1: k = r
+      return Erase(
+          baselines::IterativeAllPairsEngine::Precompute(transition, options));
+    }
+    case Method::kCsrRls: {
+      baselines::RlsOptions options;
+      options.damping = config.damping;
+      options.iterations = static_cast<int>(config.rank);  // §4.1: k = r
+      return EnginePtr(
+          std::make_unique<baselines::RlsEngine>(&transition, options));
+    }
+    case Method::kCoSimMate: {
+      baselines::CoSimMateOptions options;
+      options.damping = config.damping;
+      // 2^steps series terms >= the rank-matched iteration count.
+      int steps = 1;
+      while ((1 << steps) < config.rank) ++steps;
+      options.squaring_steps = steps;
+      return Erase(baselines::CoSimMateEngine::Precompute(transition, options));
+    }
+    case Method::kRpCoSim: {
+      baselines::RpCoSimOptions options;
+      options.damping = config.damping;
+      options.iterations = static_cast<int>(config.rank);
+      options.num_samples = config.rp_samples;
+      return EnginePtr(
+          std::make_unique<baselines::RpCosimEngine>(&transition, options));
+    }
+  }
+  return Status::Internal("unknown method");
+}
+
 RunOutcome RunMethod(Method method, const CsrMatrix& transition,
                      const std::vector<Index>& queries,
                      const RunConfig& config) {
-  switch (method) {
-    case Method::kCsrPlus:
-      return RunCsrPlus(transition, queries, config);
-    case Method::kCsrNi:
-      return RunCsrNi(transition, queries, config);
-    case Method::kCsrIt:
-      return RunCsrIt(transition, queries, config);
-    case Method::kCsrRls:
-      return RunCsrRls(transition, queries, config);
-    case Method::kCoSimMate:
-      return RunCoSimMate(transition, queries, config);
-    case Method::kRpCoSim:
-      return RunRpCoSim(transition, queries, config);
-  }
   RunOutcome outcome;
-  outcome.status = Status::Internal("unknown method");
+  auto engine = Measure(&outcome.precompute, [&] {
+    return CreateEngine(method, transition, config);
+  });
+  if (!engine.ok()) {
+    outcome.status = engine.status();
+    return outcome;
+  }
+  auto scores = Measure(&outcome.query,
+                        [&] { return (*engine)->MultiSourceQuery(queries); });
+  if (!scores.ok()) {
+    outcome.status = scores.status();
+    return outcome;
+  }
+  if (config.keep_scores) outcome.scores = std::move(*scores);
+  outcome.status = Status::OK();
   return outcome;
 }
 

@@ -5,12 +5,14 @@
 #ifndef CSRPLUS_EVAL_RUNNER_H_
 #define CSRPLUS_EVAL_RUNNER_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "baselines/ni_sim.h"
 #include "common/status.h"
+#include "core/query_engine.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/sparse_matrix.h"
 
@@ -65,6 +67,13 @@ struct RunOutcome {
     return std::max(precompute.peak_bytes, query.peak_bytes);
   }
 };
+
+/// Builds the query engine for `method` — the query-independent phase of
+/// the run. CSR+/NI/IT/CoSimMate do all their precomputation here; RLS and
+/// RP-CoSim keep no state, so their engines are thin wrappers that redo the
+/// work per query call. `transition` must outlive the returned engine.
+Result<std::unique_ptr<core::QueryEngine>> CreateEngine(
+    Method method, const CsrMatrix& transition, const RunConfig& config);
 
 /// Runs `method` end to end. Never throws; failures land in `status`.
 RunOutcome RunMethod(Method method, const CsrMatrix& transition,

@@ -43,6 +43,8 @@ inline constexpr const char kArtifactLoad[] = "artifact_load";
 inline constexpr const char kArtifactSave[] = "artifact_save";
 inline constexpr const char kPoolRegion[] = "pool_region";
 inline constexpr const char kBaseline[] = "baseline";
+inline constexpr const char kServiceBatch[] = "service_batch";
+inline constexpr const char kServiceRequest[] = "service_request";
 }  // namespace spans
 
 /// True when span recording is on.

@@ -1,0 +1,330 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/memory.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+
+namespace csrplus::service {
+namespace {
+
+// Response-block charge for admission: the n x |Q| score matrix the request
+// will hold until the client collects it. Top-k extraction is O(k) extra and
+// not worth charging.
+int64_t AdmissionBytes(Index num_nodes, std::size_t num_queries) {
+  return static_cast<int64_t>(num_nodes) * static_cast<int64_t>(num_queries) *
+         static_cast<int64_t>(sizeof(double));
+}
+
+}  // namespace
+
+QueryService::QueryService(const core::QueryEngine* engine,
+                           ServiceOptions options)
+    : engine_(engine), options_(options) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+Result<QueryService::Ticket> QueryService::Submit(QueryRequest request) {
+  if (request.top_k < 0) {
+    return Status::InvalidArgument("top_k must be >= 0");
+  }
+  CSR_RETURN_IF_ERROR(core::ValidateQueries(request.queries,
+                                            engine_->NumNodes(),
+                                            core::QueryDuplicates::kReject));
+  auto state = std::make_shared<RequestState>();
+  state->submit_micros = obs::NowMicros();
+  if (request.timeout_micros > 0) {
+    state->deadline_micros = state->submit_micros + request.timeout_micros;
+  }
+  state->admission_bytes =
+      AdmissionBytes(engine_->NumNodes(), request.queries.size());
+  state->request = std::move(request);
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("QueryService is shut down");
+    }
+    if (static_cast<int>(queue_.size()) >= options_.max_queue_requests) {
+      CSRPLUS_OBS_COUNTER_ADD("csrplus.service.rejected_queue_full",
+                              "requests",
+                              "submissions rejected: queue at capacity", 1);
+      return Status::ResourceExhausted("service submission queue is full");
+    }
+    const Status budget = MemoryBudget::Global().TryReserve(
+        outstanding_bytes_ + state->admission_bytes,
+        "service admission (outstanding response blocks)");
+    if (!budget.ok()) {
+      CSRPLUS_OBS_COUNTER_ADD("csrplus.service.rejected_budget", "requests",
+                              "submissions rejected: memory budget", 1);
+      return budget;
+    }
+    outstanding_bytes_ += state->admission_bytes;
+    queue_.push_back(state);
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.service.admitted", "requests",
+                            "requests admitted into the queue", 1);
+    CSRPLUS_OBS_GAUGE_SET("csrplus.service.queue_depth", "requests",
+                          "requests currently queued",
+                          static_cast<int64_t>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  return Ticket(this, std::move(state));
+}
+
+QueryResponse QueryService::Query(QueryRequest request) {
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kServiceRequest, "num_queries",
+                         static_cast<int64_t>(request.queries.size()));
+  auto ticket = Submit(std::move(request));
+  if (!ticket.ok()) {
+    QueryResponse response;
+    response.status = ticket.status();
+    return response;
+  }
+  return ticket->Wait();
+}
+
+const QueryResponse& QueryService::Ticket::Wait() {
+  std::unique_lock<std::mutex> lk(state_->mu);
+  state_->cv.wait(lk, [&] { return state_->phase == Phase::kDone; });
+  return state_->response;
+}
+
+bool QueryService::Ticket::WaitFor(uint64_t micros) {
+  std::unique_lock<std::mutex> lk(state_->mu);
+  return state_->cv.wait_for(lk, std::chrono::microseconds(micros),
+                             [&] { return state_->phase == Phase::kDone; });
+}
+
+bool QueryService::Ticket::Done() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->phase == Phase::kDone;
+}
+
+void QueryService::Ticket::Cancel() { service_->CancelRequest(state_); }
+
+void QueryService::CancelRequest(const std::shared_ptr<RequestState>& state) {
+  // Lock order: service mutex before request mutex (matches the dispatcher).
+  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> slk(state->mu);
+  if (state->phase == Phase::kDone) return;
+  state->cancel_requested = true;
+  if (state->phase != Phase::kQueued) return;  // dispatcher drops it later
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->get() == state.get()) {
+      queue_.erase(it);
+      break;
+    }
+  }
+  outstanding_bytes_ -= state->admission_bytes;
+  CSRPLUS_OBS_GAUGE_SET("csrplus.service.queue_depth", "requests",
+                        "requests currently queued",
+                        static_cast<int64_t>(queue_.size()));
+  QueryResponse response;
+  response.status = Status::Cancelled("request cancelled while queued");
+  response.wait_micros = obs::NowMicros() - state->submit_micros;
+  FinishLocked(state.get(), std::move(response));
+}
+
+void QueryService::FinishLocked(RequestState* state, QueryResponse response) {
+  response.total_micros = obs::NowMicros() - state->submit_micros;
+  if (response.status.IsDeadlineExceeded()) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.service.deadline_exceeded", "requests",
+                            "requests that missed their deadline", 1);
+  } else if (response.status.IsCancelled()) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.service.cancelled", "requests",
+                            "requests cancelled before completion", 1);
+  }
+  CSRPLUS_OBS_HISTOGRAM_RECORD("csrplus.service.queue_wait_us", "us",
+                               "submission-to-dispatch wait",
+                               response.wait_micros);
+  CSRPLUS_OBS_HISTOGRAM_RECORD("csrplus.service.request_us", "us",
+                               "submission-to-completion latency",
+                               response.total_micros);
+  state->response = std::move(response);
+  state->phase = Phase::kDone;
+  state->cv.notify_all();
+}
+
+std::vector<std::shared_ptr<QueryService::RequestState>>
+QueryService::NextBatch() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    queue_cv_.wait(lk, [&] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_) {
+      // Drain: everything still queued completes as cancelled.
+      while (!queue_.empty()) {
+        auto state = queue_.front();
+        queue_.pop_front();
+        std::lock_guard<std::mutex> slk(state->mu);
+        outstanding_bytes_ -= state->admission_bytes;
+        QueryResponse response;
+        response.status = Status::Cancelled("service shut down");
+        response.wait_micros = obs::NowMicros() - state->submit_micros;
+        FinishLocked(state.get(), std::move(response));
+      }
+      CSRPLUS_OBS_GAUGE_SET("csrplus.service.queue_depth", "requests",
+                            "requests currently queued", 0);
+      return {};
+    }
+
+    std::vector<std::shared_ptr<RequestState>> batch;
+    std::unordered_set<Index> distinct;
+    while (!queue_.empty()) {
+      const auto& front = queue_.front();
+      if (!batch.empty()) {
+        if (!options_.coalesce) break;
+        if (static_cast<int>(batch.size()) >= options_.max_batch_requests) {
+          break;
+        }
+        Index added = 0;
+        for (Index q : front->request.queries) {
+          if (distinct.find(q) == distinct.end()) ++added;
+        }
+        if (static_cast<Index>(distinct.size()) + added >
+            options_.max_batch_queries) {
+          break;
+        }
+      }
+      auto state = queue_.front();
+      queue_.pop_front();
+      std::lock_guard<std::mutex> slk(state->mu);
+      const uint64_t now = obs::NowMicros();
+      if (state->cancel_requested) {  // defensive; Cancel dequeues itself
+        outstanding_bytes_ -= state->admission_bytes;
+        QueryResponse response;
+        response.status = Status::Cancelled("request cancelled while queued");
+        response.wait_micros = now - state->submit_micros;
+        FinishLocked(state.get(), std::move(response));
+        continue;
+      }
+      if (state->deadline_micros != 0 && now > state->deadline_micros) {
+        outstanding_bytes_ -= state->admission_bytes;
+        QueryResponse response;
+        response.status =
+            Status::DeadlineExceeded("deadline expired while queued");
+        response.wait_micros = now - state->submit_micros;
+        FinishLocked(state.get(), std::move(response));
+        continue;
+      }
+      state->phase = Phase::kRunning;
+      state->response.wait_micros = now - state->submit_micros;
+      for (Index q : state->request.queries) distinct.insert(q);
+      batch.push_back(std::move(state));
+    }
+    CSRPLUS_OBS_GAUGE_SET("csrplus.service.queue_depth", "requests",
+                          "requests currently queued",
+                          static_cast<int64_t>(queue_.size()));
+    if (!batch.empty()) return batch;
+    // Everything popped was cancelled or expired; wait for more work.
+  }
+}
+
+void QueryService::DispatcherLoop() {
+  for (;;) {
+    auto batch = NextBatch();
+    if (batch.empty()) return;
+
+    // Union of the batch's query sets, first occurrence fixing the column.
+    std::vector<Index> union_queries;
+    std::unordered_map<Index, Index> col_of;
+    for (const auto& state : batch) {
+      for (Index q : state->request.queries) {
+        if (col_of.emplace(q, static_cast<Index>(union_queries.size()))
+                .second) {
+          union_queries.push_back(q);
+        }
+      }
+    }
+
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.service.batches", "batches",
+                            "micro-batches executed", 1);
+    CSRPLUS_OBS_HISTOGRAM_RECORD("csrplus.service.batch_requests", "requests",
+                                 "requests coalesced per micro-batch",
+                                 static_cast<uint64_t>(batch.size()));
+    CSRPLUS_OBS_HISTOGRAM_RECORD("csrplus.service.batch_queries", "queries",
+                                 "distinct queries per micro-batch",
+                                 static_cast<uint64_t>(union_queries.size()));
+
+    Result<DenseMatrix> result = [&]() -> Result<DenseMatrix> {
+      CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kServiceBatch, "num_requests",
+                             static_cast<int64_t>(batch.size()));
+      CSRPLUS_TRACE_ARG(span, "num_queries",
+                        static_cast<int64_t>(union_queries.size()));
+      CSRPLUS_OBS_SCOPED_US("csrplus.service.batch_us",
+                            "micro-batch engine execution wall time");
+      return engine_->MultiSourceQuery(union_queries);
+    }();
+
+    const Index n = engine_->NumNodes();
+    int64_t released_bytes = 0;
+    for (const auto& state : batch) {
+      QueryResponse response;
+      response.batch_requests = static_cast<int>(batch.size());
+      response.batch_queries = static_cast<Index>(union_queries.size());
+      std::lock_guard<std::mutex> slk(state->mu);
+      response.wait_micros = state->response.wait_micros;
+      if (state->cancel_requested) {
+        response.status = Status::Cancelled("request cancelled while running");
+      } else if (state->deadline_micros != 0 &&
+                 obs::NowMicros() > state->deadline_micros) {
+        response.status =
+            Status::DeadlineExceeded("deadline expired during execution");
+      } else if (!result.ok()) {
+        response.status = result.status().WithContext("batched query failed");
+      } else {
+        // Scatter: column j of this request is column col_of[queries[j]] of
+        // the shared block — a pure copy, so the result is bit-identical to
+        // running the request alone (see the engine contract).
+        const std::vector<Index>& queries = state->request.queries;
+        std::vector<Index> cols(queries.size());
+        for (std::size_t j = 0; j < queries.size(); ++j) {
+          cols[j] = col_of[queries[j]];
+        }
+        DenseMatrix scores(n, static_cast<Index>(queries.size()));
+        for (Index i = 0; i < n; ++i) {
+          const double* src = result->RowPtr(i);
+          double* dst = scores.RowPtr(i);
+          for (std::size_t j = 0; j < queries.size(); ++j) {
+            dst[j] = src[cols[j]];
+          }
+        }
+        if (state->request.top_k > 0) {
+          response.topk.reserve(queries.size());
+          for (std::size_t j = 0; j < queries.size(); ++j) {
+            std::vector<Index> exclude;
+            if (state->request.exclude_query) exclude.push_back(queries[j]);
+            response.topk.push_back(
+                core::TopKOfColumn(scores, static_cast<Index>(j),
+                                   state->request.top_k, exclude));
+          }
+        }
+        response.scores = std::move(scores);
+        response.status = Status::OK();
+      }
+      FinishLocked(state.get(), std::move(response));
+      released_bytes += state->admission_bytes;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      outstanding_bytes_ -= released_bytes;
+    }
+  }
+}
+
+}  // namespace csrplus::service

@@ -1,0 +1,183 @@
+// Batched concurrent query service over any core::QueryEngine.
+//
+// Motivation: Theorem 3.5 prices a multi-source query at one shared Z U_Q^T
+// evaluation whose cost grows sub-linearly in |Q| — a merged batch is
+// strictly cheaper than its parts. The service exploits that at serving
+// time: concurrent requests enter a bounded queue, a dispatcher coalesces
+// compatible pending requests into one micro-batch (union of their query
+// sets, deduplicated), runs a single engine evaluation, and scatters the
+// columns back per request. Because the engine contract (query_engine.h)
+// guarantees column j depends only on queries[j], the scattered columns are
+// bit-identical to what each request would have computed alone.
+//
+// Control plane:
+//  * Admission — a bounded submission queue plus a byte charge per request
+//    (n x |Q| doubles for the response block) checked against the global
+//    MemoryBudget. Over either limit => kResourceExhausted, never blocking.
+//  * Deadlines — per-request relative timeouts, checked when the dispatcher
+//    pops the request and again before scattering => kDeadlineExceeded.
+//  * Cancellation — cooperative: a queued request completes immediately
+//    with kCancelled; a running one is dropped at scatter time.
+//
+// Threading: one dispatcher thread owns batch assembly; the engine's own
+// kernels parallelise through the shared pool. Lock order is service mutex
+// before per-request mutex, everywhere.
+
+#ifndef CSRPLUS_SERVICE_QUERY_SERVICE_H_
+#define CSRPLUS_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query_engine.h"
+#include "core/topk.h"
+#include "linalg/dense_matrix.h"
+
+namespace csrplus::service {
+
+using linalg::DenseMatrix;
+using linalg::Index;
+
+/// Serving-time knobs.
+struct ServiceOptions {
+  /// Bounded submission queue; Submit beyond this => kResourceExhausted.
+  int max_queue_requests = 256;
+  /// Cap on distinct queries merged into one micro-batch.
+  Index max_batch_queries = 64;
+  /// Cap on requests coalesced into one micro-batch.
+  int max_batch_requests = 16;
+  /// When false every request runs alone — the serialized A/B arm used by
+  /// bench_service_throughput; results are identical either way.
+  bool coalesce = true;
+};
+
+/// One client request.
+struct QueryRequest {
+  /// Query node ids; duplicates within one request are rejected.
+  std::vector<Index> queries;
+  /// When > 0, also extract the top-k neighbours per query column.
+  Index top_k = 0;
+  /// Top-k only: exclude each query node from its own ranking.
+  bool exclude_query = true;
+  /// Relative deadline from submission; 0 = none.
+  uint64_t timeout_micros = 0;
+  /// Free-form client label (shows up in logs; no semantic meaning).
+  std::string tag;
+};
+
+/// Outcome of one request.
+struct QueryResponse {
+  Status status;
+  /// n x |queries| score block (empty on error).
+  DenseMatrix scores;
+  /// Per-query top-k (empty unless top_k > 0).
+  std::vector<std::vector<core::ScoredNode>> topk;
+  /// Time from submission to dispatch.
+  uint64_t wait_micros = 0;
+  /// Time from submission to completion.
+  uint64_t total_micros = 0;
+  /// How many requests shared this request's micro-batch (1 = ran alone).
+  int batch_requests = 0;
+  /// Distinct queries in that micro-batch.
+  Index batch_queries = 0;
+};
+
+/// A concurrent, batching front-end for a QueryEngine. The engine must
+/// outlive the service; the service must outlive every Ticket it issued.
+class QueryService {
+ public:
+  explicit QueryService(const core::QueryEngine* engine,
+                        ServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  class Ticket;
+
+  /// Validates and enqueues `request`. Fails fast with kResourceExhausted
+  /// (queue full or budget), kInvalidArgument (bad query set), or
+  /// kFailedPrecondition (after Shutdown). Never blocks on queue capacity.
+  Result<Ticket> Submit(QueryRequest request);
+
+  /// Submit + Wait. On admission failure the status lands in the response.
+  QueryResponse Query(QueryRequest request);
+
+  /// Stops the dispatcher. Requests still queued complete with kCancelled;
+  /// a batch already executing finishes normally. Idempotent; implied by
+  /// the destructor. Submit afterwards returns kFailedPrecondition.
+  void Shutdown();
+
+  const ServiceOptions& options() const { return options_; }
+  const core::QueryEngine& engine() const { return *engine_; }
+
+ private:
+  struct RequestState;
+
+ public:
+  /// Handle to one in-flight request. Copies share the same request.
+  class Ticket {
+   public:
+    /// Blocks until the request completes; returns (and keeps) the response.
+    const QueryResponse& Wait();
+    /// Waits up to `micros`; true when the request has completed.
+    bool WaitFor(uint64_t micros);
+    /// True when the request has completed (non-blocking).
+    bool Done() const;
+    /// Requests cancellation. A still-queued request completes immediately
+    /// with kCancelled; a running one is dropped when its batch finishes.
+    void Cancel();
+
+   private:
+    friend class QueryService;
+    Ticket(QueryService* service, std::shared_ptr<RequestState> state)
+        : service_(service), state_(std::move(state)) {}
+    QueryService* service_;
+    std::shared_ptr<RequestState> state_;
+  };
+
+ private:
+  enum class Phase { kQueued, kRunning, kDone };
+
+  struct RequestState {
+    QueryRequest request;
+    uint64_t submit_micros = 0;
+    uint64_t deadline_micros = 0;  ///< absolute; 0 = none
+    int64_t admission_bytes = 0;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    Phase phase = Phase::kQueued;
+    bool cancel_requested = false;
+    QueryResponse response;
+  };
+
+  void DispatcherLoop();
+  /// Pops one micro-batch (holding mu_); finishes cancelled/expired
+  /// requests in place. Empty result means "shut down".
+  std::vector<std::shared_ptr<RequestState>> NextBatch();
+  /// Completes `state` (caller holds state->mu). Records latency metrics.
+  void FinishLocked(RequestState* state, QueryResponse response);
+  void CancelRequest(const std::shared_ptr<RequestState>& state);
+
+  const core::QueryEngine* engine_;  // not owned
+  const ServiceOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<RequestState>> queue_;
+  int64_t outstanding_bytes_ = 0;
+  bool shutdown_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace csrplus::service
+
+#endif  // CSRPLUS_SERVICE_QUERY_SERVICE_H_

@@ -497,6 +497,26 @@ TEST(ObsDocumentationTest, EveryEmittedMetricIsDocumented) {
                   graph::ColumnNormalizedTransition(g), it_options)
                   .ok());
 
+  // Service layer: a batched request (admission, queue, batch, latency
+  // metrics) plus a cancelled-or-expired request so the failure counters
+  // register too (which of the two fires depends on dispatcher timing;
+  // both are documented).
+  {
+    service::QueryService service(&*engine);
+    service::QueryRequest request;
+    request.queries = {0, 1};
+    request.top_k = 3;
+    ASSERT_TRUE(service.Query(std::move(request)).status.ok());
+    service::QueryRequest doomed;
+    doomed.queries = {2};
+    doomed.timeout_micros = 1;
+    auto ticket = service.Submit(std::move(doomed));
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    ticket->Cancel();
+    ticket->Wait();
+    service.Shutdown();
+  }
+
   // Budget paths: one granted, one rejected.
   EXPECT_TRUE(MemoryBudget::Global().TryReserve(1024, "obs_test ok").ok());
   EXPECT_FALSE(MemoryBudget::Global()
@@ -532,7 +552,9 @@ TEST(ObsDocumentationTest, EveryEmittedMetricIsDocumented) {
                            obs::spans::kRepeatedSquaring, obs::spans::kZMemoise,
                            obs::spans::kQuery, obs::spans::kTopKSelect,
                            obs::spans::kArtifactLoad, obs::spans::kArtifactSave,
-                           obs::spans::kPoolRegion, obs::spans::kBaseline}) {
+                           obs::spans::kPoolRegion, obs::spans::kBaseline,
+                           obs::spans::kServiceRequest,
+                           obs::spans::kServiceBatch}) {
     EXPECT_NE(doc.find("`" + std::string(span) + "`"), std::string::npos)
         << "span \"" << span << "\" is not documented in the span taxonomy";
   }

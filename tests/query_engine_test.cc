@@ -1,0 +1,149 @@
+// Conformance tests for the core::QueryEngine interface: every engine (CSR+
+// and the five baselines) must honour the same contract, because the service
+// layer batches through it blindly.
+
+#include "core/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/csrplus_engine.h"
+#include "eval/runner.h"
+#include "graph/normalize.h"
+#include "test_util.h"
+
+namespace csrplus::core {
+namespace {
+
+using csrplus::testing::MatricesNear;
+using csrplus::testing::RandomGraph;
+using linalg::CsrMatrix;
+using linalg::DenseMatrix;
+
+class QueryEngineConformanceTest
+    : public ::testing::TestWithParam<eval::Method> {
+ protected:
+  void SetUp() override {
+    graph_ = RandomGraph(60, 360, 7);
+    transition_ = graph::ColumnNormalizedTransition(graph_);
+    eval::RunConfig config;
+    config.ni_fidelity = baselines::NiFidelity::kMixedProduct;
+    auto engine = eval::CreateEngine(GetParam(), transition_, config);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(*engine);
+  }
+
+  graph::Graph graph_;
+  CsrMatrix transition_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_P(QueryEngineConformanceTest, ReportsNameAndNodeCount) {
+  EXPECT_EQ(engine_->Name(), eval::MethodName(GetParam()));
+  EXPECT_EQ(engine_->NumNodes(), 60);
+}
+
+TEST_P(QueryEngineConformanceTest, ColumnJDependsOnlyOnQueryJ) {
+  // The batching contract: column j of a multi-source result equals the
+  // single-query result for queries[j], bit for bit, regardless of what
+  // other queries share the batch.
+  auto wide = engine_->MultiSourceQuery({5, 23, 41});
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  for (std::size_t j = 0; j < 3; ++j) {
+    const Index q = std::vector<Index>{5, 23, 41}[j];
+    auto alone = engine_->MultiSourceQuery({q});
+    ASSERT_TRUE(alone.ok()) << alone.status().ToString();
+    for (Index i = 0; i < engine_->NumNodes(); ++i) {
+      EXPECT_EQ((*wide)(i, static_cast<Index>(j)), (*alone)(i, 0))
+          << "row " << i << " query " << q;
+    }
+  }
+}
+
+TEST_P(QueryEngineConformanceTest, SingleSourceMatchesMultiSourceColumn) {
+  const Index q = 17;
+  std::vector<double> column;
+  ASSERT_TRUE(engine_->SingleSourceQueryInto(q, &column).ok());
+  ASSERT_EQ(column.size(), 60u);
+  auto block = engine_->MultiSourceQuery({q});
+  ASSERT_TRUE(block.ok());
+  for (Index i = 0; i < 60; ++i) {
+    EXPECT_EQ(column[static_cast<std::size_t>(i)], (*block)(i, 0));
+  }
+}
+
+TEST_P(QueryEngineConformanceTest, RejectsBadQuerySets) {
+  EXPECT_TRUE(engine_->MultiSourceQuery({}).status().IsInvalidArgument());
+  EXPECT_TRUE(engine_->MultiSourceQuery({-1}).status().IsInvalidArgument());
+  EXPECT_TRUE(engine_->MultiSourceQuery({60}).status().IsInvalidArgument());
+  std::vector<double> column;
+  EXPECT_TRUE(engine_->SingleSourceQueryInto(-3, &column).IsInvalidArgument());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, QueryEngineConformanceTest,
+    ::testing::Values(eval::Method::kCsrPlus, eval::Method::kCsrNi,
+                      eval::Method::kCsrIt, eval::Method::kCsrRls,
+                      eval::Method::kCoSimMate, eval::Method::kRpCoSim),
+    [](const ::testing::TestParamInfo<eval::Method>& info) {
+      std::string name(eval::MethodName(info.param));
+      for (char& c : name) {
+        if (c == '+') c = 'p';
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ValidateQueriesTest, AcceptsValidSets) {
+  EXPECT_TRUE(ValidateQueries({0, 5, 9}, 10).ok());
+  EXPECT_TRUE(ValidateQueries({3, 3}, 10).ok());  // duplicates allowed
+}
+
+TEST(ValidateQueriesTest, RejectsEmptyAndOutOfRange) {
+  EXPECT_TRUE(ValidateQueries({}, 10).IsInvalidArgument());
+  EXPECT_TRUE(ValidateQueries({10}, 10).IsInvalidArgument());
+  EXPECT_TRUE(ValidateQueries({-1}, 10).IsInvalidArgument());
+}
+
+TEST(ValidateQueriesTest, RejectsDuplicatesWhenAsked) {
+  EXPECT_TRUE(
+      ValidateQueries({3, 3}, 10, QueryDuplicates::kReject).IsInvalidArgument());
+  EXPECT_TRUE(ValidateQueries({1, 2, 3}, 10, QueryDuplicates::kReject).ok());
+}
+
+TEST(CsrPlusOptionsTest, ValidateCatchesBadParameters) {
+  CsrPlusOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+
+  options.rank = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.rank = 5;
+
+  options.damping = 1.0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.damping = 0.0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.damping = 0.6;
+
+  options.epsilon = 0.0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.epsilon = 1e-5;
+
+  options.num_threads = -1;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.num_threads = 0;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(CsrPlusOptionsTest, PrecomputeRejectsInvalidOptions) {
+  auto graph = csrplus::testing::Figure1Graph();
+  CsrPlusOptions options;
+  options.damping = 2.0;
+  auto engine = CsrPlusEngine::Precompute(graph, options);
+  EXPECT_TRUE(engine.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace csrplus::core

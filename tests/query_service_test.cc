@@ -1,0 +1,401 @@
+// Tests for service::QueryService: batch equivalence (bit-identical to
+// unbatched execution), deadlines, cancellation, admission control and a
+// multi-client hammer (the CI TSan job runs this file).
+
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/memory.h"
+#include "core/csrplus_engine.h"
+#include "core/query_engine.h"
+#include "graph/normalize.h"
+#include "test_util.h"
+
+namespace csrplus::service {
+namespace {
+
+using csrplus::testing::RandomGraph;
+using csrplus::testing::ScopedNumThreads;
+
+core::CsrPlusEngine MakeEngine(Index nodes = 100, int64_t edges = 700,
+                               uint64_t seed = 11) {
+  auto graph = RandomGraph(nodes, edges, seed);
+  core::CsrPlusOptions options;
+  options.rank = 8;
+  auto engine = core::CsrPlusEngine::Precompute(graph, options);
+  CSR_CHECK(engine.ok()) << engine.status().ToString();
+  return std::move(*engine);
+}
+
+/// Restores the global memory budget on scope exit.
+class ScopedMemoryBudget {
+ public:
+  explicit ScopedMemoryBudget(int64_t bytes)
+      : saved_(MemoryBudget::Global().limit_bytes()) {
+    MemoryBudget::Global().SetLimit(bytes);
+  }
+  ~ScopedMemoryBudget() { MemoryBudget::Global().SetLimit(saved_); }
+
+ private:
+  int64_t saved_;
+};
+
+/// An engine wrapper whose queries block until released — used to hold the
+/// dispatcher busy so later submissions pile up in the queue.
+class GatedEngine : public core::QueryEngine {
+ public:
+  explicit GatedEngine(const core::QueryEngine* inner) : inner_(inner) {}
+
+  Result<linalg::DenseMatrix> MultiSourceQuery(
+      const std::vector<Index>& queries) const override {
+    ++calls_;
+    while (gated_.load()) std::this_thread::yield();
+    return inner_->MultiSourceQuery(queries);
+  }
+  Status SingleSourceQueryInto(Index query,
+                               std::vector<double>* out) const override {
+    return inner_->SingleSourceQueryInto(query, out);
+  }
+  Index NumNodes() const override { return inner_->NumNodes(); }
+  std::string_view Name() const override { return inner_->Name(); }
+
+  void Open() { gated_.store(false); }
+  void Close() { gated_.store(true); }
+  int calls() const { return calls_.load(); }
+
+ private:
+  const core::QueryEngine* inner_;
+  mutable std::atomic<bool> gated_{false};
+  mutable std::atomic<int> calls_{0};
+};
+
+TEST(QueryServiceTest, SingleRequestMatchesDirectEngineCall) {
+  auto engine = MakeEngine();
+  QueryService service(&engine);
+  QueryRequest request;
+  request.queries = {3, 41, 77};
+  QueryResponse response = service.Query(std::move(request));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  auto direct = engine.MultiSourceQuery({3, 41, 77});
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(response.scores == *direct);  // bit-identical
+  EXPECT_GE(response.batch_requests, 1);
+}
+
+TEST(QueryServiceTest, BatchedResultsAreBitIdenticalAcrossThreadCounts) {
+  auto engine = MakeEngine();
+  // Overlapping query sets: coalescing dedups them into one union batch.
+  const std::vector<std::vector<Index>> sets = {
+      {1, 2, 3}, {2, 3, 4}, {50, 2}, {99, 1, 50}, {7}, {3, 7, 99}};
+
+  // Reference: direct per-request engine calls, single-threaded.
+  std::vector<linalg::DenseMatrix> expected;
+  {
+    ScopedNumThreads one(1);
+    for (const auto& queries : sets) {
+      auto direct = engine.MultiSourceQuery(queries);
+      ASSERT_TRUE(direct.ok());
+      expected.push_back(std::move(*direct));
+    }
+  }
+
+  for (int threads : {1, 4}) {
+    ScopedNumThreads scoped(threads);
+    GatedEngine gated(&engine);
+    gated.Close();  // hold the dispatcher so all submissions queue up
+    QueryService service(&gated);
+
+    // One warm-up request occupies the dispatcher; the rest pile up and
+    // coalesce into micro-batches behind it.
+    QueryRequest blocker;
+    blocker.queries = {0};
+    auto blocker_ticket = service.Submit(std::move(blocker));
+    ASSERT_TRUE(blocker_ticket.ok());
+
+    std::vector<QueryService::Ticket> tickets;
+    for (const auto& queries : sets) {
+      QueryRequest request;
+      request.queries = queries;
+      auto ticket = service.Submit(std::move(request));
+      ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+      tickets.push_back(std::move(*ticket));
+    }
+    gated.Open();
+
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const QueryResponse& response = tickets[i].Wait();
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_TRUE(response.scores == expected[i])
+          << "request " << i << " with " << threads
+          << " threads: batched result differs from direct execution";
+    }
+    blocker_ticket->Wait();
+  }
+}
+
+TEST(QueryServiceTest, OverlappingRequestsCoalesceIntoOneBatch) {
+  auto engine = MakeEngine();
+  GatedEngine gated(&engine);
+  gated.Close();
+  QueryService service(&gated);
+
+  QueryRequest blocker;
+  blocker.queries = {0};
+  auto blocker_ticket = service.Submit(std::move(blocker));
+  ASSERT_TRUE(blocker_ticket.ok());
+  // Wait until the dispatcher is actually inside the blocker's engine call;
+  // otherwise the first coalesced request might be claimed alone.
+  while (gated.calls() == 0) std::this_thread::yield();
+
+  std::vector<QueryService::Ticket> tickets;
+  for (const auto& queries :
+       std::vector<std::vector<Index>>{{1, 2}, {2, 3}, {1, 3}}) {
+    QueryRequest request;
+    request.queries = queries;
+    auto ticket = service.Submit(std::move(request));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(std::move(*ticket));
+  }
+  gated.Open();
+
+  for (auto& ticket : tickets) {
+    const QueryResponse& response = ticket.Wait();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.batch_requests, 3);
+    EXPECT_EQ(response.batch_queries, 3);  // union of {1,2},{2,3},{1,3}
+  }
+  // Blocker ran alone, then one coalesced batch: two engine calls total.
+  blocker_ticket->Wait();
+  EXPECT_EQ(gated.calls(), 2);
+}
+
+TEST(QueryServiceTest, TopKPerRequestRidesTheSharedBatch) {
+  auto engine = MakeEngine();
+  QueryService service(&engine);
+  QueryRequest request;
+  request.queries = {3, 41};
+  request.top_k = 5;
+  QueryResponse response = service.Query(std::move(request));
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_EQ(response.topk.size(), 2u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_EQ(response.topk[j].size(), 5u);
+  }
+  // The query node itself is excluded by default.
+  for (const auto& scored : response.topk[0]) EXPECT_NE(scored.node, 3);
+  for (const auto& scored : response.topk[1]) EXPECT_NE(scored.node, 41);
+}
+
+TEST(QueryServiceTest, DeadlineExpiredInQueueReturnsTypedError) {
+  auto engine = MakeEngine();
+  GatedEngine gated(&engine);
+  gated.Close();
+  QueryService service(&gated);
+
+  QueryRequest blocker;
+  blocker.queries = {0};
+  auto blocker_ticket = service.Submit(std::move(blocker));
+  ASSERT_TRUE(blocker_ticket.ok());
+  while (gated.calls() == 0) std::this_thread::yield();
+
+  QueryRequest doomed;
+  doomed.queries = {5};
+  doomed.timeout_micros = 1;  // expires while the blocker holds the engine
+  auto ticket = service.Submit(std::move(doomed));
+  ASSERT_TRUE(ticket.ok());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  gated.Open();
+  const QueryResponse& response = ticket->Wait();
+  EXPECT_TRUE(response.status.IsDeadlineExceeded())
+      << response.status.ToString();
+  EXPECT_TRUE(response.scores.empty());
+  blocker_ticket->Wait();
+}
+
+TEST(QueryServiceTest, CancelWhileQueuedCompletesImmediately) {
+  auto engine = MakeEngine();
+  GatedEngine gated(&engine);
+  gated.Close();
+  QueryService service(&gated);
+
+  QueryRequest blocker;
+  blocker.queries = {0};
+  auto blocker_ticket = service.Submit(std::move(blocker));
+  ASSERT_TRUE(blocker_ticket.ok());
+  while (gated.calls() == 0) std::this_thread::yield();
+
+  QueryRequest request;
+  request.queries = {5, 6};
+  auto ticket = service.Submit(std::move(request));
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_FALSE(ticket->Done());
+  ticket->Cancel();
+  // Completes without the dispatcher ever reaching it (the engine is still
+  // gated shut).
+  const QueryResponse& response = ticket->Wait();
+  EXPECT_TRUE(response.status.IsCancelled()) << response.status.ToString();
+  gated.Open();
+  blocker_ticket->Wait();
+  EXPECT_EQ(gated.calls(), 1);  // only the blocker ever executed
+}
+
+TEST(QueryServiceTest, AdmissionRejectsWhenQueueIsFull) {
+  auto engine = MakeEngine();
+  GatedEngine gated(&engine);
+  gated.Close();
+  ServiceOptions options;
+  options.max_queue_requests = 2;
+  QueryService service(&gated, options);
+
+  QueryRequest blocker;
+  blocker.queries = {0};
+  auto blocker_ticket = service.Submit(std::move(blocker));
+  ASSERT_TRUE(blocker_ticket.ok());
+  while (gated.calls() == 0) std::this_thread::yield();
+
+  std::vector<QueryService::Ticket> tickets;
+  for (int i = 0; i < 2; ++i) {
+    QueryRequest request;
+    request.queries = {static_cast<Index>(i + 1)};
+    auto ticket = service.Submit(std::move(request));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(std::move(*ticket));
+  }
+  QueryRequest overflow;
+  overflow.queries = {9};
+  auto rejected = service.Submit(std::move(overflow));
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+  gated.Open();
+  for (auto& t : tickets) EXPECT_TRUE(t.Wait().status.ok());
+  blocker_ticket->Wait();
+}
+
+TEST(QueryServiceTest, AdmissionRejectsUnderTinyMemoryBudget) {
+  auto engine = MakeEngine();
+  QueryService service(&engine);
+  // Smaller than one response block (100 nodes x 1 query x 8 bytes).
+  ScopedMemoryBudget tiny(100);
+  QueryRequest request;
+  request.queries = {5};
+  auto ticket = service.Submit(std::move(request));
+  EXPECT_TRUE(ticket.status().IsResourceExhausted())
+      << ticket.status().ToString();
+}
+
+TEST(QueryServiceTest, InvalidRequestsAreRejectedAtSubmit) {
+  auto engine = MakeEngine();
+  QueryService service(&engine);
+  QueryRequest empty;
+  EXPECT_TRUE(service.Submit(std::move(empty)).status().IsInvalidArgument());
+  QueryRequest out_of_range;
+  out_of_range.queries = {1000};
+  EXPECT_TRUE(
+      service.Submit(std::move(out_of_range)).status().IsInvalidArgument());
+  QueryRequest duplicates;
+  duplicates.queries = {3, 3};
+  EXPECT_TRUE(
+      service.Submit(std::move(duplicates)).status().IsInvalidArgument());
+}
+
+TEST(QueryServiceTest, ShutdownCancelsQueuedAndRejectsNewSubmissions) {
+  auto engine = MakeEngine();
+  GatedEngine gated(&engine);
+  gated.Close();
+  auto service = std::make_unique<QueryService>(&gated);
+
+  QueryRequest blocker;
+  blocker.queries = {0};
+  auto blocker_ticket = service->Submit(std::move(blocker));
+  ASSERT_TRUE(blocker_ticket.ok());
+  while (gated.calls() == 0) std::this_thread::yield();
+
+  QueryRequest queued;
+  queued.queries = {5};
+  auto ticket = service->Submit(std::move(queued));
+  ASSERT_TRUE(ticket.ok());
+
+  // Shutdown blocks until the running batch finishes, so release the gate
+  // from a helper thread.
+  std::thread opener([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    gated.Open();
+  });
+  service->Shutdown();
+  opener.join();
+
+  EXPECT_TRUE(blocker_ticket->Wait().status.ok());
+  EXPECT_TRUE(ticket->Wait().status.IsCancelled());
+
+  QueryRequest late;
+  late.queries = {1};
+  EXPECT_TRUE(
+      service->Submit(std::move(late)).status().IsFailedPrecondition());
+}
+
+TEST(QueryServiceTest, MultiClientHammer) {
+  auto engine = MakeEngine(120, 900, 5);
+  ServiceOptions options;
+  options.max_batch_queries = 16;
+  QueryService service(&engine, options);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> ok{0}, failed{0};
+  // Each client keeps (queries, scores) pairs; equivalence is verified
+  // serially after the join so the engine sees no extra concurrent callers.
+  std::vector<std::vector<std::pair<std::vector<Index>, linalg::DenseMatrix>>>
+      collected(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(static_cast<uint64_t>(c) + 1);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        QueryRequest request;
+        request.tag = "hammer";
+        request.top_k = (r % 2 == 0) ? 3 : 0;
+        const int size = 1 + static_cast<int>(rng.Below(4));
+        while (static_cast<int>(request.queries.size()) < size) {
+          const Index q = static_cast<Index>(rng.Below(120));
+          if (std::find(request.queries.begin(), request.queries.end(), q) ==
+              request.queries.end()) {
+            request.queries.push_back(q);
+          }
+        }
+        std::vector<Index> queries = request.queries;
+        QueryResponse response = service.Query(std::move(request));
+        if (!response.status.ok()) {
+          ++failed;
+          continue;
+        }
+        ++ok;
+        collected[static_cast<std::size_t>(c)].emplace_back(
+            std::move(queries), std::move(response.scores));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * kRequestsPerClient);
+  EXPECT_EQ(failed.load(), 0);
+  for (const auto& per_client : collected) {
+    for (const auto& [queries, scores] : per_client) {
+      auto direct = engine.MultiSourceQuery(queries);
+      ASSERT_TRUE(direct.ok());
+      EXPECT_TRUE(scores == *direct) << "batched result differs";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csrplus::service

@@ -16,7 +16,13 @@
 //
 //   csrplus query <graph> <node> [<node> ...]
 //       Multi-source CoSimRank: print the top-k most similar nodes for each
-//       query (after a one-off CSR+ precomputation).
+//       query (after a one-off precomputation; --method= picks the engine).
+//
+//   csrplus serve <graph>
+//       Concurrent serving stress demo: spin up a QueryService over the
+//       engine and hammer it from --clients threads, each issuing
+//       --requests random multi-source requests of --qsize queries. Prints
+//       throughput, latency percentiles and admission/deadline outcomes.
 //
 //   csrplus pair <graph> <a> <b>
 //       Single-pair CoSimRank score.
@@ -35,9 +41,16 @@
 //   --rank=R        target low rank (default 16)
 //   --damping=C     damping factor (default 0.6)
 //   --topk=K        results per query (default 10)
+//   --method=M      query engine: csr+ (default), csr-ni, csr-it, csr-rls,
+//                   cosimmate, rp-cosim
 //   --symmetrize    add the reverse of every edge when loading text input
-//   --artifact=P    (query only) warm-start from a precompute artifact; the
-//                   artifact's graph fingerprint must match the graph
+//   --artifact=P    (query/serve, csr+ only) warm-start from a precompute
+//                   artifact; its graph fingerprint must match the graph
+//   --clients=N     (serve) concurrent client threads (default 8)
+//   --requests=R    (serve) requests per client (default 32)
+//   --qsize=Q       (serve) query nodes per request (default 8)
+//   --deadline-ms=D (serve) per-request deadline, 0 = none (default 0)
+//   --no-coalesce   (serve) disable micro-batching (serialized A/B arm)
 //   --stats-out=P   after the command finishes, write the stats registry
 //                   snapshot (counters/gauges/histograms) to P as JSON
 //   --trace-out=P   enable span tracing for the whole run and write a Chrome
@@ -46,10 +59,14 @@
 // Graphs ending in ".csrg" are read as binary, anything else as a SNAP text
 // edge list.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "csrplus.h"
@@ -64,17 +81,24 @@ struct CliOptions {
   double damping = 0.6;
   Index topk = 10;
   bool symmetrize = false;
-  std::string artifact;   // warm-start path for `query`
+  eval::Method method = eval::Method::kCsrPlus;
+  std::string artifact;   // warm-start path for `query` / `serve`
   std::string stats_out;  // write SnapshotJson here after the command
   std::string trace_out;  // enable tracing; write DumpTraceJson here
+  int clients = 8;        // serve: concurrent client threads
+  int requests = 32;      // serve: requests per client
+  Index qsize = 8;        // serve: query nodes per request
+  int deadline_ms = 0;    // serve: per-request deadline (0 = none)
+  bool no_coalesce = false;  // serve: disable micro-batching
   std::vector<std::string> positional;
 };
 
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: csrplus [--rank=R] [--damping=C] [--topk=K] "
-               "[--symmetrize] [--artifact=P]\n"
-               "               [--stats-out=P] [--trace-out=P] <command> ...\n"
+               "[--method=M] [--symmetrize]\n"
+               "               [--artifact=P] [--stats-out=P] [--trace-out=P] "
+               "<command> ...\n"
                "commands:\n"
                "  stats <graph>                  graph statistics\n"
                "  stats                          observability snapshot JSON\n"
@@ -82,7 +106,32 @@ void PrintUsage() {
                "  query <graph> <node> [...]     top-k similar per query\n"
                "  pair <graph> <a> <b>           single-pair score\n"
                "  precompute <graph> <out.cspc>  persist CSR+ factors\n"
-               "  artifact-info <file.cspc>      inspect/verify an artifact\n");
+               "  artifact-info <file.cspc>      inspect/verify an artifact\n"
+               "  serve <graph>                  concurrent serving stress "
+               "demo\n"
+               "                                 [--clients=N] [--requests=R] "
+               "[--qsize=Q]\n"
+               "                                 [--deadline-ms=D] "
+               "[--no-coalesce]\n");
+}
+
+bool ParseMethod(const std::string& name, eval::Method* method) {
+  if (name == "csr+" || name == "csrplus") {
+    *method = eval::Method::kCsrPlus;
+  } else if (name == "csr-ni") {
+    *method = eval::Method::kCsrNi;
+  } else if (name == "csr-it") {
+    *method = eval::Method::kCsrIt;
+  } else if (name == "csr-rls") {
+    *method = eval::Method::kCsrRls;
+  } else if (name == "cosimmate") {
+    *method = eval::Method::kCoSimMate;
+  } else if (name == "rp-cosim") {
+    *method = eval::Method::kRpCoSim;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -96,6 +145,21 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->topk = std::atoll(arg.c_str() + 7);
     } else if (arg == "--symmetrize") {
       options->symmetrize = true;
+    } else if (StartsWith(arg, "--method=")) {
+      if (!ParseMethod(arg.substr(9), &options->method)) {
+        std::fprintf(stderr, "unknown method: %s\n", arg.c_str() + 9);
+        return false;
+      }
+    } else if (StartsWith(arg, "--clients=")) {
+      options->clients = std::atoi(arg.c_str() + 10);
+    } else if (StartsWith(arg, "--requests=")) {
+      options->requests = std::atoi(arg.c_str() + 11);
+    } else if (StartsWith(arg, "--qsize=")) {
+      options->qsize = std::atoll(arg.c_str() + 8);
+    } else if (StartsWith(arg, "--deadline-ms=")) {
+      options->deadline_ms = std::atoi(arg.c_str() + 14);
+    } else if (arg == "--no-coalesce") {
+      options->no_coalesce = true;
     } else if (StartsWith(arg, "--artifact=")) {
       options->artifact = arg.substr(11);
     } else if (StartsWith(arg, "--stats-out=")) {
@@ -231,6 +295,43 @@ Result<core::CsrPlusEngine> LoadEngineFromArtifact(const graph::Graph& g,
   return engine;
 }
 
+/// A type-erased engine plus whatever storage must outlive it (the baseline
+/// adapters hold a pointer to the transition matrix rather than a copy).
+struct EngineBox {
+  std::unique_ptr<linalg::CsrMatrix> transition;  // null for CSR+
+  std::unique_ptr<core::QueryEngine> engine;
+};
+
+Result<EngineBox> BuildAnyEngine(const graph::Graph& g,
+                                 const CliOptions& options) {
+  EngineBox box;
+  if (options.method == eval::Method::kCsrPlus) {
+    auto engine = options.artifact.empty()
+                      ? BuildEngine(g, options)
+                      : LoadEngineFromArtifact(g, options);
+    if (!engine.ok()) return engine.status();
+    box.engine =
+        std::make_unique<core::CsrPlusEngine>(std::move(*engine));
+    return box;
+  }
+  if (!options.artifact.empty()) {
+    return Status::InvalidArgument(
+        "--artifact is only supported with --method=csr+");
+  }
+  box.transition = std::make_unique<linalg::CsrMatrix>(
+      graph::ColumnNormalizedTransition(g));
+  eval::RunConfig config;
+  config.rank = std::min<Index>(options.rank, g.num_nodes());
+  config.damping = options.damping;
+  WallTimer timer;
+  CSR_ASSIGN_OR_RETURN(
+      box.engine, eval::CreateEngine(options.method, *box.transition, config));
+  std::fprintf(stderr, "built %s engine in %s\n",
+               std::string(box.engine->Name()).c_str(),
+               FormatSeconds(timer.ElapsedSeconds()).c_str());
+  return box;
+}
+
 int RunQuery(const CliOptions& options) {
   if (options.positional.size() < 3) {
     PrintUsage();
@@ -251,26 +352,124 @@ int RunQuery(const CliOptions& options) {
     }
     queries.push_back(*compact);
   }
-  auto engine = options.artifact.empty()
-                    ? BuildEngine(g->graph, options)
-                    : LoadEngineFromArtifact(g->graph, options);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+  auto box = BuildAnyEngine(g->graph, options);
+  if (!box.ok()) {
+    std::fprintf(stderr, "error: %s\n", box.status().ToString().c_str());
     return 1;
   }
-  auto results = engine->TopKQuery(queries, options.topk);
-  if (!results.ok()) {
-    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+  // Generic dispatch through the QueryEngine interface: one shared
+  // multi-source evaluation, then a per-column top-k selection.
+  const core::QueryEngine& engine = *box->engine;
+  auto scores = engine.MultiSourceQuery(queries);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "error: %s\n", scores.status().ToString().c_str());
     return 1;
   }
   for (std::size_t j = 0; j < queries.size(); ++j) {
     std::printf("query %ld:\n", static_cast<long>(g->ToOriginal(queries[j])));
-    for (const auto& sn : (*results)[j]) {
+    const auto top = core::TopKOfColumn(*scores, static_cast<Index>(j),
+                                        options.topk, {queries[j]});
+    for (const auto& sn : top) {
       std::printf("  %8ld  %.6f\n", static_cast<long>(g->ToOriginal(sn.node)),
                   sn.score);
     }
   }
   return 0;
+}
+
+int RunServe(const CliOptions& options) {
+  if (options.positional.size() != 2) {
+    PrintUsage();
+    return 2;
+  }
+  auto g = LoadGraph(options.positional[1], options);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  auto box = BuildAnyEngine(g->graph, options);
+  if (!box.ok()) {
+    std::fprintf(stderr, "error: %s\n", box.status().ToString().c_str());
+    return 1;
+  }
+  const Index n = box->engine->NumNodes();
+  const Index qsize = std::min<Index>(std::max<Index>(options.qsize, 1), n);
+  // Clients draw from a hot set (skewed access is what makes serving-time
+  // coalescing pay: overlapping requests dedup inside the micro-batch).
+  const Index hot = std::min<Index>(n, std::max<Index>(4 * qsize, 32));
+
+  service::ServiceOptions service_options;
+  service_options.coalesce = !options.no_coalesce;
+  service::QueryService service(box->engine.get(), service_options);
+
+  std::mutex agg_mu;
+  std::vector<uint64_t> latencies_us;
+  int ok = 0, deadline = 0, rejected = 0, other = 0;
+  double sum_batch_requests = 0.0;
+
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(options.clients));
+  for (int c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0x5E41ull * 2654435761ull + static_cast<uint64_t>(c));
+      for (int r = 0; r < options.requests; ++r) {
+        service::QueryRequest request;
+        request.tag = "client-" + std::to_string(c);
+        request.top_k = options.topk;
+        request.timeout_micros =
+            static_cast<uint64_t>(options.deadline_ms) * 1000;
+        while (static_cast<Index>(request.queries.size()) < qsize) {
+          const Index q = static_cast<Index>(rng.Below(
+              static_cast<uint64_t>(hot)));
+          if (std::find(request.queries.begin(), request.queries.end(), q) ==
+              request.queries.end()) {
+            request.queries.push_back(q);
+          }
+        }
+        service::QueryResponse response = service.Query(std::move(request));
+        std::lock_guard<std::mutex> lk(agg_mu);
+        if (response.status.ok()) {
+          ++ok;
+          latencies_us.push_back(response.total_micros);
+          sum_batch_requests += response.batch_requests;
+        } else if (response.status.IsDeadlineExceeded()) {
+          ++deadline;
+        } else if (response.status.IsResourceExhausted()) {
+          ++rejected;
+        } else {
+          ++other;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double seconds = timer.ElapsedSeconds();
+  service.Shutdown();
+
+  const int total = options.clients * options.requests;
+  std::printf("served %d requests (%d clients x %d) in %s\n", total,
+              options.clients, options.requests,
+              FormatSeconds(seconds).c_str());
+  std::printf("  ok=%d deadline=%d rejected=%d other=%d\n", ok, deadline,
+              rejected, other);
+  if (ok > 0) {
+    std::printf("  throughput: %.1f req/s, avg batch size %.2f requests\n",
+                static_cast<double>(ok) / seconds,
+                sum_batch_requests / static_cast<double>(ok));
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const auto pct = [&](double p) {
+      const std::size_t i = static_cast<std::size_t>(
+          p * static_cast<double>(latencies_us.size() - 1));
+      return latencies_us[i];
+    };
+    std::printf("  latency us: p50=%llu p95=%llu p99=%llu max=%llu\n",
+                static_cast<unsigned long long>(pct(0.50)),
+                static_cast<unsigned long long>(pct(0.95)),
+                static_cast<unsigned long long>(pct(0.99)),
+                static_cast<unsigned long long>(latencies_us.back()));
+  }
+  return other == 0 ? 0 : 1;
 }
 
 int RunPair(const CliOptions& options) {
@@ -431,6 +630,8 @@ int main(int argc, char** argv) {
     code = RunPrecompute(options);
   } else if (command == "artifact-info") {
     code = RunArtifactInfo(options);
+  } else if (command == "serve") {
+    code = RunServe(options);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     PrintUsage();
