@@ -9,7 +9,8 @@
 #include "bench_util.h"
 #include "core/cosimrank.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!csrplus::bench::ParseBenchArgs(argc, argv)) return 2;
   using namespace csrplus;
   using namespace csrplus::bench;
 
@@ -31,8 +32,8 @@ int main() {
     core::CoSimRankOptions exact_options;
     exact_options.damping = config.damping;
     exact_options.epsilon = 1e-10;
-    auto exact = core::MultiSourceCoSimRank(workload->transition,
-                                            workload->queries, exact_options);
+    auto exact = core::ReferenceEngine(&workload->transition, exact_options)
+                     .MultiSourceQuery(workload->queries);
     CSR_CHECK_OK(exact.status());
 
     for (Method method :

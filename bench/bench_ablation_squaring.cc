@@ -61,7 +61,8 @@ DenseMatrix SquaringP(const DenseMatrix& h0, double c, double epsilon,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!csrplus::bench::ParseBenchArgs(argc, argv)) return 2;
   using namespace csrplus::bench;
 
   RunConfig config = PaperDefaults();

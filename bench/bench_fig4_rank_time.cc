@@ -10,7 +10,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!csrplus::bench::ParseBenchArgs(argc, argv)) return 2;
   using namespace csrplus;
   using namespace csrplus::bench;
 

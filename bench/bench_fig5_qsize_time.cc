@@ -104,7 +104,8 @@ void RunDataset(const Workload& workload, const RunConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!csrplus::bench::ParseBenchArgs(argc, argv)) return 2;
   RunConfig config = PaperDefaults();
   PrintBanner("Figure 5", "effect of query size |Q| on CPU time", config);
 

@@ -37,7 +37,8 @@ std::string Cell(bool alive, int64_t bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!csrplus::bench::ParseBenchArgs(argc, argv)) return 2;
   RunConfig config = PaperDefaults();
   PrintBanner("Figure 9", "effect of query size |Q| on memory", config);
 

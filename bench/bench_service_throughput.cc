@@ -107,7 +107,8 @@ LoadResult RunLoad(const core::QueryEngine& engine, bool coalesce,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!csrplus::bench::ParseBenchArgs(argc, argv)) return 2;
   RunConfig config = PaperDefaults();
   // Default to a heavier rank than the CI-scale figures: coalescing wins by
   // deduplicating the shared Z U_Q^T evaluation, so the engine work per

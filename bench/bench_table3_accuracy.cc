@@ -12,7 +12,8 @@
 #include "core/cosimrank.h"
 #include "core/csrplus_engine.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!csrplus::bench::ParseBenchArgs(argc, argv)) return 2;
   using namespace csrplus;
   using namespace csrplus::bench;
 
@@ -36,8 +37,8 @@ int main() {
     core::CoSimRankOptions exact_options;
     exact_options.damping = config.damping;
     exact_options.epsilon = 1e-10;
-    auto exact = core::MultiSourceCoSimRank(workload->transition,
-                                            workload->queries, exact_options);
+    auto exact = core::ReferenceEngine(&workload->transition, exact_options)
+                     .MultiSourceQuery(workload->queries);
     if (!exact.ok()) {
       std::fprintf(stderr, "  exact reference failed: %s\n",
                    exact.status().ToString().c_str());

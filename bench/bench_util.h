@@ -8,6 +8,7 @@
 #ifndef CSRPLUS_BENCH_BENCH_UTIL_H_
 #define CSRPLUS_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -47,17 +48,64 @@ inline Result<Workload> LoadWorkload(const std::string& key,
   return w;
 }
 
-/// Prints the standard banner: which paper artefact, which scale, and the
-/// shared parameters.
+/// Prints the standard banner: which paper artefact, which build version,
+/// which scale, and the shared parameters.
 inline void PrintBanner(const char* artefact, const char* description,
                         const RunConfig& config) {
   const bool full = GetBenchScale() == BenchScale::kFull;
   std::printf("=== %s — %s ===\n", artefact, description);
-  std::printf("scale=%s  r=%ld  c=%.1f  eps=%.0e  threads=%d  "
+  std::printf("%s  scale=%s  r=%ld  c=%.1f  eps=%.0e  threads=%d  "
               "memory_budget=%s  (COSIM_SCALE=full for paper-scale graphs)\n\n",
-              full ? "full" : "ci", static_cast<long>(config.rank),
-              config.damping, config.epsilon, GetNumThreads(),
+              VersionString(), full ? "full" : "ci",
+              static_cast<long>(config.rank), config.damping, config.epsilon,
+              GetNumThreads(),
               FormatBytes(MemoryBudget::Global().limit_bytes()).c_str());
+}
+
+/// Shared bench knob parsing, unifying flag spelling with the CLI.
+///
+/// Canonical form is the CLI's dashed style: `--rank=5`, `--threads=4`,
+/// `--scale=full`, `--service-n=20000`, ... Each `--some-knob=value` maps to
+/// the `COSIM_SOME_KNOB` environment variable the benches already read
+/// (`--threads=` maps to the process-wide pool width), so flags and env vars
+/// are interchangeable and flags win by being applied last. The historical
+/// bare `knob=value` spelling still works but warns; anything else is an
+/// error so typos cannot silently run a default configuration.
+inline bool ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--")) {
+      arg = arg.substr(2);
+    } else if (arg.find('=') != std::string::npos) {
+      std::fprintf(stderr,
+                   "warning: bare '%s' is deprecated; use '--%s'\n",
+                   arg.c_str(), arg.c_str());
+    } else {
+      std::fprintf(stderr, "error: unrecognised argument '%s' "
+                   "(expected --knob=value)\n", arg.c_str());
+      return false;
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) {
+      std::fprintf(stderr, "error: expected --knob=value, got '%s'\n",
+                   argv[i]);
+      return false;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "threads") {
+      SetNumThreads(std::atoi(value.c_str()));
+      continue;
+    }
+    std::string env = "COSIM_";
+    for (char c : key) {
+      env.push_back(c == '-' ? '_'
+                             : static_cast<char>(std::toupper(
+                                   static_cast<unsigned char>(c))));
+    }
+    ::setenv(env.c_str(), value.c_str(), /*overwrite=*/1);
+  }
+  return true;
 }
 
 /// One line describing a loaded workload.

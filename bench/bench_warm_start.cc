@@ -17,7 +17,8 @@
 #include "core/csrplus_engine.h"
 #include "core/precompute_io.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!csrplus::bench::ParseBenchArgs(argc, argv)) return 2;
   using namespace csrplus;
   using namespace csrplus::bench;
 

@@ -88,7 +88,8 @@ int main() {
   core::CoSimRankOptions exact_options;
   exact_options.damping = 0.6;
   exact_options.epsilon = 1e-12;
-  auto exact = core::MultiSourceCoSimRank(transition, queries, exact_options);
+  auto exact =
+      core::ReferenceEngine(&transition, exact_options).MultiSourceQuery(queries);
   if (!exact.ok()) {
     std::fprintf(stderr, "exact reference failed: %s\n",
                  exact.status().ToString().c_str());

@@ -1,0 +1,323 @@
+#include "cache/column_cache.h"
+
+#include <algorithm>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/memory.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+
+namespace csrplus::cache {
+namespace {
+
+constexpr int kMaxShards = 256;
+
+// Mixes the key into a shard index. Splitmix64 finalizer — cheap and good
+// enough to spread consecutive node ids of one engine across shards.
+uint64_t MixKey(uint64_t fingerprint, Index node) {
+  uint64_t x = fingerprint ^ (static_cast<uint64_t>(node) * 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+int RoundUpPowerOfTwo(int x) {
+  int p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+struct Key {
+  uint64_t fingerprint;
+  Index node;
+  bool operator==(const Key& other) const {
+    return fingerprint == other.fingerprint && node == other.node;
+  }
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    return static_cast<std::size_t>(MixKey(k.fingerprint, k.node));
+  }
+};
+
+struct Entry {
+  Key key;
+  std::vector<double> column;
+};
+
+}  // namespace
+
+// One lock domain: a mutex guarding an MRU-front intrusive list plus the
+// key -> list-position index, and the shard's slice of the counters.
+struct ColumnCache::Shard {
+  std::mutex mutex;
+  std::list<Entry> lru;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+  int64_t resident_bytes = 0;
+  // Counter slices (guarded by mutex; summed by Stats()).
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t inserts = 0;
+  int64_t evictions = 0;
+  int64_t invalidations = 0;
+  int64_t rejections = 0;
+};
+
+ColumnCache::ColumnCache(const ColumnCacheOptions& options) {
+  const int shards = std::clamp(RoundUpPowerOfTwo(std::max(1, options.num_shards)),
+                                1, kMaxShards);
+  capacity_bytes_ = std::max<int64_t>(0, options.capacity_bytes);
+  shard_capacity_bytes_ = capacity_bytes_ / shards;
+  shard_mask_ = static_cast<uint64_t>(shards - 1);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ColumnCache::~ColumnCache() = default;
+
+ColumnCache::Shard& ColumnCache::ShardFor(uint64_t fingerprint, Index node) {
+  return *shards_[static_cast<std::size_t>(MixKey(fingerprint, node) >> 32 &
+                                           shard_mask_)];
+}
+
+bool ColumnCache::Lookup(uint64_t fingerprint, Index node, double* dst,
+                         int64_t stride, Index n) {
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kCacheLookup, "node",
+                         static_cast<int64_t>(node));
+  Shard& shard = ShardFor(fingerprint, node);
+  bool hit = false;
+  if (fingerprint != 0) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(Key{fingerprint, node});
+    if (it != shard.index.end()) {
+      const std::vector<double>& column = it->second->column;
+      CSR_CHECK_EQ(static_cast<Index>(column.size()), n);
+      for (Index i = 0; i < n; ++i) dst[i * stride] = column[static_cast<std::size_t>(i)];
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // -> MRU
+      ++shard.hits;
+      hit = true;
+    } else {
+      ++shard.misses;
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.misses;
+  }
+  if (hit) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.cache.hits", "lookups",
+                            "column-cache lookups served from cache", 1);
+  } else {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.cache.misses", "lookups",
+                            "column-cache lookups that fell through to the "
+                            "engine",
+                            1);
+  }
+  return hit;
+}
+
+bool ColumnCache::Lookup(uint64_t fingerprint, Index node,
+                         std::vector<double>* out) {
+  // Peek the column length cheaply: all engines under one fingerprint share
+  // n, but the caller may not know it yet — size the buffer under the lock.
+  // Simplest correct form: find under lock, copy; reuse the strided path by
+  // sizing `out` to the cached length first.
+  Shard& shard = ShardFor(fingerprint, node);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(Key{fingerprint, node});
+    if (fingerprint != 0 && it != shard.index.end()) {
+      out->resize(it->second->column.size());
+    } else {
+      // Fall through to the strided path with n = 0 so the miss is counted
+      // exactly once there.
+      out->clear();
+    }
+  }
+  return Lookup(fingerprint, node, out->data(), 1,
+                static_cast<Index>(out->size())) &&
+         !out->empty();
+}
+
+bool ColumnCache::Insert(uint64_t fingerprint, Index node,
+                         const double* column, Index n) {
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kCacheInsert, "node",
+                         static_cast<int64_t>(node));
+  Shard& shard = ShardFor(fingerprint, node);
+  const int64_t bytes = static_cast<int64_t>(n) * static_cast<int64_t>(sizeof(double));
+  bool rejected = false;
+  bool inserted = false;
+  int64_t evicted_here = 0;
+  int64_t evicted_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (fingerprint == 0 || n <= 0 || bytes > shard_capacity_bytes_) {
+      ++shard.rejections;
+      rejected = true;
+    } else {
+      const auto it = shard.index.find(Key{fingerprint, node});
+      if (it != shard.index.end()) {
+        // Bit-identical by contract — just refresh recency.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      } else if (!MemoryBudget::Global()
+                      .TryReserve(resident_bytes_.load(std::memory_order_relaxed) +
+                                      bytes,
+                                  "column cache insert")
+                      .ok()) {
+        // The process-wide budget says the cache's grown footprint no longer
+        // fits. Reject rather than evict: the budget is advisory and global,
+        // so shrinking this shard would not make the reservation meaningful.
+        ++shard.rejections;
+        rejected = true;
+      } else {
+        while (shard.resident_bytes + bytes > shard_capacity_bytes_ &&
+               !shard.lru.empty()) {
+          Entry& victim = shard.lru.back();
+          const int64_t victim_bytes =
+              static_cast<int64_t>(victim.column.size() * sizeof(double));
+          shard.index.erase(victim.key);
+          shard.lru.pop_back();
+          shard.resident_bytes -= victim_bytes;
+          evicted_bytes += victim_bytes;
+          ++evicted_here;
+        }
+        shard.lru.push_front(
+            Entry{Key{fingerprint, node},
+                  std::vector<double>(column, column + n)});
+        shard.index.emplace(Key{fingerprint, node}, shard.lru.begin());
+        shard.resident_bytes += bytes;
+        ++shard.inserts;
+        inserted = true;
+      }
+      shard.evictions += evicted_here;
+    }
+  }
+  if (evicted_here > 0 || inserted) {
+    const int64_t delta_bytes = (inserted ? bytes : 0) - evicted_bytes;
+    const int64_t delta_cols = (inserted ? 1 : 0) - evicted_here;
+    const int64_t now_bytes =
+        resident_bytes_.fetch_add(delta_bytes, std::memory_order_relaxed) +
+        delta_bytes;
+    const int64_t now_cols =
+        resident_columns_.fetch_add(delta_cols, std::memory_order_relaxed) +
+        delta_cols;
+    CSRPLUS_OBS_GAUGE_SET("csrplus.cache.resident_bytes", "bytes",
+                          "bytes of answer columns resident in the cache",
+                          now_bytes);
+    CSRPLUS_OBS_GAUGE_SET("csrplus.cache.resident_columns", "columns",
+                          "answer columns resident in the cache", now_cols);
+  }
+  if (inserted) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.cache.inserts", "columns",
+                            "fresh answer columns inserted into the cache", 1);
+  }
+  if (evicted_here > 0) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.cache.evictions", "columns",
+                            "columns evicted LRU-first to stay in capacity",
+                            evicted_here);
+  }
+  if (rejected) {
+    CSRPLUS_OBS_COUNTER_ADD(
+        "csrplus.cache.rejections", "inserts",
+        "inserts refused (memory budget, oversize column or fingerprint 0)",
+        1);
+  }
+  return inserted;
+}
+
+int64_t ColumnCache::EvictEngine(uint64_t fingerprint) {
+  if (fingerprint == 0) return 0;
+  int64_t dropped = 0;
+  int64_t dropped_bytes = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.fingerprint == fingerprint) {
+        const int64_t bytes =
+            static_cast<int64_t>(it->column.size() * sizeof(double));
+        shard.index.erase(it->key);
+        shard.resident_bytes -= bytes;
+        dropped_bytes += bytes;
+        ++dropped;
+        ++shard.invalidations;
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (dropped > 0) {
+    const int64_t now_bytes =
+        resident_bytes_.fetch_sub(dropped_bytes, std::memory_order_relaxed) -
+        dropped_bytes;
+    const int64_t now_cols =
+        resident_columns_.fetch_sub(dropped, std::memory_order_relaxed) -
+        dropped;
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.cache.invalidations", "columns",
+                            "stale-fingerprint columns dropped eagerly",
+                            dropped);
+    CSRPLUS_OBS_GAUGE_SET("csrplus.cache.resident_bytes", "bytes",
+                          "bytes of answer columns resident in the cache",
+                          now_bytes);
+    CSRPLUS_OBS_GAUGE_SET("csrplus.cache.resident_columns", "columns",
+                          "answer columns resident in the cache", now_cols);
+  }
+  return dropped;
+}
+
+void ColumnCache::Clear() {
+  int64_t dropped = 0;
+  int64_t dropped_bytes = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    dropped += static_cast<int64_t>(shard.lru.size());
+    dropped_bytes += shard.resident_bytes;
+    shard.invalidations += static_cast<int64_t>(shard.lru.size());
+    shard.lru.clear();
+    shard.index.clear();
+    shard.resident_bytes = 0;
+  }
+  if (dropped > 0) {
+    resident_bytes_.fetch_sub(dropped_bytes, std::memory_order_relaxed);
+    resident_columns_.fetch_sub(dropped, std::memory_order_relaxed);
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.cache.invalidations", "columns",
+                            "stale-fingerprint columns dropped eagerly",
+                            dropped);
+    CSRPLUS_OBS_GAUGE_SET("csrplus.cache.resident_bytes", "bytes",
+                          "bytes of answer columns resident in the cache",
+                          resident_bytes_.load(std::memory_order_relaxed));
+    CSRPLUS_OBS_GAUGE_SET("csrplus.cache.resident_columns", "columns",
+                          "answer columns resident in the cache",
+                          resident_columns_.load(std::memory_order_relaxed));
+  }
+}
+
+ColumnCacheStats ColumnCache::Stats() const {
+  ColumnCacheStats stats;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.inserts += shard.inserts;
+    stats.evictions += shard.evictions;
+    stats.invalidations += shard.invalidations;
+    stats.rejections += shard.rejections;
+    stats.resident_bytes += shard.resident_bytes;
+    stats.resident_columns += static_cast<int64_t>(shard.lru.size());
+  }
+  return stats;
+}
+
+}  // namespace csrplus::cache

@@ -1,0 +1,132 @@
+// Column-level result cache for CoSimRank query serving.
+//
+// The QueryEngine contract guarantees that column j of a multi-source block
+// depends only on queries[j] — so a single-source answer column is a pure
+// function of (engine state, node id) and can be memoised across requests,
+// engines and even engine restarts (a warm start from the same artifact
+// yields the same StateFingerprint). Under the skewed traffic the service
+// layer targets, the same hot sources are queried over and over; serving a
+// cached n-vector costs one O(n) copy instead of the O(nr) GEMM column.
+//
+// Shape:
+//   * Sharded: the (fingerprint, node) key hashes to one of a power-of-two
+//     number of shards, each with its own mutex, hash map and intrusive LRU
+//     list — lookups on different shards never contend.
+//   * Bounded: per-shard byte capacity (total capacity split evenly);
+//     inserting past it evicts least-recently-used columns first.
+//   * Budget-charged: every insert first asks the global MemoryBudget
+//     whether the cache's total resident bytes plus the incoming column
+//     still fit; over budget the insert is rejected (never evicts on the
+//     budget's behalf — the budget is advisory and process-wide).
+//   * Invalidatable: keys embed QueryEngine::StateFingerprint(), so a
+//     mutated engine (e.g. DynamicCsrPlusEngine::InsertEdge) simply stops
+//     hitting; EvictEngine(fp) reclaims the stale bytes eagerly.
+//
+// Fingerprint 0 is reserved as "engine cannot vouch for its state";
+// Lookup/Insert with fingerprint 0 are no-ops (miss / reject) by contract.
+//
+// Instrumented with csrplus.cache.* metrics and cache_lookup/cache_insert
+// spans (reference: docs/observability.md).
+
+#ifndef CSRPLUS_CACHE_COLUMN_CACHE_H_
+#define CSRPLUS_CACHE_COLUMN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace csrplus::cache {
+
+using linalg::Index;
+
+/// Tuning knobs for ColumnCache.
+struct ColumnCacheOptions {
+  /// Total resident-byte capacity across all shards (columns only; per-entry
+  /// bookkeeping overhead is not charged). Split evenly per shard.
+  int64_t capacity_bytes = 256ll << 20;
+  /// Shard count; rounded up to a power of two, clamped to [1, 256].
+  int num_shards = 8;
+};
+
+/// Point-in-time view of the cache counters (aggregated over shards).
+struct ColumnCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t inserts = 0;
+  int64_t evictions = 0;       ///< capacity (LRU) evictions
+  int64_t invalidations = 0;   ///< entries dropped by EvictEngine/Clear
+  int64_t rejections = 0;      ///< inserts refused (budget / capacity / fp 0)
+  int64_t resident_bytes = 0;
+  int64_t resident_columns = 0;
+
+  double hit_rate() const {
+    const int64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Thread-safe sharded LRU cache of single-source answer columns.
+class ColumnCache {
+ public:
+  explicit ColumnCache(const ColumnCacheOptions& options = {});
+  ~ColumnCache();  // out of line: Shard is opaque here
+
+  ColumnCache(const ColumnCache&) = delete;
+  ColumnCache& operator=(const ColumnCache&) = delete;
+
+  /// Looks up (fingerprint, node). On a hit, writes the n cached values to
+  /// dst[0], dst[stride], ..., dst[(n-1)*stride] — stride 1 fills a plain
+  /// vector, stride = row-width scatters straight into a row-major matrix
+  /// column — promotes the entry to most-recently-used, and returns true.
+  /// `n` must match the cached column length (CHECK on mismatch: a same-
+  /// fingerprint engine always has the same node count).
+  bool Lookup(uint64_t fingerprint, Index node, double* dst, int64_t stride,
+              Index n);
+
+  /// Vector convenience overload (resizes *out to the column length).
+  bool Lookup(uint64_t fingerprint, Index node, std::vector<double>* out);
+
+  /// Inserts a copy of column[0..n) under (fingerprint, node), evicting
+  /// least-recently-used entries in the shard if needed for capacity.
+  /// Returns false — and caches nothing — when the fingerprint is 0, the
+  /// column alone exceeds the shard capacity, or the global MemoryBudget
+  /// refuses the cache's grown footprint. Re-inserting an existing key
+  /// refreshes recency but keeps the original bytes (same-fingerprint
+  /// answers are bit-identical by contract, so there is nothing to update).
+  bool Insert(uint64_t fingerprint, Index node, const double* column, Index n);
+
+  /// Drops every entry belonging to `fingerprint` (stale-engine reclaim).
+  /// Fingerprint 0 is a no-op. Returns the number of entries dropped.
+  int64_t EvictEngine(uint64_t fingerprint);
+
+  /// Drops everything.
+  void Clear();
+
+  /// Aggregated counters (consistent per shard, summed across shards).
+  ColumnCacheStats Stats() const;
+
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard;
+
+  Shard& ShardFor(uint64_t fingerprint, Index node);
+
+  int64_t capacity_bytes_ = 0;        // total, all shards
+  int64_t shard_capacity_bytes_ = 0;  // capacity_bytes_ / num_shards
+  uint64_t shard_mask_ = 0;           // num_shards - 1 (power of two)
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Cross-shard resident totals, kept outside the shard locks so the budget
+  // check and the resident gauges never take more than one shard mutex.
+  std::atomic<int64_t> resident_bytes_{0};
+  std::atomic<int64_t> resident_columns_{0};
+};
+
+}  // namespace csrplus::cache
+
+#endif  // CSRPLUS_CACHE_COLUMN_CACHE_H_

@@ -1,0 +1,21 @@
+#include "common/version.h"
+
+namespace csrplus {
+
+namespace {
+
+#define CSRPLUS_STR_INNER(x) #x
+#define CSRPLUS_STR(x) CSRPLUS_STR_INNER(x)
+
+constexpr const char kVersionString[] =
+    "csrplus " CSRPLUS_STR(CSRPLUS_VERSION_MAJOR) "." CSRPLUS_STR(
+        CSRPLUS_VERSION_MINOR);
+
+#undef CSRPLUS_STR
+#undef CSRPLUS_STR_INNER
+
+}  // namespace
+
+const char* VersionString() { return kVersionString; }
+
+}  // namespace csrplus

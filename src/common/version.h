@@ -1,0 +1,32 @@
+// Build identity of the csrplus library.
+//
+// A single pair of integer macros plus one string accessor, so every
+// user-facing surface (CLI banner, bench banners, `.cspc` artifact trailer,
+// benchmark JSON) can stamp its output with the library version that
+// produced it. Bump MINOR for additive changes, MAJOR for breaking ones;
+// keep in sync with the `project(... VERSION ...)` declaration in the
+// top-level CMakeLists.txt.
+
+#ifndef CSRPLUS_COMMON_VERSION_H_
+#define CSRPLUS_COMMON_VERSION_H_
+
+#include <cstdint>
+
+#define CSRPLUS_VERSION_MAJOR 1
+#define CSRPLUS_VERSION_MINOR 5
+
+namespace csrplus {
+
+/// "csrplus <major>.<minor>" — the canonical human-readable build identity.
+const char* VersionString();
+
+/// The version packed as (major << 32) | minor, the form embedded in the
+/// `.cspc` artifact trailer.
+constexpr uint64_t PackedVersion() {
+  return (static_cast<uint64_t>(CSRPLUS_VERSION_MAJOR) << 32) |
+         static_cast<uint64_t>(CSRPLUS_VERSION_MINOR);
+}
+
+}  // namespace csrplus
+
+#endif  // CSRPLUS_COMMON_VERSION_H_

@@ -66,44 +66,56 @@ void SingleSourceInto(const CsrMatrix& q_matrix, Index query, double damping,
 
 }  // namespace
 
+Status ReferenceEngine::SingleSourceQueryInto(Index query,
+                                              std::vector<double>* out) const {
+  CSR_RETURN_IF_ERROR(ValidateOptions(options_));
+  CSR_RETURN_IF_ERROR(ValidateQuery(*transition_, query));
+  const int iters = ResolveIterations(options_);
+  std::vector<std::vector<double>> buffers;
+  out->assign(static_cast<std::size_t>(transition_->rows()), 0.0);
+  SingleSourceInto(*transition_, query, options_.damping, iters, &buffers,
+                   out->data());
+  return Status::OK();
+}
+
+Result<DenseMatrix> ReferenceEngine::MultiSourceQuery(
+    const std::vector<Index>& queries) const {
+  CSR_RETURN_IF_ERROR(ValidateOptions(options_));
+  const Index n = transition_->rows();
+  CSR_RETURN_IF_ERROR(ValidateQueries(queries, n));
+
+  const int64_t out_bytes =
+      n * static_cast<int64_t>(queries.size()) * sizeof(double);
+  CSR_RETURN_IF_ERROR(
+      MemoryBudget::Global().TryReserve(out_bytes, "multi-source output"));
+
+  const int iters = ResolveIterations(options_);
+  DenseMatrix out(n, static_cast<Index>(queries.size()));
+  std::vector<std::vector<double>> buffers;
+  std::vector<double> column(static_cast<std::size_t>(n));
+  for (std::size_t j = 0; j < queries.size(); ++j) {
+    SingleSourceInto(*transition_, queries[j], options_.damping, iters,
+                     &buffers, column.data());
+    out.SetColumn(static_cast<Index>(j), column);
+  }
+  return out;
+}
+
+// Deprecated free-function entry points: thin shims over ReferenceEngine so
+// remaining external callers keep working while they migrate.
 Result<std::vector<double>> SingleSourceCoSimRank(
     const CsrMatrix& transition, Index query,
     const CoSimRankOptions& options) {
-  CSR_RETURN_IF_ERROR(ValidateOptions(options));
-  CSR_RETURN_IF_ERROR(ValidateQuery(transition, query));
-  const int iters = ResolveIterations(options);
-  std::vector<std::vector<double>> buffers;
-  std::vector<double> out(static_cast<std::size_t>(transition.rows()), 0.0);
-  SingleSourceInto(transition, query, options.damping, iters, &buffers,
-                   out.data());
+  ReferenceEngine engine(&transition, options);
+  std::vector<double> out;
+  CSR_RETURN_IF_ERROR(engine.SingleSourceQueryInto(query, &out));
   return out;
 }
 
 Result<DenseMatrix> MultiSourceCoSimRank(const CsrMatrix& transition,
                                          const std::vector<Index>& queries,
                                          const CoSimRankOptions& options) {
-  CSR_RETURN_IF_ERROR(ValidateOptions(options));
-  if (queries.empty()) {
-    return Status::InvalidArgument("query set is empty");
-  }
-  for (Index q : queries) CSR_RETURN_IF_ERROR(ValidateQuery(transition, q));
-
-  const Index n = transition.rows();
-  const int64_t out_bytes =
-      n * static_cast<int64_t>(queries.size()) * sizeof(double);
-  CSR_RETURN_IF_ERROR(
-      MemoryBudget::Global().TryReserve(out_bytes, "multi-source output"));
-
-  const int iters = ResolveIterations(options);
-  DenseMatrix out(n, static_cast<Index>(queries.size()));
-  std::vector<std::vector<double>> buffers;
-  std::vector<double> column(static_cast<std::size_t>(n));
-  for (std::size_t j = 0; j < queries.size(); ++j) {
-    SingleSourceInto(transition, queries[j], options.damping, iters, &buffers,
-                     column.data());
-    out.SetColumn(static_cast<Index>(j), column);
-  }
-  return out;
+  return ReferenceEngine(&transition, options).MultiSourceQuery(queries);
 }
 
 Result<double> SinglePairCoSimRank(const CsrMatrix& transition, Index a,

@@ -15,9 +15,11 @@
 #ifndef CSRPLUS_CORE_COSIMRANK_H_
 #define CSRPLUS_CORE_COSIMRANK_H_
 
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "core/query_engine.h"
 #include "graph/graph.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/sparse_matrix.h"
@@ -45,14 +47,42 @@ int ResolveIterations(const CoSimRankOptions& options);
 /// Validates damping/epsilon ranges.
 Status ValidateOptions(const CoSimRankOptions& options);
 
+/// The exact reference evaluation behind the shared QueryEngine interface.
+///
+/// Computes [S]_{*,Q} query-by-query with the per-query forward/Horner
+/// scheme (duplicate work across queries — exactly the inefficiency the
+/// paper's Example 1.1 describes; CSR+ is the fix). Memory stays at O(K n)
+/// regardless of |Q| plus the output block. Keeps no precomputed state:
+/// `transition` is borrowed, not owned, and must outlive the engine (same
+/// lifetime contract as the RLS baseline).
+class ReferenceEngine final : public QueryEngine {
+ public:
+  ReferenceEngine(const CsrMatrix* transition, const CoSimRankOptions& options)
+      : transition_(transition), options_(options) {}
+
+  Result<DenseMatrix> MultiSourceQuery(
+      const std::vector<Index>& queries) const override;
+  Status SingleSourceQueryInto(Index query,
+                               std::vector<double>* out) const override;
+  Index NumNodes() const override { return transition_->rows(); }
+  std::string_view Name() const override { return "CoSimRank-exact"; }
+
+ private:
+  const CsrMatrix* transition_;
+  CoSimRankOptions options_;
+};
+
 /// Single-source CoSimRank: the full column [S]_{*,q}.
+[[deprecated(
+    "construct a core::ReferenceEngine and call SingleSourceQueryInto — the "
+    "free function duplicates the QueryEngine contract")]]
 Result<std::vector<double>> SingleSourceCoSimRank(
     const CsrMatrix& transition, Index query, const CoSimRankOptions& options);
 
-/// Multi-source CoSimRank [S]_{*,Q} as an n x |Q| matrix, computed
-/// query-by-query with the per-query scheme (duplicate work across queries —
-/// exactly the inefficiency the paper's Example 1.1 describes; CSR+ is the
-/// fix). Memory stays at O(K n) regardless of |Q| plus the output block.
+/// Multi-source CoSimRank [S]_{*,Q} as an n x |Q| matrix.
+[[deprecated(
+    "construct a core::ReferenceEngine and call MultiSourceQuery — the free "
+    "function duplicates the QueryEngine contract")]]
 Result<DenseMatrix> MultiSourceCoSimRank(const CsrMatrix& transition,
                                          const std::vector<Index>& queries,
                                          const CoSimRankOptions& options);

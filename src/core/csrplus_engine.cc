@@ -1,6 +1,7 @@
 #include "core/csrplus_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <tuple>
 #include <utility>
@@ -183,6 +184,28 @@ Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromPaperFactors(
                         "heap bytes of the most recent engine's U + Z + P",
                         engine.stats_.state_bytes);
   return engine;
+}
+
+uint64_t CsrPlusEngine::StateFingerprint() const {
+  // No graph fingerprint means the engine cannot tie its answers to a
+  // specific input (PrecomputeFromPaperFactors path) — never cacheable.
+  if (fingerprint_.empty()) return 0;
+  const Index r = rank();
+  const uint64_t damping_bits = std::bit_cast<uint64_t>(damping_);
+  const uint64_t epsilon_bits = std::bit_cast<uint64_t>(epsilon_);
+  uint64_t hash = precompute_io::kFnvOffsetBasis;
+  hash = precompute_io::FnvHash(hash, &fingerprint_.num_nodes,
+                                sizeof(fingerprint_.num_nodes));
+  hash = precompute_io::FnvHash(hash, &fingerprint_.nnz,
+                                sizeof(fingerprint_.nnz));
+  hash = precompute_io::FnvHash(hash, &fingerprint_.content_hash,
+                                sizeof(fingerprint_.content_hash));
+  hash = precompute_io::FnvHash(hash, &r, sizeof(r));
+  hash = precompute_io::FnvHash(hash, &damping_bits, sizeof(damping_bits));
+  hash = precompute_io::FnvHash(hash, &epsilon_bits, sizeof(epsilon_bits));
+  // FNV never maps non-empty input to 0 in practice, but 0 is the reserved
+  // "uncacheable" value, so steer clear of it deterministically.
+  return hash == 0 ? 1 : hash;
 }
 
 Result<DenseMatrix> CsrPlusEngine::MultiSourceQuery(

@@ -182,6 +182,14 @@ class CsrPlusEngine : public QueryEngine {
   Index NumNodes() const override { return num_nodes(); }
   std::string_view Name() const override { return "CSR+"; }
 
+  /// Cacheable-state identity: FNV-1a over the graph fingerprint and the
+  /// answer-relevant parameters (rank, damping, epsilon). Engines built from
+  /// the same graph + parameters — including warm starts from the same
+  /// artifact — share the value, so a column cache survives an engine swap.
+  /// Returns 0 (never cache) when the graph fingerprint is empty, i.e. for
+  /// engines built via PrecomputeFromPaperFactors where no graph was seen.
+  uint64_t StateFingerprint() const override;
+
   /// The configured rank r.
   Index rank() const { return u_.cols(); }
 

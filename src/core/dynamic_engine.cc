@@ -1,7 +1,9 @@
 #include "core/dynamic_engine.h"
 
 #include <algorithm>
+#include <bit>
 
+#include "core/precompute_io.h"
 #include "svd/update.h"
 
 namespace csrplus::core {
@@ -52,12 +54,77 @@ Result<DynamicCsrPlusEngine> DynamicCsrPlusEngine::Build(
           static_cast<int32_t>(u));
     }
   }
+  dynamic.num_edges_ = g.num_edges();
+  return FinishBuild(std::move(dynamic));
+}
+
+Result<DynamicCsrPlusEngine> DynamicCsrPlusEngine::BuildFromTransition(
+    const CsrMatrix& transition, const DynamicOptions& options) {
+  if (options.max_incremental_updates < 1) {
+    return Status::InvalidArgument("max_incremental_updates must be >= 1");
+  }
+  if (transition.rows() != transition.cols()) {
+    return Status::InvalidArgument("transition matrix must be square");
+  }
+  CSR_RETURN_IF_ERROR(ValidateCsrPlusOptions(options.base, transition.rows()));
+
+  // Q[u][v] != 0 means u -> v is an edge (column v is 1/indeg(v) over the
+  // in-neighbours of v); only the structure is needed — weights are
+  // renormalised from the recovered lists.
+  DynamicCsrPlusEngine dynamic;
+  dynamic.options_ = options;
+  const Index n = transition.rows();
+  dynamic.in_neighbors_.resize(static_cast<std::size_t>(n));
+  const auto& row_ptr = transition.row_ptr();
+  const auto& col_index = transition.col_index();
+  const auto& values = transition.values();
+  for (Index u = 0; u < n; ++u) {
+    for (int64_t k = row_ptr[static_cast<std::size_t>(u)];
+         k < row_ptr[static_cast<std::size_t>(u) + 1]; ++k) {
+      if (values[static_cast<std::size_t>(k)] == 0.0) continue;
+      const int32_t v = col_index[static_cast<std::size_t>(k)];
+      dynamic.in_neighbors_[static_cast<std::size_t>(v)].push_back(
+          static_cast<int32_t>(u));
+      ++dynamic.num_edges_;
+    }
+  }
+  return FinishBuild(std::move(dynamic));
+}
+
+Result<DynamicCsrPlusEngine> DynamicCsrPlusEngine::FinishBuild(
+    DynamicCsrPlusEngine dynamic) {
   for (auto& nbrs : dynamic.in_neighbors_) {
     std::sort(nbrs.begin(), nbrs.end());
   }
-  dynamic.num_edges_ = g.num_edges();
+  // The cacheable-state identity of the *initial* graph + parameters:
+  // fingerprint the canonical Q^T (the same matrix the SVD consumes) and
+  // mix in the answer-relevant options, matching CsrPlusEngine's scheme.
+  {
+    const CsrMatrix qt = BuildTransitionTranspose(dynamic.in_neighbors_);
+    const GraphFingerprint fp = FingerprintTransition(qt);
+    const Index r = dynamic.options_.base.rank;
+    const uint64_t damping_bits =
+        std::bit_cast<uint64_t>(dynamic.options_.base.damping);
+    const uint64_t epsilon_bits =
+        std::bit_cast<uint64_t>(dynamic.options_.base.epsilon);
+    uint64_t hash = precompute_io::kFnvOffsetBasis;
+    hash = precompute_io::FnvHash(hash, &fp.num_nodes, sizeof(fp.num_nodes));
+    hash = precompute_io::FnvHash(hash, &fp.nnz, sizeof(fp.nnz));
+    hash = precompute_io::FnvHash(hash, &fp.content_hash,
+                                  sizeof(fp.content_hash));
+    hash = precompute_io::FnvHash(hash, &r, sizeof(r));
+    hash = precompute_io::FnvHash(hash, &damping_bits, sizeof(damping_bits));
+    hash = precompute_io::FnvHash(hash, &epsilon_bits, sizeof(epsilon_bits));
+    dynamic.base_fingerprint_ = hash;
+  }
   CSR_RETURN_IF_ERROR(dynamic.RebuildFromScratch());
   return dynamic;
+}
+
+uint64_t DynamicCsrPlusEngine::StateFingerprint() const {
+  uint64_t hash = precompute_io::FnvHash(
+      base_fingerprint_, &mutation_seq_, sizeof(mutation_seq_));
+  return hash == 0 ? 1 : hash;  // 0 is reserved for "uncacheable"
 }
 
 Status DynamicCsrPlusEngine::RebuildFromScratch() {
@@ -107,6 +174,7 @@ Status DynamicCsrPlusEngine::InsertEdge(Index u, Index v) {
 
   nbrs.insert(it, static_cast<int32_t>(u));
   ++num_edges_;
+  ++mutation_seq_;  // answers change from here on — new cache identity
 
   if (updates_since_rebuild_ >= options_.max_incremental_updates) {
     return RebuildFromScratch();

@@ -38,15 +38,45 @@ struct DynamicOptions {
 };
 
 /// CSR+ engine that stays queryable across edge insertions.
-class DynamicCsrPlusEngine {
+///
+/// Implements core::QueryEngine, so it slots behind the service layer, the
+/// eval runner and the CLI like any static engine. Queries between mutations
+/// are safe from any thread; InsertEdge mutates the state and must be
+/// externally serialised against in-flight queries (the QueryEngine header's
+/// thread-safety note). StateFingerprint() changes on every absorbed
+/// insertion, so fingerprint-keyed caches invalidate automatically.
+class DynamicCsrPlusEngine : public QueryEngine {
  public:
   /// Builds the initial state from a graph snapshot.
   static Result<DynamicCsrPlusEngine> Build(const graph::Graph& g,
                                             const DynamicOptions& options);
 
+  /// Builds the initial state from an already column-normalised transition
+  /// matrix (the eval::CreateEngine surface). The in-neighbour lists are
+  /// recovered from the sparsity structure of Q; values are renormalised.
+  static Result<DynamicCsrPlusEngine> BuildFromTransition(
+      const CsrMatrix& transition, const DynamicOptions& options);
+
   /// Inserts the directed edge u -> v and refreshes the queryable state.
   /// Inserting an existing edge is a no-op (returns OK).
   Status InsertEdge(Index u, Index v);
+
+  // QueryEngine: delegate to the current inner engine.
+  Result<DenseMatrix> MultiSourceQuery(
+      const std::vector<Index>& queries) const override {
+    return engine_->MultiSourceQuery(queries);
+  }
+  Status SingleSourceQueryInto(Index query,
+                               std::vector<double>* out) const override {
+    return engine_->SingleSourceQueryInto(query, out);
+  }
+  Index NumNodes() const override { return num_nodes(); }
+  std::string_view Name() const override { return "CSR+dyn"; }
+
+  /// Non-zero hash of (initial graph identity, parameters, mutation count):
+  /// stable across queries, distinct after every state change, so cached
+  /// columns from a pre-insertion engine can never be served post-insertion.
+  uint64_t StateFingerprint() const override;
 
   /// The current queryable engine (valid until the next InsertEdge).
   const CsrPlusEngine& engine() const { return *engine_; }
@@ -74,6 +104,9 @@ class DynamicCsrPlusEngine {
   /// Re-runs Algorithm 1 lines 3-6 from the current factors.
   Status RefreshSubspace();
 
+  /// Shared tail of Build/BuildFromTransition once in_neighbors_ is filled.
+  static Result<DynamicCsrPlusEngine> FinishBuild(DynamicCsrPlusEngine dynamic);
+
   DynamicOptions options_;
   std::vector<std::vector<int32_t>> in_neighbors_;  // sorted per node
   int64_t num_edges_ = 0;
@@ -81,6 +114,8 @@ class DynamicCsrPlusEngine {
   std::optional<CsrPlusEngine> engine_;
   int updates_since_rebuild_ = 0;
   int rebuild_count_ = 0;
+  uint64_t base_fingerprint_ = 0;  // initial graph + parameter identity
+  uint64_t mutation_seq_ = 0;      // bumped on every absorbed insertion
 };
 
 }  // namespace csrplus::core

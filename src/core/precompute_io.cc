@@ -5,12 +5,14 @@
 
 #include <bit>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/memory.h"
+#include "common/version.h"
 #include "obs/trace.h"
 
 namespace csrplus::core {
@@ -46,6 +48,18 @@ struct SectionHeader {
 };
 static_assert(sizeof(SectionHeader) == 24,
               "section header layout must be padding-free");
+
+// Optional version trailer appended after the final section. Absent in
+// artifacts written before it existed, so the loader accepts EOF there.
+struct Trailer {
+  uint64_t magic;
+  uint64_t builder_version;  // PackedVersion() of the writing build
+  uint64_t reserved;
+  uint64_t trailer_checksum;  // FNV-1a 64 over the 24 bytes above
+};
+static_assert(sizeof(Trailer) == 32, "trailer layout must be padding-free");
+constexpr std::size_t kTrailerChecksummedBytes =
+    sizeof(Trailer) - sizeof(uint64_t);
 
 const char* SectionName(uint32_t id) {
   switch (id) {
@@ -201,6 +215,40 @@ Status ReadSection(std::FILE* f, uint32_t expected_id, void* out,
   return Status::OK();
 }
 
+// Consumes the optional version trailer at the current stream position
+// (directly after section Z) and verifies nothing follows it. Returns the
+// builder version the trailer records, or 0 when the artifact predates the
+// trailer (EOF right where it would start). Any other trailing shape is
+// corruption.
+Result<uint64_t> ReadTrailerAndExpectEof(std::FILE* f,
+                                         const std::string& path) {
+  Trailer t;
+  const std::size_t got = std::fread(&t, 1, sizeof(t), f);
+  if (got == 0) return uint64_t{0};  // legacy artifact: no trailer
+  if (got != sizeof(t) || std::fgetc(f) != EOF) {
+    return Status::DataLoss(path + ": trailing bytes after final section");
+  }
+  if (t.magic != kTrailerMagic) {
+    return Status::DataLoss(
+        path + ": trailing bytes after final section (not a version trailer)");
+  }
+  const uint64_t expected =
+      FnvHash(kFnvOffsetBasis, &t, kTrailerChecksummedBytes);
+  if (t.reserved != 0 || t.trailer_checksum != expected) {
+    return Status::DataLoss(path + ": version trailer corrupted");
+  }
+  return t.builder_version;
+}
+
+// Total bytes of header + all five sections for an (n, r) artifact; the
+// version trailer, when present, begins exactly here.
+int64_t SectionsEndOffset(Index n, Index r) {
+  return static_cast<int64_t>(sizeof(Header)) +
+         static_cast<int64_t>(kSectionCount) *
+             static_cast<int64_t>(sizeof(SectionHeader)) +
+         EngineStateBytes(n, r);
+}
+
 }  // namespace
 
 Result<ArtifactInfo> ReadArtifactInfo(const std::string& path) {
@@ -214,6 +262,22 @@ Result<ArtifactInfo> ReadArtifactInfo(const std::string& path) {
   info.epsilon = h.epsilon;
   info.fingerprint = HeaderFingerprint(h);
   info.file_bytes = FileSize(opened.first.get());
+  // Recover the builder version when the file is exactly sections + trailer
+  // sized. Info reads stay lenient: a malformed trailer reports builder 0
+  // here and is rejected by the full loader.
+  const int64_t sections_end = SectionsEndOffset(h.num_nodes, h.rank);
+  if (info.file_bytes ==
+      sections_end + static_cast<int64_t>(sizeof(Trailer))) {
+    std::FILE* f = opened.first.get();
+    Trailer t;
+    if (std::fseek(f, static_cast<long>(sections_end), SEEK_SET) == 0 &&
+        std::fread(&t, 1, sizeof(t), f) == sizeof(t) &&
+        t.magic == kTrailerMagic && t.reserved == 0 &&
+        t.trailer_checksum ==
+            FnvHash(kFnvOffsetBasis, &t, kTrailerChecksummedBytes)) {
+      info.builder_version = t.builder_version;
+    }
+  }
   return info;
 }
 
@@ -275,8 +339,9 @@ Result<CsrPlusEngine> CsrPlusEngine::LoadPrecomputeImpl(
   CSR_RETURN_IF_ERROR(precompute_io::ReadSection(
       f, precompute_io::kSectionZ, engine.z_.data(), engine.z_.PayloadBytes(),
       path));
-  if (std::fgetc(f) != EOF) {
-    return Status::DataLoss(path + ": trailing bytes after final section");
+  {
+    auto builder = precompute_io::ReadTrailerAndExpectEof(f, path);
+    if (!builder.ok()) return builder.status();
   }
 
   engine.damping_ = h.damping;
@@ -329,6 +394,15 @@ Status CsrPlusEngine::SavePrecompute(const std::string& path) const {
       f.get(), precompute_io::kSectionP, p_.data(), p_.PayloadBytes(), path));
   CSR_RETURN_IF_ERROR(precompute_io::WriteSection(
       f.get(), precompute_io::kSectionZ, z_.data(), z_.PayloadBytes(), path));
+
+  precompute_io::Trailer trailer;
+  trailer.magic = precompute_io::kTrailerMagic;
+  trailer.builder_version = PackedVersion();
+  trailer.reserved = 0;
+  trailer.trailer_checksum = FnvHash(
+      kFnvOffsetBasis, &trailer, precompute_io::kTrailerChecksummedBytes);
+  CSR_RETURN_IF_ERROR(
+      precompute_io::WriteAll(f.get(), &trailer, sizeof(trailer), path));
   if (std::fflush(f.get()) != 0) {
     return Status::IOError("flush failed on " + path);
   }

@@ -33,6 +33,15 @@
 //     u64  payload_checksum FNV-1a 64 over the payload
 //     payload               row-major doubles (U/V/Z: n x r; P: r x r;
 //                           SIGMA: r values)
+//   then an optional 32-byte version trailer (absent in artifacts written
+//   before the trailer existed; written by every current build):
+//     u64  trailer_magic    "CSR+VT01" (0x313054562B525343 as LE u64)
+//     u64  builder_version  PackedVersion() of the writing build
+//     u64  reserved         0
+//     u64  trailer_checksum FNV-1a 64 over the 24 bytes above
+//   EOF directly after section Z means "no trailer" (legacy artifact);
+//   any other trailing byte count, or a trailer with a bad magic or
+//   checksum, is DataLoss.
 //
 // Every read-path failure returns a typed Status and never a
 // partially-initialised engine:
@@ -58,6 +67,9 @@ namespace csrplus::core::precompute_io {
 
 /// Artifact magic: the bytes "CSR+PC01" read as a little-endian u64.
 inline constexpr uint64_t kMagic = 0x313043502B525343ULL;
+
+/// Version-trailer magic: the bytes "CSR+VT01" read as a little-endian u64.
+inline constexpr uint64_t kTrailerMagic = 0x313054562B525343ULL;
 
 /// Current (and only) format version. Bump on any layout change and keep a
 /// loader for every older version; the golden-artifact test in
@@ -108,6 +120,10 @@ struct ArtifactInfo {
   double epsilon = 0.0;
   GraphFingerprint fingerprint;
   int64_t file_bytes = 0;
+  /// PackedVersion() of the build that wrote the artifact, recovered from
+  /// the version trailer; 0 for legacy artifacts written before the trailer
+  /// existed.
+  uint64_t builder_version = 0;
 };
 
 /// Validates and decodes the header of the artifact at `path`.

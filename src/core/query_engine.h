@@ -11,11 +11,14 @@
 //   auto block = engine->MultiSourceQuery({q1, q2});
 //
 // Implementations must be safe for concurrent queries from multiple threads
-// once constructed (all engines here hold immutable precomputed state).
+// between mutations (most engines hold immutable precomputed state; engines
+// with mutating members, like DynamicCsrPlusEngine::InsertEdge, require the
+// caller to externally serialise mutation against in-flight queries).
 
 #ifndef CSRPLUS_CORE_QUERY_ENGINE_H_
 #define CSRPLUS_CORE_QUERY_ENGINE_H_
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -48,6 +51,16 @@ class QueryEngine {
 
   /// Stable display name ("CSR+", "CSR-NI", ...); matches eval::MethodName.
   virtual std::string_view Name() const = 0;
+
+  /// Identity of the engine's *answer function*: two engines with the same
+  /// non-zero fingerprint are guaranteed to return bit-identical results for
+  /// every query, so their answer columns are interchangeable (the contract
+  /// the service-layer column cache relies on). The value must change
+  /// whenever the answers could change — e.g. a dynamic engine bumps it on
+  /// every absorbed edge insertion. Returning 0 means "cannot vouch for my
+  /// state"; callers must never cache under fingerprint 0. The default is 0,
+  /// so engines opt *in* to cacheability.
+  virtual uint64_t StateFingerprint() const { return 0; }
 };
 
 /// Whether a query set may mention the same node twice.

@@ -27,6 +27,7 @@
 #include "baselines/ni_sim.h"
 #include "baselines/rls.h"
 #include "baselines/rp_cosim.h"
+#include "cache/column_cache.h"
 #include "common/check.h"
 #include "common/env.h"
 #include "common/logging.h"
@@ -36,6 +37,7 @@
 #include "common/status.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "common/version.h"
 #include "core/cosimrank.h"
 #include "core/csrplus_engine.h"
 #include "core/dynamic_engine.h"

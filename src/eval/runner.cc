@@ -7,6 +7,7 @@
 #include "common/memory.h"
 #include "common/timer.h"
 #include "core/csrplus_engine.h"
+#include "core/dynamic_engine.h"
 
 namespace csrplus::eval {
 namespace {
@@ -50,6 +51,8 @@ std::string_view MethodName(Method method) {
       return "CoSimMate";
     case Method::kRpCoSim:
       return "RP-CoSim";
+    case Method::kDynamic:
+      return "CSR+dyn";
   }
   return "?";
 }
@@ -108,6 +111,14 @@ Result<EnginePtr> CreateEngine(Method method, const CsrMatrix& transition,
       options.num_samples = config.rp_samples;
       return EnginePtr(
           std::make_unique<baselines::RpCosimEngine>(&transition, options));
+    }
+    case Method::kDynamic: {
+      core::DynamicOptions options;
+      options.base.rank = config.rank;
+      options.base.damping = config.damping;
+      options.base.epsilon = config.epsilon;
+      return Erase(
+          core::DynamicCsrPlusEngine::BuildFromTransition(transition, options));
     }
   }
   return Status::Internal("unknown method");

@@ -23,7 +23,9 @@ using linalg::DenseMatrix;
 using linalg::Index;
 
 /// The algorithms under comparison. The first four are the paper's
-/// (Figures 2–9); the last two are Table 1 rows implemented as extensions.
+/// (Figures 2–9); the next two are Table 1 rows implemented as extensions,
+/// and kDynamic is the evolving-graph CSR+ engine served statically (it
+/// answers exactly like kCsrPlus until edges are inserted).
 enum class Method {
   kCsrPlus,    // this paper
   kCsrNi,      // Li et al. low-rank tensor-product method
@@ -31,6 +33,7 @@ enum class Method {
   kCsrRls,     // Kusumoto-style per-query scheme
   kCoSimMate,  // repeated squaring in n-space
   kRpCoSim,    // Gaussian random projections
+  kDynamic,    // CSR+ with incremental SVD maintenance (dynamic_engine.h)
 };
 
 /// Short display name ("CSR+", "CSR-NI", ...).

@@ -45,6 +45,8 @@ inline constexpr const char kPoolRegion[] = "pool_region";
 inline constexpr const char kBaseline[] = "baseline";
 inline constexpr const char kServiceBatch[] = "service_batch";
 inline constexpr const char kServiceRequest[] = "service_request";
+inline constexpr const char kCacheLookup[] = "cache_lookup";
+inline constexpr const char kCacheInsert[] = "cache_insert";
 }  // namespace spans
 
 /// True when span recording is on.

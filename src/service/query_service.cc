@@ -235,6 +235,70 @@ QueryService::NextBatch() {
   }
 }
 
+Result<DenseMatrix> QueryService::EvaluateBatch(
+    const std::vector<Index>& union_queries) {
+  cache::ColumnCache* cache = options_.cache;
+  const uint64_t fp = cache != nullptr ? engine_->StateFingerprint() : 0;
+  if (cache != nullptr && fp != served_fingerprint_) {
+    // The engine's answer function changed (edge insertion, engine swap to a
+    // different graph, ...): the previous generation's columns can never hit
+    // again, so reclaim their bytes now instead of waiting for LRU pressure.
+    if (served_fingerprint_ != 0) cache->EvictEngine(served_fingerprint_);
+    served_fingerprint_ = fp;
+  }
+  if (cache == nullptr || fp == 0) {
+    // Pass-through: no cache configured, or the engine cannot vouch for its
+    // state (StateFingerprint contract) — identical to the pre-cache path.
+    return engine_->MultiSourceQuery(union_queries);
+  }
+
+  const Index n = engine_->NumNodes();
+  const Index cols = static_cast<Index>(union_queries.size());
+  // Mirror the engine's own output charge: the block is allocated here
+  // instead of inside MultiSourceQuery, so near the cap the cached and
+  // uncached paths fail alike.
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      static_cast<int64_t>(n) * cols * static_cast<int64_t>(sizeof(double)),
+      "service cached batch output"));
+  DenseMatrix block(n, cols);
+
+  // Scatter cached columns straight into the block; collect the misses.
+  std::vector<Index> miss_queries;
+  std::vector<Index> miss_cols;
+  for (Index j = 0; j < cols; ++j) {
+    if (!cache->Lookup(fp, union_queries[static_cast<std::size_t>(j)],
+                       block.data() + j, cols, n)) {
+      miss_queries.push_back(union_queries[static_cast<std::size_t>(j)]);
+      miss_cols.push_back(j);
+    }
+  }
+  if (miss_queries.empty()) return block;
+
+  // Evaluate only the miss set — the whole point of the cache.
+  CSR_ASSIGN_OR_RETURN(DenseMatrix fresh,
+                       engine_->MultiSourceQuery(miss_queries));
+
+  // Copy fresh columns into place (row-major friendly: one pass over rows),
+  // then hand each one to the cache as a contiguous vector.
+  const Index m = static_cast<Index>(miss_queries.size());
+  for (Index i = 0; i < n; ++i) {
+    const double* src = fresh.RowPtr(i);
+    double* dst = block.RowPtr(i);
+    for (Index k = 0; k < m; ++k) {
+      dst[miss_cols[static_cast<std::size_t>(k)]] = src[k];
+    }
+  }
+  std::vector<double> column(static_cast<std::size_t>(n));
+  for (Index k = 0; k < m; ++k) {
+    for (Index i = 0; i < n; ++i) {
+      column[static_cast<std::size_t>(i)] = fresh(i, k);
+    }
+    cache->Insert(fp, miss_queries[static_cast<std::size_t>(k)], column.data(),
+                  n);
+  }
+  return block;
+}
+
 void QueryService::DispatcherLoop() {
   for (;;) {
     auto batch = NextBatch();
@@ -268,7 +332,7 @@ void QueryService::DispatcherLoop() {
                         static_cast<int64_t>(union_queries.size()));
       CSRPLUS_OBS_SCOPED_US("csrplus.service.batch_us",
                             "micro-batch engine execution wall time");
-      return engine_->MultiSourceQuery(union_queries);
+      return EvaluateBatch(union_queries);
     }();
 
     const Index n = engine_->NumNodes();

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/column_cache.h"
 #include "common/status.h"
 #include "core/query_engine.h"
 #include "core/topk.h"
@@ -56,6 +57,13 @@ struct ServiceOptions {
   /// When false every request runs alone — the serialized A/B arm used by
   /// bench_service_throughput; results are identical either way.
   bool coalesce = true;
+  /// Optional column cache consulted before every micro-batch evaluation:
+  /// cached columns are scattered directly, only the miss set goes through
+  /// the engine, and fresh columns are inserted on the way out. Results stay
+  /// bit-identical to the uncached path by the column-independence contract.
+  /// Ignored (pure pass-through) when null or when the engine reports
+  /// StateFingerprint() == 0. Not owned; must outlive the service.
+  cache::ColumnCache* cache = nullptr;
 };
 
 /// One client request.
@@ -160,6 +168,11 @@ class QueryService {
   };
 
   void DispatcherLoop();
+  /// Evaluates one micro-batch's union query set: straight through the
+  /// engine when uncached, else scatter cached columns / evaluate the miss
+  /// set / insert fresh columns. Dispatcher thread only (touches
+  /// served_fingerprint_ without a lock).
+  Result<DenseMatrix> EvaluateBatch(const std::vector<Index>& union_queries);
   /// Pops one micro-batch (holding mu_); finishes cancelled/expired
   /// requests in place. Empty result means "shut down".
   std::vector<std::shared_ptr<RequestState>> NextBatch();
@@ -169,6 +182,10 @@ class QueryService {
 
   const core::QueryEngine* engine_;  // not owned
   const ServiceOptions options_;
+  /// The engine fingerprint the cache was last populated under. When the
+  /// live fingerprint moves (e.g. a dynamic engine absorbed an edge between
+  /// batches), the dispatcher eagerly evicts the stale generation's columns.
+  uint64_t served_fingerprint_ = 0;
 
   std::mutex mu_;
   std::condition_variable queue_cv_;

@@ -50,7 +50,7 @@ TEST(AgreementTest, CsrPlusApproachesItAsRankGrows) {
 
   core::CoSimRankOptions exact_options;
   exact_options.epsilon = 1e-12;
-  auto exact = core::MultiSourceCoSimRank(q, queries, exact_options);
+  auto exact = core::ReferenceEngine(&q, exact_options).MultiSourceQuery(queries);
   ASSERT_TRUE(exact.ok());
 
   core::CsrPlusOptions options;
@@ -79,7 +79,7 @@ TEST(AgreementTest, AllMethodsAgreeOnFigure1) {
 
   core::CoSimRankOptions exact_options;
   exact_options.epsilon = 1e-12;
-  auto exact = core::MultiSourceCoSimRank(q, queries, exact_options);
+  auto exact = core::ReferenceEngine(&q, exact_options).MultiSourceQuery(queries);
   ASSERT_TRUE(exact.ok());
 
   core::CsrPlusOptions plus_options;
@@ -113,7 +113,7 @@ TEST(AgreementTest, PaperExampleValuesFromExactComputation) {
   linalg::CsrMatrix q = graph::ColumnNormalizedTransition(Figure1Graph());
   core::CoSimRankOptions options;
   options.epsilon = 1e-12;
-  auto s = core::MultiSourceCoSimRank(q, {1, 3}, options);
+  auto s = core::ReferenceEngine(&q, options).MultiSourceQuery({1, 3});
   ASSERT_TRUE(s.ok());
   EXPECT_NEAR((*s)(1, 0), 1.5269, 1e-3);  // S_{b,b}
   EXPECT_NEAR((*s)(3, 0), 0.4602, 1e-3);  // S_{d,b}

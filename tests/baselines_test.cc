@@ -36,7 +36,7 @@ TEST(IterativeAllPairsTest, MatchesReferenceSeries) {
   core::CoSimRankOptions exact_options;
   exact_options.iterations = 8;
   std::vector<Index> queries = {0, 13, 39};
-  auto expected = core::MultiSourceCoSimRank(q, queries, exact_options);
+  auto expected = core::ReferenceEngine(&q, exact_options).MultiSourceQuery(queries);
   ASSERT_TRUE(expected.ok());
   auto got = engine->MultiSourceQuery(queries);
   ASSERT_TRUE(got.ok());
@@ -85,7 +85,7 @@ TEST(RlsTest, MatchesReferenceSeries) {
 
   core::CoSimRankOptions exact_options;
   exact_options.iterations = 7;
-  auto expected = core::MultiSourceCoSimRank(q, queries, exact_options);
+  auto expected = core::ReferenceEngine(&q, exact_options).MultiSourceQuery(queries);
   ASSERT_TRUE(expected.ok());
   EXPECT_TRUE(MatricesNear(*got, *expected, 1e-10));
 }
@@ -132,7 +132,7 @@ TEST(NiSimTest, MatchesHighRankReference) {
   core::CoSimRankOptions exact_options;
   exact_options.epsilon = 1e-12;
   std::vector<Index> queries = {0, 10, 19};
-  auto expected = core::MultiSourceCoSimRank(q, queries, exact_options);
+  auto expected = core::ReferenceEngine(&q, exact_options).MultiSourceQuery(queries);
   auto got = engine->MultiSourceQuery(queries);
   ASSERT_TRUE(expected.ok() && got.ok());
   EXPECT_TRUE(MatricesNear(*got, *expected, 1e-5));
@@ -223,7 +223,7 @@ TEST(RpCoSimTest, EstimatesConvergeWithSamples) {
   core::CoSimRankOptions exact_options;
   exact_options.iterations = 5;
   std::vector<Index> queries = {5, 25};
-  auto exact = core::MultiSourceCoSimRank(q, queries, exact_options);
+  auto exact = core::ReferenceEngine(&q, exact_options).MultiSourceQuery(queries);
   ASSERT_TRUE(exact.ok());
 
   double prev_err = 1e300;

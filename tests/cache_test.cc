@@ -1,0 +1,285 @@
+// Tests for cache::ColumnCache: hit/miss accounting, LRU eviction order,
+// budget-exhaustion rejection, fingerprint invalidation (including after
+// DynamicCsrPlusEngine::InsertEdge), and bit-identity of cached vs uncached
+// service results across thread counts.
+
+#include "cache/column_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/memory.h"
+#include "core/csrplus_engine.h"
+#include "core/dynamic_engine.h"
+#include "graph/normalize.h"
+#include "service/query_service.h"
+#include "test_util.h"
+
+namespace csrplus::cache {
+namespace {
+
+using csrplus::testing::RandomGraph;
+using csrplus::testing::ScopedNumThreads;
+using linalg::DenseMatrix;
+
+/// Restores the global memory budget on scope exit.
+class ScopedMemoryBudget {
+ public:
+  explicit ScopedMemoryBudget(int64_t bytes)
+      : saved_(MemoryBudget::Global().limit_bytes()) {
+    MemoryBudget::Global().SetLimit(bytes);
+  }
+  ~ScopedMemoryBudget() { MemoryBudget::Global().SetLimit(saved_); }
+
+ private:
+  int64_t saved_;
+};
+
+std::vector<double> MakeColumn(Index n, double seed) {
+  std::vector<double> column(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    column[static_cast<std::size_t>(i)] = seed + static_cast<double>(i);
+  }
+  return column;
+}
+
+TEST(ColumnCacheTest, MissThenHitRoundTrip) {
+  ColumnCache cache;
+  const auto column = MakeColumn(5, 0.25);
+  std::vector<double> out;
+  EXPECT_FALSE(cache.Lookup(7, 3, &out));
+  EXPECT_TRUE(cache.Insert(7, 3, column.data(), 5));
+  ASSERT_TRUE(cache.Lookup(7, 3, &out));
+  EXPECT_EQ(out, column);
+  // Same node under a different fingerprint is a different answer.
+  EXPECT_FALSE(cache.Lookup(8, 3, &out));
+
+  const ColumnCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.inserts, 1);
+  EXPECT_EQ(stats.resident_columns, 1);
+  EXPECT_EQ(stats.resident_bytes, 5 * static_cast<int64_t>(sizeof(double)));
+  EXPECT_NEAR(stats.hit_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ColumnCacheTest, FingerprintZeroNeverCaches) {
+  ColumnCache cache;
+  const auto column = MakeColumn(4, 1.0);
+  EXPECT_FALSE(cache.Insert(0, 1, column.data(), 4));
+  std::vector<double> out;
+  EXPECT_FALSE(cache.Lookup(0, 1, &out));
+  const ColumnCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.rejections, 1);
+  EXPECT_EQ(stats.resident_columns, 0);
+}
+
+TEST(ColumnCacheTest, StridedLookupScattersIntoMatrixColumn) {
+  ColumnCache cache;
+  const auto column = MakeColumn(4, 10.0);
+  ASSERT_TRUE(cache.Insert(3, 2, column.data(), 4));
+  // Scatter into column 1 of a row-major 4 x 3 block.
+  DenseMatrix block(4, 3);
+  ASSERT_TRUE(cache.Lookup(3, 2, block.data() + 1, 3, 4));
+  for (Index i = 0; i < 4; ++i) {
+    EXPECT_EQ(block(i, 1), column[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(ColumnCacheTest, LruEvictionOrderWithinOneShard) {
+  ColumnCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 2 * 4 * static_cast<int64_t>(sizeof(double));
+  ColumnCache cache(options);
+  const auto a = MakeColumn(4, 1.0), b = MakeColumn(4, 2.0),
+             c = MakeColumn(4, 3.0);
+  ASSERT_TRUE(cache.Insert(1, 10, a.data(), 4));
+  ASSERT_TRUE(cache.Insert(1, 11, b.data(), 4));
+  // Touch a: it becomes most recently used, so b is the LRU victim.
+  std::vector<double> out;
+  ASSERT_TRUE(cache.Lookup(1, 10, &out));
+  ASSERT_TRUE(cache.Insert(1, 12, c.data(), 4));
+  EXPECT_TRUE(cache.Lookup(1, 10, &out));
+  EXPECT_FALSE(cache.Lookup(1, 11, &out));
+  EXPECT_TRUE(cache.Lookup(1, 12, &out));
+  const ColumnCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.resident_columns, 2);
+}
+
+TEST(ColumnCacheTest, DuplicateInsertRefreshesRecency) {
+  ColumnCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 2 * 4 * static_cast<int64_t>(sizeof(double));
+  ColumnCache cache(options);
+  const auto a = MakeColumn(4, 1.0), b = MakeColumn(4, 2.0),
+             c = MakeColumn(4, 3.0);
+  ASSERT_TRUE(cache.Insert(1, 10, a.data(), 4));
+  ASSERT_TRUE(cache.Insert(1, 11, b.data(), 4));
+  // Re-inserting a keeps the cached bytes but promotes it to MRU.
+  EXPECT_FALSE(cache.Insert(1, 10, a.data(), 4));
+  ASSERT_TRUE(cache.Insert(1, 12, c.data(), 4));
+  std::vector<double> out;
+  EXPECT_TRUE(cache.Lookup(1, 10, &out));
+  EXPECT_EQ(out, a);
+  EXPECT_FALSE(cache.Lookup(1, 11, &out));
+}
+
+TEST(ColumnCacheTest, OversizeColumnIsRejected) {
+  ColumnCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 8;  // one double
+  ColumnCache cache(options);
+  const auto column = MakeColumn(4, 1.0);
+  EXPECT_FALSE(cache.Insert(1, 0, column.data(), 4));
+  EXPECT_EQ(cache.Stats().rejections, 1);
+  EXPECT_EQ(cache.Stats().resident_columns, 0);
+}
+
+TEST(ColumnCacheTest, BudgetExhaustionRejectsInsert) {
+  ColumnCache cache;  // plenty of shard capacity
+  const auto column = MakeColumn(64, 1.0);
+  ScopedMemoryBudget tiny(64);  // smaller than one column (64 * 8 bytes)
+  EXPECT_FALSE(cache.Insert(1, 0, column.data(), 64));
+  const ColumnCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.rejections, 1);
+  EXPECT_EQ(stats.inserts, 0);
+  EXPECT_EQ(stats.resident_bytes, 0);
+}
+
+TEST(ColumnCacheTest, EvictEngineDropsOnlyThatFingerprint) {
+  ColumnCache cache;
+  const auto column = MakeColumn(4, 1.0);
+  for (Index node = 0; node < 6; ++node) {
+    ASSERT_TRUE(cache.Insert(1, node, column.data(), 4));
+    ASSERT_TRUE(cache.Insert(2, node, column.data(), 4));
+  }
+  EXPECT_EQ(cache.EvictEngine(1), 6);
+  std::vector<double> out;
+  for (Index node = 0; node < 6; ++node) {
+    EXPECT_FALSE(cache.Lookup(1, node, &out));
+    EXPECT_TRUE(cache.Lookup(2, node, &out));
+  }
+  const ColumnCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.invalidations, 6);
+  EXPECT_EQ(stats.resident_columns, 6);
+  EXPECT_EQ(cache.EvictEngine(0), 0);  // fingerprint 0: no-op
+}
+
+TEST(ColumnCacheTest, ClearDropsEverything) {
+  ColumnCache cache;
+  const auto column = MakeColumn(4, 1.0);
+  for (Index node = 0; node < 5; ++node) {
+    ASSERT_TRUE(cache.Insert(9, node, column.data(), 4));
+  }
+  cache.Clear();
+  const ColumnCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.resident_columns, 0);
+  EXPECT_EQ(stats.resident_bytes, 0);
+  EXPECT_EQ(stats.invalidations, 5);
+  std::vector<double> out;
+  EXPECT_FALSE(cache.Lookup(9, 0, &out));
+}
+
+// ---------------------------------------------------------------------------
+// Service integration: cached serving must be bit-identical to uncached.
+
+core::CsrPlusEngine MakeEngine(Index nodes, int64_t edges, uint64_t seed) {
+  auto graph = RandomGraph(nodes, edges, seed);
+  core::CsrPlusOptions options;
+  options.rank = 8;
+  auto engine = core::CsrPlusEngine::Precompute(graph, options);
+  CSR_CHECK(engine.ok()) << engine.status().ToString();
+  return std::move(*engine);
+}
+
+TEST(ColumnCacheServiceTest, CachedServingIsBitIdenticalAcrossThreadCounts) {
+  auto engine = MakeEngine(90, 600, 17);
+  ASSERT_NE(engine.StateFingerprint(), 0u);
+  // Repeat every query set so the second pass is served from cache.
+  const std::vector<std::vector<Index>> sets = {
+      {1, 2, 3}, {2, 3, 4}, {50, 2}, {89, 1, 50}, {7}, {1, 2, 3}, {50, 2}};
+
+  std::vector<DenseMatrix> expected;
+  {
+    ScopedNumThreads one(1);
+    for (const auto& queries : sets) {
+      auto direct = engine.MultiSourceQuery(queries);
+      ASSERT_TRUE(direct.ok());
+      expected.push_back(std::move(*direct));
+    }
+  }
+
+  for (int threads : {1, 4}) {
+    ScopedNumThreads scoped(threads);
+    ColumnCache cache;
+    service::ServiceOptions options;
+    options.cache = &cache;
+    service::QueryService service(&engine, options);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = 0; i < sets.size(); ++i) {
+        service::QueryRequest request;
+        request.queries = sets[i];
+        service::QueryResponse response = service.Query(std::move(request));
+        ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+        EXPECT_TRUE(response.scores == expected[i])
+            << "set " << i << " pass " << pass << " threads " << threads
+            << ": cached result differs from direct execution";
+      }
+    }
+    service.Shutdown();
+    const ColumnCacheStats stats = cache.Stats();
+    EXPECT_GT(stats.hits, 0) << "second pass never hit the cache";
+  }
+}
+
+TEST(ColumnCacheServiceTest, DynamicEngineMutationInvalidatesCachedColumns) {
+  auto graph = RandomGraph(40, 200, 23);
+  core::DynamicOptions options;
+  options.base.rank = 6;
+  auto dynamic = core::DynamicCsrPlusEngine::Build(graph, options);
+  ASSERT_TRUE(dynamic.ok()) << dynamic.status().ToString();
+
+  ColumnCache cache;
+  service::ServiceOptions service_options;
+  service_options.cache = &cache;
+  service::QueryService service(&*dynamic, service_options);
+  const std::vector<Index> queries = {3, 9, 21};
+
+  auto serve = [&service](const std::vector<Index>& q) {
+    service::QueryRequest request;
+    request.queries = q;
+    return service.Query(std::move(request));
+  };
+
+  // Warm the cache, then serve the same set again from it.
+  ASSERT_TRUE(serve(queries).status.ok());
+  auto cached = serve(queries);
+  ASSERT_TRUE(cached.status.ok());
+  EXPECT_GT(cache.Stats().hits, 0);
+  const uint64_t fp_before = dynamic->StateFingerprint();
+
+  // Mutate. The QueryEngine contract requires mutations to be externally
+  // serialised against queries; no requests are in flight here.
+  Index u = 0, v = 1;
+  while (dynamic->InsertEdge(u, v).ok() && dynamic->num_edges() == 200) {
+    ++v;  // first pair may already be an edge: find one that inserts
+  }
+  ASSERT_NE(dynamic->StateFingerprint(), fp_before);
+
+  // Post-mutation serving must match the mutated engine, not the cache.
+  auto fresh = serve(queries);
+  ASSERT_TRUE(fresh.status.ok());
+  auto direct = dynamic->MultiSourceQuery(queries);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(fresh.scores == *direct)
+      << "stale cached columns served after InsertEdge";
+  // The service evicted the old generation when it saw the new fingerprint.
+  EXPECT_GT(cache.Stats().invalidations, 0);
+}
+
+}  // namespace
+}  // namespace csrplus::cache

@@ -18,6 +18,22 @@ CsrMatrix Figure1Transition() {
   return graph::ColumnNormalizedTransition(Figure1Graph());
 }
 
+// Engine-based helpers used throughout this file; the deprecated free
+// functions are exercised exactly once, in DeprecatedWrappersTest below.
+Result<std::vector<double>> SingleSource(const CsrMatrix& q, Index node,
+                                         const CoSimRankOptions& options) {
+  std::vector<double> out;
+  CSR_RETURN_IF_ERROR(
+      ReferenceEngine(&q, options).SingleSourceQueryInto(node, &out));
+  return out;
+}
+
+Result<DenseMatrix> MultiSource(const CsrMatrix& q,
+                                const std::vector<Index>& queries,
+                                const CoSimRankOptions& options) {
+  return ReferenceEngine(&q, options).MultiSourceQuery(queries);
+}
+
 TEST(ResolveIterationsTest, EpsilonDrivenCount) {
   CoSimRankOptions options;
   options.damping = 0.6;
@@ -48,7 +64,7 @@ TEST(SingleSourceTest, SelfSimilarityAtLeastOne) {
   CsrMatrix q = Figure1Transition();
   CoSimRankOptions options;
   for (Index node = 0; node < 6; ++node) {
-    auto scores = SingleSourceCoSimRank(q, node, options);
+    auto scores = SingleSource(q, node, options);
     ASSERT_TRUE(scores.ok());
     EXPECT_GE((*scores)[static_cast<std::size_t>(node)], 1.0);
   }
@@ -59,7 +75,7 @@ TEST(SingleSourceTest, SelfSimilarityDominatesColumn) {
   CsrMatrix q = Figure1Transition();
   CoSimRankOptions options;
   for (Index node = 0; node < 6; ++node) {
-    auto scores = SingleSourceCoSimRank(q, node, options);
+    auto scores = SingleSource(q, node, options);
     ASSERT_TRUE(scores.ok());
     for (Index x = 0; x < 6; ++x) {
       if (x == node) continue;
@@ -91,7 +107,7 @@ TEST(SingleSourceTest, MatchesDefinitionSeries) {
   CoSimRankOptions options;
   options.iterations = kmax;
   const Index query = 1;  // node b
-  auto scores = SingleSourceCoSimRank(q, query, options);
+  auto scores = SingleSource(q, query, options);
   ASSERT_TRUE(scores.ok());
   for (Index x = 0; x < n; ++x) {
     double expected = 0.0;
@@ -114,8 +130,8 @@ TEST(SingleSourceTest, MatchesDefinitionSeries) {
 TEST(SingleSourceTest, RejectsBadQuery) {
   CsrMatrix q = Figure1Transition();
   CoSimRankOptions options;
-  EXPECT_TRUE(SingleSourceCoSimRank(q, -1, options).status().IsInvalidArgument());
-  EXPECT_TRUE(SingleSourceCoSimRank(q, 6, options).status().IsInvalidArgument());
+  EXPECT_TRUE(SingleSource(q, -1, options).status().IsInvalidArgument());
+  EXPECT_TRUE(SingleSource(q, 6, options).status().IsInvalidArgument());
 }
 
 TEST(MultiSourceTest, ColumnsMatchSingleSource) {
@@ -123,10 +139,10 @@ TEST(MultiSourceTest, ColumnsMatchSingleSource) {
   CoSimRankOptions options;
   options.iterations = 12;
   std::vector<Index> queries = {3, 17, 42};
-  auto block = MultiSourceCoSimRank(q, queries, options);
+  auto block = MultiSource(q, queries, options);
   ASSERT_TRUE(block.ok());
   for (std::size_t j = 0; j < queries.size(); ++j) {
-    auto column = SingleSourceCoSimRank(q, queries[j], options);
+    auto column = SingleSource(q, queries[j], options);
     ASSERT_TRUE(column.ok());
     for (Index i = 0; i < 60; ++i) {
       EXPECT_NEAR((*block)(i, static_cast<Index>(j)),
@@ -138,7 +154,7 @@ TEST(MultiSourceTest, ColumnsMatchSingleSource) {
 TEST(MultiSourceTest, EmptyQuerySetRejected) {
   CsrMatrix q = Figure1Transition();
   CoSimRankOptions options;
-  EXPECT_TRUE(MultiSourceCoSimRank(q, {}, options).status().IsInvalidArgument());
+  EXPECT_TRUE(MultiSource(q, {}, options).status().IsInvalidArgument());
 }
 
 TEST(SinglePairTest, MatchesSingleSourceEntry) {
@@ -146,7 +162,7 @@ TEST(SinglePairTest, MatchesSingleSourceEntry) {
   CoSimRankOptions options;
   options.iterations = 25;
   for (Index a = 0; a < 6; ++a) {
-    auto column = SingleSourceCoSimRank(q, a, options);
+    auto column = SingleSource(q, a, options);
     ASSERT_TRUE(column.ok());
     for (Index b = 0; b < 6; ++b) {
       auto pair = SinglePairCoSimRank(q, b, a, options);
@@ -174,7 +190,7 @@ TEST(AllPairsTest, AgreesWithPerQueryScheme) {
   ASSERT_TRUE(s.ok());
   std::vector<Index> all(30);
   for (Index i = 0; i < 30; ++i) all[static_cast<std::size_t>(i)] = i;
-  auto block = MultiSourceCoSimRank(q, all, options);
+  auto block = MultiSource(q, all, options);
   ASSERT_TRUE(block.ok());
   EXPECT_TRUE(MatricesNear(*s, *block, 1e-10));
 }
@@ -191,6 +207,29 @@ TEST(AllPairsTest, SatisfiesFixedPointEquation) {
   linalg::ScaleInPlace(0.6, &qtsq);
   for (Index i = 0; i < 6; ++i) qtsq(i, i) += 1.0;
   EXPECT_TRUE(MatricesNear(*s, qtsq, 1e-10));
+}
+
+TEST(DeprecatedWrappersTest, StillDelegateToTheReferenceEngine) {
+  // The free functions are deprecated shims over ReferenceEngine; until they
+  // are removed they must return bit-identical answers.
+  CsrMatrix q = Figure1Transition();
+  CoSimRankOptions options;
+  options.iterations = 12;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto legacy_column = SingleSourceCoSimRank(q, 2, options);
+  auto legacy_block = MultiSourceCoSimRank(q, {2, 4}, options);
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(legacy_column.ok() && legacy_block.ok());
+  auto column = SingleSource(q, 2, options);
+  auto block = MultiSource(q, {2, 4}, options);
+  ASSERT_TRUE(column.ok() && block.ok());
+  for (Index i = 0; i < 6; ++i) {
+    EXPECT_EQ((*legacy_column)[static_cast<std::size_t>(i)],
+              (*column)[static_cast<std::size_t>(i)]);
+    EXPECT_EQ((*legacy_block)(i, 0), (*block)(i, 0));
+    EXPECT_EQ((*legacy_block)(i, 1), (*block)(i, 1));
+  }
 }
 
 }  // namespace

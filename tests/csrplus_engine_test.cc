@@ -84,7 +84,7 @@ TEST(CsrPlusEngineTest, FullRankMatchesExactCoSimRank) {
 
   CoSimRankOptions exact_options;
   exact_options.epsilon = 1e-12;
-  auto exact = MultiSourceCoSimRank(transition, queries, exact_options);
+  auto exact = ReferenceEngine(&transition, exact_options).MultiSourceQuery(queries);
   ASSERT_TRUE(exact.ok());
   EXPECT_TRUE(MatricesNear(*approx, *exact, 1e-6));
 }
@@ -296,7 +296,7 @@ TEST(CsrPlusEngineTest, RankImprovesAccuracyMonotonically) {
   CoSimRankOptions exact_options;
   exact_options.epsilon = 1e-12;
   std::vector<Index> queries = {1, 2, 3};
-  auto exact = MultiSourceCoSimRank(transition, queries, exact_options);
+  auto exact = ReferenceEngine(&transition, exact_options).MultiSourceQuery(queries);
   ASSERT_TRUE(exact.ok());
 
   double prev_err = 1e300;

@@ -98,7 +98,7 @@ TEST(DynamicEngineTest, InsertAgainstExactCoSimRank) {
   CoSimRankOptions exact_options;
   exact_options.epsilon = 1e-10;
   std::vector<Index> queries = {9, 3};
-  auto exact = MultiSourceCoSimRank(transition, queries, exact_options);
+  auto exact = ReferenceEngine(&transition, exact_options).MultiSourceQuery(queries);
   ASSERT_TRUE(exact.ok());
   auto got = dynamic->engine().MultiSourceQuery(queries);
   ASSERT_TRUE(got.ok());

@@ -146,7 +146,7 @@ TEST_F(IntegrationTest, ExactAgreementAcrossWholePipeline) {
   core::CoSimRankOptions exact_options;
   exact_options.epsilon = 1e-12;
   std::vector<Index> queries = {0, n / 2, n - 1};
-  auto exact = core::MultiSourceCoSimRank(transition, queries, exact_options);
+  auto exact = core::ReferenceEngine(&transition, exact_options).MultiSourceQuery(queries);
   auto approx = engine->MultiSourceQuery(queries);
   ASSERT_TRUE(exact.ok() && approx.ok());
   EXPECT_LT(eval::MaxDiff(*approx, *exact), 1e-5);

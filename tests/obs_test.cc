@@ -517,6 +517,25 @@ TEST(ObsDocumentationTest, EveryEmittedMetricIsDocumented) {
     service.Shutdown();
   }
 
+  // Column cache: a miss, a hit, an insert, an LRU eviction, a rejection
+  // and an invalidation, so every csrplus.cache.* metric (and the
+  // cache_lookup / cache_insert spans) registers.
+  {
+    cache::ColumnCacheOptions cache_options;
+    cache_options.num_shards = 1;
+    cache_options.capacity_bytes = 2 * static_cast<int64_t>(sizeof(double));
+    cache::ColumnCache cache(cache_options);
+    const double value = 1.0;
+    std::vector<double> out;
+    EXPECT_FALSE(cache.Lookup(1, 0, &out));       // miss
+    EXPECT_TRUE(cache.Insert(1, 0, &value, 1));   // insert (+ gauges)
+    EXPECT_TRUE(cache.Lookup(1, 0, &out));        // hit
+    EXPECT_TRUE(cache.Insert(1, 1, &value, 1));
+    EXPECT_TRUE(cache.Insert(1, 2, &value, 1));   // evicts the LRU column
+    EXPECT_FALSE(cache.Insert(0, 3, &value, 1));  // rejected: fingerprint 0
+    EXPECT_EQ(cache.EvictEngine(1), 2);           // invalidations
+  }
+
   // Budget paths: one granted, one rejected.
   EXPECT_TRUE(MemoryBudget::Global().TryReserve(1024, "obs_test ok").ok());
   EXPECT_FALSE(MemoryBudget::Global()
@@ -554,7 +573,9 @@ TEST(ObsDocumentationTest, EveryEmittedMetricIsDocumented) {
                            obs::spans::kArtifactLoad, obs::spans::kArtifactSave,
                            obs::spans::kPoolRegion, obs::spans::kBaseline,
                            obs::spans::kServiceRequest,
-                           obs::spans::kServiceBatch}) {
+                           obs::spans::kServiceBatch,
+                           obs::spans::kCacheLookup,
+                           obs::spans::kCacheInsert}) {
     EXPECT_NE(doc.find("`" + std::string(span) + "`"), std::string::npos)
         << "span \"" << span << "\" is not documented in the span taxonomy";
   }

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/version.h"
 #include "core/csrplus_engine.h"
 #include "core/precompute_io.h"
 #include "test_util.h"
@@ -27,10 +28,11 @@ constexpr Index kNodes = 40;
 constexpr Index kRank = 5;
 
 // On-disk layout for (n=40, r=5): 88-byte header, then five sections each
-// prefixed by a 24-byte descriptor. Payload sizes: U/V/Z = n*r*8 = 1600,
-// Sigma = r*8 = 40, P = r*r*8 = 200.
+// prefixed by a 24-byte descriptor, then the 32-byte version trailer.
+// Payload sizes: U/V/Z = n*r*8 = 1600, Sigma = r*8 = 40, P = r*r*8 = 200.
 constexpr int64_t kHeaderBytes = 88;
 constexpr int64_t kDescriptorBytes = 24;
+constexpr int64_t kTrailerBytes = 32;
 constexpr int64_t kNr = kNodes * kRank * 8;
 constexpr int64_t kR = kRank * 8;
 constexpr int64_t kRr = kRank * kRank * 8;
@@ -53,8 +55,9 @@ std::vector<SectionLayout> Layout() {
   return sections;
 }
 
-constexpr int64_t kFileBytes =
+constexpr int64_t kSectionsEnd =
     kHeaderBytes + 5 * kDescriptorBytes + 3 * kNr + kR + kRr;
+constexpr int64_t kFileBytes = kSectionsEnd + kTrailerBytes;
 
 class PrecomputeFaultTest : public ::testing::Test {
  protected:
@@ -230,6 +233,33 @@ TEST_F(PrecomputeFaultTest, TrailingBytesAreDataLoss) {
   ExpectLoadFails(path, StatusCode::kDataLoss, "trailing bytes");
 }
 
+TEST_F(PrecomputeFaultTest, LegacyArtifactWithoutTrailerStillLoads) {
+  // Artifacts written before the version trailer existed end right after
+  // section Z; they must keep loading, reporting builder version 0.
+  const std::string path = TruncateTo(kSectionsEnd, "legacy.cspc");
+  EXPECT_TRUE(CsrPlusEngine::LoadPrecompute(path).ok());
+  auto info = precompute_io::ReadArtifactInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->builder_version, 0u);
+}
+
+TEST_F(PrecomputeFaultTest, TrailerRecordsTheBuilderVersion) {
+  auto info = precompute_io::ReadArtifactInfo(good_path_);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->builder_version, PackedVersion());
+}
+
+TEST_F(PrecomputeFaultTest, FlippedTrailerByteIsDataLoss) {
+  // Offset +8 = first byte of the trailer's builder_version field.
+  ExpectLoadFails(CorruptAt(kSectionsEnd + 8, "trailer_flip.cspc"),
+                  StatusCode::kDataLoss, "version trailer corrupted");
+}
+
+TEST_F(PrecomputeFaultTest, TruncatedTrailerIsDataLoss) {
+  ExpectLoadFails(TruncateTo(kSectionsEnd + 10, "trailer_cut.cspc"),
+                  StatusCode::kDataLoss, "trailing bytes");
+}
+
 TEST_F(PrecomputeFaultTest, FingerprintMismatchIsFailedPrecondition) {
   GraphFingerprint other = good_fingerprint_;
   other.content_hash ^= 1;
@@ -256,6 +286,7 @@ TEST_F(PrecomputeFaultTest, EveryFaultYieldsADistinctMessage) {
       CorruptAt(Layout()[3].descriptor_offset + kDescriptorBytes + 4,
                 "d6.cspc"),
       TruncateTo(kFileBytes - 100, "d7.cspc"),
+      CorruptAt(kSectionsEnd + 8, "d8.cspc"),
   };
   std::vector<std::string> messages;
   for (const std::string& path : paths) {

@@ -78,15 +78,16 @@ TEST_P(CoSimRankInvariants, DiagonalDominatesAndBoundsHold) {
   options.damping = damping;
   options.epsilon = 1e-9;
 
+  const core::ReferenceEngine engine(&q, options);
   for (Index query : {0, 31, 77}) {
-    auto scores = core::SingleSourceCoSimRank(q, query, options);
-    ASSERT_TRUE(scores.ok());
-    const double self = (*scores)[static_cast<std::size_t>(query)];
+    std::vector<double> scores;
+    ASSERT_TRUE(engine.SingleSourceQueryInto(query, &scores).ok());
+    const double self = scores[static_cast<std::size_t>(query)];
     EXPECT_GE(self, 1.0);
     // Geometric bound: [S]_{q,q} <= 1/(1-c) since <p,p> <= 1 per term.
     EXPECT_LE(self, 1.0 / (1.0 - damping) + 1e-9);
     for (Index x = 0; x < g.num_nodes(); ++x) {
-      const double v = (*scores)[static_cast<std::size_t>(x)];
+      const double v = scores[static_cast<std::size_t>(x)];
       EXPECT_GE(v, -1e-12);  // nonnegative series
       if (x != query) EXPECT_LE(v, self + 1e-12);
     }
@@ -195,7 +196,7 @@ TEST_P(RankAccuracySweep, AvgDiffShrinksWithRank) {
   exact_options.damping = damping;
   exact_options.epsilon = 1e-12;
   std::vector<Index> queries = {5, 15, 25, 35};
-  auto exact = core::MultiSourceCoSimRank(q, queries, exact_options);
+  auto exact = core::ReferenceEngine(&q, exact_options).MultiSourceQuery(queries);
   ASSERT_TRUE(exact.ok());
 
   double prev = 1e300;

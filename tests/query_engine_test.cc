@@ -1,6 +1,6 @@
-// Conformance tests for the core::QueryEngine interface: every engine (CSR+
-// and the five baselines) must honour the same contract, because the service
-// layer batches through it blindly.
+// Conformance tests for the core::QueryEngine interface: every engine (CSR+,
+// the five baselines and the dynamic engine) must honour the same contract,
+// because the service layer batches through it blindly.
 
 #include "core/query_engine.h"
 
@@ -74,6 +74,19 @@ TEST_P(QueryEngineConformanceTest, SingleSourceMatchesMultiSourceColumn) {
   }
 }
 
+TEST_P(QueryEngineConformanceTest, StateFingerprintIsStableAndShared) {
+  // Stable across calls, and equal for a second engine built identically —
+  // the property that lets a column cache survive an engine swap. Engines
+  // that do not implement the hook return 0 ("never cache") both times.
+  const uint64_t fp = engine_->StateFingerprint();
+  EXPECT_EQ(fp, engine_->StateFingerprint());
+  eval::RunConfig config;
+  config.ni_fidelity = baselines::NiFidelity::kMixedProduct;
+  auto twin = eval::CreateEngine(GetParam(), transition_, config);
+  ASSERT_TRUE(twin.ok()) << twin.status().ToString();
+  EXPECT_EQ((*twin)->StateFingerprint(), fp);
+}
+
 TEST_P(QueryEngineConformanceTest, RejectsBadQuerySets) {
   EXPECT_TRUE(engine_->MultiSourceQuery({}).status().IsInvalidArgument());
   EXPECT_TRUE(engine_->MultiSourceQuery({-1}).status().IsInvalidArgument());
@@ -86,7 +99,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllEngines, QueryEngineConformanceTest,
     ::testing::Values(eval::Method::kCsrPlus, eval::Method::kCsrNi,
                       eval::Method::kCsrIt, eval::Method::kCsrRls,
-                      eval::Method::kCoSimMate, eval::Method::kRpCoSim),
+                      eval::Method::kCoSimMate, eval::Method::kRpCoSim,
+                      eval::Method::kDynamic),
     [](const ::testing::TestParamInfo<eval::Method>& info) {
       std::string name(eval::MethodName(info.param));
       for (char& c : name) {

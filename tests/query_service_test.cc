@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/column_cache.h"
 #include "common/memory.h"
 #include "core/csrplus_engine.h"
 #include "core/query_engine.h"
@@ -67,6 +68,9 @@ class GatedEngine : public core::QueryEngine {
   }
   Index NumNodes() const override { return inner_->NumNodes(); }
   std::string_view Name() const override { return inner_->Name(); }
+  uint64_t StateFingerprint() const override {
+    return inner_->StateFingerprint();
+  }
 
   void Open() { gated_.store(false); }
   void Close() { gated_.store(true); }
@@ -343,10 +347,14 @@ TEST(QueryServiceTest, ShutdownCancelsQueuedAndRejectsNewSubmissions) {
       service->Submit(std::move(late)).status().IsFailedPrecondition());
 }
 
-TEST(QueryServiceTest, MultiClientHammer) {
+// Shared body for the multi-client hammers: when `cache` is non-null the
+// service serves through it, and every response is still verified against a
+// direct (uncached) engine call after the join.
+void RunMultiClientHammer(cache::ColumnCache* cache) {
   auto engine = MakeEngine(120, 900, 5);
   ServiceOptions options;
   options.max_batch_queries = 16;
+  options.cache = cache;
   QueryService service(&engine, options);
 
   constexpr int kClients = 8;
@@ -367,7 +375,10 @@ TEST(QueryServiceTest, MultiClientHammer) {
         request.top_k = (r % 2 == 0) ? 3 : 0;
         const int size = 1 + static_cast<int>(rng.Below(4));
         while (static_cast<int>(request.queries.size()) < size) {
-          const Index q = static_cast<Index>(rng.Below(120));
+          // Skew towards a hot set of 12 nodes so the cached variant
+          // actually revisits columns under contention.
+          const Index q = static_cast<Index>(
+              rng.Below(2) == 0 ? rng.Below(12) : rng.Below(120));
           if (std::find(request.queries.begin(), request.queries.end(), q) ==
               request.queries.end()) {
             request.queries.push_back(q);
@@ -395,6 +406,19 @@ TEST(QueryServiceTest, MultiClientHammer) {
       EXPECT_TRUE(scores == *direct) << "batched result differs";
     }
   }
+}
+
+TEST(QueryServiceTest, MultiClientHammer) { RunMultiClientHammer(nullptr); }
+
+TEST(QueryServiceTest, MultiClientHammerWithColumnCache) {
+  // Same load, served through the column cache: concurrent lookups, inserts
+  // and LRU churn must neither race (the CI TSan job runs this file) nor
+  // perturb a single result bit.
+  cache::ColumnCache cache;
+  RunMultiClientHammer(&cache);
+  const cache::ColumnCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.hits, 0) << "hot-set repeats never hit the cache";
+  EXPECT_GT(stats.inserts, 0);
 }
 
 }  // namespace

@@ -31,6 +31,7 @@ TEST_F(RunnerTest, MethodNamesAreStable) {
   EXPECT_EQ(MethodName(Method::kCsrRls), "CSR-RLS");
   EXPECT_EQ(MethodName(Method::kCoSimMate), "CoSimMate");
   EXPECT_EQ(MethodName(Method::kRpCoSim), "RP-CoSim");
+  EXPECT_EQ(MethodName(Method::kDynamic), "CSR+dyn");
 }
 
 TEST_F(RunnerTest, PaperMethodsListsTheFourRivals) {
@@ -44,7 +45,7 @@ TEST_F(RunnerTest, EveryMethodProducesScores) {
   config.ni_fidelity = baselines::NiFidelity::kMixedProduct;
   for (Method method :
        {Method::kCsrPlus, Method::kCsrNi, Method::kCsrIt, Method::kCsrRls,
-        Method::kCoSimMate, Method::kRpCoSim}) {
+        Method::kCoSimMate, Method::kRpCoSim, Method::kDynamic}) {
     RunOutcome outcome = RunMethod(method, transition_, queries_, config);
     ASSERT_TRUE(outcome.status.ok())
         << MethodName(method) << ": " << outcome.status.ToString();

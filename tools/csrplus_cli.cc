@@ -41,8 +41,9 @@
 //   --rank=R        target low rank (default 16)
 //   --damping=C     damping factor (default 0.6)
 //   --topk=K        results per query (default 10)
+//   --threads=N     kernel thread count, 0 = ambient default (default 0)
 //   --method=M      query engine: csr+ (default), csr-ni, csr-it, csr-rls,
-//                   cosimmate, rp-cosim
+//                   cosimmate, rp-cosim, dynamic
 //   --symmetrize    add the reverse of every edge when loading text input
 //   --artifact=P    (query/serve, csr+ only) warm-start from a precompute
 //                   artifact; its graph fingerprint must match the graph
@@ -51,10 +52,14 @@
 //   --qsize=Q       (serve) query nodes per request (default 8)
 //   --deadline-ms=D (serve) per-request deadline, 0 = none (default 0)
 //   --no-coalesce   (serve) disable micro-batching (serialized A/B arm)
+//   --cache-mb=M    (serve) column-cache capacity in MiB, 0 = off
+//                   (default 64)
+//   --no-cache      (serve) disable the column cache entirely
 //   --stats-out=P   after the command finishes, write the stats registry
 //                   snapshot (counters/gauges/histograms) to P as JSON
 //   --trace-out=P   enable span tracing for the whole run and write a Chrome
 //                   trace (load in chrome://tracing or Perfetto) to P
+//   --version       print the library version and exit
 //
 // Graphs ending in ".csrg" are read as binary, anything else as a SNAP text
 // edge list.
@@ -80,6 +85,7 @@ struct CliOptions {
   Index rank = 16;
   double damping = 0.6;
   Index topk = 10;
+  int threads = 0;  // kernel thread count; 0 = ambient default
   bool symmetrize = false;
   eval::Method method = eval::Method::kCsrPlus;
   std::string artifact;   // warm-start path for `query` / `serve`
@@ -90,15 +96,18 @@ struct CliOptions {
   Index qsize = 8;        // serve: query nodes per request
   int deadline_ms = 0;    // serve: per-request deadline (0 = none)
   bool no_coalesce = false;  // serve: disable micro-batching
+  int cache_mb = 64;         // serve: column-cache capacity (MiB); 0 = off
+  bool no_cache = false;     // serve: disable the column cache
+  bool show_version = false;
   std::vector<std::string> positional;
 };
 
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: csrplus [--rank=R] [--damping=C] [--topk=K] "
-               "[--method=M] [--symmetrize]\n"
+               "[--threads=N] [--method=M] [--symmetrize]\n"
                "               [--artifact=P] [--stats-out=P] [--trace-out=P] "
-               "<command> ...\n"
+               "[--version] <command> ...\n"
                "commands:\n"
                "  stats <graph>                  graph statistics\n"
                "  stats                          observability snapshot JSON\n"
@@ -112,7 +121,9 @@ void PrintUsage() {
                "                                 [--clients=N] [--requests=R] "
                "[--qsize=Q]\n"
                "                                 [--deadline-ms=D] "
-               "[--no-coalesce]\n");
+               "[--no-coalesce]\n"
+               "                                 [--cache-mb=M] "
+               "[--no-cache]\n");
 }
 
 bool ParseMethod(const std::string& name, eval::Method* method) {
@@ -128,6 +139,8 @@ bool ParseMethod(const std::string& name, eval::Method* method) {
     *method = eval::Method::kCoSimMate;
   } else if (name == "rp-cosim") {
     *method = eval::Method::kRpCoSim;
+  } else if (name == "dynamic" || name == "csr+dyn") {
+    *method = eval::Method::kDynamic;
   } else {
     return false;
   }
@@ -143,6 +156,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->damping = std::atof(arg.c_str() + 10);
     } else if (StartsWith(arg, "--topk=")) {
       options->topk = std::atoll(arg.c_str() + 7);
+    } else if (StartsWith(arg, "--threads=")) {
+      options->threads = std::atoi(arg.c_str() + 10);
     } else if (arg == "--symmetrize") {
       options->symmetrize = true;
     } else if (StartsWith(arg, "--method=")) {
@@ -160,6 +175,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->deadline_ms = std::atoi(arg.c_str() + 14);
     } else if (arg == "--no-coalesce") {
       options->no_coalesce = true;
+    } else if (StartsWith(arg, "--cache-mb=")) {
+      options->cache_mb = std::atoi(arg.c_str() + 11);
+    } else if (arg == "--no-cache") {
+      options->no_cache = true;
+    } else if (arg == "--version") {
+      options->show_version = true;
     } else if (StartsWith(arg, "--artifact=")) {
       options->artifact = arg.substr(11);
     } else if (StartsWith(arg, "--stats-out=")) {
@@ -173,7 +194,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->positional.push_back(arg);
     }
   }
-  return !options->positional.empty();
+  return options->show_version || !options->positional.empty();
 }
 
 /// Loaded graph plus the original<->compact node-id mapping (identity for
@@ -398,8 +419,18 @@ int RunServe(const CliOptions& options) {
   // coalescing pay: overlapping requests dedup inside the micro-batch).
   const Index hot = std::min<Index>(n, std::max<Index>(4 * qsize, 32));
 
+  // Column cache: on by default for engines that can vouch for their state
+  // (StateFingerprint != 0); --no-cache or --cache-mb=0 turns it off.
+  std::unique_ptr<cache::ColumnCache> column_cache;
+  if (!options.no_cache && options.cache_mb > 0) {
+    cache::ColumnCacheOptions cache_options;
+    cache_options.capacity_bytes = static_cast<int64_t>(options.cache_mb)
+                                   << 20;
+    column_cache = std::make_unique<cache::ColumnCache>(cache_options);
+  }
   service::ServiceOptions service_options;
   service_options.coalesce = !options.no_coalesce;
+  service_options.cache = column_cache.get();
   service::QueryService service(box->engine.get(), service_options);
 
   std::mutex agg_mu;
@@ -468,6 +499,21 @@ int RunServe(const CliOptions& options) {
                 static_cast<unsigned long long>(pct(0.95)),
                 static_cast<unsigned long long>(pct(0.99)),
                 static_cast<unsigned long long>(latencies_us.back()));
+  }
+  if (column_cache != nullptr) {
+    const cache::ColumnCacheStats cs = column_cache->Stats();
+    if (cs.hits + cs.misses == 0) {
+      // EvaluateBatch never probed: the engine reported StateFingerprint 0
+      // (it cannot vouch for its state), so the cache stayed pass-through.
+      std::printf("  cache: pass-through (engine has no state fingerprint)\n");
+    } else {
+      std::printf("  cache: %.0f%% hit rate (%lld hits, %lld misses), "
+                  "%lld columns resident (%s)\n",
+                  100.0 * cs.hit_rate(), static_cast<long long>(cs.hits),
+                  static_cast<long long>(cs.misses),
+                  static_cast<long long>(cs.resident_columns),
+                  FormatBytes(cs.resident_bytes).c_str());
+    }
   }
   return other == 0 ? 0 : 1;
 }
@@ -551,6 +597,14 @@ int RunArtifactInfo(const CliOptions& options) {
               static_cast<long>(info->fingerprint.nnz),
               static_cast<unsigned long long>(info->fingerprint.content_hash));
   std::printf("file bytes:   %ld\n", static_cast<long>(info->file_bytes));
+  if (info->builder_version != 0) {
+    std::printf("built by:     csrplus %llu.%llu\n",
+                static_cast<unsigned long long>(info->builder_version >> 32),
+                static_cast<unsigned long long>(info->builder_version &
+                                                0xFFFFFFFFULL));
+  } else {
+    std::printf("built by:     (pre-trailer artifact)\n");
+  }
   // The header only proves itself; a full load verifies every section
   // checksum so a flipped payload byte also fails here with exit 1.
   auto engine = core::CsrPlusEngine::LoadPrecompute(path);
@@ -615,6 +669,11 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  if (options.show_version) {
+    std::printf("%s\n", VersionString());
+    if (options.positional.empty()) return 0;
+  }
+  if (options.threads > 0) SetNumThreads(options.threads);
   if (!options.trace_out.empty()) obs::SetTracingEnabled(true);
   const std::string& command = options.positional[0];
   int code;
