@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/memory.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
@@ -28,7 +29,12 @@ uint64_t MixKey(uint64_t fingerprint, Index node) {
   return x;
 }
 
+// Rounds up to a power of two within [1, kMaxShards]. Clamping before the
+// shift loop matters: for inputs near INT_MAX the naive `while (p < x)
+// p <<= 1` overflows p into negative territory (signed-overflow UB) and
+// never terminates.
 int RoundUpPowerOfTwo(int x) {
+  if (x >= kMaxShards) return kMaxShards;
   int p = 1;
   while (p < x) p <<= 1;
   return p;
@@ -72,14 +78,33 @@ struct ColumnCache::Shard {
 };
 
 ColumnCache::ColumnCache(const ColumnCacheOptions& options) {
-  const int shards = std::clamp(RoundUpPowerOfTwo(std::max(1, options.num_shards)),
-                                1, kMaxShards);
+  int shards = std::clamp(RoundUpPowerOfTwo(std::max(1, options.num_shards)),
+                          1, kMaxShards);
   capacity_bytes_ = std::max<int64_t>(0, options.capacity_bytes);
+  // A small capacity spread across many shards truncates each shard's slice
+  // toward zero, and every insert would bounce off `bytes >
+  // shard_capacity_bytes_` — a cache that looks configured but can never
+  // cache. Halve the shard count (keeping it a power of two) until each
+  // slice is big enough to hold a plausible answer column.
+  while (shards > 1 && capacity_bytes_ / shards < kMinUsefulShardBytes) {
+    shards /= 2;
+  }
   shard_capacity_bytes_ = capacity_bytes_ / shards;
   shard_mask_ = static_cast<uint64_t>(shards - 1);
   shards_.reserve(static_cast<std::size_t>(shards));
   for (int i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  if (shard_capacity_bytes_ < kMinUsefulShardBytes) {
+    CSR_LOG_WARN << "ColumnCache capacity_bytes=" << capacity_bytes_
+                 << " is below the useful minimum (" << kMinUsefulShardBytes
+                 << " bytes); only columns up to " << shard_capacity_bytes_
+                 << " bytes will ever be cached";
+    CSRPLUS_OBS_COUNTER_ADD(
+        "csrplus.cache.geometry_warnings", "caches",
+        "caches constructed with a capacity too small to hold a plausible "
+        "answer column",
+        1);
   }
 }
 
@@ -90,13 +115,25 @@ ColumnCache::Shard& ColumnCache::ShardFor(uint64_t fingerprint, Index node) {
                                            shard_mask_)];
 }
 
+bool ColumnCache::CountUnfingerprintedMiss() {
+  unfingerprinted_misses_.fetch_add(1, std::memory_order_relaxed);
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.cache.misses", "lookups",
+                          "column-cache lookups that fell through to the "
+                          "engine",
+                          1);
+  return false;
+}
+
 bool ColumnCache::Lookup(uint64_t fingerprint, Index node, double* dst,
                          int64_t stride, Index n) {
   CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kCacheLookup, "node",
                          static_cast<int64_t>(node));
+  // Fingerprint 0 can never be resident (Insert rejects it), so there is
+  // nothing to probe — count the miss without contending on a shard mutex.
+  if (fingerprint == 0) return CountUnfingerprintedMiss();
   Shard& shard = ShardFor(fingerprint, node);
   bool hit = false;
-  if (fingerprint != 0) {
+  {
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.index.find(Key{fingerprint, node});
     if (it != shard.index.end()) {
@@ -109,9 +146,6 @@ bool ColumnCache::Lookup(uint64_t fingerprint, Index node, double* dst,
     } else {
       ++shard.misses;
     }
-  } else {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    ++shard.misses;
   }
   if (hit) {
     CSRPLUS_OBS_COUNTER_ADD("csrplus.cache.hits", "lookups",
@@ -127,25 +161,42 @@ bool ColumnCache::Lookup(uint64_t fingerprint, Index node, double* dst,
 
 bool ColumnCache::Lookup(uint64_t fingerprint, Index node,
                          std::vector<double>* out) {
-  // Peek the column length cheaply: all engines under one fingerprint share
-  // n, but the caller may not know it yet — size the buffer under the lock.
-  // Simplest correct form: find under lock, copy; reuse the strided path by
-  // sizing `out` to the cached length first.
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kCacheLookup, "node",
+                         static_cast<int64_t>(node));
+  if (fingerprint == 0) {
+    out->clear();
+    return CountUnfingerprintedMiss();
+  }
+  // One critical section: find, size the caller's buffer and copy while the
+  // entry is pinned by the lock. (Sizing in one section and copying in
+  // another would race concurrent eviction — the entry found in the first
+  // could be gone, or a different length, by the second.)
   Shard& shard = ShardFor(fingerprint, node);
+  bool hit = false;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.index.find(Key{fingerprint, node});
-    if (fingerprint != 0 && it != shard.index.end()) {
-      out->resize(it->second->column.size());
+    if (it != shard.index.end()) {
+      const std::vector<double>& column = it->second->column;
+      out->assign(column.begin(), column.end());
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // -> MRU
+      ++shard.hits;
+      hit = true;
     } else {
-      // Fall through to the strided path with n = 0 so the miss is counted
-      // exactly once there.
       out->clear();
+      ++shard.misses;
     }
   }
-  return Lookup(fingerprint, node, out->data(), 1,
-                static_cast<Index>(out->size())) &&
-         !out->empty();
+  if (hit) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.cache.hits", "lookups",
+                            "column-cache lookups served from cache", 1);
+  } else {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.cache.misses", "lookups",
+                            "column-cache lookups that fell through to the "
+                            "engine",
+                            1);
+  }
+  return hit;
 }
 
 bool ColumnCache::Insert(uint64_t fingerprint, Index node,
@@ -305,6 +356,7 @@ void ColumnCache::Clear() {
 
 ColumnCacheStats ColumnCache::Stats() const {
   ColumnCacheStats stats;
+  stats.misses = unfingerprinted_misses_.load(std::memory_order_relaxed);
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);

@@ -48,9 +48,20 @@ struct ColumnCacheOptions {
   /// Total resident-byte capacity across all shards (columns only; per-entry
   /// bookkeeping overhead is not charged). Split evenly per shard.
   int64_t capacity_bytes = 256ll << 20;
-  /// Shard count; rounded up to a power of two, clamped to [1, 256].
+  /// Shard count; rounded up to a power of two, clamped to [1, 256]. The
+  /// constructor additionally halves the shard count until every shard can
+  /// hold at least one plausible answer column (kMinUsefulShardBytes) — a
+  /// small capacity spread over many shards would otherwise truncate each
+  /// shard's slice to (near) zero and silently reject every insert.
   int num_shards = 8;
 };
+
+/// The smallest per-shard capacity the constructor considers useful: one
+/// 8192-node answer column. Shard counts are reduced (never below 1) until
+/// each shard's slice reaches this; a total capacity still smaller than
+/// this logs a startup warning and bumps csrplus.cache.geometry_warnings,
+/// because such a cache can only hold toy columns (or nothing at all).
+inline constexpr int64_t kMinUsefulShardBytes = 64ll << 10;
 
 /// Point-in-time view of the cache counters (aggregated over shards).
 struct ColumnCacheStats {
@@ -111,11 +122,15 @@ class ColumnCache {
 
   int64_t capacity_bytes() const { return capacity_bytes_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  int64_t shard_capacity_bytes() const { return shard_capacity_bytes_; }
 
  private:
   struct Shard;
 
   Shard& ShardFor(uint64_t fingerprint, Index node);
+  /// Counts a fingerprint-0 miss without touching any shard (serving
+  /// threads in front of an uncacheable engine must not contend on locks).
+  bool CountUnfingerprintedMiss();
 
   int64_t capacity_bytes_ = 0;        // total, all shards
   int64_t shard_capacity_bytes_ = 0;  // capacity_bytes_ / num_shards
@@ -125,6 +140,9 @@ class ColumnCache {
   // check and the resident gauges never take more than one shard mutex.
   std::atomic<int64_t> resident_bytes_{0};
   std::atomic<int64_t> resident_columns_{0};
+  // Fingerprint-0 lookups never probe a shard; their misses are counted
+  // here and folded into Stats().misses.
+  std::atomic<int64_t> unfingerprinted_misses_{0};
 };
 
 }  // namespace csrplus::cache

@@ -14,8 +14,9 @@
 //       auto engine, csrplus::core::CsrPlusEngine::Precompute(*graph, options));
 //   CSR_ASSIGN_OR_RETURN(auto scores, engine.MultiSourceQuery({q1, q2, q3}));
 //
-// Every engine (CSR+ and the baselines) implements core::QueryEngine, and
-// service::QueryService turns any of them into a concurrent batching server.
+// Every engine (CSR+ and the baselines) implements core::QueryEngine,
+// service::QueryService turns any of them into a concurrent batching server,
+// and net::Server / net::Client expose that service over TCP.
 // See README.md for the architecture overview and examples/ for runnable
 // programs.
 
@@ -60,6 +61,10 @@
 #include "linalg/lu.h"
 #include "linalg/qr.h"
 #include "linalg/sparse_matrix.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket_util.h"
+#include "net/wire_protocol.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "service/query_service.h"

@@ -1,0 +1,163 @@
+#include "net/client.h"
+
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "net/socket_util.h"
+
+namespace csrplus::net {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), rbuf_(std::move(other.rbuf_)), rsize_(other.rsize_) {
+  other.fd_ = -1;
+  other.rsize_ = 0;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    rbuf_ = std::move(other.rbuf_);
+    rsize_ = other.rsize_;
+    other.fd_ = -1;
+    other.rsize_ = 0;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+  rsize_ = 0;
+}
+
+Result<Client> Client::Connect(const std::string& host, int port) {
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  const std::string port_str = std::to_string(port);
+  addrinfo* resolved = nullptr;
+  const int gai = getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
+                              port_str.c_str(), &hints, &resolved);
+  if (gai != 0) {
+    return Status::IOError("cannot resolve '" + host +
+                           "': " + gai_strerror(gai));
+  }
+  int fd = -1;
+  Status status = Status::IOError("no usable address for '" + host + "'");
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
+    if (fd < 0) {
+      status = Status::IOError("socket: " + ErrnoString(errno));
+      continue;
+    }
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      status = Status::OK();
+      break;
+    }
+    status = Status::IOError("connect " + FormatAddress(host, port) + ": " +
+                             ErrnoString(errno));
+    close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(resolved);
+  CSR_RETURN_IF_ERROR(status);
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Result<Client> Client::Connect(const std::string& address) {
+  CSR_ASSIGN_OR_RETURN(const auto host_port, ParseHostPort(address));
+  return Connect(host_port.first, host_port.second);
+}
+
+Status Client::Send(const WireRequest& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  std::string frame;
+  AppendRequestFrame(request, &frame);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t sent =
+        send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (sent > 0) {
+      off += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    const Status status =
+        Status::IOError("send: " + ErrnoString(sent < 0 ? errno : EPIPE));
+    Close();
+    return status;
+  }
+  return Status::OK();
+}
+
+Result<WireResponse> Client::Receive() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  for (;;) {
+    const uint8_t* payload = nullptr;
+    std::size_t payload_size = 0;
+    std::size_t consumed = 0;
+    const FrameStatus fs =
+        ExtractFrame(rbuf_.data(), rsize_, kMaxResponseFrameBytes, &payload,
+                     &payload_size, &consumed);
+    if (fs == FrameStatus::kTooLarge) {
+      Close();
+      return Status::DataLoss("response frame exceeds the 1 GiB cap");
+    }
+    if (fs == FrameStatus::kComplete) {
+      Result<WireResponse> decoded = DecodeResponse(payload, payload_size);
+      std::memmove(rbuf_.data(), rbuf_.data() + consumed, rsize_ - consumed);
+      rsize_ -= consumed;
+      if (!decoded.ok()) Close();  // stream cannot be re-synchronised
+      return decoded;
+    }
+    // Incomplete: block for more bytes.
+    if (rsize_ == rbuf_.size()) {
+      rbuf_.resize(std::max<std::size_t>(4096, rbuf_.size() * 2));
+    }
+    const ssize_t got =
+        recv(fd_, rbuf_.data() + rsize_, rbuf_.size() - rsize_, 0);
+    if (got > 0) {
+      rsize_ += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    Close();
+    if (got == 0) {
+      return Status::IOError("server closed the connection mid-response");
+    }
+    return Status::IOError("recv: " + ErrnoString(errno));
+  }
+}
+
+Result<WireResponse> Client::Call(const WireRequest& request) {
+  CSR_RETURN_IF_ERROR(Send(request));
+  return Receive();
+}
+
+Status Client::Ping() {
+  WireRequest ping;
+  ping.method = Method::kPing;
+  CSR_ASSIGN_OR_RETURN(const WireResponse response, Call(ping));
+  return response.ToStatus();
+}
+
+}  // namespace csrplus::net

@@ -1,0 +1,68 @@
+// Blocking C++ client for the csrplus socket server (src/net/server.h).
+//
+// One Client wraps one TCP connection. Call() is the simple
+// request/response form; Send()/Receive() are split out so a caller can
+// pipeline (the server answers strictly in request order). All methods are
+// blocking; a Client is single-threaded by design — share nothing, open one
+// Client per thread.
+
+#ifndef CSRPLUS_NET_CLIENT_H_
+#define CSRPLUS_NET_CLIENT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire_protocol.h"
+
+namespace csrplus::net {
+
+/// A blocking connection to a csrplus server.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port (IPv4 / resolvable name). kIOError on failure.
+  static Result<Client> Connect(const std::string& host, int port);
+  /// Convenience: "HOST:PORT".
+  static Result<Client> Connect(const std::string& address);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Writes one request frame. kFailedPrecondition when not connected;
+  /// kIOError when the connection drops mid-write.
+  Status Send(const WireRequest& request);
+
+  /// Reads one response frame (blocking). Frame and decode errors are
+  /// kDataLoss/kInvalidArgument; a clean peer close mid-stream is kIOError.
+  /// Note: a non-OK *service* status (e.g. kResourceExhausted) is a valid
+  /// response — it lands in WireResponse::status_code, not here.
+  Result<WireResponse> Receive();
+
+  /// Send + Receive.
+  Result<WireResponse> Call(const WireRequest& request);
+
+  /// Round-trips a kPing frame; OK means the server is alive and speaks
+  /// this protocol version.
+  Status Ping();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  /// Bytes received but not yet consumed as frames.
+  std::vector<uint8_t> rbuf_;
+  std::size_t rsize_ = 0;
+};
+
+}  // namespace csrplus::net
+
+#endif  // CSRPLUS_NET_CLIENT_H_

@@ -1,0 +1,52 @@
+#include "net/socket_util.h"
+
+#include <fcntl.h>
+#include <string.h>
+
+#include <cstdlib>
+
+namespace csrplus::net {
+
+Result<std::pair<std::string, int>> ParseHostPort(const std::string& address) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("address '" + address +
+                                   "' is not HOST:PORT");
+  }
+  const std::string host = address.substr(0, colon);
+  const std::string port_str = address.substr(colon + 1);
+  if (port_str.empty()) {
+    return Status::InvalidArgument("address '" + address +
+                                   "' is missing a port");
+  }
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+    return Status::InvalidArgument("port '" + port_str +
+                                   "' is not an integer in [0, 65535]");
+  }
+  return std::make_pair(host, static_cast<int>(port));
+}
+
+std::string FormatAddress(const std::string& host, int port) {
+  return host + ":" + std::to_string(port);
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string ErrnoString(int err) {
+  char buf[256];
+  buf[0] = '\0';
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  return std::string(strerror_r(err, buf, sizeof(buf)));
+#else
+  strerror_r(err, buf, sizeof(buf));
+  return std::string(buf);
+#endif
+}
+
+}  // namespace csrplus::net

@@ -1,0 +1,29 @@
+// Small POSIX socket helpers shared by the server and client.
+
+#ifndef CSRPLUS_NET_SOCKET_UTIL_H_
+#define CSRPLUS_NET_SOCKET_UTIL_H_
+
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace csrplus::net {
+
+/// Splits "HOST:PORT" into its parts. The host may be empty ("":8080" and
+/// ":8080" both mean all interfaces / loopback, caller's choice); the port
+/// must parse as an integer in [0, 65535] (0 = ephemeral, server only).
+Result<std::pair<std::string, int>> ParseHostPort(const std::string& address);
+
+/// "host:port".
+std::string FormatAddress(const std::string& host, int port);
+
+/// Marks `fd` non-blocking (O_NONBLOCK). Returns false on fcntl failure.
+bool SetNonBlocking(int fd);
+
+/// strerror(errno) as a std::string (thread-safe).
+std::string ErrnoString(int err);
+
+}  // namespace csrplus::net
+
+#endif  // CSRPLUS_NET_SOCKET_UTIL_H_

@@ -47,6 +47,9 @@ inline constexpr const char kServiceBatch[] = "service_batch";
 inline constexpr const char kServiceRequest[] = "service_request";
 inline constexpr const char kCacheLookup[] = "cache_lookup";
 inline constexpr const char kCacheInsert[] = "cache_insert";
+inline constexpr const char kNetRead[] = "net_read";
+inline constexpr const char kNetDispatch[] = "net_dispatch";
+inline constexpr const char kNetWrite[] = "net_write";
 }  // namespace spans
 
 /// True when span recording is on.

@@ -40,14 +40,26 @@ void QueryService::Shutdown() {
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
-Result<QueryService::Ticket> QueryService::Submit(QueryRequest request) {
+Result<QueryService::Ticket> QueryService::Submit(
+    QueryRequest request, std::function<void()> on_done) {
   if (request.top_k < 0) {
     return Status::InvalidArgument("top_k must be >= 0");
   }
   CSR_RETURN_IF_ERROR(core::ValidateQueries(request.queries,
                                             engine_->NumNodes(),
                                             core::QueryDuplicates::kReject));
+  // The dispatcher never merges past max_batch_queries, but the first
+  // request it pops used to be exempt — one oversized request would force
+  // an unbounded-width batch. Enforce the invariant at the door instead.
+  if (static_cast<Index>(request.queries.size()) >
+      options_.max_batch_queries) {
+    return Status::InvalidArgument(
+        "request has " + std::to_string(request.queries.size()) +
+        " queries; the service batch limit is " +
+        std::to_string(options_.max_batch_queries));
+  }
   auto state = std::make_shared<RequestState>();
+  state->on_done = std::move(on_done);
   state->submit_micros = obs::NowMicros();
   if (request.timeout_micros > 0) {
     state->deadline_micros = state->submit_micros + request.timeout_micros;
@@ -159,6 +171,14 @@ void QueryService::FinishLocked(RequestState* state, QueryResponse response) {
   state->response = std::move(response);
   state->phase = Phase::kDone;
   state->cv.notify_all();
+  if (state->on_done) {
+    // Fires exactly once: every terminal path funnels through here. The
+    // callback contract (Submit) forbids re-entering the service, so
+    // invoking it under the request lock is safe.
+    auto on_done = std::move(state->on_done);
+    state->on_done = nullptr;
+    on_done();
+  }
 }
 
 std::vector<std::shared_ptr<QueryService::RequestState>>
@@ -187,6 +207,9 @@ QueryService::NextBatch() {
     std::unordered_set<Index> distinct;
     while (!queue_.empty()) {
       const auto& front = queue_.front();
+      // The first popped request skips the widening checks below — safe only
+      // because Submit rejects any request with more than max_batch_queries
+      // queries, so no single request can blow past the batch cap on its own.
       if (!batch.empty()) {
         if (!options_.coalesce) break;
         if (static_cast<int>(batch.size()) >= options_.max_batch_requests) {

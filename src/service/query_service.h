@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -111,9 +112,20 @@ class QueryService {
   class Ticket;
 
   /// Validates and enqueues `request`. Fails fast with kResourceExhausted
-  /// (queue full or budget), kInvalidArgument (bad query set), or
-  /// kFailedPrecondition (after Shutdown). Never blocks on queue capacity.
-  Result<Ticket> Submit(QueryRequest request);
+  /// (queue full or budget), kInvalidArgument (bad query set, or more
+  /// queries than `max_batch_queries` — the dispatcher never widens a batch
+  /// past that limit, so a request that cannot fit in any batch is rejected
+  /// here), or kFailedPrecondition (after Shutdown). Never blocks on queue
+  /// capacity.
+  ///
+  /// `on_done`, when set, fires exactly once when the request completes —
+  /// any terminal path: scatter, deadline, cancellation or shutdown drain.
+  /// It runs on whichever thread finishes the request with internal locks
+  /// held, so it must only signal (write an eventfd, set a flag) and must
+  /// never call back into the service. The socket front end (src/net/)
+  /// uses it to pump its event loop without blocking a thread per request.
+  Result<Ticket> Submit(QueryRequest request,
+                        std::function<void()> on_done = nullptr);
 
   /// Submit + Wait. On admission failure the status lands in the response.
   QueryResponse Query(QueryRequest request);
@@ -165,6 +177,8 @@ class QueryService {
     Phase phase = Phase::kQueued;
     bool cancel_requested = false;
     QueryResponse response;
+    /// Completion signal (see Submit); consumed by FinishLocked.
+    std::function<void()> on_done;
   };
 
   void DispatcherLoop();

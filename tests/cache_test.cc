@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -182,6 +185,132 @@ TEST(ColumnCacheTest, ClearDropsEverything) {
   EXPECT_EQ(stats.invalidations, 5);
   std::vector<double> out;
   EXPECT_FALSE(cache.Lookup(9, 0, &out));
+}
+
+TEST(ColumnCacheTest, TinyCapacitySpreadOverManyShardsIsReclamped) {
+  // 1 MiB over 256 requested shards would leave 4 KiB per shard — below the
+  // useful minimum. The constructor halves the shard count until each slice
+  // can hold a plausible column again.
+  ColumnCacheOptions options;
+  options.capacity_bytes = 1ll << 20;
+  options.num_shards = 256;
+  ColumnCache cache(options);
+  EXPECT_EQ(cache.num_shards(), 16);
+  EXPECT_EQ(cache.shard_capacity_bytes(), 64ll << 10);
+  // A 4 KiB column (512 doubles) fits where the unclamped geometry would
+  // have truncated the shard slice to 4 KiB and rejected anything real.
+  const auto column = MakeColumn(512, 1.0);
+  EXPECT_TRUE(cache.Insert(1, 0, column.data(), 512));
+  std::vector<double> out;
+  EXPECT_TRUE(cache.Lookup(1, 0, &out));
+  EXPECT_EQ(out, column);
+}
+
+TEST(ColumnCacheTest, ZeroCapacityDoesNotCrashAndRejectsInserts) {
+  ColumnCacheOptions options;
+  options.capacity_bytes = 0;
+  options.num_shards = 64;
+  ColumnCache cache(options);
+  EXPECT_EQ(cache.num_shards(), 1);  // halved all the way down
+  const auto column = MakeColumn(4, 1.0);
+  EXPECT_FALSE(cache.Insert(1, 0, column.data(), 4));
+  std::vector<double> out;
+  EXPECT_FALSE(cache.Lookup(1, 0, &out));
+  EXPECT_EQ(cache.Stats().resident_columns, 0);
+}
+
+TEST(ColumnCacheTest, HugeShardCountDoesNotOverflowOrHang) {
+  // RoundUpPowerOfTwo(INT_MAX) used to loop `p <<= 1` past the largest
+  // power of two into signed overflow — an infinite loop in practice.
+  ColumnCacheOptions options;
+  options.num_shards = std::numeric_limits<int>::max();
+  ColumnCache cache(options);  // must return promptly
+  EXPECT_LE(cache.num_shards(), 256);
+  EXPECT_GE(cache.num_shards(), 1);
+  const auto column = MakeColumn(4, 1.0);
+  EXPECT_TRUE(cache.Insert(1, 0, column.data(), 4));
+}
+
+TEST(ColumnCacheTest, UnfingerprintedLookupsCountMissesWithoutShardState) {
+  ColumnCache cache;
+  std::vector<double> out;
+  EXPECT_FALSE(cache.Lookup(0, 1, &out));  // vector overload
+  DenseMatrix block(4, 1);
+  EXPECT_FALSE(cache.Lookup(0, 1, block.data(), 1, 4));  // strided overload
+  const ColumnCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.hits, 0);
+}
+
+TEST(ColumnCacheTest, VectorLookupHitCountsExactlyOnce) {
+  ColumnCache cache;
+  const auto column = MakeColumn(8, 2.0);
+  ASSERT_TRUE(cache.Insert(5, 9, column.data(), 8));
+  std::vector<double> out;
+  ASSERT_TRUE(cache.Lookup(5, 9, &out));
+  EXPECT_EQ(out, column);
+  const ColumnCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 0);
+  // A miss clears the output vector rather than leaving stale bytes.
+  EXPECT_FALSE(cache.Lookup(5, 10, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ColumnCacheTest, LookupUnderConcurrentEvictionKeepsExactAccounting) {
+  // One tiny shard so inserts continuously evict while readers race the
+  // vector-overload Lookup: the returned copy must always be a complete
+  // column (never a torn read), and hits + misses must equal the number of
+  // lookups exactly — the TOCTOU double-find used to double-count misses.
+  ColumnCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 4 * 8 * static_cast<int64_t>(sizeof(double));
+  ColumnCache cache(options);
+  constexpr int kNodes = 16;
+  constexpr int kLookupsPerThread = 4000;
+  constexpr int kReaders = 3;
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Index node = static_cast<Index>(i % kNodes);
+      const auto column = MakeColumn(8, static_cast<double>(node));
+      cache.Insert(1, node, column.data(), 8);
+      ++i;
+    }
+  });
+
+  std::atomic<int64_t> observed_hits{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      std::vector<double> out;
+      for (int i = 0; i < kLookupsPerThread; ++i) {
+        const Index node = static_cast<Index>((i + t) % kNodes);
+        if (cache.Lookup(1, node, &out)) {
+          // A hit must be the complete, self-consistent column.
+          ASSERT_EQ(out.size(), 8u);
+          for (std::size_t j = 0; j < out.size(); ++j) {
+            ASSERT_EQ(out[j],
+                      static_cast<double>(node) + static_cast<double>(j));
+          }
+          observed_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ASSERT_TRUE(out.empty());
+        }
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  stop.store(true);
+  writer.join();
+
+  const ColumnCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<int64_t>(kReaders) * kLookupsPerThread);
 }
 
 // ---------------------------------------------------------------------------

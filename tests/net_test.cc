@@ -1,0 +1,525 @@
+// Tests for the socket front end (src/net): wire codec round-trips and
+// garbage rejection, server/client round trips that must be bit-identical
+// to in-process QueryService execution, pipelined response ordering,
+// deterministic backpressure (kResourceExhausted status frames), deadline
+// propagation, shutdown-while-clients-connected draining, and a
+// multi-connection hammer (the CI TSan job runs this file).
+
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/csrplus_engine.h"
+#include "core/query_engine.h"
+#include "core/topk.h"
+#include "net/socket_util.h"
+#include "service/query_service.h"
+#include "test_util.h"
+
+namespace csrplus::net {
+namespace {
+
+using csrplus::testing::RandomGraph;
+using linalg::Index;
+
+core::CsrPlusEngine MakeEngine(Index nodes = 100, int64_t edges = 700,
+                               uint64_t seed = 11) {
+  auto graph = RandomGraph(nodes, edges, seed);
+  core::CsrPlusOptions options;
+  options.rank = 8;
+  auto engine = core::CsrPlusEngine::Precompute(graph, options);
+  CSR_CHECK(engine.ok()) << engine.status().ToString();
+  return std::move(*engine);
+}
+
+/// An engine wrapper whose queries block until released (mirrors the one in
+/// query_service_test.cc) — pins the dispatcher so requests pile up.
+class GatedEngine : public core::QueryEngine {
+ public:
+  explicit GatedEngine(const core::QueryEngine* inner) : inner_(inner) {}
+
+  Result<linalg::DenseMatrix> MultiSourceQuery(
+      const std::vector<Index>& queries) const override {
+    while (gated_.load()) std::this_thread::yield();
+    return inner_->MultiSourceQuery(queries);
+  }
+  Status SingleSourceQueryInto(Index query,
+                               std::vector<double>* out) const override {
+    return inner_->SingleSourceQueryInto(query, out);
+  }
+  Index NumNodes() const override { return inner_->NumNodes(); }
+  std::string_view Name() const override { return inner_->Name(); }
+  uint64_t StateFingerprint() const override {
+    return inner_->StateFingerprint();
+  }
+
+  void Open() { gated_.store(false); }
+  void Close() { gated_.store(true); }
+
+ private:
+  const core::QueryEngine* inner_;
+  mutable std::atomic<bool> gated_{false};
+};
+
+// ---------------------------------------------------------------------------
+// Codec
+
+TEST(WireProtocolTest, RequestRoundTripPreservesEveryField) {
+  WireRequest request;
+  request.method = Method::kQuery;
+  request.exclude_query = false;
+  request.top_k = 7;
+  request.deadline_micros = 123456789ull;
+  request.queries = {0, 42, 9999999999ll};
+
+  std::string frame;
+  AppendRequestFrame(request, &frame);
+  const uint8_t* payload = nullptr;
+  std::size_t payload_size = 0;
+  std::size_t consumed = 0;
+  ASSERT_EQ(ExtractFrame(reinterpret_cast<const uint8_t*>(frame.data()),
+                         frame.size(), kMaxRequestFrameBytes, &payload,
+                         &payload_size, &consumed),
+            FrameStatus::kComplete);
+  EXPECT_EQ(consumed, frame.size());
+
+  auto decoded = DecodeRequest(payload, payload_size);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->method, Method::kQuery);
+  EXPECT_FALSE(decoded->exclude_query);
+  EXPECT_EQ(decoded->top_k, 7);
+  EXPECT_EQ(decoded->deadline_micros, 123456789ull);
+  EXPECT_EQ(decoded->queries, request.queries);
+}
+
+TEST(WireProtocolTest, ResponseRoundTripWithScoresIsBitIdentical) {
+  WireResponse response;
+  response.status_code = 0;
+  response.batch_requests = 3;
+  response.batch_queries = 5;
+  response.wait_micros = 11;
+  response.total_micros = 22;
+  response.scores = linalg::DenseMatrix(4, 2);
+  double v = 0.125;
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 2; ++j) {
+      response.scores(i, j) = v;
+      v = v * -1.5 + 1e-17;  // exercise signs and tiny magnitudes
+    }
+  }
+
+  std::string frame;
+  AppendResponseFrame(response, &frame);
+  const uint8_t* payload = nullptr;
+  std::size_t payload_size = 0;
+  std::size_t consumed = 0;
+  ASSERT_EQ(ExtractFrame(reinterpret_cast<const uint8_t*>(frame.data()),
+                         frame.size(), kMaxResponseFrameBytes, &payload,
+                         &payload_size, &consumed),
+            FrameStatus::kComplete);
+  auto decoded = DecodeResponse(payload, payload_size);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->batch_requests, 3u);
+  EXPECT_EQ(decoded->batch_queries, 5);
+  EXPECT_TRUE(decoded->scores == response.scores);  // bit-identical
+}
+
+TEST(WireProtocolTest, ResponseRoundTripWithTopKAndErrorStatus) {
+  WireResponse response;
+  response.status_code =
+      static_cast<uint16_t>(StatusCode::kResourceExhausted);
+  response.message = "queue full";
+  std::string frame;
+  AppendResponseFrame(response, &frame);
+  auto decoded = DecodeResponse(
+      reinterpret_cast<const uint8_t*>(frame.data()) + kFrameHeaderBytes,
+      frame.size() - kFrameHeaderBytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->ToStatus().IsResourceExhausted());
+  EXPECT_EQ(decoded->ToStatus().message(), "queue full");
+
+  WireResponse with_topk;
+  with_topk.topk = {{{3, 0.5}, {1, 0.25}}, {{7, 1.0}}};
+  std::string topk_frame;
+  AppendResponseFrame(with_topk, &topk_frame);
+  auto topk_decoded = DecodeResponse(
+      reinterpret_cast<const uint8_t*>(topk_frame.data()) + kFrameHeaderBytes,
+      topk_frame.size() - kFrameHeaderBytes);
+  ASSERT_TRUE(topk_decoded.ok()) << topk_decoded.status().ToString();
+  ASSERT_EQ(topk_decoded->topk.size(), 2u);
+  ASSERT_EQ(topk_decoded->topk[0].size(), 2u);
+  EXPECT_EQ(topk_decoded->topk[0][0].node, 3);
+  EXPECT_EQ(topk_decoded->topk[0][0].score, 0.5);
+  EXPECT_EQ(topk_decoded->topk[1][0].node, 7);
+}
+
+TEST(WireProtocolTest, GarbageAndTruncationAreRejectedWithTypedErrors) {
+  // Truncated payloads at every prefix length must error, never crash.
+  WireRequest request;
+  request.queries = {1, 2, 3};
+  std::string frame;
+  AppendRequestFrame(request, &frame);
+  const uint8_t* payload =
+      reinterpret_cast<const uint8_t*>(frame.data()) + kFrameHeaderBytes;
+  const std::size_t payload_size = frame.size() - kFrameHeaderBytes;
+  for (std::size_t len = 0; len < payload_size; ++len) {
+    EXPECT_FALSE(DecodeRequest(payload, len).ok()) << "prefix " << len;
+  }
+
+  // A version mismatch is the typed kFailedPrecondition.
+  std::string bad_version(payload, payload + payload_size);
+  bad_version[0] = static_cast<char>(kProtocolVersion + 1);
+  auto mismatched = DecodeRequest(
+      reinterpret_cast<const uint8_t*>(bad_version.data()),
+      bad_version.size());
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_TRUE(mismatched.status().IsFailedPrecondition());
+
+  // Trailing bytes after a well-formed request are an error.
+  std::string trailing(payload, payload + payload_size);
+  trailing.push_back('\0');
+  EXPECT_FALSE(
+      DecodeRequest(reinterpret_cast<const uint8_t*>(trailing.data()),
+                    trailing.size())
+          .ok());
+
+  // An over-long declared frame costs the u32 read only.
+  uint8_t huge_header[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  const uint8_t* out_payload = nullptr;
+  std::size_t out_size = 0, out_consumed = 0;
+  EXPECT_EQ(ExtractFrame(huge_header, sizeof(huge_header),
+                         kMaxRequestFrameBytes, &out_payload, &out_size,
+                         &out_consumed),
+            FrameStatus::kTooLarge);
+
+  // A partial header is incomplete, not an error.
+  EXPECT_EQ(ExtractFrame(huge_header, 2, kMaxRequestFrameBytes, &out_payload,
+                         &out_size, &out_consumed),
+            FrameStatus::kIncomplete);
+}
+
+// ---------------------------------------------------------------------------
+// Server / client round trips
+
+TEST(NetServerTest, PingAndQueryMatchInProcessServiceBitIdentically) {
+  auto engine = MakeEngine();
+  service::QueryService service(&engine);
+  Server server(&service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client->Ping().ok());
+
+  const std::vector<Index> queries = {3, 41, 77};
+  WireRequest request;
+  request.queries.assign(queries.begin(), queries.end());
+  auto response = client->Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok()) << response->ToStatus().ToString();
+
+  auto direct = engine.MultiSourceQuery(queries);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(response->scores == *direct)
+      << "socket round trip must be bit-identical to the engine";
+  EXPECT_GE(response->batch_requests, 1u);
+
+  // Top-k body: same entries as the in-process top-k helper.
+  WireRequest topk_request;
+  topk_request.queries = {3};
+  topk_request.top_k = 5;
+  auto topk_response = client->Call(topk_request);
+  ASSERT_TRUE(topk_response.ok()) << topk_response.status().ToString();
+  ASSERT_TRUE(topk_response->ok());
+  ASSERT_EQ(topk_response->topk.size(), 1u);
+  const auto expected =
+      core::TopKOfColumn(*engine.MultiSourceQuery({3}), 0, 5, {Index{3}});
+  ASSERT_EQ(topk_response->topk[0].size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(topk_response->topk[0][i].node, expected[i].node);
+    EXPECT_EQ(topk_response->topk[0][i].score, expected[i].score);
+  }
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+TEST(NetServerTest, IdTranslationHooksMapWireIdsBothWays) {
+  // Mirrors the CLI's text-graph serving path, where sparse original node
+  // ids were compacted at load time: the wire speaks external ids, the
+  // engine internal indexes. Hooks here shift by 1000.
+  auto engine = MakeEngine();
+  const int64_t n = engine.NumNodes();
+  service::QueryService service(&engine);
+  ServerOptions server_options;
+  server_options.to_internal = [n](int64_t external) -> Result<Index> {
+    const int64_t internal = external - 1000;
+    if (internal < 0 || internal >= n) {
+      return Status::NotFound("node id " + std::to_string(external) +
+                              " does not appear in the graph");
+    }
+    return static_cast<Index>(internal);
+  };
+  server_options.to_external = [](Index internal) {
+    return static_cast<int64_t>(internal) + 1000;
+  };
+  Server server(&service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Column bodies are positional and must NOT be translated: the external
+  // query {1007} returns exactly the engine's column for node 7.
+  WireRequest request;
+  request.queries = {1007};
+  auto response = client->Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok()) << response->ToStatus().ToString();
+  auto direct = engine.MultiSourceQuery({Index{7}});
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(response->scores == *direct);
+
+  // Top-k node ids come back through to_external (scores untouched).
+  WireRequest topk_request;
+  topk_request.queries = {1003};
+  topk_request.top_k = 4;
+  auto topk_response = client->Call(topk_request);
+  ASSERT_TRUE(topk_response.ok()) << topk_response.status().ToString();
+  ASSERT_TRUE(topk_response->ok());
+  ASSERT_EQ(topk_response->topk.size(), 1u);
+  const auto expected =
+      core::TopKOfColumn(*engine.MultiSourceQuery({3}), 0, 4, {Index{3}});
+  ASSERT_EQ(topk_response->topk[0].size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(topk_response->topk[0][i].node, expected[i].node + 1000);
+    EXPECT_EQ(topk_response->topk[0][i].score, expected[i].score);
+  }
+
+  // An id to_internal rejects becomes a typed error frame on a live
+  // connection — exactly like any other invalid request.
+  WireRequest unknown;
+  unknown.queries = {7};  // engine-range id, but not a valid *external* id
+  auto unknown_response = client->Call(unknown);
+  ASSERT_TRUE(unknown_response.ok()) << unknown_response.status().ToString();
+  EXPECT_TRUE(unknown_response->ToStatus().IsNotFound())
+      << unknown_response->ToStatus().ToString();
+  EXPECT_TRUE(client->Ping().ok());
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+TEST(NetServerTest, PipelinedResponsesArriveInRequestOrder) {
+  auto engine = MakeEngine();
+  service::QueryService service(&engine);
+  Server server(&service, {});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    WireRequest request;
+    request.queries = {static_cast<int64_t>(i)};
+    ASSERT_TRUE(client->Send(request).ok());
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    auto response = client->Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->ok());
+    auto direct = engine.MultiSourceQuery({static_cast<Index>(i)});
+    ASSERT_TRUE(direct.ok());
+    EXPECT_TRUE(response->scores == *direct)
+        << "response " << i << " is out of order or wrong";
+  }
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+TEST(NetServerTest, InvalidQueriesComeBackAsStatusFramesOnALiveStream) {
+  auto engine = MakeEngine();
+  service::QueryService service(&engine);
+  Server server(&service, {});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  WireRequest dup;
+  dup.queries = {5, 5};
+  auto response = client->Call(dup);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->ToStatus().IsInvalidArgument());
+
+  // The connection survives a rejected request.
+  EXPECT_TRUE(client->Ping().ok());
+
+  // A deadline that has no chance: the service answers kDeadlineExceeded
+  // (or completes in time on a fast machine — both are valid frames).
+  WireRequest doomed;
+  doomed.queries = {1};
+  doomed.deadline_micros = 1;
+  auto doomed_response = client->Call(doomed);
+  ASSERT_TRUE(doomed_response.ok()) << doomed_response.status().ToString();
+  EXPECT_TRUE(doomed_response->ok() ||
+              doomed_response->ToStatus().IsDeadlineExceeded());
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+TEST(NetServerTest, PipelineCapRejectsFloodWithResourceExhaustedFrames) {
+  auto engine = MakeEngine();
+  GatedEngine gated(&engine);
+  gated.Close();  // hold the dispatcher: nothing completes until Open()
+  service::QueryService service(&gated);
+  ServerOptions server_options;
+  server_options.max_pipeline = 2;
+  Server server(&service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Flood 20 pipelined requests. The first two occupy the connection's
+  // pipeline budget; the other 18 must be answered kResourceExhausted —
+  // deterministically, because frames on one connection are handled in
+  // order and nothing can complete while the engine is gated.
+  constexpr int kFlood = 20;
+  for (int i = 0; i < kFlood; ++i) {
+    WireRequest request;
+    request.queries = {static_cast<int64_t>(i % 50)};
+    ASSERT_TRUE(client->Send(request).ok()) << "request " << i;
+  }
+  gated.Open();
+
+  int ok = 0, exhausted = 0;
+  for (int i = 0; i < kFlood; ++i) {
+    auto response = client->Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    if (response->ok()) {
+      ++ok;
+    } else if (response->ToStatus().IsResourceExhausted()) {
+      ++exhausted;
+    } else {
+      FAIL() << "unexpected status: " << response->ToStatus().ToString();
+    }
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(exhausted, kFlood - 2);
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+TEST(NetServerTest, ShutdownWithConnectedClientsDrainsInFlightRequests) {
+  auto engine = MakeEngine();
+  GatedEngine gated(&engine);
+  gated.Close();
+  service::QueryService service(&gated);
+  Server server(&service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  for (int i = 0; i < 3; ++i) {
+    WireRequest request;
+    request.queries = {static_cast<int64_t>(i)};
+    ASSERT_TRUE(client->Send(request).ok());
+  }
+  // Give the worker a chance to decode and submit at least some requests
+  // before the shutdown races them (any interleaving must drain cleanly).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  std::thread shutter([&] { server.Shutdown(); });
+  gated.Open();  // let the in-flight batch finish so the drain completes
+  shutter.join();
+
+  // Every submitted request got a terminal frame (completed or cancelled)
+  // before the close; anything the worker never read ends in a clean EOF.
+  int frames = 0;
+  for (;;) {
+    auto response = client->Receive();
+    if (!response.ok()) break;  // EOF after the drain
+    EXPECT_TRUE(response->ok() || response->ToStatus().IsCancelled())
+        << response->ToStatus().ToString();
+    ++frames;
+  }
+  EXPECT_LE(frames, 3);
+  service.Shutdown();
+}
+
+TEST(NetServerTest, MultiConnectionHammerStaysConsistent) {
+  auto engine = MakeEngine();
+  cache::ColumnCacheOptions cache_options;
+  cache_options.capacity_bytes = 1 << 20;
+  cache::ColumnCache cache(cache_options);
+  service::ServiceOptions service_options;
+  service_options.cache = &cache;
+  service::QueryService service(&engine, service_options);
+  ServerOptions server_options;
+  server_options.num_workers = 2;
+  Server server(&service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 8;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      for (int r = 0; r < kRequests; ++r) {
+        // Overlapping hot-set queries: exercises coalescing + cache.
+        const Index a = static_cast<Index>((c * 7 + r) % 20);
+        const Index b = static_cast<Index>((a + 31) % 100);
+        WireRequest request;
+        request.queries = {a, b};
+        auto response = client->Call(request);
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        ASSERT_TRUE(response->ok()) << response->ToStatus().ToString();
+        auto direct = engine.MultiSourceQuery({a, b});
+        ASSERT_TRUE(direct.ok());
+        if (!(response->scores == *direct)) ++mismatches;
+        ++ok_count;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), kClients * kRequests);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+TEST(NetServerTest, ParseHostPortAcceptsAndRejects) {
+  auto good = ParseHostPort("127.0.0.1:8080");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->first, "127.0.0.1");
+  EXPECT_EQ(good->second, 8080);
+  auto any = ParseHostPort(":0");
+  ASSERT_TRUE(any.ok());
+  EXPECT_EQ(any->first, "");
+  EXPECT_EQ(any->second, 0);
+  EXPECT_FALSE(ParseHostPort("no-port").ok());
+  EXPECT_FALSE(ParseHostPort("host:").ok());
+  EXPECT_FALSE(ParseHostPort("host:70000").ok());
+  EXPECT_FALSE(ParseHostPort("host:12x").ok());
+}
+
+}  // namespace
+}  // namespace csrplus::net

@@ -536,6 +536,33 @@ TEST(ObsDocumentationTest, EveryEmittedMetricIsDocumented) {
     EXPECT_EQ(cache.EvictEngine(1), 2);           // invalidations
   }
 
+  // Socket front end: accept, ping, one top-k query and one rejected
+  // submission, so the csrplus.net.* metrics and net_* spans register.
+  {
+    service::QueryService net_service(&*engine);
+    net::ServerOptions server_options;
+    server_options.num_workers = 1;
+    net::Server server(&net_service, server_options);
+    ASSERT_TRUE(server.Start().ok());
+    auto client = net::Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    ASSERT_TRUE(client->Ping().ok());
+    net::WireRequest request;
+    request.queries = {0, 1};
+    request.top_k = 3;
+    auto response = client->Call(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->ok());
+    net::WireRequest dup;
+    dup.queries = {0, 0};  // duplicate ids: admission fails, reply is a
+                           // kInvalidArgument status frame
+    auto rejected = client->Call(dup);
+    ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+    EXPECT_FALSE(rejected->ok());
+    server.Shutdown();
+    net_service.Shutdown();
+  }
+
   // Budget paths: one granted, one rejected.
   EXPECT_TRUE(MemoryBudget::Global().TryReserve(1024, "obs_test ok").ok());
   EXPECT_FALSE(MemoryBudget::Global()
@@ -575,7 +602,8 @@ TEST(ObsDocumentationTest, EveryEmittedMetricIsDocumented) {
                            obs::spans::kServiceRequest,
                            obs::spans::kServiceBatch,
                            obs::spans::kCacheLookup,
-                           obs::spans::kCacheInsert}) {
+                           obs::spans::kCacheInsert, obs::spans::kNetRead,
+                           obs::spans::kNetDispatch, obs::spans::kNetWrite}) {
     EXPECT_NE(doc.find("`" + std::string(span) + "`"), std::string::npos)
         << "span \"" << span << "\" is not documented in the span taxonomy";
   }

@@ -312,6 +312,27 @@ TEST(QueryServiceTest, InvalidRequestsAreRejectedAtSubmit) {
       service.Submit(std::move(duplicates)).status().IsInvalidArgument());
 }
 
+TEST(QueryServiceTest, OversizedRequestIsRejectedAtSubmit) {
+  // A request wider than max_batch_queries can never be served within the
+  // batch-width cap; it used to slip through as the first popped request
+  // and run as an oversized batch.
+  auto engine = MakeEngine();
+  ServiceOptions options;
+  options.max_batch_queries = 4;
+  QueryService service(&engine, options);
+  QueryRequest oversized;
+  oversized.queries = {0, 1, 2, 3, 4};
+  EXPECT_TRUE(
+      service.Submit(std::move(oversized)).status().IsInvalidArgument());
+  // Exactly at the cap is fine.
+  QueryRequest at_cap;
+  at_cap.queries = {0, 1, 2, 3};
+  auto ticket = service.Submit(std::move(at_cap));
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  const QueryResponse& response = ticket->Wait();
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+}
+
 TEST(QueryServiceTest, ShutdownCancelsQueuedAndRejectsNewSubmissions) {
   auto engine = MakeEngine();
   GatedEngine gated(&engine);

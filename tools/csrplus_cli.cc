@@ -24,6 +24,18 @@
 //       --requests random multi-source requests of --qsize queries. Prints
 //       throughput, latency percentiles and admission/deadline outcomes.
 //
+//   csrplus serve <graph> --listen=HOST:PORT
+//       Real socket server: expose the QueryService over TCP using the
+//       length-prefixed binary protocol (docs/wire-protocol.md). Runs until
+//       SIGINT/SIGTERM, then drains connections and shuts down cleanly.
+//
+//   csrplus client --server=HOST:PORT [<node> ...]
+//       Talk to a running socket server. With query nodes, print the top-k
+//       most similar nodes per query in exactly the `csrplus query` output
+//       format (responses are bit-identical to an in-process query by the
+//       column-independence contract). With no nodes, ping the server and
+//       print "pong".
+//
 //   csrplus pair <graph> <a> <b>
 //       Single-pair CoSimRank score.
 //
@@ -55,6 +67,10 @@
 //   --cache-mb=M    (serve) column-cache capacity in MiB, 0 = off
 //                   (default 64)
 //   --no-cache      (serve) disable the column cache entirely
+//   --listen=H:P    (serve) run a real socket server on H:P instead of the
+//                   in-process stress demo (port 0 = ephemeral)
+//   --net-workers=N (serve --listen) epoll worker threads (default 2)
+//   --server=H:P    (client) server address to connect to
 //   --stats-out=P   after the command finishes, write the stats registry
 //                   snapshot (counters/gauges/histograms) to P as JSON
 //   --trace-out=P   enable span tracing for the whole run and write a Chrome
@@ -64,6 +80,8 @@
 // Graphs ending in ".csrg" are read as binary, anything else as a SNAP text
 // edge list.
 
+#include <signal.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +90,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "csrplus.h"
@@ -98,6 +117,9 @@ struct CliOptions {
   bool no_coalesce = false;  // serve: disable micro-batching
   int cache_mb = 64;         // serve: column-cache capacity (MiB); 0 = off
   bool no_cache = false;     // serve: disable the column cache
+  std::string listen;        // serve: socket mode listen address
+  int net_workers = 2;       // serve --listen: epoll worker threads
+  std::string server;        // client: server address
   bool show_version = false;
   std::vector<std::string> positional;
 };
@@ -123,7 +145,11 @@ void PrintUsage() {
                "                                 [--deadline-ms=D] "
                "[--no-coalesce]\n"
                "                                 [--cache-mb=M] "
-               "[--no-cache]\n");
+               "[--no-cache]\n"
+               "                                 [--listen=H:P] "
+               "[--net-workers=N]\n"
+               "  client --server=H:P [<node>..]  query (or ping) a socket "
+               "server\n");
 }
 
 bool ParseMethod(const std::string& name, eval::Method* method) {
@@ -179,6 +205,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->cache_mb = std::atoi(arg.c_str() + 11);
     } else if (arg == "--no-cache") {
       options->no_cache = true;
+    } else if (StartsWith(arg, "--listen=")) {
+      options->listen = arg.substr(9);
+    } else if (StartsWith(arg, "--net-workers=")) {
+      options->net_workers = std::atoi(arg.c_str() + 14);
+    } else if (StartsWith(arg, "--server=")) {
+      options->server = arg.substr(9);
     } else if (arg == "--version") {
       options->show_version = true;
     } else if (StartsWith(arg, "--artifact=")) {
@@ -398,10 +430,99 @@ int RunQuery(const CliOptions& options) {
   return 0;
 }
 
+/// Prints the end-of-run cache summary shared by both serve modes.
+void PrintCacheSummary(const cache::ColumnCache* column_cache) {
+  if (column_cache == nullptr) return;
+  const cache::ColumnCacheStats cs = column_cache->Stats();
+  if (cs.hits + cs.misses == 0) {
+    // EvaluateBatch never probed: the engine reported StateFingerprint 0
+    // (it cannot vouch for its state), so the cache stayed pass-through.
+    std::printf("  cache: pass-through (engine has no state fingerprint)\n");
+  } else {
+    std::printf("  cache: %.0f%% hit rate (%lld hits, %lld misses), "
+                "%lld columns resident (%s)\n",
+                100.0 * cs.hit_rate(), static_cast<long long>(cs.hits),
+                static_cast<long long>(cs.misses),
+                static_cast<long long>(cs.resident_columns),
+                FormatBytes(cs.resident_bytes).c_str());
+  }
+}
+
+/// `serve --listen`: run the socket front end until SIGINT/SIGTERM.
+/// Preconditions handled by the caller: signals already blocked (so every
+/// thread spawned below inherits the mask and sigwait gets the signal).
+int RunServeSocket(const CliOptions& options, const LoadedGraph& g,
+                   service::QueryService* service,
+                   const cache::ColumnCache* column_cache,
+                   const sigset_t* sigs) {
+  auto host_port = net::ParseHostPort(options.listen);
+  if (!host_port.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 host_port.status().ToString().c_str());
+    return 2;
+  }
+  net::ServerOptions server_options;
+  server_options.host = host_port->first;
+  server_options.port = host_port->second;
+  server_options.num_workers = std::max(1, options.net_workers);
+  // Text inputs compact sparse original ids at load time; translate at the
+  // wire boundary so socket clients speak the same ids as `csrplus query`
+  // (and get the same bytes back). Binary .csrg inputs are identity-mapped
+  // and skip the hooks entirely. ToCompact is a linear scan, fine for a
+  // one-shot CLI query but not per-request — build a hash index once.
+  std::shared_ptr<std::unordered_map<int64_t, Index>> compact_index;
+  if (!g.original_ids.empty()) {
+    compact_index = std::make_shared<std::unordered_map<int64_t, Index>>();
+    compact_index->reserve(g.original_ids.size());
+    for (std::size_t i = 0; i < g.original_ids.size(); ++i) {
+      (*compact_index)[g.original_ids[i]] = static_cast<Index>(i);
+    }
+    server_options.to_internal =
+        [compact_index](int64_t original) -> Result<Index> {
+      auto it = compact_index->find(original);
+      if (it == compact_index->end()) {
+        return Status::NotFound("node id " + std::to_string(original) +
+                                " does not appear in the graph");
+      }
+      return it->second;
+    };
+    server_options.to_external = [&g](Index compact) {
+      return g.ToOriginal(compact);
+    };
+  }
+  net::Server server(service, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // Scripts (and the CI smoke test) wait for this line before connecting.
+  std::printf("listening on %s\n", server.address().c_str());
+  std::fflush(stdout);
+  int sig = 0;
+  sigwait(sigs, &sig);
+  std::fprintf(stderr, "received signal %d, shutting down\n", sig);
+  server.Shutdown();
+  service->Shutdown();
+  PrintCacheSummary(column_cache);
+  return 0;
+}
+
 int RunServe(const CliOptions& options) {
   if (options.positional.size() != 2) {
     PrintUsage();
     return 2;
+  }
+  // Socket mode waits for SIGINT/SIGTERM via sigwait; block the signals
+  // before any thread (pool workers, dispatcher, epoll workers) is spawned
+  // so they all inherit the mask and the signal lands in sigwait.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  const bool socket_mode = !options.listen.empty();
+  if (socket_mode) {
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
   }
   auto g = LoadGraph(options.positional[1], options);
   if (!g.ok()) {
@@ -431,7 +552,16 @@ int RunServe(const CliOptions& options) {
   service::ServiceOptions service_options;
   service_options.coalesce = !options.no_coalesce;
   service_options.cache = column_cache.get();
+  // Submit rejects requests wider than max_batch_queries (they could never
+  // be batched); let --qsize raise the cap so large stress requests and
+  // socket clients sized to --qsize stay admissible.
+  service_options.max_batch_queries =
+      std::max<Index>(service_options.max_batch_queries, qsize);
   service::QueryService service(box->engine.get(), service_options);
+
+  if (socket_mode) {
+    return RunServeSocket(options, *g, &service, column_cache.get(), &sigs);
+  }
 
   std::mutex agg_mu;
   std::vector<uint64_t> latencies_us;
@@ -500,22 +630,66 @@ int RunServe(const CliOptions& options) {
                 static_cast<unsigned long long>(pct(0.99)),
                 static_cast<unsigned long long>(latencies_us.back()));
   }
-  if (column_cache != nullptr) {
-    const cache::ColumnCacheStats cs = column_cache->Stats();
-    if (cs.hits + cs.misses == 0) {
-      // EvaluateBatch never probed: the engine reported StateFingerprint 0
-      // (it cannot vouch for its state), so the cache stayed pass-through.
-      std::printf("  cache: pass-through (engine has no state fingerprint)\n");
-    } else {
-      std::printf("  cache: %.0f%% hit rate (%lld hits, %lld misses), "
-                  "%lld columns resident (%s)\n",
-                  100.0 * cs.hit_rate(), static_cast<long long>(cs.hits),
-                  static_cast<long long>(cs.misses),
-                  static_cast<long long>(cs.resident_columns),
-                  FormatBytes(cs.resident_bytes).c_str());
+  PrintCacheSummary(column_cache.get());
+  return other == 0 ? 0 : 1;
+}
+
+int RunClient(const CliOptions& options) {
+  if (options.server.empty()) {
+    std::fprintf(stderr, "error: client requires --server=HOST:PORT\n");
+    PrintUsage();
+    return 2;
+  }
+  auto client = net::Client::Connect(options.server);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  if (options.positional.size() == 1) {
+    Status pinged = client->Ping();
+    if (!pinged.ok()) {
+      std::fprintf(stderr, "error: %s\n", pinged.ToString().c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (options.topk <= 0) {
+    std::fprintf(stderr, "error: client queries need --topk >= 1\n");
+    return 2;
+  }
+  net::WireRequest request;
+  request.method = net::Method::kQuery;
+  request.top_k = static_cast<int32_t>(options.topk);
+  request.deadline_micros = static_cast<uint64_t>(options.deadline_ms) * 1000;
+  for (std::size_t i = 1; i < options.positional.size(); ++i) {
+    request.queries.push_back(std::atoll(options.positional[i].c_str()));
+  }
+  auto response = client->Call(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  if (!response->ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 response->ToStatus().ToString().c_str());
+    return 1;
+  }
+  if (response->topk.size() != request.queries.size()) {
+    std::fprintf(stderr, "error: server returned %zu top-k columns for %zu "
+                 "queries\n", response->topk.size(), request.queries.size());
+    return 1;
+  }
+  // Same output format as `csrplus query` — the CI smoke test diffs the
+  // two. (Binary .csrg graphs have an identity id mapping, so the raw ids
+  // here match RunQuery's ToOriginal output.)
+  for (std::size_t j = 0; j < request.queries.size(); ++j) {
+    std::printf("query %ld:\n", static_cast<long>(request.queries[j]));
+    for (const auto& sn : response->topk[j]) {
+      std::printf("  %8ld  %.6f\n", static_cast<long>(sn.node), sn.score);
     }
   }
-  return other == 0 ? 0 : 1;
+  return 0;
 }
 
 int RunPair(const CliOptions& options) {
@@ -691,6 +865,8 @@ int main(int argc, char** argv) {
     code = RunArtifactInfo(options);
   } else if (command == "serve") {
     code = RunServe(options);
+  } else if (command == "client") {
+    code = RunClient(options);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     PrintUsage();
