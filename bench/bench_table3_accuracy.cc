@@ -7,6 +7,8 @@
 // the faithful arithmetic at r = 200 would take days, and fidelity does not
 // change the output (tests/theorems_test.cc proves the identity).
 
+#include <algorithm>
+
 #include "bench_util.h"
 #include "baselines/ni_sim.h"
 #include "core/cosimrank.h"
@@ -23,6 +25,15 @@ int main(int argc, char** argv) {
   const std::vector<Index> ranks = {25, 50, 100, 200};
   eval::TablePrinter table({"dataset", "r", "AvgDiff(CSR+)", "AvgDiff(CSR-NI)",
                             "MaxDiff(CSR+ vs NI)"});
+  // The float32 serving tier rides the same workloads: quantised factors +
+  // SIMD f32 kernels vs the double engine. CI enforces the two thresholds
+  // below with --f32-enforce=1 (env COSIM_F32_ENFORCE).
+  eval::TablePrinter f32_table(
+      {"dataset", "r", "MaxDiff(f32 vs f64)", "minTop10Overlap", "gate"});
+  constexpr double kF32MaxDiffCeiling = 1e-4;
+  constexpr double kF32OverlapFloor = 0.99;
+  bool f32_gate_failed = false;
+  bool f32_gate_ran = false;
 
   for (const std::string& key : {std::string("fb"), std::string("p2p")}) {
     auto workload = LoadWorkload(key, DefaultQuerySize());
@@ -89,10 +100,66 @@ int main(int argc, char** argv) {
       table.AddRow({workload->key, std::to_string(r),
                     eval::FormatSci(plus_avgdiff), ni_cell, agreement_cell});
     }
+
+    // --- float32 serving tier vs the double engine -------------------------
+    for (Index r : ranks) {
+      core::CsrPlusOptions tier_options;
+      tier_options.rank = r;
+      tier_options.damping = config.damping;
+      tier_options.epsilon = 1e-8;
+      auto f64_engine = core::CsrPlusEngine::PrecomputeFromTransition(
+          workload->transition, tier_options);
+      if (!f64_engine.ok()) {
+        f32_table.AddRow({workload->key, std::to_string(r), "FAIL", "-", "-"});
+        continue;
+      }
+      tier_options.precision = core::Precision::kF32;
+      auto f32_engine = core::CsrPlusEngine::PrecomputeFromTransition(
+          workload->transition, tier_options);
+      CSR_CHECK_OK(f32_engine.status());
+      auto f64_scores = f64_engine->MultiSourceQuery(workload->queries);
+      auto f32_scores = f32_engine->MultiSourceQuery(workload->queries);
+      CSR_CHECK_OK(f64_scores.status());
+      CSR_CHECK_OK(f32_scores.status());
+      const double max_diff = eval::MaxDiff(*f32_scores, *f64_scores);
+      double min_overlap = 1.0;
+      for (Index j = 0; j < static_cast<Index>(workload->queries.size());
+           ++j) {
+        min_overlap = std::min(
+            min_overlap, eval::TopKOverlap(*f32_scores, *f64_scores, j, 10));
+      }
+      const bool pass =
+          max_diff <= kF32MaxDiffCeiling && min_overlap >= kF32OverlapFloor;
+      f32_gate_ran = true;
+      if (!pass) f32_gate_failed = true;
+      char overlap_cell[32];
+      std::snprintf(overlap_cell, sizeof(overlap_cell), "%.3f", min_overlap);
+      f32_table.AddRow({workload->key, std::to_string(r),
+                        eval::FormatSci(max_diff), overlap_cell,
+                        pass ? "ok" : "FAIL"});
+    }
   }
   std::printf("\n");
   table.Print();
   std::printf("\nexpected: AvgDiff decreases mildly with r; the last column "
               "(CSR+ vs NI) is ~1e-12 wherever NI survives.\n");
+
+  std::printf("\nfloat32 serving tier (gate: MaxDiff <= %.0e, "
+              "min top-10 overlap >= %.2f):\n\n",
+              kF32MaxDiffCeiling, kF32OverlapFloor);
+  f32_table.Print();
+  const bool enforce = GetEnvInt64("COSIM_F32_ENFORCE", 0) != 0;
+  if (enforce && !f32_gate_ran) {
+    std::fprintf(stderr, "\n--f32-enforce=1 but no workload loaded; the f32 "
+                         "accuracy gate could not run\n");
+    return 1;
+  }
+  if (f32_gate_failed) {
+    std::fprintf(stderr, "\nf32 serving tier exceeded the accuracy "
+                         "thresholds%s\n",
+                 enforce ? "" : " (informational; --f32-enforce=1 makes this "
+                                "fatal)");
+    if (enforce) return 1;
+  }
   return 0;
 }

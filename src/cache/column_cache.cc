@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/memory.h"
+#include "linalg/kernels/kernels.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 
@@ -139,7 +140,9 @@ bool ColumnCache::Lookup(uint64_t fingerprint, Index node, double* dst,
     if (it != shard.index.end()) {
       const std::vector<double>& column = it->second->column;
       CSR_CHECK_EQ(static_cast<Index>(column.size()), n);
-      for (Index i = 0; i < n; ++i) dst[i * stride] = column[static_cast<std::size_t>(i)];
+      // Strided copy into the caller's result block via the dispatched
+      // scatter kernel (vectorized on AVX-512).
+      linalg::kernels::F64().scatter(dst, stride, column.data(), n);
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // -> MRU
       ++shard.hits;
       hit = true;

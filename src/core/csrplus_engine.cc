@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <numeric>
 #include <tuple>
 #include <utility>
 
@@ -12,9 +13,14 @@
 #include "core/precompute_io.h"
 #include "graph/normalize.h"
 #include "linalg/dense_ops.h"
+#include "linalg/kernels/kernels.h"
 #include "obs/trace.h"
 
 namespace csrplus::core {
+
+const char* PrecisionName(Precision precision) {
+  return precision == Precision::kF32 ? "f32" : "f64";
+}
 
 int RepeatedSquaringIterations(double damping, double epsilon) {
   // max{0, floor(log2 log_c eps) + 1}; note log_c eps > 0 since both are
@@ -183,7 +189,37 @@ Result<CsrPlusEngine> CsrPlusEngine::PrecomputeFromPaperFactors(
   CSRPLUS_OBS_GAUGE_SET("csrplus.engine.state_bytes", "bytes",
                         "heap bytes of the most recent engine's U + Z + P",
                         engine.stats_.state_bytes);
+  if (options.precision != Precision::kF64) {
+    CSR_RETURN_IF_ERROR(engine.SetServingPrecision(options.precision));
+  }
   return engine;
+}
+
+Status CsrPlusEngine::SetServingPrecision(Precision precision) {
+  if (precision == precision_) return Status::OK();
+  if (precision == Precision::kF64) {
+    // The double masters were never dropped — just release the mirrors.
+    precision_ = Precision::kF64;
+    std::vector<float>().swap(u32_);
+    std::vector<float>().swap(z32_);
+    return Status::OK();
+  }
+  const Index n = num_nodes();
+  const Index r = rank();
+  const std::size_t total = static_cast<std::size_t>(n) * static_cast<std::size_t>(r);
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      2 * static_cast<int64_t>(total) * static_cast<int64_t>(sizeof(float)),
+      "CSR+ f32 serving factors"));
+  u32_.resize(total);
+  z32_.resize(total);
+  const double* u_src = u_.data();
+  const double* z_src = z_.data();
+  for (std::size_t i = 0; i < total; ++i) {
+    u32_[i] = static_cast<float>(u_src[i]);
+    z32_[i] = static_cast<float>(z_src[i]);
+  }
+  precision_ = Precision::kF32;
+  return Status::OK();
 }
 
 uint64_t CsrPlusEngine::StateFingerprint() const {
@@ -203,6 +239,13 @@ uint64_t CsrPlusEngine::StateFingerprint() const {
   hash = precompute_io::FnvHash(hash, &r, sizeof(r));
   hash = precompute_io::FnvHash(hash, &damping_bits, sizeof(damping_bits));
   hash = precompute_io::FnvHash(hash, &epsilon_bits, sizeof(epsilon_bits));
+  if (precision_ == Precision::kF32) {
+    // The f32 tier answers differently, so it must never share cached
+    // columns with its f64 twin. f64 fingerprints are unchanged from
+    // before the tier existed, keeping existing caches/artifacts valid.
+    const char tag[] = "f32";
+    hash = precompute_io::FnvHash(hash, tag, sizeof(tag));
+  }
   // FNV never maps non-empty input to 0 in practice, but 0 is the reserved
   // "uncacheable" value, so steer clear of it deterministically.
   return hash == 0 ? 1 : hash;
@@ -212,15 +255,19 @@ Result<DenseMatrix> CsrPlusEngine::MultiSourceQuery(
     const std::vector<Index>& queries) const {
   const Index n = num_nodes();
   CSR_RETURN_IF_ERROR(ValidateQueries(queries, n));
-  // Account both the n x |Q| output block and the transient |Q| x r copy of
-  // [U]_{Q,*} below — near the cap the query fails for the block *plus* its
-  // scratch, keeping the "fails due to memory explosion" reproduction honest.
-  const int64_t out_bytes =
-      n * static_cast<int64_t>(queries.size()) * sizeof(double);
-  const int64_t u_q_bytes =
-      static_cast<int64_t>(queries.size()) * rank() * sizeof(double);
+  // Account both the n x |Q| output block and the transient scratch — near
+  // the cap the query fails for the block *plus* its scratch, keeping the
+  // "fails due to memory explosion" reproduction honest. f64 scratch is the
+  // |Q| x r copy of [U]_{Q,*}; the f32 tier instead carries an r x |Q|
+  // float panel and an n x |Q| float accumulator.
+  const int64_t nq64 = static_cast<int64_t>(queries.size());
+  const int64_t out_bytes = n * nq64 * static_cast<int64_t>(sizeof(double));
+  const int64_t scratch_bytes =
+      precision_ == Precision::kF32
+          ? (rank() + n) * nq64 * static_cast<int64_t>(sizeof(float))
+          : nq64 * rank() * static_cast<int64_t>(sizeof(double));
   CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
-      out_bytes + u_q_bytes, "CSR+ multi-source output"));
+      out_bytes + scratch_bytes, "CSR+ multi-source output"));
   CSRPLUS_OBS_SCOPED_US("csrplus.phase.query_us",
                         "top-level CSR+ query entry points (Alg. 1 line 7)");
   CSRPLUS_OBS_COUNTER_ADD("csrplus.query.multi_source", "calls",
@@ -233,6 +280,16 @@ Result<DenseMatrix> CsrPlusEngine::MultiSourceQuery(
   CSRPLUS_TRACE_ARG(span, "n", n);
 
   // Line 7: [S]_{*,Q} = [I_n]_{*,Q} + c Z [U]_{Q,*}^T.
+  if (precision_ == Precision::kF32) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.kernel.f32_queries", "calls",
+                            "queries answered by the float32 serving tier",
+                            1);
+    DenseMatrix s = ScaledScoreBlockF32(queries);
+    for (std::size_t j = 0; j < queries.size(); ++j) {
+      s(queries[j], static_cast<Index>(j)) += 1.0;
+    }
+    return s;
+  }
   const DenseMatrix u_q = u_.SelectRows(queries);  // |Q| x r
   DenseMatrix s = linalg::Gemm(z_, u_q, linalg::Transpose::kNo,
                                linalg::Transpose::kYes);  // n x |Q|
@@ -240,6 +297,48 @@ Result<DenseMatrix> CsrPlusEngine::MultiSourceQuery(
   for (std::size_t j = 0; j < queries.size(); ++j) {
     s(queries[j], static_cast<Index>(j)) += 1.0;
   }
+  return s;
+}
+
+DenseMatrix CsrPlusEngine::ScaledScoreBlockF32(
+    const std::vector<Index>& queries) const {
+  const Index n = num_nodes();
+  const Index r = rank();
+  const Index nq = static_cast<Index>(queries.size());
+  // r x nq panel: bt[p][j] = u32[queries[j]][p], i.e. [U32]_{Q,*}^T laid out
+  // for the NN driver.
+  std::vector<float> bt(static_cast<std::size_t>(r) *
+                        static_cast<std::size_t>(nq));
+  for (Index j = 0; j < nq; ++j) {
+    const float* uq = u32_.data() +
+                      static_cast<std::size_t>(queries[static_cast<std::size_t>(j)]) *
+                          static_cast<std::size_t>(r);
+    for (Index p = 0; p < r; ++p) {
+      bt[static_cast<std::size_t>(p) * static_cast<std::size_t>(nq) +
+         static_cast<std::size_t>(j)] = uq[p];
+    }
+  }
+  DenseMatrix s(n, nq);
+  const linalg::kernels::KernelTable<float>& kt = linalg::kernels::F32();
+  // Row shards accumulate in float through the SIMD axpy (each element's
+  // products in ascending p — the same float sequence the f32 single-source
+  // dot computes, so single- and multi-source columns stay bit-identical),
+  // then widen with the damping multiply in double.
+  ParallelFor(n, n * r * nq, [&](Index begin, Index end) {
+    const std::size_t rows = static_cast<std::size_t>(end - begin);
+    std::vector<float> acc(rows * static_cast<std::size_t>(nq), 0.0f);
+    linalg::kernels::GemmNnTiled(
+        kt, z32_.data() + static_cast<std::size_t>(begin) * static_cast<std::size_t>(r),
+        r, bt.data(), nq, acc.data(), nq, end - begin, r, nq);
+    for (Index i = begin; i < end; ++i) {
+      double* srow = s.RowPtr(i);
+      const float* arow =
+          acc.data() + static_cast<std::size_t>(i - begin) * static_cast<std::size_t>(nq);
+      for (Index j = 0; j < nq; ++j) {
+        srow[j] = damping_ * static_cast<double>(arow[j]);
+      }
+    }
+  });
   return s;
 }
 
@@ -267,14 +366,34 @@ Status CsrPlusEngine::SingleSourceQueryInto(Index query,
   const Index r = rank();
   out->resize(static_cast<std::size_t>(n));
   double* data = out->data();
+  if (precision_ == Precision::kF32) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.kernel.f32_queries", "calls",
+                            "queries answered by the float32 serving tier",
+                            1);
+    const float* urow =
+        u32_.data() + static_cast<std::size_t>(query) * static_cast<std::size_t>(r);
+    const linalg::kernels::KernelTable<float>& kt = linalg::kernels::F32();
+    ParallelFor(n, n * r, [&](Index begin, Index end) {
+      std::vector<float> dots(static_cast<std::size_t>(end - begin));
+      kt.dot_rows(
+          z32_.data() + static_cast<std::size_t>(begin) * static_cast<std::size_t>(r),
+          r, urow, dots.data(), end - begin, r);
+      for (Index i = begin; i < end; ++i) {
+        data[i] = damping_ *
+                  static_cast<double>(dots[static_cast<std::size_t>(i - begin)]);
+      }
+    });
+    data[query] += 1.0;
+    return Status::OK();
+  }
   const double* urow = u_.RowPtr(query);
+  const linalg::kernels::KernelTable<double>& kt = linalg::kernels::F64();
+  // dot_rows leaves data[i] = <Z_i, U_q>; the scale pass applies the same
+  // damping_ * dot multiply the fused scalar loop used to (one rounding
+  // either way — bitwise unchanged).
   ParallelFor(n, n * r, [&](Index begin, Index end) {
-    for (Index i = begin; i < end; ++i) {
-      const double* zrow = z_.RowPtr(i);
-      double dot = 0.0;
-      for (Index k = 0; k < r; ++k) dot += zrow[k] * urow[k];
-      data[i] = damping_ * dot;
-    }
+    kt.dot_rows(z_.RowPtr(begin), r, urow, data + begin, end - begin, r);
+    kt.scale(data + begin, damping_, end - begin);
   });
   data[query] += 1.0;
   return Status::OK();
@@ -289,6 +408,17 @@ Result<double> CsrPlusEngine::SinglePairQuery(Index a, Index b) const {
   CSRPLUS_OBS_COUNTER_ADD("csrplus.query.single_pair", "calls",
                           "single-pair O(r) score lookups", 1);
   const Index r = rank();
+  if (precision_ == Precision::kF32) {
+    // Same float accumulation sequence as the f32 column kernels, so the
+    // pair score equals the corresponding column entry bit-for-bit.
+    const float* zrow =
+        z32_.data() + static_cast<std::size_t>(a) * static_cast<std::size_t>(r);
+    const float* urow =
+        u32_.data() + static_cast<std::size_t>(b) * static_cast<std::size_t>(r);
+    float dot = 0.0f;
+    for (Index k = 0; k < r; ++k) dot += zrow[k] * urow[k];
+    return damping_ * static_cast<double>(dot) + (a == b ? 1.0 : 0.0);
+  }
   const double* zrow = z_.RowPtr(a);
   const double* urow = u_.RowPtr(b);
   double dot = 0.0;
@@ -388,11 +518,28 @@ Result<std::vector<CsrPlusEngine::ScoredPair>> CsrPlusEngine::AllPairsTopK(
 
 Result<DenseMatrix> CsrPlusEngine::AllPairs() const {
   const Index n = num_nodes();
+  // f32 scratch: the r x n panel plus the n x n float accumulator.
+  const int64_t scratch_bytes =
+      precision_ == Precision::kF32
+          ? (rank() + n) * static_cast<int64_t>(n) *
+                static_cast<int64_t>(sizeof(float))
+          : 0;
   CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
-      n * n * static_cast<int64_t>(sizeof(double)), "CSR+ all-pairs output"));
+      n * n * static_cast<int64_t>(sizeof(double)) + scratch_bytes,
+      "CSR+ all-pairs output"));
   CSRPLUS_OBS_SCOPED_US("csrplus.phase.query_us",
                         "top-level CSR+ query entry points (Alg. 1 line 7)");
   CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kQuery, "n", n);
+  if (precision_ == Precision::kF32) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.kernel.f32_queries", "calls",
+                            "queries answered by the float32 serving tier",
+                            1);
+    std::vector<Index> all(static_cast<std::size_t>(n));
+    std::iota(all.begin(), all.end(), Index{0});
+    DenseMatrix s = ScaledScoreBlockF32(all);
+    for (Index i = 0; i < n; ++i) s(i, i) += 1.0;
+    return s;
+  }
   DenseMatrix s = linalg::Gemm(z_, u_, linalg::Transpose::kNo,
                                linalg::Transpose::kYes);
   linalg::ScaleInPlace(damping_, &s);

@@ -38,6 +38,18 @@ using linalg::CsrMatrix;
 using linalg::DenseMatrix;
 using linalg::Index;
 
+/// Serving-precision tier of a CSR+ engine. Precomputation always runs in
+/// double; kF32 additionally quantises the memoised U/Z factors to float
+/// once (at precompute or artifact-load time) and answers queries with the
+/// float32 SIMD kernels — roughly half the factor bandwidth and twice the
+/// lanes per instruction, at a bounded accuracy cost (max |Δ| <= 1e-4 and
+/// top-10 overlap >= 0.99 vs the double engine; gated by
+/// bench_table3_accuracy).
+enum class Precision { kF64, kF32 };
+
+/// Stable lowercase name ("f64", "f32"); matches the CLI --precision values.
+const char* PrecisionName(Precision precision);
+
 /// Parameters of CSR+ (defaults are the paper's §4.1 settings).
 struct CsrPlusOptions {
   /// Target low rank r of the truncated SVD.
@@ -53,6 +65,10 @@ struct CsrPlusOptions {
   int num_threads = 0;
   /// Truncated SVD engine configuration (rank is overridden by `rank`).
   svd::SvdOptions svd;
+  /// Serving precision. kF32 quantises U/Z to float after the (always
+  /// double) precomputation; see Precision. Engines loaded from an artifact
+  /// apply it via SetServingPrecision instead.
+  Precision precision = Precision::kF64;
 
   /// Graph-independent validation: rank >= 1, damping in (0, 1),
   /// epsilon in (0, 1), num_threads >= 0. Every Precompute* entry point
@@ -178,9 +194,21 @@ class CsrPlusEngine : public QueryEngine {
   /// Number of nodes n.
   Index num_nodes() const { return u_.rows(); }
 
+  /// Switches the serving tier. kF32 quantises U/Z into float side buffers
+  /// (budget-charged; the double masters are kept, so switching back is
+  /// lossless and free). Idempotent. Query results, Name() and
+  /// StateFingerprint() all change with the tier — an f32 engine is a
+  /// different cacheable identity from its f64 twin.
+  Status SetServingPrecision(Precision precision);
+
+  /// The active serving tier.
+  Precision serving_precision() const { return precision_; }
+
   // QueryEngine identity.
   Index NumNodes() const override { return num_nodes(); }
-  std::string_view Name() const override { return "CSR+"; }
+  std::string_view Name() const override {
+    return precision_ == Precision::kF32 ? "CSR+f32" : "CSR+";
+  }
 
   /// Cacheable-state identity: FNV-1a over the graph fingerprint and the
   /// answer-relevant parameters (rank, damping, epsilon). Engines built from
@@ -229,6 +257,11 @@ class CsrPlusEngine : public QueryEngine {
   static Result<CsrPlusEngine> LoadPrecomputeImpl(
       const std::string& path, const GraphFingerprint* expected);
 
+  // The f32 query block damping * widen(Z32 [U32]_{Q,*}^T), no diagonal
+  // term. Float accumulation through the dispatched f32 kernels; the
+  // damping multiply and everything downstream stay double.
+  DenseMatrix ScaledScoreBlockF32(const std::vector<Index>& queries) const;
+
   DenseMatrix u_;  // n x r left singular vectors.
   DenseMatrix z_;  // n x r memoised Z = U (Sigma P Sigma).
   DenseMatrix p_;  // r x r subspace fixed point (kept for diagnostics).
@@ -238,6 +271,12 @@ class CsrPlusEngine : public QueryEngine {
   double epsilon_ = 1e-5;
   GraphFingerprint fingerprint_;
   PrecomputeStats stats_;
+  // Serving tier. The float factor copies are row-major n x r mirrors of
+  // u_/z_, populated only while precision_ == kF32 (the doubles stay the
+  // masters; persistence is always double).
+  Precision precision_ = Precision::kF64;
+  std::vector<float> u32_;
+  std::vector<float> z32_;
 };
 
 /// Computes the iteration bound of Algorithm 1 line 4:

@@ -57,6 +57,7 @@
 #include "linalg/dense_matrix.h"
 #include "linalg/dense_ops.h"
 #include "linalg/jacobi.h"
+#include "linalg/kernels/kernels.h"
 #include "linalg/kron.h"
 #include "linalg/lu.h"
 #include "linalg/qr.h"

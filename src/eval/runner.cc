@@ -71,6 +71,7 @@ Result<EnginePtr> CreateEngine(Method method, const CsrMatrix& transition,
       options.rank = config.rank;
       options.damping = config.damping;
       options.epsilon = config.epsilon;
+      options.precision = config.precision;
       return Erase(
           core::CsrPlusEngine::PrecomputeFromTransition(transition, options));
     }

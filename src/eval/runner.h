@@ -12,6 +12,7 @@
 
 #include "baselines/ni_sim.h"
 #include "common/status.h"
+#include "core/csrplus_engine.h"
 #include "core/query_engine.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/sparse_matrix.h"
@@ -50,6 +51,10 @@ struct RunConfig {
   baselines::NiFidelity ni_fidelity = baselines::NiFidelity::kFaithful;
   Index rp_samples = 200;  ///< RP-CoSim sketch width.
   bool keep_scores = true; ///< retain the score block in the outcome.
+  /// CSR+ serving tier (kF32 = quantised float factors + SIMD f32 kernels;
+  /// baselines ignore it). The engine's Name() and StateFingerprint()
+  /// change with the tier.
+  core::Precision precision = core::Precision::kF64;
 };
 
 /// Wall time and tracked allocation peak of one phase.

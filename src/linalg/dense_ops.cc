@@ -4,29 +4,27 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "linalg/kernels/kernels.h"
 #include "obs/stats.h"
 
 namespace csrplus::linalg {
 namespace {
 
-// Core row-major product C = A(MxK) * B(KxN) using the ikj order so the inner
-// loop streams rows of B and C. Rows of C are written by disjoint shards, so
-// the result is identical for every thread count. No zero-skip on A entries:
-// 0 * NaN must stay NaN so upstream numerical blowups in B propagate instead
-// of being silently masked.
+// Core row-major product C = A(MxK) * B(KxN): row shards feed the blocked
+// ikj driver built on the dispatched axpy_row kernel, so the inner loop
+// streams rows of B and C with whatever SIMD width the active ISA has. Rows
+// of C are written by disjoint shards and every C element accumulates its k
+// products in ascending order, so the result is bitwise identical for every
+// thread count and every ISA. No zero-skip on A entries: 0 * NaN must stay
+// NaN so upstream numerical blowups in B propagate instead of being
+// silently masked.
 DenseMatrix GemmNoTrans(const DenseMatrix& a, const DenseMatrix& b) {
   const Index m = a.rows(), k = a.cols(), n = b.cols();
   DenseMatrix c(m, n);
+  const kernels::KernelTable<double>& kt = kernels::F64();
   ParallelFor(m, m * k * n, [&](Index row_begin, Index row_end) {
-    for (Index i = row_begin; i < row_end; ++i) {
-      const double* arow = a.RowPtr(i);
-      double* crow = c.RowPtr(i);
-      for (Index p = 0; p < k; ++p) {
-        const double aip = arow[p];
-        const double* brow = b.RowPtr(p);
-        for (Index j = 0; j < n; ++j) crow[j] += aip * brow[j];
-      }
-    }
+    kernels::GemmNnTiled(kt, a.RowPtr(row_begin), k, b.data(), n,
+                         c.RowPtr(row_begin), n, row_end - row_begin, k, n);
   });
   return c;
 }
@@ -57,14 +55,13 @@ DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b, Transpose ta,
     // zero-skip on A entries — 0 * NaN must propagate.
     DenseMatrix c(a_rows, b_cols);
     const Index m = a.rows();
+    const kernels::KernelTable<double>& kt = kernels::F64();
     const auto accumulate = [&](DenseMatrix* acc, Index begin, Index end) {
       for (Index p = begin; p < end; ++p) {
         const double* arow = a.RowPtr(p);
         const double* brow = b.RowPtr(p);
         for (Index i = 0; i < a_rows; ++i) {
-          const double api = arow[i];
-          double* crow = acc->RowPtr(i);
-          for (Index j = 0; j < b_cols; ++j) crow[j] += api * brow[j];
+          kt.axpy_row(acc->RowPtr(i), brow, arow[i], b_cols);
         }
       }
     };
@@ -82,23 +79,11 @@ DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b, Transpose ta,
     return c;
   }
   if (ta == Transpose::kNo && tb == Transpose::kYes) {
-    // C = A B^T: C_ij = <A_i., B_j.> — both row-major friendly. Row shards
-    // write disjoint rows of C; identical result for every thread count.
-    DenseMatrix c(a_rows, b_cols);
-    const Index inner = a.cols();
-    ParallelFor(a_rows, a_rows * b_cols * inner, [&](Index row_begin, Index row_end) {
-      for (Index i = row_begin; i < row_end; ++i) {
-        const double* arow = a.RowPtr(i);
-        double* crow = c.RowPtr(i);
-        for (Index j = 0; j < b_cols; ++j) {
-          const double* brow = b.RowPtr(j);
-          double sum = 0.0;
-          for (Index p = 0; p < inner; ++p) sum += arow[p] * brow[p];
-          crow[j] = sum;
-        }
-      }
-    });
-    return c;
+    // C = A B^T: materialize B^T once (O(kn) traffic against O(mkn) flops)
+    // and run the SIMD NN driver. Each C_ij still sums a_ip * b_jp over
+    // ascending p from 0.0 — the same addition sequence as the old per-(i,j)
+    // register dot — so results are bitwise unchanged.
+    return GemmNoTrans(a, b.Transposed());
   }
   // A^T B^T = (B A)^T.
   return Gemm(b, a).Transposed();
@@ -112,14 +97,13 @@ void GemmAccumulate(double alpha, const DenseMatrix& a, const DenseMatrix& b,
   const Index m = a.rows(), k = a.cols(), n = b.cols();
   // Row shards write disjoint rows of C. No zero-skip: alpha or A entries
   // equal to zero must still multiply B so NaN/Inf in B propagate.
+  const kernels::KernelTable<double>& kt = kernels::F64();
   ParallelFor(m, m * k * n, [&](Index row_begin, Index row_end) {
     for (Index i = row_begin; i < row_end; ++i) {
       const double* arow = a.RowPtr(i);
       double* crow = c->RowPtr(i);
       for (Index p = 0; p < k; ++p) {
-        const double aip = alpha * arow[p];
-        const double* brow = b.RowPtr(p);
-        for (Index j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        kt.axpy_row(crow, b.RowPtr(p), alpha * arow[p], n);
       }
     }
   });
@@ -130,13 +114,11 @@ std::vector<double> MatVec(const DenseMatrix& a, const std::vector<double>& x,
   if (ta == Transpose::kNo) {
     CSR_CHECK_EQ(a.cols(), static_cast<Index>(x.size()));
     std::vector<double> y(static_cast<std::size_t>(a.rows()), 0.0);
+    const kernels::KernelTable<double>& kt = kernels::F64();
     ParallelFor(a.rows(), a.rows() * a.cols(), [&](Index begin, Index end) {
-      for (Index i = begin; i < end; ++i) {
-        const double* arow = a.RowPtr(i);
-        double sum = 0.0;
-        for (Index j = 0; j < a.cols(); ++j) sum += arow[j] * x[static_cast<std::size_t>(j)];
-        y[static_cast<std::size_t>(i)] = sum;
-      }
+      kt.dot_rows(a.RowPtr(begin), a.cols(), x.data(),
+                  y.data() + static_cast<std::size_t>(begin), end - begin,
+                  a.cols());
     });
     return y;
   }
@@ -162,26 +144,22 @@ double Norm2(const std::vector<double>& x) { return std::sqrt(Dot(x, x)); }
 
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
   CSR_CHECK_EQ(x.size(), y->size());
-  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  kernels::F64().axpy_row(y->data(), x.data(), alpha,
+                          static_cast<int64_t>(x.size()));
 }
 
 void Scale(double alpha, std::vector<double>* x) {
-  for (double& v : *x) v *= alpha;
+  kernels::F64().scale(x->data(), alpha, static_cast<int64_t>(x->size()));
 }
 
 void AddScaled(double alpha, const DenseMatrix& a, DenseMatrix* b) {
   CSR_CHECK_EQ(a.rows(), b->rows());
   CSR_CHECK_EQ(a.cols(), b->cols());
-  const double* src = a.data();
-  double* dst = b->data();
-  const Index total = a.size();
-  for (Index i = 0; i < total; ++i) dst[i] += alpha * src[i];
+  kernels::F64().axpy_row(b->data(), a.data(), alpha, a.size());
 }
 
 void ScaleInPlace(double alpha, DenseMatrix* a) {
-  double* dst = a->data();
-  const Index total = a->size();
-  for (Index i = 0; i < total; ++i) dst[i] *= alpha;
+  kernels::F64().scale(a->data(), alpha, a->size());
 }
 
 double FrobeniusNorm(const DenseMatrix& a) {

@@ -1,0 +1,172 @@
+// ISA selection and process-wide kernel dispatch.
+
+#include "linalg/kernels/kernels.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "linalg/kernels/kernels_isa.h"
+#include "obs/stats.h"
+
+namespace csrplus {
+namespace linalg {
+namespace kernels {
+namespace {
+
+// Active tables. Readers load an immutable table pointer with one relaxed
+// atomic load; SetActiveIsa swaps all three. Kernels from two ISAs may
+// briefly coexist across a swap, which is harmless — every table computes
+// bitwise-identical results.
+std::atomic<const KernelTable<double>*> g_f64{nullptr};
+std::atomic<const KernelTable<float>*> g_f32{nullptr};
+std::atomic<int> g_active{-1};
+std::once_flag g_init_once;
+
+const KernelTable<double>* IsaTableF64(Isa isa) {
+  switch (isa) {
+    case Isa::kPortable:
+      return internal::PortableF64();
+    case Isa::kAvx2:
+      return internal::Avx2F64();
+    case Isa::kAvx512:
+      return internal::Avx512F64();
+  }
+  return nullptr;
+}
+
+const KernelTable<float>* IsaTableF32(Isa isa) {
+  switch (isa) {
+    case Isa::kPortable:
+      return internal::PortableF32();
+    case Isa::kAvx2:
+      return internal::Avx2F32();
+    case Isa::kAvx512:
+      return internal::Avx512F32();
+  }
+  return nullptr;
+}
+
+bool CpuExecutes(Isa isa) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (isa) {
+    case Isa::kPortable:
+      return true;
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Isa::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+  }
+  return false;
+#else
+  return isa == Isa::kPortable;
+#endif
+}
+
+void Activate(Isa isa) {
+  g_f64.store(IsaTableF64(isa), std::memory_order_relaxed);
+  g_f32.store(IsaTableF32(isa), std::memory_order_relaxed);
+  g_active.store(static_cast<int>(isa), std::memory_order_relaxed);
+  CSRPLUS_OBS_GAUGE_SET("csrplus.kernel.active_isa", "enum",
+                        "active kernel ISA (0=portable, 1=avx2, 2=avx512)",
+                        static_cast<int64_t>(isa));
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.kernel.isa_selections", "calls",
+                          "kernel dispatch table swaps (startup + forced)", 1);
+}
+
+// Startup choice: CSRPLUS_KERNEL_ISA if set and usable, else the widest
+// ISA this binary + CPU support.
+Isa ChooseStartupIsa() {
+  const std::string forced = GetEnvString("CSRPLUS_KERNEL_ISA", "");
+  if (!forced.empty()) {
+    Isa isa;
+    if (!ParseIsaName(forced, &isa)) {
+      CSR_LOG(Warn) << "CSRPLUS_KERNEL_ISA=" << forced
+                    << " is not one of portable|avx2|avx512; ignoring";
+    } else if (!IsaSupported(isa)) {
+      CSR_LOG(Warn) << "CSRPLUS_KERNEL_ISA=" << forced << " requested but "
+                    << (IsaCompiled(isa) ? "this CPU cannot execute it"
+                                         : "this build does not include it")
+                    << "; falling back to auto-detection";
+    } else {
+      return isa;
+    }
+  }
+  Isa best = Isa::kPortable;
+  for (Isa isa : {Isa::kAvx2, Isa::kAvx512}) {
+    if (IsaSupported(isa)) best = isa;
+  }
+  return best;
+}
+
+void EnsureInit() {
+  std::call_once(g_init_once, [] { Activate(ChooseStartupIsa()); });
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kPortable:
+      return "portable";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseIsaName(std::string_view name, Isa* out) {
+  for (Isa isa : {Isa::kPortable, Isa::kAvx2, Isa::kAvx512}) {
+    if (name == IsaName(isa)) {
+      *out = isa;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsaCompiled(Isa isa) { return IsaTableF64(isa) != nullptr; }
+
+bool IsaSupported(Isa isa) { return IsaCompiled(isa) && CpuExecutes(isa); }
+
+std::vector<Isa> SupportedIsas() {
+  std::vector<Isa> out;
+  for (Isa isa : {Isa::kPortable, Isa::kAvx2, Isa::kAvx512}) {
+    if (IsaSupported(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+Isa ActiveIsa() {
+  EnsureInit();
+  return static_cast<Isa>(g_active.load(std::memory_order_relaxed));
+}
+
+void SetActiveIsa(Isa isa) {
+  EnsureInit();
+  CSR_CHECK(IsaSupported(isa))
+      << "kernel ISA " << IsaName(isa) << " is not usable in this process";
+  Activate(isa);
+}
+
+const KernelTable<double>& F64() {
+  EnsureInit();
+  return *g_f64.load(std::memory_order_relaxed);
+}
+
+const KernelTable<float>& F32() {
+  EnsureInit();
+  return *g_f32.load(std::memory_order_relaxed);
+}
+
+const KernelTable<double>* TableF64(Isa isa) { return IsaTableF64(isa); }
+
+const KernelTable<float>* TableF32(Isa isa) { return IsaTableF32(isa); }
+
+}  // namespace kernels
+}  // namespace linalg
+}  // namespace csrplus

@@ -1,0 +1,36 @@
+// Internal: per-ISA table constructors, one pair per translation unit.
+//
+// Each ISA lives in its own .cc compiled with exactly the -m flags that ISA
+// needs (and -ffp-contract=off — see kernels.h's bit-identity contract), so
+// the rest of the library never executes an instruction the CPU might lack.
+// Accessors return nullptr when the build lacked compiler support, which is
+// how kernels.cc learns what IsaCompiled() should say.
+
+#ifndef CSRPLUS_LINALG_KERNELS_KERNELS_ISA_H_
+#define CSRPLUS_LINALG_KERNELS_KERNELS_ISA_H_
+
+#include "linalg/kernels/kernels.h"
+
+namespace csrplus {
+namespace linalg {
+namespace kernels {
+namespace internal {
+
+// kernels_portable.cc — always non-null.
+const KernelTable<double>* PortableF64();
+const KernelTable<float>* PortableF32();
+
+// kernels_avx2.cc — null unless built with CSRPLUS_HAVE_AVX2.
+const KernelTable<double>* Avx2F64();
+const KernelTable<float>* Avx2F32();
+
+// kernels_avx512.cc — null unless built with CSRPLUS_HAVE_AVX512.
+const KernelTable<double>* Avx512F64();
+const KernelTable<float>* Avx512F32();
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace linalg
+}  // namespace csrplus
+
+#endif  // CSRPLUS_LINALG_KERNELS_KERNELS_ISA_H_

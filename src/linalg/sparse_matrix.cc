@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/parallel.h"
+#include "linalg/kernels/kernels.h"
 #include "obs/stats.h"
 
 namespace csrplus::linalg {
@@ -192,16 +193,16 @@ DenseMatrix CsrMatrix::MultiplyDense(const DenseMatrix& b) const {
   DenseMatrix c(rows_, b.cols());
   const Index k = b.cols();
   // Row shards write disjoint rows of C; identical result for every thread
-  // count.
+  // count. The inner row update is the dispatched SIMD axpy (bit-identical
+  // across ISAs — see linalg/kernels/kernels.h).
+  const kernels::KernelTable<double>& kt = kernels::F64();
   ParallelFor(rows_, nnz() * k, [&](Index begin, Index end) {
     for (Index i = begin; i < end; ++i) {
       double* crow = c.RowPtr(i);
       for (int64_t p = row_ptr_[static_cast<std::size_t>(i)];
            p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
-        const double v = values_[static_cast<std::size_t>(p)];
-        const double* brow =
-            b.RowPtr(col_index_[static_cast<std::size_t>(p)]);
-        for (Index j = 0; j < k; ++j) crow[j] += v * brow[j];
+        kt.axpy_row(crow, b.RowPtr(col_index_[static_cast<std::size_t>(p)]),
+                    values_[static_cast<std::size_t>(p)], k);
       }
     }
   });
@@ -235,6 +236,7 @@ void CsrMatrix::MultiplyTransposeDenseInto(const DenseMatrix& b,
   // order — so the result is identical for every thread count. The even
   // column split can be unbalanced on heavily skewed column distributions;
   // acceptable for the near-uniform transition matrices handled here.
+  const kernels::KernelTable<double>& kt = kernels::F64();
   ParallelFor(cols_, nnz() * k, [&](Index col_begin, Index col_end) {
     std::fill(c.RowPtr(col_begin), c.RowPtr(col_begin) + (col_end - col_begin) * k,
               0.0);
@@ -249,9 +251,8 @@ void CsrMatrix::MultiplyTransposeDenseInto(const DenseMatrix& b,
       if (lo == hi) continue;
       const double* brow = b.RowPtr(i);
       for (const int32_t* q = lo; q < hi; ++q) {
-        const double v = values_[static_cast<std::size_t>(q - cols_data)];
-        double* crow = c.RowPtr(*q);
-        for (Index j = 0; j < k; ++j) crow[j] += v * brow[j];
+        kt.axpy_row(c.RowPtr(*q), brow,
+                    values_[static_cast<std::size_t>(q - cols_data)], k);
       }
     }
   });

@@ -365,6 +365,60 @@ TEST(ColumnCacheServiceTest, CachedServingIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ColumnCacheServiceTest, F32ColumnsAreNeverServedToF64Requests) {
+  // The f32 serving tier answers with different bits than the f64 tier, so a
+  // shared cache must keep the two generations apart: StateFingerprint folds
+  // the precision tag, making an f32-cached column invisible to f64 lookups.
+  auto graph = RandomGraph(50, 300, 31);
+  core::CsrPlusOptions options;
+  options.rank = 6;
+  auto f64_engine = core::CsrPlusEngine::Precompute(graph, options);
+  ASSERT_TRUE(f64_engine.ok()) << f64_engine.status().ToString();
+  options.precision = core::Precision::kF32;
+  auto f32_engine = core::CsrPlusEngine::Precompute(graph, options);
+  ASSERT_TRUE(f32_engine.ok()) << f32_engine.status().ToString();
+
+  const uint64_t fp64 = f64_engine->StateFingerprint();
+  const uint64_t fp32 = f32_engine->StateFingerprint();
+  ASSERT_NE(fp64, 0u);
+  ASSERT_NE(fp32, 0u);
+  EXPECT_NE(fp64, fp32) << "precision tag missing from the fingerprint";
+
+  // Cache-level: a column inserted under the f32 generation hits only there.
+  ColumnCache cache;
+  std::vector<double> column32, out;
+  ASSERT_TRUE(f32_engine->SingleSourceQueryInto(7, &column32).ok());
+  ASSERT_TRUE(cache.Insert(fp32, 7, column32.data(),
+                           static_cast<Index>(column32.size())));
+  EXPECT_FALSE(cache.Lookup(fp64, 7, &out))
+      << "f32 column served to an f64 request";
+  ASSERT_TRUE(cache.Lookup(fp32, 7, &out));
+  EXPECT_EQ(out, column32);
+
+  // Service-level: warm the shared cache through the f32 engine, then serve
+  // the same queries through the f64 engine — every answer must match a
+  // direct f64 call bit for bit, untouched by the resident f32 columns.
+  const std::vector<Index> queries = {7, 11, 42};
+  service::ServiceOptions service_options;
+  service_options.cache = &cache;
+  {
+    service::QueryService f32_service(&*f32_engine, service_options);
+    service::QueryRequest request;
+    request.queries = queries;
+    ASSERT_TRUE(f32_service.Query(std::move(request)).status.ok());
+  }
+  service::QueryService f64_service(&*f64_engine, service_options);
+  service::QueryRequest request;
+  request.queries = queries;
+  service::QueryResponse response = f64_service.Query(std::move(request));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  auto direct = f64_engine->MultiSourceQuery(queries);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(response.scores == *direct)
+      << "f64 serving through a cache warmed by the f32 tier is not "
+         "bit-identical to direct f64 execution";
+}
+
 TEST(ColumnCacheServiceTest, DynamicEngineMutationInvalidatesCachedColumns) {
   auto graph = RandomGraph(40, 200, 23);
   core::DynamicOptions options;

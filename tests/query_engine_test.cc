@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/csrplus_engine.h"
@@ -19,29 +22,47 @@ namespace {
 
 using csrplus::testing::MatricesNear;
 using csrplus::testing::RandomGraph;
+using csrplus::testing::ScopedKernelIsa;
 using linalg::CsrMatrix;
 using linalg::DenseMatrix;
 
+// Every engine must honour the contract under every kernel ISA this machine
+// can run — the batching and caching layers assume bit-stable answers no
+// matter which dispatch table is live.
 class QueryEngineConformanceTest
-    : public ::testing::TestWithParam<eval::Method> {
+    : public ::testing::TestWithParam<
+          std::tuple<eval::Method, linalg::kernels::Isa>> {
  protected:
   void SetUp() override {
+    const linalg::kernels::Isa isa = std::get<1>(GetParam());
+    if (!linalg::kernels::IsaCompiled(isa)) {
+      GTEST_SKIP() << linalg::kernels::IsaName(isa)
+                   << " kernels were not compiled into this binary";
+    }
+    if (!linalg::kernels::IsaSupported(isa)) {
+      GTEST_SKIP() << "this CPU cannot execute " << linalg::kernels::IsaName(isa)
+                   << " — conformance for that ISA is unverified on this host";
+    }
+    isa_.emplace(isa);
     graph_ = RandomGraph(60, 360, 7);
     transition_ = graph::ColumnNormalizedTransition(graph_);
     eval::RunConfig config;
     config.ni_fidelity = baselines::NiFidelity::kMixedProduct;
-    auto engine = eval::CreateEngine(GetParam(), transition_, config);
+    auto engine = eval::CreateEngine(Method(), transition_, config);
     ASSERT_TRUE(engine.ok()) << engine.status().ToString();
     engine_ = std::move(*engine);
   }
 
+  eval::Method Method() const { return std::get<0>(GetParam()); }
+
+  std::optional<ScopedKernelIsa> isa_;
   graph::Graph graph_;
   CsrMatrix transition_;
   std::unique_ptr<QueryEngine> engine_;
 };
 
 TEST_P(QueryEngineConformanceTest, ReportsNameAndNodeCount) {
-  EXPECT_EQ(engine_->Name(), eval::MethodName(GetParam()));
+  EXPECT_EQ(engine_->Name(), eval::MethodName(Method()));
   EXPECT_EQ(engine_->NumNodes(), 60);
 }
 
@@ -82,7 +103,7 @@ TEST_P(QueryEngineConformanceTest, StateFingerprintIsStableAndShared) {
   EXPECT_EQ(fp, engine_->StateFingerprint());
   eval::RunConfig config;
   config.ni_fidelity = baselines::NiFidelity::kMixedProduct;
-  auto twin = eval::CreateEngine(GetParam(), transition_, config);
+  auto twin = eval::CreateEngine(Method(), transition_, config);
   ASSERT_TRUE(twin.ok()) << twin.status().ToString();
   EXPECT_EQ((*twin)->StateFingerprint(), fp);
 }
@@ -97,16 +118,21 @@ TEST_P(QueryEngineConformanceTest, RejectsBadQuerySets) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllEngines, QueryEngineConformanceTest,
-    ::testing::Values(eval::Method::kCsrPlus, eval::Method::kCsrNi,
-                      eval::Method::kCsrIt, eval::Method::kCsrRls,
-                      eval::Method::kCoSimMate, eval::Method::kRpCoSim,
-                      eval::Method::kDynamic),
-    [](const ::testing::TestParamInfo<eval::Method>& info) {
-      std::string name(eval::MethodName(info.param));
+    ::testing::Combine(
+        ::testing::Values(eval::Method::kCsrPlus, eval::Method::kCsrNi,
+                          eval::Method::kCsrIt, eval::Method::kCsrRls,
+                          eval::Method::kCoSimMate, eval::Method::kRpCoSim,
+                          eval::Method::kDynamic),
+        ::testing::ValuesIn(csrplus::testing::AllKernelIsas())),
+    [](const ::testing::TestParamInfo<
+        std::tuple<eval::Method, linalg::kernels::Isa>>& info) {
+      std::string name(eval::MethodName(std::get<0>(info.param)));
       for (char& c : name) {
         if (c == '+') c = 'p';
         if (c == '-') c = '_';
       }
+      name += '_';
+      name += linalg::kernels::IsaName(std::get<1>(info.param));
       return name;
     });
 

@@ -12,6 +12,7 @@
 #include "graph/graph.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/dense_ops.h"
+#include "linalg/kernels/kernels.h"
 #include "linalg/sparse_matrix.h"
 
 namespace csrplus::testing {
@@ -90,6 +91,34 @@ class ScopedNumThreads {
  private:
   int saved_;
 };
+
+/// Forces the process-wide kernel dispatch tables to one ISA for the scope,
+/// restoring the previously active ISA on exit. Construct only with a
+/// supported ISA (SetActiveIsa CHECK-fails otherwise) — sweeps should test
+/// linalg::kernels::IsaSupported first and skip-with-log.
+class ScopedKernelIsa {
+ public:
+  explicit ScopedKernelIsa(linalg::kernels::Isa isa)
+      : saved_(linalg::kernels::ActiveIsa()) {
+    linalg::kernels::SetActiveIsa(isa);
+  }
+  ~ScopedKernelIsa() { linalg::kernels::SetActiveIsa(saved_); }
+  ScopedKernelIsa(const ScopedKernelIsa&) = delete;
+  ScopedKernelIsa& operator=(const ScopedKernelIsa&) = delete;
+
+ private:
+  linalg::kernels::Isa saved_;
+};
+
+/// All ISA enum values in dispatch order, for parameterized sweeps. Tests
+/// must skip (with a log line) the entries IsaSupported rejects — e.g.
+/// avx512 on older CPUs — rather than assume availability.
+inline const std::vector<linalg::kernels::Isa>& AllKernelIsas() {
+  static const std::vector<linalg::kernels::Isa> kIsas = {
+      linalg::kernels::Isa::kPortable, linalg::kernels::Isa::kAvx2,
+      linalg::kernels::Isa::kAvx512};
+  return kIsas;
+}
 
 /// gtest predicate: max-abs difference between two matrices at most tol.
 inline ::testing::AssertionResult MatricesNear(const DenseMatrix& a,

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gates the SIMD serving-kernel speedup from bench_micro_kernels JSON.
+
+Usage:
+  python3 tools/check_kernel_speedup.py bench.json \
+      [--baseline=BM_QueryGemm/portable/f64] [--candidate=auto] \
+      [--min-speedup=2.0]
+
+The benchmark binary registers BM_QueryGemm/<isa>/<f64|f32> for every ISA
+the machine can execute. The gate asserts that the dispatched SIMD f32 GEMM
+(the float serving tier's hot loop) is at least --min-speedup times faster
+than the portable f64 baseline on the same shape, single-threaded.
+
+--candidate=auto (the default) picks the fastest non-portable f32
+BM_QueryGemm entry present in the file — i.e. whatever the dispatcher would
+actually select on that machine. If none exists (a CPU without AVX2), the
+gate cannot be evaluated and the script exits 2 so CI fails loudly instead
+of silently passing on an unrepresentative runner.
+
+The positional argument may be a comma-separated list of JSON files; the
+minimum real_time across files and repetitions is used per benchmark, for
+the same reason check_obs_overhead.py uses it: shared-runner noise only
+ever adds time.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(paths):
+    best = {}
+    for path in paths.split(","):
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        for bench in doc.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench.get("run_name", bench["name"])
+            t = float(bench["real_time"])
+            if name not in best or t < best[name]:
+                best[name] = t
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("bench_json")
+    parser.add_argument("--baseline", default="BM_QueryGemm/portable/f64")
+    parser.add_argument("--candidate", default="auto")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    args = parser.parse_args()
+
+    times = load(args.bench_json)
+    if args.baseline not in times:
+        print(f"baseline benchmark {args.baseline!r} not found "
+              f"(names: {sorted(times)})", file=sys.stderr)
+        sys.exit(2)
+
+    candidate = args.candidate
+    if candidate == "auto":
+        simd_f32 = {n: t for n, t in times.items()
+                    if n.startswith("BM_QueryGemm/") and n.endswith("/f32")
+                    and "/portable/" not in n}
+        if not simd_f32:
+            print("no SIMD f32 BM_QueryGemm entries in the file — this "
+                  "machine compiled or executed no SIMD ISA, so the speedup "
+                  "gate cannot run", file=sys.stderr)
+            sys.exit(2)
+        candidate = min(simd_f32, key=simd_f32.get)
+    elif candidate not in times:
+        print(f"candidate benchmark {candidate!r} not found", file=sys.stderr)
+        sys.exit(2)
+
+    speedup = times[args.baseline] / times[candidate]
+    status = "ok" if speedup >= args.min_speedup else "TOO SLOW"
+    print(f"{candidate}: {times[candidate]:.0f} ns vs baseline "
+          f"{args.baseline}: {times[args.baseline]:.0f} ns -> "
+          f"{speedup:.2f}x ({status})")
+    if speedup < args.min_speedup:
+        print(f"\nSIMD f32 query GEMM is only {speedup:.2f}x the portable "
+              f"f64 baseline; the gate requires {args.min_speedup:.2f}x",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"\nspeedup gate passed ({speedup:.2f}x >= "
+          f"{args.min_speedup:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,9 @@
 //   --threads=N     kernel thread count, 0 = ambient default (default 0)
 //   --method=M      query engine: csr+ (default), csr-ni, csr-it, csr-rls,
 //                   cosimmate, rp-cosim, dynamic
+//   --precision=T   (query/serve/pair, csr+ only) serving tier: f64 (default,
+//                   exact doubles) or f32 (factors quantised to float, SIMD
+//                   f32 kernels; bounded accuracy loss — see docs)
 //   --symmetrize    add the reverse of every edge when loading text input
 //   --artifact=P    (query/serve, csr+ only) warm-start from a precompute
 //                   artifact; its graph fingerprint must match the graph
@@ -107,6 +110,7 @@ struct CliOptions {
   int threads = 0;  // kernel thread count; 0 = ambient default
   bool symmetrize = false;
   eval::Method method = eval::Method::kCsrPlus;
+  core::Precision precision = core::Precision::kF64;  // csr+ serving tier
   std::string artifact;   // warm-start path for `query` / `serve`
   std::string stats_out;  // write SnapshotJson here after the command
   std::string trace_out;  // enable tracing; write DumpTraceJson here
@@ -128,7 +132,8 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: csrplus [--rank=R] [--damping=C] [--topk=K] "
                "[--threads=N] [--method=M] [--symmetrize]\n"
-               "               [--artifact=P] [--stats-out=P] [--trace-out=P] "
+               "               [--precision=f64|f32] [--artifact=P] "
+               "[--stats-out=P] [--trace-out=P] "
                "[--version] <command> ...\n"
                "commands:\n"
                "  stats <graph>                  graph statistics\n"
@@ -189,6 +194,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (StartsWith(arg, "--method=")) {
       if (!ParseMethod(arg.substr(9), &options->method)) {
         std::fprintf(stderr, "unknown method: %s\n", arg.c_str() + 9);
+        return false;
+      }
+    } else if (StartsWith(arg, "--precision=")) {
+      const std::string tier = arg.substr(12);
+      if (tier == "f64") {
+        options->precision = core::Precision::kF64;
+      } else if (tier == "f32") {
+        options->precision = core::Precision::kF32;
+      } else {
+        std::fprintf(stderr, "unknown precision: %s (want f64 or f32)\n",
+                     tier.c_str());
         return false;
       }
     } else if (StartsWith(arg, "--clients=")) {
@@ -322,11 +338,13 @@ Result<core::CsrPlusEngine> BuildEngine(const graph::Graph& g,
   core::CsrPlusOptions engine_options;
   engine_options.rank = std::min<Index>(options.rank, g.num_nodes());
   engine_options.damping = options.damping;
+  engine_options.precision = options.precision;
   WallTimer timer;
   auto engine = core::CsrPlusEngine::Precompute(g, engine_options);
   if (engine.ok()) {
-    std::fprintf(stderr, "precomputed rank-%ld CSR+ state in %s\n",
+    std::fprintf(stderr, "precomputed rank-%ld CSR+ state (%s tier) in %s\n",
                  static_cast<long>(engine->rank()),
+                 core::PrecisionName(engine->serving_precision()),
                  FormatSeconds(timer.ElapsedSeconds()).c_str());
   }
   return engine;
@@ -341,8 +359,14 @@ Result<core::CsrPlusEngine> LoadEngineFromArtifact(const graph::Graph& g,
   WallTimer timer;
   auto engine = core::CsrPlusEngine::LoadPrecompute(options.artifact, expected);
   if (engine.ok()) {
-    std::fprintf(stderr, "warm-started rank-%ld CSR+ state from %s in %s\n",
-                 static_cast<long>(engine->rank()), options.artifact.c_str(),
+    // Artifacts always store double factors; the serving tier is applied
+    // here, quantising U/Z once at load time.
+    CSR_RETURN_IF_ERROR(engine->SetServingPrecision(options.precision));
+    std::fprintf(stderr,
+                 "warm-started rank-%ld CSR+ state (%s tier) from %s in %s\n",
+                 static_cast<long>(engine->rank()),
+                 core::PrecisionName(engine->serving_precision()),
+                 options.artifact.c_str(),
                  FormatSeconds(timer.ElapsedSeconds()).c_str());
   }
   return engine;
@@ -370,6 +394,10 @@ Result<EngineBox> BuildAnyEngine(const graph::Graph& g,
   if (!options.artifact.empty()) {
     return Status::InvalidArgument(
         "--artifact is only supported with --method=csr+");
+  }
+  if (options.precision != core::Precision::kF64) {
+    return Status::InvalidArgument(
+        "--precision=f32 is only supported with --method=csr+");
   }
   box.transition = std::make_unique<linalg::CsrMatrix>(
       graph::ColumnNormalizedTransition(g));
