@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "baselines/ni_sim.h"
+#include "baselines/rp_cosim.h"
 #include "core/cosimrank.h"
 #include "core/csrplus_engine.h"
 
@@ -34,6 +35,13 @@ int main(int argc, char** argv) {
   constexpr double kF32OverlapFloor = 0.99;
   bool f32_gate_failed = false;
   bool f32_gate_ran = false;
+  // RP-CoSim advertises an a-priori error bound through its AccuracyTag
+  // (RpCoSimErrorBound); the serving-tier contract only holds if measured
+  // error actually sits under it. CI enforces with --rp-enforce=1.
+  eval::TablePrinter rp_table(
+      {"dataset", "d", "AvgDiff(RP)", "advertised bound", "gate"});
+  bool rp_gate_failed = false;
+  bool rp_gate_ran = false;
 
   for (const std::string& key : {std::string("fb"), std::string("p2p")}) {
     auto workload = LoadWorkload(key, DefaultQuerySize());
@@ -138,6 +146,25 @@ int main(int argc, char** argv) {
                         eval::FormatSci(max_diff), overlap_cell,
                         pass ? "ok" : "FAIL"});
     }
+
+    // --- RP-CoSim advertised error bound vs measured error -----------------
+    for (Index d : {Index{50}, Index{200}}) {
+      baselines::RpCoSimOptions rp_options;
+      rp_options.damping = config.damping;
+      rp_options.num_samples = d;
+      baselines::RpCosimEngine rp_engine(&workload->transition, rp_options);
+      CSR_CHECK_OK(rp_engine.PrecomputeSketch());
+      auto rp_scores = rp_engine.MultiSourceQuery(workload->queries);
+      CSR_CHECK_OK(rp_scores.status());
+      const double rp_avgdiff = eval::AvgDiff(*rp_scores, *exact);
+      const double bound = rp_engine.Accuracy().error_bound;
+      const bool pass = rp_avgdiff <= bound;
+      rp_gate_ran = true;
+      if (!pass) rp_gate_failed = true;
+      rp_table.AddRow({workload->key, std::to_string(d),
+                       eval::FormatSci(rp_avgdiff), eval::FormatSci(bound),
+                       pass ? "ok" : "FAIL"});
+    }
   }
   std::printf("\n");
   table.Print();
@@ -160,6 +187,23 @@ int main(int argc, char** argv) {
                  enforce ? "" : " (informational; --f32-enforce=1 makes this "
                                 "fatal)");
     if (enforce) return 1;
+  }
+
+  std::printf("\nRP-CoSim approximate tier (gate: AvgDiff <= advertised "
+              "AccuracyTag bound):\n\n");
+  rp_table.Print();
+  const bool rp_enforce = GetEnvInt64("COSIM_RP_ENFORCE", 0) != 0;
+  if (rp_enforce && !rp_gate_ran) {
+    std::fprintf(stderr, "\n--rp-enforce=1 but no workload loaded; the "
+                         "RP-CoSim bound gate could not run\n");
+    return 1;
+  }
+  if (rp_gate_failed) {
+    std::fprintf(stderr, "\nRP-CoSim measured error exceeded the advertised "
+                         "bound%s\n",
+                 rp_enforce ? "" : " (informational; --rp-enforce=1 makes "
+                                   "this fatal)");
+    if (rp_enforce) return 1;
   }
   return 0;
 }

@@ -1,11 +1,50 @@
 #include "baselines/rp_cosim.h"
 
+#include <cmath>
+#include <cstring>
+#include <utility>
+
 #include "common/memory.h"
 #include "common/rng.h"
+#include "core/csrplus_engine.h"
 #include "linalg/dense_ops.h"
 #include "obs/trace.h"
 
 namespace csrplus::baselines {
+namespace {
+
+// FNV-1a 64 over a little sequence of u64 words; the same construction the
+// CSR+ engine uses for its cacheable-state identity.
+uint64_t HashU64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Status ValidateRpCoSimOptions(const RpCoSimOptions& options) {
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping factor must be in (0, 1)");
+  }
+  if (options.iterations < 1 || options.num_samples < 1) {
+    return Status::InvalidArgument("iterations and num_samples must be >= 1");
+  }
+  return Status::OK();
+}
+
+double RpCoSimErrorBound(const RpCoSimOptions& options) {
+  // Per-entry Monte-Carlo standard deviation: each k >= 1 term is an
+  // average of d products of (correlated) Gaussians with per-sample
+  // variance O(1), so its deviation is <= c^k / sqrt(d); the k = 0 term is
+  // exact. Summing the geometric tail gives the advertised bound.
+  const double c = options.damping;
+  const double k = static_cast<double>(options.iterations);
+  const double d = static_cast<double>(options.num_samples);
+  return c * (1.0 - std::pow(c, k)) / (1.0 - c) / std::sqrt(d);
+}
 
 Result<DenseMatrix> RpCoSimMultiSource(const CsrMatrix& transition,
                                        const std::vector<Index>& queries,
@@ -16,12 +55,7 @@ Result<DenseMatrix> RpCoSimMultiSource(const CsrMatrix& transition,
                         "RP-CoSim multi-source query wall time");
   CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kBaseline, "num_queries",
                          static_cast<int64_t>(queries.size()));
-  if (options.damping <= 0.0 || options.damping >= 1.0) {
-    return Status::InvalidArgument("damping factor must be in (0, 1)");
-  }
-  if (options.iterations < 1 || options.num_samples < 1) {
-    return Status::InvalidArgument("iterations and num_samples must be >= 1");
-  }
+  CSR_RETURN_IF_ERROR(ValidateRpCoSimOptions(options));
   const Index n = transition.rows();
   const Index d = options.num_samples;
   CSR_RETURN_IF_ERROR(core::ValidateQueries(queries, n));
@@ -56,6 +90,114 @@ Result<DenseMatrix> RpCoSimMultiSource(const CsrMatrix& transition,
     out(queries[j], static_cast<Index>(j)) += 1.0;  // exact k = 0 term
   }
   return out;
+}
+
+RpCosimEngine::RpCosimEngine(const CsrMatrix* transition,
+                             RpCoSimOptions options)
+    : transition_(transition), options_(options) {
+  const core::GraphFingerprint fp = core::FingerprintTransition(*transition_);
+  graph_hash_ = fp.content_hash;
+  graph_nnz_ = fp.nnz;
+}
+
+Status RpCosimEngine::PrecomputeSketch() {
+  if (!sketch_.empty()) return Status::OK();
+  CSR_RETURN_IF_ERROR(ValidateRpCoSimOptions(options_));
+  CSRPLUS_OBS_SCOPED_US("csrplus.baseline.rp_cosim.sketch_us",
+                        "RP-CoSim hardened sketch precompute wall time");
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kBaseline, "num_samples",
+                         static_cast<int64_t>(options_.num_samples));
+  const Index n = transition_->rows();
+  const Index d = options_.num_samples;
+  const int64_t iterations = options_.iterations;
+  // K resident propagated sketches plus the W_0 transient.
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      (iterations + 1) * static_cast<int64_t>(n) * d *
+          static_cast<int64_t>(sizeof(double)),
+      "RP-CoSim hardened sketch"));
+
+  // Exactly the lazy path's sketch: same Rng stream, same propagation
+  // order, so queries from the stored W_k are bit-identical to re-deriving
+  // them per call.
+  Rng rng(options_.seed);
+  DenseMatrix w(n, d);
+  for (Index i = 0; i < n; ++i) {
+    double* row = w.RowPtr(i);
+    for (Index j = 0; j < d; ++j) row[j] = rng.Gaussian();
+  }
+  sketch_.reserve(static_cast<std::size_t>(iterations));
+  for (int k = 1; k <= options_.iterations; ++k) {
+    DenseMatrix next =
+        transition_->MultiplyTransposeDense(k == 1 ? w : sketch_.back());
+    sketch_.push_back(std::move(next));
+  }
+  return Status::OK();
+}
+
+Result<DenseMatrix> RpCosimEngine::MultiSourceQuery(
+    const std::vector<Index>& queries) const {
+  if (sketch_.empty()) {
+    return RpCoSimMultiSource(*transition_, queries, options_);
+  }
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.baseline.rp_cosim.queries", "calls",
+                          "RP-CoSim multi-source query invocations", 1);
+  CSRPLUS_OBS_SCOPED_US("csrplus.baseline.rp_cosim.query_us",
+                        "RP-CoSim multi-source query wall time");
+  CSRPLUS_TRACE_SPAN_ARG(span, obs::spans::kBaseline, "num_queries",
+                         static_cast<int64_t>(queries.size()));
+  const Index n = transition_->rows();
+  CSR_RETURN_IF_ERROR(core::ValidateQueries(queries, n));
+  const int64_t cols = static_cast<int64_t>(queries.size());
+  // Output block plus the per-iteration contrib transient.
+  CSR_RETURN_IF_ERROR(MemoryBudget::Global().TryReserve(
+      2 * static_cast<int64_t>(n) * cols * static_cast<int64_t>(sizeof(double)),
+      "RP-CoSim hardened query"));
+
+  DenseMatrix out(n, static_cast<Index>(queries.size()));
+  const double inv_d = 1.0 / static_cast<double>(options_.num_samples);
+  double ck = 1.0;
+  for (int k = 1; k <= options_.iterations; ++k) {
+    const DenseMatrix& w = sketch_[static_cast<std::size_t>(k - 1)];
+    ck *= options_.damping;
+    const DenseMatrix w_q = w.SelectRows(queries);
+    DenseMatrix contrib = linalg::Gemm(w, w_q, linalg::Transpose::kNo,
+                                       linalg::Transpose::kYes);
+    linalg::AddScaled(ck * inv_d, contrib, &out);
+  }
+  for (std::size_t j = 0; j < queries.size(); ++j) {
+    out(queries[j], static_cast<Index>(j)) += 1.0;
+  }
+  return out;
+}
+
+uint64_t RpCosimEngine::StateFingerprint() const {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+  h = HashU64(h, graph_hash_);
+  h = HashU64(h, static_cast<uint64_t>(transition_->rows()));
+  h = HashU64(h, static_cast<uint64_t>(graph_nnz_));
+  uint64_t damping_bits = 0;
+  static_assert(sizeof(damping_bits) == sizeof(options_.damping));
+  std::memcpy(&damping_bits, &options_.damping, sizeof(damping_bits));
+  h = HashU64(h, damping_bits);
+  h = HashU64(h, static_cast<uint64_t>(options_.iterations));
+  h = HashU64(h, static_cast<uint64_t>(options_.num_samples));
+  h = HashU64(h, options_.seed);
+  // 0 is reserved for "cannot vouch"; this engine always can.
+  return h != 0 ? h : 0x9E3779B97F4A7C15ULL;
+}
+
+core::CostModel RpCosimEngine::EstimateCost(Index batch_queries) const {
+  const double n = static_cast<double>(NumNodes());
+  const double d = static_cast<double>(options_.num_samples);
+  const double k = static_cast<double>(options_.iterations);
+  const double per_query = n * (k * d + 1.0);
+  double batch = per_query * static_cast<double>(batch_queries);
+  if (sketch_.empty()) {
+    // Lazy mode re-derives the sketch every call: the Gaussian fill plus K
+    // sparse propagations at d multiply-adds per stored edge.
+    batch += n * d + k * static_cast<double>(graph_nnz_) * d;
+  }
+  return core::CostModel{batch, per_query};
 }
 
 }  // namespace csrplus::baselines

@@ -218,6 +218,20 @@ class CsrPlusEngine : public QueryEngine {
   /// engines built via PrecomputeFromPaperFactors where no graph was seen.
   uint64_t StateFingerprint() const override;
 
+  /// Query cost per Theorem 3.5: the [S]_{*,Q} block is one n x r by
+  /// r x |Q| GEMM plus the diagonal scatter — n(r + 1) fused multiply-adds
+  /// per query column, independent of batch width.
+  CostModel EstimateCost(Index batch_queries) const override {
+    const double per_query =
+        static_cast<double>(num_nodes()) * (static_cast<double>(rank()) + 1.0);
+    return CostModel{per_query * static_cast<double>(batch_queries),
+                     per_query};
+  }
+
+  /// Exact up to the rank-r truncation the whole engine is defined by; the
+  /// serving contract treats CSR+ as the exact tier (docs/serving-tiers.md).
+  AccuracyTag Accuracy() const override { return AccuracyTag{}; }
+
   /// The configured rank r.
   Index rank() const { return u_.cols(); }
 

@@ -78,6 +78,13 @@ class DynamicCsrPlusEngine : public QueryEngine {
   /// columns from a pre-insertion engine can never be served post-insertion.
   uint64_t StateFingerprint() const override;
 
+  /// Cost and accuracy delegate to the inner CSR+ engine: mutation changes
+  /// the factors, never the per-query work or the exactness class.
+  CostModel EstimateCost(Index batch_queries) const override {
+    return engine_->EstimateCost(batch_queries);
+  }
+  AccuracyTag Accuracy() const override { return engine_->Accuracy(); }
+
   /// The current queryable engine (valid until the next InsertEdge).
   const CsrPlusEngine& engine() const { return *engine_; }
 

@@ -30,6 +30,41 @@ namespace csrplus::core {
 using linalg::DenseMatrix;
 using linalg::Index;
 
+/// Advertised cost of answering a query batch, in abstract work units
+/// (fused multiply-add count of the dominant kernels — comparable across
+/// engines on one machine, not a wall-clock promise). A serving layer uses
+/// the ratio between two engines' estimates to decide routing; absolute
+/// values only need to be monotone in real cost. All-zero means "not
+/// advertised" and routing layers must treat the engine as opaque.
+struct CostModel {
+  /// Estimated total work for the batch the estimate was asked about.
+  double batch_cost = 0.0;
+  /// Marginal work of one additional query column at that batch width.
+  double per_query_cost = 0.0;
+
+  bool advertised() const { return batch_cost > 0.0 || per_query_cost > 0.0; }
+};
+
+/// Whether an engine's answers are exact (up to floating-point rounding of
+/// an exact identity) or carry an approximation error by construction.
+enum class AccuracyClass {
+  kExact,        ///< exact identity; error_bound is 0
+  kApproximate,  ///< estimator / truncation; error_bound quantifies it
+};
+
+/// Advertised accuracy of an engine's answer function.
+struct AccuracyTag {
+  AccuracyClass accuracy = AccuracyClass::kExact;
+  /// For kApproximate: an a-priori bound on the expected absolute error of
+  /// one score entry (e.g. the Monte-Carlo standard-deviation bound
+  /// sum_k c^k / sqrt(d) for RP-CoSim). 0 for exact engines. The bound is
+  /// a contract: measured average error on any workload must not exceed it
+  /// (tests enforce this on the accuracy-bench fixtures).
+  double error_bound = 0.0;
+
+  bool exact() const { return accuracy == AccuracyClass::kExact; }
+};
+
 /// Abstract multi-source CoSimRank query engine.
 class QueryEngine {
  public:
@@ -61,6 +96,21 @@ class QueryEngine {
   /// state"; callers must never cache under fingerprint 0. The default is 0,
   /// so engines opt *in* to cacheability.
   virtual uint64_t StateFingerprint() const { return 0; }
+
+  /// Advertised cost of a `batch_queries`-wide multi-source call, in the
+  /// abstract work units of CostModel. The default ({0, 0}) means "not
+  /// advertised"; engines opt in so the serving tiers (docs/serving-tiers.md)
+  /// can compare an exact and an approximate engine without timing them.
+  virtual CostModel EstimateCost(Index batch_queries) const {
+    (void)batch_queries;
+    return CostModel{};
+  }
+
+  /// Advertised accuracy of the answer function. Defaults to exact with a
+  /// zero error bound — correct for every engine computing an exact identity
+  /// (CSR+, NI, the reference iteration); estimators must override it and
+  /// vouch for a bound their measured error respects.
+  virtual AccuracyTag Accuracy() const { return AccuracyTag{}; }
 };
 
 /// Whether a query set may mention the same node twice.

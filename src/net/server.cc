@@ -524,6 +524,7 @@ void Server::Impl::HandleRequestFrame(Worker& w, Connection& conn,
   service_request.top_k = request.top_k;
   service_request.exclude_query = request.exclude_query;
   service_request.timeout_micros = request.deadline_micros;
+  service_request.quality = request.quality;
   service_request.tag = "net";
   auto wake = w.wake;  // shared: the callback may outlive the worker
   Result<service::QueryService::Ticket> submitted = service->Submit(
@@ -560,6 +561,7 @@ void Server::Impl::PumpConnection(Worker& w, Connection& conn) {
     wire.batch_queries = response.batch_queries;
     wire.wait_micros = response.wait_micros;
     wire.total_micros = response.total_micros;
+    wire.served_tier = response.served_tier;
     if (response.status.ok() && front.wants_topk) {
       wire.topk = response.topk;
       if (options.to_external) MapTopKToExternal(options.to_external, &wire.topk);

@@ -166,6 +166,7 @@ void AppendRequestFrame(const WireRequest& request, std::string* out) {
   uint8_t flags = 0;
   if (request.exclude_query) flags |= kFlagExcludeQuery;
   out->push_back(static_cast<char>(flags));
+  out->push_back(static_cast<char>(request.quality));
   PutU32(static_cast<uint32_t>(request.top_k), out);
   PutU64(request.deadline_micros, out);
   PutU32(static_cast<uint32_t>(request.queries.size()), out);
@@ -188,6 +189,7 @@ void AppendResponseFrameImpl(const WireResponse& response,
   PutI64(response.batch_queries, out);
   PutU64(response.wait_micros, out);
   PutU64(response.total_micros, out);
+  out->push_back(static_cast<char>(response.served_tier));
   if (!response.topk.empty()) {
     out->push_back(static_cast<char>(BodyKind::kTopK));
     PutU32(static_cast<uint32_t>(response.topk.size()), out);
@@ -261,10 +263,11 @@ Result<WireRequest> DecodeRequest(const uint8_t* payload, std::size_t size) {
         std::to_string(kProtocolVersion));
   }
   WireRequest request;
-  uint8_t method = 0, flags = 0;
+  uint8_t method = 0, flags = 0, quality = 0;
   uint32_t top_k = 0, num_queries = 0;
   if (!reader.ReadU8(&method) || !reader.ReadU8(&flags) ||
-      !reader.ReadU32(&top_k) || !reader.ReadU64(&request.deadline_micros) ||
+      !reader.ReadU8(&quality) || !reader.ReadU32(&top_k) ||
+      !reader.ReadU64(&request.deadline_micros) ||
       !reader.ReadU32(&num_queries)) {
     return Truncated("request header");
   }
@@ -272,8 +275,14 @@ Result<WireRequest> DecodeRequest(const uint8_t* payload, std::size_t size) {
     return Status::InvalidArgument("unknown wire method " +
                                    std::to_string(method));
   }
+  if (quality >
+      static_cast<uint8_t>(service::QualityClass::kBestEffort)) {
+    return Status::InvalidArgument("unknown wire quality class " +
+                                   std::to_string(quality));
+  }
   request.method = static_cast<Method>(method);
   request.exclude_query = (flags & kFlagExcludeQuery) != 0;
+  request.quality = static_cast<service::QualityClass>(quality);
   request.top_k = static_cast<int32_t>(top_k);
   // Each id costs 8 payload bytes, so `remaining` bounds num_queries; a
   // frame lying about its count is caught here, not by a giant reserve.
@@ -313,6 +322,13 @@ Result<WireResponse> DecodeResponse(const uint8_t* payload, std::size_t size) {
     return Status::InvalidArgument("unknown wire status code " +
                                    std::to_string(response.status_code));
   }
+  uint8_t tier = 0;
+  if (!reader.ReadU8(&tier)) return Truncated("response tier");
+  if (tier > static_cast<uint8_t>(service::ServedTier::kUnspecified)) {
+    return Status::InvalidArgument("unknown wire serving tier " +
+                                   std::to_string(tier));
+  }
+  response.served_tier = static_cast<service::ServedTier>(tier);
   uint8_t body_kind = 0;
   if (!reader.ReadU8(&body_kind)) return Truncated("response body kind");
   switch (static_cast<BodyKind>(body_kind)) {

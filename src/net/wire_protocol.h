@@ -6,11 +6,15 @@
 // compiler, no external dependency) and deliberately small:
 //
 //   frame    := payload_bytes:u32 payload
-//   request  := version:u16 method:u8 flags:u8 top_k:i32
+//   request  := version:u16 method:u8 flags:u8 quality:u8 top_k:i32
 //               deadline_micros:u64 num_queries:u32 query_id:i64 ...
 //   response := version:u16 status_code:u16 message_bytes:u32 message
 //               batch_requests:u32 batch_queries:i64
-//               wait_micros:u64 total_micros:u64 body_kind:u8 body
+//               wait_micros:u64 total_micros:u64 tier:u8 body_kind:u8 body
+//
+// v2 added the request quality class (exact | approximate | best-effort)
+// and the response tier echo (which serving tier actually answered); see
+// docs/serving-tiers.md for the routing semantics.
 //
 // The response body is EITHER the full n x |Q| score block (body_kind 1:
 // n:i64 num_queries:u32 then n*|Q| row-major doubles — a raw copy of the
@@ -39,13 +43,16 @@
 #include "common/status.h"
 #include "core/topk.h"
 #include "linalg/dense_matrix.h"
+#include "service/query_service.h"
 
 namespace csrplus::net {
 
 using linalg::Index;
 
 /// Protocol version carried in every request and response.
-inline constexpr uint16_t kProtocolVersion = 1;
+/// v1: initial frame layout. v2: request quality:u8 after flags, response
+/// tier:u8 before body_kind (the serving-tier contract).
+inline constexpr uint16_t kProtocolVersion = 2;
 
 /// Frame header size: the u32 payload length prefix.
 inline constexpr std::size_t kFrameHeaderBytes = 4;
@@ -73,6 +80,9 @@ struct WireRequest {
   int32_t top_k = 0;
   /// Relative deadline applied by the service; 0 = none.
   uint64_t deadline_micros = 0;
+  /// Requested serving quality (docs/serving-tiers.md). Encoded as u8 using
+  /// the enum's fixed wire values; decoders reject anything > best-effort.
+  service::QualityClass quality = service::QualityClass::kExact;
   std::vector<int64_t> queries;
 };
 
@@ -92,6 +102,9 @@ struct WireResponse {
   int64_t batch_queries = 0;
   uint64_t wait_micros = 0;
   uint64_t total_micros = 0;
+  /// Which serving tier actually answered (kUnspecified for pings and
+  /// requests that never reached an engine). Encoded as u8.
+  service::ServedTier served_tier = service::ServedTier::kUnspecified;
   /// Full score block (body_kind 1); empty otherwise.
   linalg::DenseMatrix scores;
   /// Per-query top-k (body_kind 2); empty otherwise.

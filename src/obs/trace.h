@@ -50,6 +50,7 @@ inline constexpr const char kCacheInsert[] = "cache_insert";
 inline constexpr const char kNetRead[] = "net_read";
 inline constexpr const char kNetDispatch[] = "net_dispatch";
 inline constexpr const char kNetWrite[] = "net_write";
+inline constexpr const char kTierRoute[] = "tier_route";
 }  // namespace spans
 
 /// True when span recording is on.

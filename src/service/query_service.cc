@@ -23,10 +23,67 @@ int64_t AdmissionBytes(Index num_nodes, std::size_t num_queries) {
 
 }  // namespace
 
+const char* QualityClassName(QualityClass quality) {
+  switch (quality) {
+    case QualityClass::kExact:
+      return "exact";
+    case QualityClass::kApproximate:
+      return "approximate";
+    case QualityClass::kBestEffort:
+      return "best-effort";
+  }
+  return "unknown";
+}
+
+const char* ServedTierName(ServedTier tier) {
+  switch (tier) {
+    case ServedTier::kExact:
+      return "exact";
+    case ServedTier::kApproximate:
+      return "approximate";
+    case ServedTier::kUnspecified:
+      return "unspecified";
+  }
+  return "unknown";
+}
+
 QueryService::QueryService(const core::QueryEngine* engine,
                            ServiceOptions options)
     : engine_(engine), options_(options) {
+  if (options_.approximate_engine != nullptr) {
+    CSR_CHECK(options_.approximate_engine->NumNodes() == engine_->NumNodes())
+        << "the approximate tier must serve the same node set as the exact "
+           "engine";
+  }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+const core::QueryEngine* QueryService::EngineFor(ServedTier tier) const {
+  if (tier == ServedTier::kApproximate &&
+      options_.approximate_engine != nullptr) {
+    return options_.approximate_engine;
+  }
+  return engine_;
+}
+
+ServedTier QueryService::RouteTier(const QueryRequest& request,
+                                   uint64_t deadline_micros,
+                                   uint64_t now) const {
+  if (options_.approximate_engine == nullptr) return ServedTier::kExact;
+  switch (request.quality) {
+    case QualityClass::kExact:
+      return ServedTier::kExact;
+    case QualityClass::kApproximate:
+      return ServedTier::kApproximate;
+    case QualityClass::kBestEffort:
+      if (shedding_) return ServedTier::kApproximate;
+      if (options_.shed_headroom_micros > 0 && deadline_micros != 0 &&
+          deadline_micros < now + options_.shed_headroom_micros) {
+        return ServedTier::kApproximate;
+      }
+      return ServedTier::kExact;
+  }
+  return ServedTier::kExact;
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -168,6 +225,15 @@ void QueryService::FinishLocked(RequestState* state, QueryResponse response) {
   CSRPLUS_OBS_HISTOGRAM_RECORD("csrplus.service.request_us", "us",
                                "submission-to-completion latency",
                                response.total_micros);
+  if (response.served_tier == ServedTier::kExact) {
+    CSRPLUS_OBS_HISTOGRAM_RECORD("csrplus.service.tier.exact_request_us",
+                                 "us", "exact-tier end-to-end latency",
+                                 response.total_micros);
+  } else if (response.served_tier == ServedTier::kApproximate) {
+    CSRPLUS_OBS_HISTOGRAM_RECORD("csrplus.service.tier.approx_request_us",
+                                 "us", "approximate-tier end-to-end latency",
+                                 response.total_micros);
+  }
   state->response = std::move(response);
   state->phase = Phase::kDone;
   state->cv.notify_all();
@@ -203,15 +269,47 @@ QueryService::NextBatch() {
       return {};
     }
 
+    // Adaptive controller: one depth observation per batch assembly, with
+    // hysteresis so the tier does not flap around the trigger (normative
+    // semantics: docs/serving-tiers.md). The decision is a pure function of
+    // the observed depth sequence, so identical load traces produce
+    // identical tier decisions.
+    const std::size_t observed_depth = queue_.size();
+    if (options_.approximate_engine != nullptr &&
+        options_.shed_trigger_depth > 0) {
+      if (static_cast<int>(observed_depth) >= options_.shed_trigger_depth) {
+        shedding_ = true;
+      } else if (static_cast<int>(observed_depth) <=
+                 options_.shed_resume_depth) {
+        shedding_ = false;
+      }
+    }
+    CSRPLUS_OBS_GAUGE_SET("csrplus.service.tier.shedding", "bool",
+                          "1 while the controller sheds best-effort traffic "
+                          "to the approximate tier",
+                          shedding_ ? 1 : 0);
+    CSRPLUS_TRACE_SPAN_ARG(route_span, obs::spans::kTierRoute, "queue_depth",
+                           static_cast<int64_t>(observed_depth));
+    CSRPLUS_TRACE_ARG(route_span, "shedding",
+                      static_cast<int64_t>(shedding_ ? 1 : 0));
+    const uint64_t route_now = obs::NowMicros();
+
     std::vector<std::shared_ptr<RequestState>> batch;
     std::unordered_set<Index> distinct;
+    ServedTier batch_tier = ServedTier::kExact;
     while (!queue_.empty()) {
       const auto& front = queue_.front();
+      // deadline_micros and request are write-once before enqueue, so
+      // routing may read them without the per-request lock.
+      const ServedTier front_tier =
+          RouteTier(front->request, front->deadline_micros, route_now);
       // The first popped request skips the widening checks below — safe only
       // because Submit rejects any request with more than max_batch_queries
       // queries, so no single request can blow past the batch cap on its own.
       if (!batch.empty()) {
         if (!options_.coalesce) break;
+        // Batches are tier-homogeneous: one engine evaluates the union.
+        if (front_tier != batch_tier) break;
         if (static_cast<int>(batch.size()) >= options_.max_batch_requests) {
           break;
         }
@@ -246,7 +344,23 @@ QueryService::NextBatch() {
         continue;
       }
       state->phase = Phase::kRunning;
+      state->routed_tier = front_tier;
       state->response.wait_micros = now - state->submit_micros;
+      if (front_tier == ServedTier::kApproximate) {
+        CSRPLUS_OBS_COUNTER_ADD("csrplus.service.tier.approx_requests",
+                                "requests",
+                                "requests routed to the approximate tier", 1);
+        if (state->request.quality == QualityClass::kBestEffort) {
+          CSRPLUS_OBS_COUNTER_ADD(
+              "csrplus.service.tier.shed", "requests",
+              "best-effort requests shed to the approximate tier", 1);
+        }
+      } else {
+        CSRPLUS_OBS_COUNTER_ADD("csrplus.service.tier.exact_requests",
+                                "requests",
+                                "requests routed to the exact tier", 1);
+      }
+      if (batch.empty()) batch_tier = front_tier;
       for (Index q : state->request.queries) distinct.insert(q);
       batch.push_back(std::move(state));
     }
@@ -259,23 +373,29 @@ QueryService::NextBatch() {
 }
 
 Result<DenseMatrix> QueryService::EvaluateBatch(
-    const std::vector<Index>& union_queries) {
+    const std::vector<Index>& union_queries, ServedTier tier) {
+  const core::QueryEngine* engine = EngineFor(tier);
+  const std::size_t slot = tier == ServedTier::kApproximate ? 1 : 0;
   cache::ColumnCache* cache = options_.cache;
-  const uint64_t fp = cache != nullptr ? engine_->StateFingerprint() : 0;
-  if (cache != nullptr && fp != served_fingerprint_) {
+  const uint64_t fp = cache != nullptr ? engine->StateFingerprint() : 0;
+  if (cache != nullptr && fp != served_fingerprint_[slot]) {
     // The engine's answer function changed (edge insertion, engine swap to a
     // different graph, ...): the previous generation's columns can never hit
     // again, so reclaim their bytes now instead of waiting for LRU pressure.
-    if (served_fingerprint_ != 0) cache->EvictEngine(served_fingerprint_);
-    served_fingerprint_ = fp;
+    // Per-tier slots: the tiers have distinct fingerprints by construction,
+    // and alternating between them must not evict each other's columns.
+    if (served_fingerprint_[slot] != 0) {
+      cache->EvictEngine(served_fingerprint_[slot]);
+    }
+    served_fingerprint_[slot] = fp;
   }
   if (cache == nullptr || fp == 0) {
     // Pass-through: no cache configured, or the engine cannot vouch for its
     // state (StateFingerprint contract) — identical to the pre-cache path.
-    return engine_->MultiSourceQuery(union_queries);
+    return engine->MultiSourceQuery(union_queries);
   }
 
-  const Index n = engine_->NumNodes();
+  const Index n = engine->NumNodes();
   const Index cols = static_cast<Index>(union_queries.size());
   // Mirror the engine's own output charge: the block is allocated here
   // instead of inside MultiSourceQuery, so near the cap the cached and
@@ -299,7 +419,7 @@ Result<DenseMatrix> QueryService::EvaluateBatch(
 
   // Evaluate only the miss set — the whole point of the cache.
   CSR_ASSIGN_OR_RETURN(DenseMatrix fresh,
-                       engine_->MultiSourceQuery(miss_queries));
+                       engine->MultiSourceQuery(miss_queries));
 
   // Copy fresh columns into place (row-major friendly: one pass over rows),
   // then hand each one to the cache as a contiguous vector.
@@ -326,6 +446,9 @@ void QueryService::DispatcherLoop() {
   for (;;) {
     auto batch = NextBatch();
     if (batch.empty()) return;
+    // NextBatch wrote every member's routed_tier on this thread and batches
+    // are tier-homogeneous, so the front's tier is the batch's tier.
+    const ServedTier tier = batch.front()->routed_tier;
 
     // Union of the batch's query sets, first occurrence fixing the column.
     std::vector<Index> union_queries;
@@ -355,7 +478,7 @@ void QueryService::DispatcherLoop() {
                         static_cast<int64_t>(union_queries.size()));
       CSRPLUS_OBS_SCOPED_US("csrplus.service.batch_us",
                             "micro-batch engine execution wall time");
-      return EvaluateBatch(union_queries);
+      return EvaluateBatch(union_queries, tier);
     }();
 
     const Index n = engine_->NumNodes();
@@ -364,6 +487,7 @@ void QueryService::DispatcherLoop() {
       QueryResponse response;
       response.batch_requests = static_cast<int>(batch.size());
       response.batch_queries = static_cast<Index>(union_queries.size());
+      response.served_tier = tier;
       std::lock_guard<std::mutex> slk(state->mu);
       response.wait_micros = state->response.wait_micros;
       if (state->cancel_requested) {

@@ -47,6 +47,28 @@ namespace csrplus::service {
 using linalg::DenseMatrix;
 using linalg::Index;
 
+/// Per-request quality class (normative semantics: docs/serving-tiers.md).
+/// The numeric values are the wire encoding and must not change.
+enum class QualityClass : uint8_t {
+  kExact = 0,        ///< always served by the exact engine
+  kApproximate = 1,  ///< the approximate engine when configured, else exact
+  kBestEffort = 2,   ///< exact normally; shed to approximate under load
+};
+
+/// Which engine tier actually answered a request (echoed on the wire).
+/// The numeric values are the wire encoding and must not change.
+enum class ServedTier : uint8_t {
+  kExact = 0,
+  kApproximate = 1,
+  kUnspecified = 2,  ///< the request never reached an engine (admission
+                     ///< rejects, queued cancellations/expiries, pings)
+};
+
+/// Stable lowercase names ("exact", "approximate", "best-effort" /
+/// "unspecified"); match the CLI --quality values.
+const char* QualityClassName(QualityClass quality);
+const char* ServedTierName(ServedTier tier);
+
 /// Serving-time knobs.
 struct ServiceOptions {
   /// Bounded submission queue; Submit beyond this => kResourceExhausted.
@@ -65,6 +87,23 @@ struct ServiceOptions {
   /// Ignored (pure pass-through) when null or when the engine reports
   /// StateFingerprint() == 0. Not owned; must outlive the service.
   cache::ColumnCache* cache = nullptr;
+  /// Optional approximate serving tier (docs/serving-tiers.md): kApproximate
+  /// requests route here, and the adaptive controller sheds kBestEffort
+  /// requests here when the thresholds below trip. Must serve the same node
+  /// set as the exact engine (checked at construction). Not owned; must
+  /// outlive the service. Null = tiering off, every request served exact.
+  const core::QueryEngine* approximate_engine = nullptr;
+  /// Depth-shedding hysteresis pair: the controller starts shedding when the
+  /// dispatcher observes `queue depth >= shed_trigger_depth` at batch
+  /// assembly and stops once `depth <= shed_resume_depth`. A non-positive
+  /// trigger disables depth shedding. Only meaningful with an
+  /// approximate_engine.
+  int shed_trigger_depth = 8;
+  int shed_resume_depth = 1;
+  /// Deadline-headroom shedding: a best-effort request whose remaining
+  /// deadline at assembly is below this is routed approximate regardless of
+  /// queue depth. 0 = off.
+  uint64_t shed_headroom_micros = 0;
 };
 
 /// One client request.
@@ -77,6 +116,8 @@ struct QueryRequest {
   bool exclude_query = true;
   /// Relative deadline from submission; 0 = none.
   uint64_t timeout_micros = 0;
+  /// Requested quality class; routing semantics in docs/serving-tiers.md.
+  QualityClass quality = QualityClass::kExact;
   /// Free-form client label (shows up in logs; no semantic meaning).
   std::string tag;
 };
@@ -96,6 +137,9 @@ struct QueryResponse {
   int batch_requests = 0;
   /// Distinct queries in that micro-batch.
   Index batch_queries = 0;
+  /// The engine tier that answered (kUnspecified when the request never
+  /// reached an engine: admission rejects, queued cancellations/expiries).
+  ServedTier served_tier = ServedTier::kUnspecified;
 };
 
 /// A concurrent, batching front-end for a QueryEngine. The engine must
@@ -176,19 +220,33 @@ class QueryService {
     std::condition_variable cv;
     Phase phase = Phase::kQueued;
     bool cancel_requested = false;
+    /// Tier decided at batch assembly (dispatcher writes it under mu; read
+    /// back by the dispatcher when the batch completes).
+    ServedTier routed_tier = ServedTier::kExact;
     QueryResponse response;
     /// Completion signal (see Submit); consumed by FinishLocked.
     std::function<void()> on_done;
   };
 
   void DispatcherLoop();
-  /// Evaluates one micro-batch's union query set: straight through the
-  /// engine when uncached, else scatter cached columns / evaluate the miss
-  /// set / insert fresh columns. Dispatcher thread only (touches
+  /// The engine serving `tier` (the exact engine when no approximate tier
+  /// is configured).
+  const core::QueryEngine* EngineFor(ServedTier tier) const;
+  /// Routing decision for one request at batch assembly (deterministic in
+  /// the observed controller state; docs/serving-tiers.md). `now` is the
+  /// assembly timestamp shared by the whole batch.
+  ServedTier RouteTier(const QueryRequest& request, uint64_t deadline_micros,
+                       uint64_t now) const;
+  /// Evaluates one micro-batch's union query set on `tier`'s engine:
+  /// straight through when uncached, else scatter cached columns / evaluate
+  /// the miss set / insert fresh columns. Dispatcher thread only (touches
   /// served_fingerprint_ without a lock).
-  Result<DenseMatrix> EvaluateBatch(const std::vector<Index>& union_queries);
+  Result<DenseMatrix> EvaluateBatch(const std::vector<Index>& union_queries,
+                                    ServedTier tier);
   /// Pops one micro-batch (holding mu_); finishes cancelled/expired
-  /// requests in place. Empty result means "shut down".
+  /// requests in place; updates the shedding controller and routes every
+  /// popped request (batches are tier-homogeneous — coalescing stops at a
+  /// tier boundary). Empty result means "shut down".
   std::vector<std::shared_ptr<RequestState>> NextBatch();
   /// Completes `state` (caller holds state->mu). Records latency metrics.
   void FinishLocked(RequestState* state, QueryResponse response);
@@ -196,10 +254,16 @@ class QueryService {
 
   const core::QueryEngine* engine_;  // not owned
   const ServiceOptions options_;
-  /// The engine fingerprint the cache was last populated under. When the
-  /// live fingerprint moves (e.g. a dynamic engine absorbed an edge between
-  /// batches), the dispatcher eagerly evicts the stale generation's columns.
-  uint64_t served_fingerprint_ = 0;
+  /// Per-tier engine fingerprint the cache was last populated under (slot 0
+  /// exact, slot 1 approximate — tiers alternating must not evict each
+  /// other's generations). When a live fingerprint moves (e.g. a dynamic
+  /// engine absorbed an edge between batches), the dispatcher eagerly
+  /// evicts that stale generation's columns.
+  uint64_t served_fingerprint_[2] = {0, 0};
+  /// Adaptive-controller state: currently shedding best-effort traffic to
+  /// the approximate tier. Written by the dispatcher under mu_ (hysteresis:
+  /// trips at shed_trigger_depth, clears at shed_resume_depth).
+  bool shedding_ = false;
 
   std::mutex mu_;
   std::condition_variable queue_cv_;

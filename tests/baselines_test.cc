@@ -261,5 +261,96 @@ TEST(RpCoSimTest, RejectsBadOptions) {
   EXPECT_TRUE(RpCoSimMultiSource(q, {1}, bad).status().IsInvalidArgument());
 }
 
+TEST(RpCoSimTest, HardenedSketchAnswersBitIdenticallyToLazyMode) {
+  // The serving-tier contract: PrecomputeSketch must not change a single
+  // output bit — same Rng stream, same floating-point operation order.
+  linalg::CsrMatrix q = Transition(RandomGraph(50, 300, 9));
+  RpCoSimOptions options;
+  options.iterations = 4;
+  options.num_samples = 16;
+  RpCosimEngine lazy(&q, options);
+  EXPECT_FALSE(lazy.sketch_ready());
+  auto lazy_scores = lazy.MultiSourceQuery({5, 25, 49});
+  ASSERT_TRUE(lazy_scores.ok());
+
+  RpCosimEngine hardened(&q, options);
+  ASSERT_TRUE(hardened.PrecomputeSketch().ok());
+  EXPECT_TRUE(hardened.sketch_ready());
+  ASSERT_TRUE(hardened.PrecomputeSketch().ok());  // idempotent
+  auto hardened_scores = hardened.MultiSourceQuery({5, 25, 49});
+  ASSERT_TRUE(hardened_scores.ok());
+  EXPECT_TRUE(*hardened_scores == *lazy_scores);  // bit-identical
+
+  // Also bit-identical to the historical free function.
+  auto free_scores = RpCoSimMultiSource(q, {5, 25, 49}, options);
+  ASSERT_TRUE(free_scores.ok());
+  EXPECT_TRUE(*hardened_scores == *free_scores);
+}
+
+TEST(RpCoSimTest, StateFingerprintIsSharedAcrossModesAndSensitive) {
+  linalg::CsrMatrix q = Transition(RandomGraph(50, 300, 9));
+  RpCoSimOptions options;
+  RpCosimEngine lazy(&q, options);
+  const uint64_t fp = lazy.StateFingerprint();
+  EXPECT_NE(fp, 0u);  // deterministic given the seed => cacheable
+
+  RpCosimEngine hardened(&q, options);
+  ASSERT_TRUE(hardened.PrecomputeSketch().ok());
+  EXPECT_EQ(hardened.StateFingerprint(), fp);  // same answer function
+
+  RpCoSimOptions wider = options;
+  wider.num_samples = options.num_samples + 1;
+  EXPECT_NE(RpCosimEngine(&q, wider).StateFingerprint(), fp);
+  linalg::CsrMatrix other = Transition(RandomGraph(50, 300, 10));
+  EXPECT_NE(RpCosimEngine(&other, options).StateFingerprint(), fp);
+}
+
+TEST(RpCoSimTest, MeasuredErrorRespectsAdvertisedBound) {
+  // The AccuracyTag bound must be sound: measured average error against the
+  // exact reference sits under RpCoSimErrorBound.
+  linalg::CsrMatrix q = Transition(RandomGraph(50, 300, 9));
+  RpCoSimOptions options;
+  options.iterations = 5;
+  options.num_samples = 50;
+  core::CoSimRankOptions exact_options;
+  exact_options.iterations = 5;
+  std::vector<Index> queries = {0, 5, 25, 49};
+  auto exact =
+      core::ReferenceEngine(&q, exact_options).MultiSourceQuery(queries);
+  ASSERT_TRUE(exact.ok());
+  RpCosimEngine engine(&q, options);
+  ASSERT_TRUE(engine.PrecomputeSketch().ok());
+  auto got = engine.MultiSourceQuery(queries);
+  ASSERT_TRUE(got.ok());
+  double err = 0.0;
+  for (Index i = 0; i < got->size(); ++i) {
+    err += std::fabs(got->data()[i] - exact->data()[i]);
+  }
+  err /= static_cast<double>(got->size());
+
+  const core::AccuracyTag tag = engine.Accuracy();
+  EXPECT_EQ(tag.accuracy, core::AccuracyClass::kApproximate);
+  EXPECT_GT(tag.error_bound, 0.0);
+  EXPECT_DOUBLE_EQ(tag.error_bound, RpCoSimErrorBound(options));
+  EXPECT_LE(err, tag.error_bound);
+}
+
+TEST(RpCoSimTest, CostModelPricesSketchOnlyInLazyMode) {
+  linalg::CsrMatrix q = Transition(RandomGraph(50, 300, 9));
+  RpCoSimOptions options;
+  options.iterations = 4;
+  options.num_samples = 16;
+  RpCosimEngine lazy(&q, options);
+  const core::CostModel lazy_cost = lazy.EstimateCost(2);
+  // Per-query query-side GEMMs: n (K d + 1) work units.
+  EXPECT_DOUBLE_EQ(lazy_cost.per_query_cost, 50.0 * (4.0 * 16.0 + 1.0));
+  RpCosimEngine hardened(&q, options);
+  ASSERT_TRUE(hardened.PrecomputeSketch().ok());
+  const core::CostModel hardened_cost = hardened.EstimateCost(2);
+  EXPECT_DOUBLE_EQ(hardened_cost.per_query_cost, lazy_cost.per_query_cost);
+  // The lazy batch additionally pays the Gaussian fill + K propagations.
+  EXPECT_GT(lazy_cost.batch_cost, hardened_cost.batch_cost);
+}
+
 }  // namespace
 }  // namespace csrplus::baselines

@@ -20,9 +20,11 @@
 #include <utility>
 #include <vector>
 
+#include "baselines/rp_cosim.h"
 #include "core/csrplus_engine.h"
 #include "core/query_engine.h"
 #include "core/topk.h"
+#include "graph/normalize.h"
 #include "net/socket_util.h"
 #include "service/query_service.h"
 #include "test_util.h"
@@ -207,6 +209,116 @@ TEST(WireProtocolTest, GarbageAndTruncationAreRejectedWithTypedErrors) {
   EXPECT_EQ(ExtractFrame(huge_header, 2, kMaxRequestFrameBytes, &out_payload,
                          &out_size, &out_consumed),
             FrameStatus::kIncomplete);
+}
+
+TEST(WireProtocolTest, V2QualityClassRoundTripsInRequests) {
+  for (const service::QualityClass quality :
+       {service::QualityClass::kExact, service::QualityClass::kApproximate,
+        service::QualityClass::kBestEffort}) {
+    WireRequest request;
+    request.quality = quality;
+    request.queries = {4, 8};
+    std::string frame;
+    AppendRequestFrame(request, &frame);
+    auto decoded = DecodeRequest(
+        reinterpret_cast<const uint8_t*>(frame.data()) + kFrameHeaderBytes,
+        frame.size() - kFrameHeaderBytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->quality, quality);
+  }
+
+  // A garbage quality byte is a typed error, not a silent downgrade. The
+  // byte sits at payload offset 4: version:u16, method:u8, flags:u8.
+  WireRequest request;
+  request.queries = {4, 8};
+  std::string frame;
+  AppendRequestFrame(request, &frame);
+  std::string patched(frame.begin() + kFrameHeaderBytes, frame.end());
+  patched[4] = static_cast<char>(0x7F);
+  auto rejected = DecodeRequest(
+      reinterpret_cast<const uint8_t*>(patched.data()), patched.size());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument())
+      << rejected.status().ToString();
+}
+
+TEST(WireProtocolTest, V2ServedTierRoundTripsInResponses) {
+  for (const service::ServedTier tier :
+       {service::ServedTier::kExact, service::ServedTier::kApproximate,
+        service::ServedTier::kUnspecified}) {
+    WireResponse response;
+    response.served_tier = tier;
+    std::string frame;
+    AppendResponseFrame(response, &frame);
+    auto decoded = DecodeResponse(
+        reinterpret_cast<const uint8_t*>(frame.data()) + kFrameHeaderBytes,
+        frame.size() - kFrameHeaderBytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->served_tier, tier);
+  }
+
+  // A garbage tier byte is rejected. With an empty message the byte sits at
+  // offset 36: version(2) + status(2) + msg_len(4) + batch_requests(4) +
+  // batch_queries(8) + wait(8) + total(8).
+  WireResponse response;
+  std::string frame;
+  AppendResponseFrame(response, &frame);
+  std::string patched(frame.begin() + kFrameHeaderBytes, frame.end());
+  patched[36] = static_cast<char>(0x7F);
+  auto rejected = DecodeResponse(
+      reinterpret_cast<const uint8_t*>(patched.data()), patched.size());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument())
+      << rejected.status().ToString();
+}
+
+TEST(NetServerTest, QualityClassTravelsTheSocketAndTierEchoesBack) {
+  // End to end over a real socket: an approximate-quality request routed to
+  // the RP tier comes back bit-identical to the approximate engine, with the
+  // tier echoed in the response; exact requests echo the exact tier.
+  auto graph = RandomGraph(100, 700, 11);
+  core::CsrPlusOptions exact_options;
+  exact_options.rank = 8;
+  auto exact = core::CsrPlusEngine::Precompute(graph, exact_options);
+  ASSERT_TRUE(exact.ok());
+  auto transition = graph::ColumnNormalizedTransition(graph);
+  baselines::RpCoSimOptions rp_options;
+  rp_options.iterations = 3;
+  rp_options.num_samples = 8;
+  baselines::RpCosimEngine approx(&transition, rp_options);
+  ASSERT_TRUE(approx.PrecomputeSketch().ok());
+
+  service::ServiceOptions service_options;
+  service_options.approximate_engine = &approx;
+  service::QueryService service(&*exact, service_options);
+  Server server(&service, {});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  WireRequest approx_request;
+  approx_request.quality = service::QualityClass::kApproximate;
+  approx_request.queries = {3, 41};
+  auto approx_response = client->Call(approx_request);
+  ASSERT_TRUE(approx_response.ok()) << approx_response.status().ToString();
+  ASSERT_TRUE(approx_response->ok()) << approx_response->ToStatus().ToString();
+  EXPECT_EQ(approx_response->served_tier, service::ServedTier::kApproximate);
+  auto approx_direct = approx.MultiSourceQuery({3, 41});
+  ASSERT_TRUE(approx_direct.ok());
+  EXPECT_TRUE(approx_response->scores == *approx_direct);
+
+  WireRequest exact_request;
+  exact_request.queries = {3, 41};
+  auto exact_response = client->Call(exact_request);
+  ASSERT_TRUE(exact_response.ok()) << exact_response.status().ToString();
+  ASSERT_TRUE(exact_response->ok());
+  EXPECT_EQ(exact_response->served_tier, service::ServedTier::kExact);
+  auto exact_direct = exact->MultiSourceQuery({3, 41});
+  ASSERT_TRUE(exact_direct.ok());
+  EXPECT_TRUE(exact_response->scores == *exact_direct);
+
+  server.Shutdown();
+  service.Shutdown();
 }
 
 // ---------------------------------------------------------------------------

@@ -517,6 +517,38 @@ TEST(ObsDocumentationTest, EveryEmittedMetricIsDocumented) {
     service.Shutdown();
   }
 
+  // Tiered service: an approximate-quality request plus a best-effort
+  // request shed via deadline headroom (deterministic — no queue-depth
+  // race), so the approximate side of csrplus.service.tier.*, the shed
+  // counter, the tier_route span and the RP-CoSim sketch_us histogram all
+  // register.
+  {
+    const auto tier_transition = graph::ColumnNormalizedTransition(g);
+    baselines::RpCoSimOptions tier_rp;
+    tier_rp.iterations = 2;
+    tier_rp.num_samples = 4;
+    baselines::RpCosimEngine approx(&tier_transition, tier_rp);
+    ASSERT_TRUE(approx.PrecomputeSketch().ok());
+    service::ServiceOptions tier_options;
+    tier_options.approximate_engine = &approx;
+    tier_options.shed_headroom_micros = uint64_t{1} << 40;
+    service::QueryService tiered(&*engine, tier_options);
+    service::QueryRequest approx_request;
+    approx_request.queries = {0};
+    approx_request.quality = service::QualityClass::kApproximate;
+    auto approx_response = tiered.Query(std::move(approx_request));
+    ASSERT_TRUE(approx_response.status.ok());
+    EXPECT_EQ(approx_response.served_tier, service::ServedTier::kApproximate);
+    service::QueryRequest shed_request;
+    shed_request.queries = {1};
+    shed_request.quality = service::QualityClass::kBestEffort;
+    shed_request.timeout_micros = 60'000'000;  // far below the headroom
+    auto shed_response = tiered.Query(std::move(shed_request));
+    ASSERT_TRUE(shed_response.status.ok());
+    EXPECT_EQ(shed_response.served_tier, service::ServedTier::kApproximate);
+    tiered.Shutdown();
+  }
+
   // Column cache: a miss, a hit, an insert, an LRU eviction, a rejection
   // and an invalidation, so every csrplus.cache.* metric (and the
   // cache_lookup / cache_insert spans) registers.
@@ -601,6 +633,7 @@ TEST(ObsDocumentationTest, EveryEmittedMetricIsDocumented) {
                            obs::spans::kPoolRegion, obs::spans::kBaseline,
                            obs::spans::kServiceRequest,
                            obs::spans::kServiceBatch,
+                           obs::spans::kTierRoute,
                            obs::spans::kCacheLookup,
                            obs::spans::kCacheInsert, obs::spans::kNetRead,
                            obs::spans::kNetDispatch, obs::spans::kNetWrite}) {

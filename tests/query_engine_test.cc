@@ -136,6 +136,61 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+TEST_P(QueryEngineConformanceTest, AdvertisedCostAndAccuracyAreCoherent) {
+  // The serving-tier contract (docs/serving-tiers.md): cost models are
+  // non-negative and monotone in the batch width, and accuracy tags pair
+  // "exact" with a zero bound / "approximate" with a positive one.
+  const CostModel one = engine_->EstimateCost(1);
+  const CostModel four = engine_->EstimateCost(4);
+  EXPECT_GE(one.batch_cost, 0.0);
+  EXPECT_GE(one.per_query_cost, 0.0);
+  if (one.advertised()) {
+    EXPECT_GE(four.batch_cost + 4.0 * four.per_query_cost,
+              one.batch_cost + one.per_query_cost);
+  }
+  const AccuracyTag tag = engine_->Accuracy();
+  if (tag.exact()) {
+    EXPECT_EQ(tag.error_bound, 0.0);
+  } else {
+    EXPECT_GT(tag.error_bound, 0.0);
+  }
+}
+
+TEST(CostModelTest, CsrPlusAdvertisesTheoremCostAndExactAccuracy) {
+  auto graph = RandomGraph(60, 360, 7);
+  CsrPlusOptions options;
+  options.rank = 8;
+  auto engine = CsrPlusEngine::Precompute(graph, options);
+  ASSERT_TRUE(engine.ok());
+  // Theorem 3.5 query shape: n (r + 1) fused multiply-adds per column.
+  const CostModel cost = engine->EstimateCost(3);
+  EXPECT_TRUE(cost.advertised());
+  EXPECT_DOUBLE_EQ(cost.per_query_cost, 60.0 * 9.0);
+  EXPECT_DOUBLE_EQ(cost.batch_cost, 3.0 * 60.0 * 9.0);
+  EXPECT_TRUE(engine->Accuracy().exact());
+  EXPECT_EQ(engine->Accuracy().error_bound, 0.0);
+}
+
+TEST(CostModelTest, UnadvertisedDefaultIsAllZero) {
+  const CostModel none;
+  EXPECT_FALSE(none.advertised());
+  EXPECT_EQ(none.batch_cost, 0.0);
+  EXPECT_EQ(none.per_query_cost, 0.0);
+}
+
+TEST(CostModelTest, DynamicEngineDelegatesToItsInnerEngine) {
+  auto graph = RandomGraph(60, 360, 7);
+  eval::RunConfig config;
+  auto dynamic = eval::CreateEngine(eval::Method::kDynamic,
+                                    graph::ColumnNormalizedTransition(graph),
+                                    config);
+  ASSERT_TRUE(dynamic.ok()) << dynamic.status().ToString();
+  const CostModel cost = (*dynamic)->EstimateCost(2);
+  EXPECT_TRUE(cost.advertised());
+  EXPECT_DOUBLE_EQ(cost.batch_cost, 2.0 * cost.per_query_cost);
+  EXPECT_TRUE((*dynamic)->Accuracy().exact());
+}
+
 TEST(ValidateQueriesTest, AcceptsValidSets) {
   EXPECT_TRUE(ValidateQueries({0, 5, 9}, 10).ok());
   EXPECT_TRUE(ValidateQueries({3, 3}, 10).ok());  // duplicates allowed

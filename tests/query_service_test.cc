@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "baselines/rp_cosim.h"
 #include "cache/column_cache.h"
 #include "common/memory.h"
 #include "core/csrplus_engine.h"
@@ -455,6 +456,224 @@ TEST(QueryServiceTest, MultiClientHammer) {
   // The hammer (and its after-join direct-call verification) must hold under
   // every dispatchable kernel ISA, not just the startup pick.
   ForEachAvailableIsa([] { RunMultiClientHammer(nullptr); });
+}
+
+// Fixture pieces for the serving-tier tests: an exact CSR+ engine and a
+// hardened RP-CoSim approximate engine over the same graph.
+struct TieredSetup {
+  // Heap storage keeps the addresses the engines point at stable no matter
+  // how the setup struct itself moves.
+  std::unique_ptr<linalg::CsrMatrix> transition;
+  core::CsrPlusEngine exact;
+  std::unique_ptr<baselines::RpCosimEngine> approx;
+
+  static TieredSetup Make() {
+    auto graph = RandomGraph(100, 700, 11);
+    core::CsrPlusOptions options;
+    options.rank = 8;
+    auto exact = core::CsrPlusEngine::Precompute(graph, options);
+    CSR_CHECK(exact.ok()) << exact.status().ToString();
+    auto transition = std::make_unique<linalg::CsrMatrix>(
+        graph::ColumnNormalizedTransition(graph));
+    baselines::RpCoSimOptions rp_options;
+    rp_options.iterations = 3;
+    rp_options.num_samples = 8;
+    auto approx = std::make_unique<baselines::RpCosimEngine>(transition.get(),
+                                                             rp_options);
+    CSR_CHECK(approx->PrecomputeSketch().ok());
+    return TieredSetup{std::move(transition), std::move(*exact),
+                       std::move(approx)};
+  }
+};
+
+TEST(QueryServiceTierTest, QualityClassRoutesToConfiguredTier) {
+  auto setup = TieredSetup::Make();
+  ServiceOptions options;
+  options.approximate_engine = setup.approx.get();
+  QueryService service(&setup.exact, options);
+
+  QueryRequest exact_request;
+  exact_request.queries = {3, 41};
+  QueryResponse exact_response = service.Query(std::move(exact_request));
+  ASSERT_TRUE(exact_response.status.ok());
+  EXPECT_EQ(exact_response.served_tier, ServedTier::kExact);
+  auto exact_direct = setup.exact.MultiSourceQuery({3, 41});
+  ASSERT_TRUE(exact_direct.ok());
+  EXPECT_TRUE(exact_response.scores == *exact_direct);
+
+  QueryRequest approx_request;
+  approx_request.queries = {3, 41};
+  approx_request.quality = QualityClass::kApproximate;
+  QueryResponse approx_response = service.Query(std::move(approx_request));
+  ASSERT_TRUE(approx_response.status.ok());
+  EXPECT_EQ(approx_response.served_tier, ServedTier::kApproximate);
+  auto approx_direct = setup.approx->MultiSourceQuery({3, 41});
+  ASSERT_TRUE(approx_direct.ok());
+  EXPECT_TRUE(approx_response.scores == *approx_direct);  // bit-identical
+
+  // Best-effort on an idle service stays exact: no queue, no shedding.
+  QueryRequest best_effort;
+  best_effort.queries = {7};
+  best_effort.quality = QualityClass::kBestEffort;
+  QueryResponse best_response = service.Query(std::move(best_effort));
+  ASSERT_TRUE(best_response.status.ok());
+  EXPECT_EQ(best_response.served_tier, ServedTier::kExact);
+}
+
+TEST(QueryServiceTierTest, QualityClassesIgnoredWithoutApproximateTier) {
+  auto engine = MakeEngine();
+  QueryService service(&engine);
+  for (QualityClass quality :
+       {QualityClass::kExact, QualityClass::kApproximate,
+        QualityClass::kBestEffort}) {
+    QueryRequest request;
+    request.queries = {5};
+    request.quality = quality;
+    QueryResponse response = service.Query(std::move(request));
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.served_tier, ServedTier::kExact)
+        << "quality " << QualityClassName(quality);
+  }
+}
+
+TEST(QueryServiceTierTest, DeadlineHeadroomShedsBestEffort) {
+  auto setup = TieredSetup::Make();
+  ServiceOptions options;
+  options.approximate_engine = setup.approx.get();
+  options.shed_trigger_depth = 0;  // depth shedding off: isolate headroom
+  options.shed_headroom_micros = uint64_t{1} << 40;
+  QueryService service(&setup.exact, options);
+
+  QueryRequest best_effort;
+  best_effort.queries = {5};
+  best_effort.quality = QualityClass::kBestEffort;
+  best_effort.timeout_micros = 60'000'000;  // far below the headroom
+  QueryResponse shed = service.Query(std::move(best_effort));
+  ASSERT_TRUE(shed.status.ok());
+  EXPECT_EQ(shed.served_tier, ServedTier::kApproximate);
+
+  // Exact quality is never shed, headroom or not.
+  QueryRequest exact_request;
+  exact_request.queries = {5};
+  exact_request.timeout_micros = 60'000'000;
+  QueryResponse exact_response = service.Query(std::move(exact_request));
+  ASSERT_TRUE(exact_response.status.ok());
+  EXPECT_EQ(exact_response.served_tier, ServedTier::kExact);
+
+  // A best-effort request without a deadline has no headroom to run out of.
+  QueryRequest no_deadline;
+  no_deadline.queries = {5};
+  no_deadline.quality = QualityClass::kBestEffort;
+  QueryResponse undated = service.Query(std::move(no_deadline));
+  ASSERT_TRUE(undated.status.ok());
+  EXPECT_EQ(undated.served_tier, ServedTier::kExact);
+}
+
+// Replays one fixed load trace: a gated blocker pins the dispatcher, a
+// best-effort burst queues behind it (depth >= trigger => shed), then a
+// lone best-effort request on the drained queue (depth <= resume => back
+// to exact). Returns the served tiers in submission order.
+std::vector<ServedTier> RunSheddingTrace(const TieredSetup& setup) {
+  GatedEngine gated(&setup.exact);
+  gated.Close();
+  ServiceOptions options;
+  options.approximate_engine = setup.approx.get();
+  options.shed_trigger_depth = 4;
+  options.shed_resume_depth = 1;
+  QueryService service(&gated, options);
+
+  QueryRequest blocker;
+  blocker.queries = {0};
+  auto blocker_ticket = service.Submit(std::move(blocker));
+  CSR_CHECK(blocker_ticket.ok());
+  while (gated.calls() == 0) std::this_thread::yield();
+
+  std::vector<QueryService::Ticket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    QueryRequest request;
+    request.queries = {static_cast<Index>(i + 1)};
+    request.quality = QualityClass::kBestEffort;
+    auto ticket = service.Submit(std::move(request));
+    CSR_CHECK(ticket.ok());
+    tickets.push_back(std::move(*ticket));
+  }
+  gated.Open();
+
+  std::vector<ServedTier> served;
+  served.push_back(blocker_ticket->Wait().served_tier);
+  for (auto& ticket : tickets) served.push_back(ticket.Wait().served_tier);
+
+  // Queue has fully drained; the controller observed depth <= resume while
+  // popping the tail, so a fresh best-effort request runs exact again.
+  QueryRequest after;
+  after.queries = {50};
+  after.quality = QualityClass::kBestEffort;
+  served.push_back(service.Query(std::move(after)).served_tier);
+  return served;
+}
+
+TEST(QueryServiceTierTest, DepthSheddingIsDeterministicAcrossReplays) {
+  auto setup = TieredSetup::Make();
+  const std::vector<ServedTier> first = RunSheddingTrace(setup);
+  ASSERT_EQ(first.size(), 8u);
+  // Blocker ran exact; the burst queued to depth 6 >= trigger 4, so every
+  // burst member was shed; the post-drain request resumed exact.
+  EXPECT_EQ(first.front(), ServedTier::kExact);
+  for (std::size_t i = 1; i + 1 < first.size(); ++i) {
+    EXPECT_EQ(first[i], ServedTier::kApproximate) << "burst request " << i;
+  }
+  EXPECT_EQ(first.back(), ServedTier::kExact);
+  // Same load trace => same tier decisions, replay after replay.
+  EXPECT_EQ(RunSheddingTrace(setup), first);
+  EXPECT_EQ(RunSheddingTrace(setup), first);
+}
+
+TEST(QueryServiceTierTest, TieredBatchesStayHomogeneous) {
+  auto setup = TieredSetup::Make();
+  GatedEngine gated(&setup.exact);
+  gated.Close();
+  ServiceOptions options;
+  options.approximate_engine = setup.approx.get();
+  options.shed_trigger_depth = 0;  // routing by quality class only
+  QueryService service(&gated, options);
+
+  QueryRequest blocker;
+  blocker.queries = {0};
+  auto blocker_ticket = service.Submit(std::move(blocker));
+  ASSERT_TRUE(blocker_ticket.ok());
+  while (gated.calls() == 0) std::this_thread::yield();
+
+  // Alternating tiers queued back to back: coalescing must break at every
+  // tier boundary instead of mixing engines in one evaluation.
+  std::vector<QueryService::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    QueryRequest request;
+    request.queries = {static_cast<Index>(i + 1)};
+    request.quality = (i % 2 == 0) ? QualityClass::kExact
+                                   : QualityClass::kApproximate;
+    auto ticket = service.Submit(std::move(request));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(std::move(*ticket));
+  }
+  gated.Open();
+  blocker_ticket->Wait();
+  for (int i = 0; i < 4; ++i) {
+    const QueryResponse& response = tickets[static_cast<std::size_t>(i)].Wait();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.served_tier, (i % 2 == 0)
+                                        ? ServedTier::kExact
+                                        : ServedTier::kApproximate);
+    EXPECT_EQ(response.batch_requests, 1)
+        << "tier boundary was coalesced away";
+  }
+}
+
+TEST(QueryServiceTierTest, MismatchedNodeCountsDieAtConstruction) {
+  auto exact = MakeEngine(100, 700, 11);
+  auto smaller = MakeEngine(50, 300, 7);
+  ServiceOptions options;
+  options.approximate_engine = &smaller;
+  EXPECT_DEATH(QueryService(&exact, options), "same node set");
 }
 
 TEST(QueryServiceTest, MultiClientHammerWithColumnCache) {

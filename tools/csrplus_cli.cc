@@ -66,6 +66,17 @@
 //   --requests=R    (serve) requests per client (default 32)
 //   --qsize=Q       (serve) query nodes per request (default 8)
 //   --deadline-ms=D (serve) per-request deadline, 0 = none (default 0)
+//   --quality=Q     (serve/client) request quality class: exact (default),
+//                   approximate, or best-effort (docs/serving-tiers.md)
+//   --shed-depth=N  (serve) enable the approximate RP-CoSim tier and shed
+//                   best-effort traffic to it when the queue depth reaches
+//                   N at batch assembly; 0 = tiering off (default 0)
+//   --shed-resume=N (serve) hysteresis: stop shedding once the observed
+//                   depth is back at or below N (default 1)
+//   --shed-headroom-ms=D  (serve) also shed best-effort requests whose
+//                   remaining deadline is below D ms; 0 = off (default 0)
+//   --approx-samples=D    (serve) RP-CoSim sketch width d for the
+//                   approximate tier (default 32)
 //   --no-coalesce   (serve) disable micro-batching (serialized A/B arm)
 //   --cache-mb=M    (serve) column-cache capacity in MiB, 0 = off
 //                   (default 64)
@@ -118,6 +129,12 @@ struct CliOptions {
   int requests = 32;      // serve: requests per client
   Index qsize = 8;        // serve: query nodes per request
   int deadline_ms = 0;    // serve: per-request deadline (0 = none)
+  // Serving-tier knobs (docs/serving-tiers.md).
+  service::QualityClass quality = service::QualityClass::kExact;
+  int shed_depth = 0;        // serve: shed trigger depth; 0 = tiering off
+  int shed_resume = 1;       // serve: shed resume depth (hysteresis)
+  int shed_headroom_ms = 0;  // serve: deadline-headroom shed threshold
+  Index approx_samples = 32; // serve: RP-CoSim tier sketch width d
   bool no_coalesce = false;  // serve: disable micro-batching
   int cache_mb = 64;         // serve: column-cache capacity (MiB); 0 = off
   bool no_cache = false;     // serve: disable the column cache
@@ -151,10 +168,14 @@ void PrintUsage() {
                "[--no-coalesce]\n"
                "                                 [--cache-mb=M] "
                "[--no-cache]\n"
+               "                                 [--quality=Q] "
+               "[--shed-depth=N] [--shed-resume=N]\n"
+               "                                 [--shed-headroom-ms=D] "
+               "[--approx-samples=D]\n"
                "                                 [--listen=H:P] "
                "[--net-workers=N]\n"
                "  client --server=H:P [<node>..]  query (or ping) a socket "
-               "server\n");
+               "server [--quality=Q]\n");
 }
 
 bool ParseMethod(const std::string& name, eval::Method* method) {
@@ -172,6 +193,19 @@ bool ParseMethod(const std::string& name, eval::Method* method) {
     *method = eval::Method::kRpCoSim;
   } else if (name == "dynamic" || name == "csr+dyn") {
     *method = eval::Method::kDynamic;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseQuality(const std::string& name, service::QualityClass* quality) {
+  if (name == "exact") {
+    *quality = service::QualityClass::kExact;
+  } else if (name == "approximate" || name == "approx") {
+    *quality = service::QualityClass::kApproximate;
+  } else if (name == "best-effort") {
+    *quality = service::QualityClass::kBestEffort;
   } else {
     return false;
   }
@@ -215,6 +249,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->qsize = std::atoll(arg.c_str() + 8);
     } else if (StartsWith(arg, "--deadline-ms=")) {
       options->deadline_ms = std::atoi(arg.c_str() + 14);
+    } else if (StartsWith(arg, "--quality=")) {
+      if (!ParseQuality(arg.substr(10), &options->quality)) {
+        std::fprintf(stderr,
+                     "unknown quality: %s (want exact, approximate or "
+                     "best-effort)\n",
+                     arg.c_str() + 10);
+        return false;
+      }
+    } else if (StartsWith(arg, "--shed-depth=")) {
+      options->shed_depth = std::atoi(arg.c_str() + 13);
+    } else if (StartsWith(arg, "--shed-resume=")) {
+      options->shed_resume = std::atoi(arg.c_str() + 14);
+    } else if (StartsWith(arg, "--shed-headroom-ms=")) {
+      options->shed_headroom_ms = std::atoi(arg.c_str() + 19);
+    } else if (StartsWith(arg, "--approx-samples=")) {
+      options->approx_samples = std::atoll(arg.c_str() + 17);
     } else if (arg == "--no-coalesce") {
       options->no_coalesce = true;
     } else if (StartsWith(arg, "--cache-mb=")) {
@@ -585,6 +635,45 @@ int RunServe(const CliOptions& options) {
   // socket clients sized to --qsize stay admissible.
   service_options.max_batch_queries =
       std::max<Index>(service_options.max_batch_queries, qsize);
+
+  // Approximate serving tier (docs/serving-tiers.md): a hardened RP-CoSim
+  // engine over the same graph. The service sheds best-effort traffic to it
+  // once the admission queue reaches --shed-depth. Declared before the
+  // service so it outlives it.
+  std::unique_ptr<linalg::CsrMatrix> approx_transition;
+  std::unique_ptr<baselines::RpCosimEngine> approx_engine;
+  if (options.shed_depth > 0) {
+    const linalg::CsrMatrix* transition = box->transition.get();
+    if (transition == nullptr) {
+      approx_transition = std::make_unique<linalg::CsrMatrix>(
+          graph::ColumnNormalizedTransition(g->graph));
+      transition = approx_transition.get();
+    }
+    baselines::RpCoSimOptions rp_options;
+    rp_options.damping = options.damping;
+    rp_options.num_samples = std::max<Index>(options.approx_samples, 1);
+    approx_engine =
+        std::make_unique<baselines::RpCosimEngine>(transition, rp_options);
+    WallTimer approx_timer;
+    Status hardened = approx_engine->PrecomputeSketch();
+    if (!hardened.ok()) {
+      std::fprintf(stderr, "error: %s\n", hardened.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "approximate tier: %s (d=%ld, advertised error bound %.3g) "
+                 "sketched in %s; shedding at depth >= %d, resuming <= %d\n",
+                 std::string(approx_engine->Name()).c_str(),
+                 static_cast<long>(rp_options.num_samples),
+                 approx_engine->Accuracy().error_bound,
+                 FormatSeconds(approx_timer.ElapsedSeconds()).c_str(),
+                 options.shed_depth, options.shed_resume);
+    service_options.approximate_engine = approx_engine.get();
+    service_options.shed_trigger_depth = options.shed_depth;
+    service_options.shed_resume_depth = options.shed_resume;
+    service_options.shed_headroom_micros =
+        static_cast<uint64_t>(options.shed_headroom_ms) * 1000;
+  }
   service::QueryService service(box->engine.get(), service_options);
 
   if (socket_mode) {
@@ -594,6 +683,7 @@ int RunServe(const CliOptions& options) {
   std::mutex agg_mu;
   std::vector<uint64_t> latencies_us;
   int ok = 0, deadline = 0, rejected = 0, other = 0;
+  int served_exact = 0, served_approx = 0;
   double sum_batch_requests = 0.0;
 
   WallTimer timer;
@@ -606,6 +696,7 @@ int RunServe(const CliOptions& options) {
         service::QueryRequest request;
         request.tag = "client-" + std::to_string(c);
         request.top_k = options.topk;
+        request.quality = options.quality;
         request.timeout_micros =
             static_cast<uint64_t>(options.deadline_ms) * 1000;
         while (static_cast<Index>(request.queries.size()) < qsize) {
@@ -622,6 +713,11 @@ int RunServe(const CliOptions& options) {
           ++ok;
           latencies_us.push_back(response.total_micros);
           sum_batch_requests += response.batch_requests;
+          if (response.served_tier == service::ServedTier::kApproximate) {
+            ++served_approx;
+          } else {
+            ++served_exact;
+          }
         } else if (response.status.IsDeadlineExceeded()) {
           ++deadline;
         } else if (response.status.IsResourceExhausted()) {
@@ -642,6 +738,11 @@ int RunServe(const CliOptions& options) {
               FormatSeconds(seconds).c_str());
   std::printf("  ok=%d deadline=%d rejected=%d other=%d\n", ok, deadline,
               rejected, other);
+  if (approx_engine != nullptr) {
+    std::printf("  tier mix (%s requests): exact=%d approximate=%d\n",
+                service::QualityClassName(options.quality), served_exact,
+                served_approx);
+  }
   if (ok > 0) {
     std::printf("  throughput: %.1f req/s, avg batch size %.2f requests\n",
                 static_cast<double>(ok) / seconds,
@@ -689,6 +790,7 @@ int RunClient(const CliOptions& options) {
   net::WireRequest request;
   request.method = net::Method::kQuery;
   request.top_k = static_cast<int32_t>(options.topk);
+  request.quality = options.quality;
   request.deadline_micros = static_cast<uint64_t>(options.deadline_ms) * 1000;
   for (std::size_t i = 1; i < options.positional.size(); ++i) {
     request.queries.push_back(std::atoll(options.positional[i].c_str()));
@@ -708,6 +810,10 @@ int RunClient(const CliOptions& options) {
                  "queries\n", response->topk.size(), request.queries.size());
     return 1;
   }
+  // Tier echo goes to stderr: stdout must stay byte-identical to `csrplus
+  // query` (the CI socket smoke test diffs the two).
+  std::fprintf(stderr, "served by the %s tier\n",
+               service::ServedTierName(response->served_tier));
   // Same output format as `csrplus query` — the CI smoke test diffs the
   // two. (Binary .csrg graphs have an identity id mapping, so the raw ids
   // here match RunQuery's ToOriginal output.)
