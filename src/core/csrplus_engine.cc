@@ -212,8 +212,8 @@ Status CsrPlusEngine::SetServingPrecision(Precision precision) {
       "CSR+ f32 serving factors"));
   u32_.resize(total);
   z32_.resize(total);
-  const double* u_src = u_.data();
-  const double* z_src = z_.data();
+  const double* u_src = u().data();
+  const double* z_src = z().data();
   for (std::size_t i = 0; i < total; ++i) {
     u32_[i] = static_cast<float>(u_src[i]);
     z32_[i] = static_cast<float>(z_src[i]);
@@ -290,8 +290,8 @@ Result<DenseMatrix> CsrPlusEngine::MultiSourceQuery(
     }
     return s;
   }
-  const DenseMatrix u_q = u_.SelectRows(queries);  // |Q| x r
-  DenseMatrix s = linalg::Gemm(z_, u_q, linalg::Transpose::kNo,
+  const DenseMatrix u_q = u().SelectRows(queries);  // |Q| x r
+  DenseMatrix s = linalg::Gemm(z(), u_q, linalg::Transpose::kNo,
                                linalg::Transpose::kYes);  // n x |Q|
   linalg::ScaleInPlace(damping_, &s);
   for (std::size_t j = 0; j < queries.size(); ++j) {
@@ -386,13 +386,14 @@ Status CsrPlusEngine::SingleSourceQueryInto(Index query,
     data[query] += 1.0;
     return Status::OK();
   }
-  const double* urow = u_.RowPtr(query);
+  const DenseMatrixView z_view = z();
+  const double* urow = u().RowPtr(query);
   const linalg::kernels::KernelTable<double>& kt = linalg::kernels::F64();
   // dot_rows leaves data[i] = <Z_i, U_q>; the scale pass applies the same
   // damping_ * dot multiply the fused scalar loop used to (one rounding
   // either way — bitwise unchanged).
   ParallelFor(n, n * r, [&](Index begin, Index end) {
-    kt.dot_rows(z_.RowPtr(begin), r, urow, data + begin, end - begin, r);
+    kt.dot_rows(z_view.RowPtr(begin), r, urow, data + begin, end - begin, r);
     kt.scale(data + begin, damping_, end - begin);
   });
   data[query] += 1.0;
@@ -419,8 +420,8 @@ Result<double> CsrPlusEngine::SinglePairQuery(Index a, Index b) const {
     for (Index k = 0; k < r; ++k) dot += zrow[k] * urow[k];
     return damping_ * static_cast<double>(dot) + (a == b ? 1.0 : 0.0);
   }
-  const double* zrow = z_.RowPtr(a);
-  const double* urow = u_.RowPtr(b);
+  const double* zrow = z().RowPtr(a);
+  const double* urow = u().RowPtr(b);
   double dot = 0.0;
   for (Index k = 0; k < r; ++k) dot += zrow[k] * urow[k];
   return damping_ * dot + (a == b ? 1.0 : 0.0);
@@ -540,7 +541,7 @@ Result<DenseMatrix> CsrPlusEngine::AllPairs() const {
     for (Index i = 0; i < n; ++i) s(i, i) += 1.0;
     return s;
   }
-  DenseMatrix s = linalg::Gemm(z_, u_, linalg::Transpose::kNo,
+  DenseMatrix s = linalg::Gemm(z(), u(), linalg::Transpose::kNo,
                                linalg::Transpose::kYes);
   linalg::ScaleInPlace(damping_, &s);
   for (Index i = 0; i < n; ++i) s(i, i) += 1.0;

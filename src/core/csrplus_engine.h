@@ -21,6 +21,8 @@
 #define CSRPLUS_CORE_CSRPLUS_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,8 +36,11 @@
 
 namespace csrplus::core {
 
+class ArtifactMapping;
+
 using linalg::CsrMatrix;
 using linalg::DenseMatrix;
+using linalg::DenseMatrixView;
 using linalg::Index;
 
 /// Serving-precision tier of a CSR+ engine. Precomputation always runs in
@@ -102,6 +107,45 @@ struct GraphFingerprint {
 /// thread counts; see precompute_io.h for the artifact that embeds it.
 GraphFingerprint FingerprintTransition(const CsrMatrix& transition);
 
+/// How LoadPrecompute materialises an artifact's factor sections.
+enum class LoadMode {
+  /// Deserialise everything into heap DenseMatrix buffers, verifying every
+  /// section checksum before the engine is returned (the original, fully
+  /// eager path; O(rn) RAM and copy time).
+  kHeapVerified,
+  /// mmap the artifact and serve U/Z/P/V zero-copy out of the page cache.
+  /// Header, fingerprint and the small Sigma section are validated eagerly;
+  /// the large section checksums are verified lazily on a background thread
+  /// (see CsrPlusEngine::VerifyMappedSections). Warm start is ~O(1) and
+  /// factors larger than RAM page in on demand.
+  kMapped,
+};
+
+/// Stable lowercase name ("heap", "mmap"); matches --artifact-mode values.
+const char* LoadModeName(LoadMode mode);
+
+/// Options for the consolidated LoadPrecompute entry point.
+struct LoadOptions {
+  /// When set, the artifact's embedded graph fingerprint must equal this
+  /// value (FailedPrecondition otherwise). Unset skips the graph check —
+  /// only for tooling that inspects artifacts detached from any graph.
+  std::optional<GraphFingerprint> expected_fingerprint;
+
+  /// Materialisation strategy; see LoadMode.
+  LoadMode mode = LoadMode::kHeapVerified;
+
+  /// Advisory bytes charged against MemoryBudget::Global() for a kMapped
+  /// load (an expected-resident-set estimate; mapped pages are reclaimable,
+  /// so by default only the small heap copies are charged). kHeapVerified
+  /// always charges the full EngineStateBytes regardless of this field.
+  int64_t mapped_budget_bytes = 0;
+
+  /// kMapped only: start the background checksum pass at load time. Turning
+  /// it off defers all large-section verification to an explicit
+  /// VerifyMappedSections() call (tests use this to race corruption).
+  bool background_verify = true;
+};
+
 /// Timings and sizes recorded during precomputation; consumed by the
 /// benchmark harness (Figures 3 and 7 split precompute vs query).
 struct PrecomputeStats {
@@ -138,15 +182,27 @@ class CsrPlusEngine : public QueryEngine {
   /// SVD and repeated-squaring stages entirely — warm start is pure I/O.
   Status SavePrecompute(const std::string& path) const;
 
-  /// Restores an engine from a SavePrecompute artifact. Validates magic,
-  /// format version and every section checksum; any mismatch returns a
-  /// typed error (DataLoss / FailedPrecondition / ...) and never a
-  /// partially-initialised engine. Does NOT check which graph the artifact
-  /// was built from — use the two-argument overload when serving.
+  /// Restores an engine from a SavePrecompute artifact — the single load
+  /// surface. Validates magic, format version and header checksum eagerly;
+  /// section payloads are verified per `options.mode` (kHeapVerified: every
+  /// checksum before returning; kMapped: Sigma eagerly, U/V/P/Z lazily on a
+  /// background thread). Any mismatch yields a typed error (DataLoss /
+  /// FailedPrecondition / ...) and never a partially-initialised engine.
+  static Result<CsrPlusEngine> LoadPrecompute(const std::string& path,
+                                              const LoadOptions& options);
+
+  /// Deprecated forwarder: LoadPrecompute(path, LoadOptions{}) — heap mode,
+  /// no graph fingerprint check.
+  [[deprecated(
+      "use LoadPrecompute(path, LoadOptions{}) — the LoadOptions overload is "
+      "the single load surface")]]
   static Result<CsrPlusEngine> LoadPrecompute(const std::string& path);
 
-  /// As above, but additionally requires the artifact's embedded graph
-  /// fingerprint to equal `expected` (FailedPrecondition otherwise).
+  /// Deprecated forwarder: LoadPrecompute with options.expected_fingerprint
+  /// set to `expected` (heap mode).
+  [[deprecated(
+      "use LoadPrecompute(path, LoadOptions{.expected_fingerprint = fp}) — "
+      "the LoadOptions overload is the single load surface")]]
   static Result<CsrPlusEngine> LoadPrecompute(const std::string& path,
                                               const GraphFingerprint& expected);
 
@@ -192,7 +248,7 @@ class CsrPlusEngine : public QueryEngine {
   Result<std::vector<ScoredPair>> AllPairsTopK(Index k) const;
 
   /// Number of nodes n.
-  Index num_nodes() const { return u_.rows(); }
+  Index num_nodes() const { return mapping_ ? u_map_.rows() : u_.rows(); }
 
   /// Switches the serving tier. kF32 quantises U/Z into float side buffers
   /// (budget-charged; the double masters are kept, so switching back is
@@ -233,7 +289,7 @@ class CsrPlusEngine : public QueryEngine {
   AccuracyTag Accuracy() const override { return AccuracyTag{}; }
 
   /// The configured rank r.
-  Index rank() const { return u_.cols(); }
+  Index rank() const { return mapping_ ? u_map_.cols() : u_.cols(); }
 
   double damping() const { return damping_; }
 
@@ -241,18 +297,43 @@ class CsrPlusEngine : public QueryEngine {
   /// convention this is the *right* factor V of Q — see the derivation note
   /// in csrplus_engine.cc). Exposed for baselines/tests that must share the
   /// same factors, e.g. the CSR+ == CSR-NI losslessness check.
-  const DenseMatrix& u() const { return u_; }
-  const DenseMatrix& z() const { return z_; }
+  ///
+  /// All factor accessors return non-owning const views: over the heap
+  /// buffers for computed / heap-loaded engines, over the mapped artifact
+  /// sections for kMapped engines. Views stay valid as long as this engine
+  /// (or any copy of it) is alive; materialising one is an explicit
+  /// ToMatrix() copy.
+  DenseMatrixView u() const {
+    return mapping_ ? u_map_ : DenseMatrixView(u_);
+  }
+  DenseMatrixView z() const {
+    return mapping_ ? z_map_ : DenseMatrixView(z_);
+  }
 
   /// The subspace fixed point P (r x r) — Theorem 3.4's solution.
-  const DenseMatrix& p() const { return p_; }
+  DenseMatrixView p() const {
+    return mapping_ ? p_map_ : DenseMatrixView(p_);
+  }
 
   /// The retained singular values (r, descending) and the paper's "V"
   /// factor (n x r). Queries never touch them, but they are kept so the
   /// complete factorisation can be persisted (SavePrecompute) and reused at
   /// the factor level (e.g. incremental updates on a warm-started engine).
   const std::vector<double>& sigma() const { return sigma_; }
-  const DenseMatrix& v() const { return v_; }
+  DenseMatrixView v() const {
+    return mapping_ ? v_map_ : DenseMatrixView(v_);
+  }
+
+  /// True when the factors are served zero-copy from a mapped artifact.
+  bool is_mapped() const { return mapping_ != nullptr; }
+
+  /// For kMapped engines: blocks until the lazy section-checksum pass has
+  /// finished (running it inline when background verification was disabled)
+  /// and returns its verdict — OK, or DataLoss naming the corrupt section.
+  /// Serving processes call this at a convenient barrier (end of a batch,
+  /// shutdown) to promote lazy verification into a hard failure. Returns OK
+  /// for heap engines, whose checksums were verified during load.
+  Status VerifyMappedSections() const;
 
   double epsilon() const { return epsilon_; }
 
@@ -266,10 +347,12 @@ class CsrPlusEngine : public QueryEngine {
  private:
   CsrPlusEngine() = default;
 
-  // Shared loader behind both LoadPrecompute overloads; `expected` may be
-  // null (no fingerprint requirement). Defined in precompute_io.cc.
-  static Result<CsrPlusEngine> LoadPrecomputeImpl(
-      const std::string& path, const GraphFingerprint* expected);
+  // Mode-specific loaders behind LoadPrecompute; defined in
+  // precompute_io.cc.
+  static Result<CsrPlusEngine> LoadPrecomputeHeap(const std::string& path,
+                                                  const LoadOptions& options);
+  static Result<CsrPlusEngine> LoadPrecomputeMapped(const std::string& path,
+                                                    const LoadOptions& options);
 
   // The f32 query block damping * widen(Z32 [U32]_{Q,*}^T), no diagonal
   // term. Float accumulation through the dispatched f32 kernels; the
@@ -281,6 +364,16 @@ class CsrPlusEngine : public QueryEngine {
   DenseMatrix p_;  // r x r subspace fixed point (kept for diagnostics).
   std::vector<double> sigma_;  // r singular values (persisted, not queried).
   DenseMatrix v_;              // n x r paper-"V" factor (persisted).
+  // Zero-copy tier (LoadMode::kMapped): the mapping keeps the artifact's
+  // pages alive and the *_map_ views alias its section payloads; the heap
+  // matrices above stay empty. shared_ptr makes engine copies cheap and
+  // keeps every copy's views valid. Sigma is always copied to heap (r
+  // doubles) — too small to be worth a view and needed as std::vector.
+  std::shared_ptr<ArtifactMapping> mapping_;
+  DenseMatrixView u_map_;
+  DenseMatrixView z_map_;
+  DenseMatrixView p_map_;
+  DenseMatrixView v_map_;
   double damping_ = 0.6;
   double epsilon_ = 1e-5;
   GraphFingerprint fingerprint_;

@@ -9,13 +9,12 @@
 // rank r, damping c, epsilon and a fingerprint of the transition matrix it
 // was built from.
 //
-// On-disk layout, version 1 (all fields little-endian; doubles are
-// IEEE-754 binary64; see DESIGN.md "Precompute artifacts" for the
-// normative spec):
+// On-disk layout, version 2 (all fields little-endian; doubles are
+// IEEE-754 binary64; see docs/artifact-format.md for the normative spec):
 //
 //   header (88 bytes; checksum covers the 80 bytes before it)
 //     u64  magic            "CSR+PC01" (0x313043502B525343 as LE u64)
-//     u32  version          1
+//     u32  version          2
 //     u32  section_count    5
 //     f64  damping          c in (0, 1)
 //     f64  epsilon          accuracy of the P fixed point
@@ -24,13 +23,17 @@
 //     i64  fp_num_nodes     graph fingerprint: node count
 //     i64  fp_nnz           graph fingerprint: transition nnz
 //     u64  fp_content_hash  graph fingerprint: FNV-1a 64 of the CSR arrays
-//     u64  reserved         0 in v1
+//     u64  reserved         0
 //     u64  header_checksum  FNV-1a 64 over the 80 bytes above
 //   then section_count sections, in the fixed order U, SIGMA, V, P, Z:
 //     u32  section_id       1=U, 2=SIGMA, 3=V, 4=P, 5=Z
-//     u32  reserved         0 in v1
+//     u32  reserved         0
 //     u64  payload_bytes    must equal the size implied by (n, r)
 //     u64  payload_checksum FNV-1a 64 over the payload
+//     pad                   v2 only: zero bytes until the next 64-byte file
+//                           offset boundary, so every payload starts
+//                           64-byte-aligned (deterministic from the offset;
+//                           non-zero pad bytes are DataLoss)
 //     payload               row-major doubles (U/V/Z: n x r; P: r x r;
 //                           SIGMA: r values)
 //   then an optional 32-byte version trailer (absent in artifacts written
@@ -42,6 +45,12 @@
 //   EOF directly after section Z means "no trailer" (legacy artifact);
 //   any other trailing byte count, or a trailer with a bad magic or
 //   checksum, is DataLoss.
+//
+// Version 1 is identical except that sections carry no alignment padding
+// (payloads start directly after their descriptor, 8-byte-aligned). The
+// loader reads both versions in both load modes; the 64-byte alignment of
+// v2 exists so mmap'ed payloads sit on cache-line (and AVX-512 vector)
+// boundaries.
 //
 // Every read-path failure returns a typed Status and never a
 // partially-initialised engine:
@@ -71,10 +80,22 @@ inline constexpr uint64_t kMagic = 0x313043502B525343ULL;
 /// Version-trailer magic: the bytes "CSR+VT01" read as a little-endian u64.
 inline constexpr uint64_t kTrailerMagic = 0x313054562B525343ULL;
 
-/// Current (and only) format version. Bump on any layout change and keep a
-/// loader for every older version; the golden-artifact test in
-/// tests/precompute_io_test.cc exists to make silent changes impossible.
-inline constexpr uint32_t kFormatVersion = 1;
+/// Current format version (v2: 64-byte-aligned section payloads). Bump on
+/// any layout change and keep a loader for every older version; the
+/// golden-artifact test in tests/precompute_io_test.cc (a pinned v1 file)
+/// exists to make silent changes impossible.
+inline constexpr uint32_t kFormatVersion = 2;
+
+/// File-offset alignment of every v2 section payload. 64 covers cache
+/// lines and the widest vector loads the SIMD kernels issue.
+inline constexpr int64_t kSectionAlignment = 64;
+
+/// Zero-pad bytes between a section descriptor ending at `offset` and its
+/// payload, for the given format version (0 for v1).
+inline int64_t SectionPadBytes(uint32_t version, int64_t offset) {
+  if (version < 2) return 0;
+  return (kSectionAlignment - offset % kSectionAlignment) % kSectionAlignment;
+}
 
 /// Section identifiers, in their mandatory file order.
 enum SectionId : uint32_t {

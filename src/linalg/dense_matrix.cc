@@ -1,9 +1,46 @@
 #include "linalg/dense_matrix.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
 namespace csrplus::linalg {
+
+std::vector<double> DenseMatrixView::Row(Index i) const {
+  CSR_CHECK(i >= 0 && i < rows_);
+  return std::vector<double>(RowPtr(i), RowPtr(i) + cols_);
+}
+
+DenseMatrix DenseMatrixView::SelectRows(
+    const std::vector<Index>& row_ids) const {
+  DenseMatrix out(static_cast<Index>(row_ids.size()), cols_);
+  for (std::size_t k = 0; k < row_ids.size(); ++k) {
+    const Index i = row_ids[k];
+    CSR_CHECK(i >= 0 && i < rows_) << "row id out of range";
+    std::copy(RowPtr(i), RowPtr(i) + cols_, out.RowPtr(static_cast<Index>(k)));
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrixView::Transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (Index i = 0; i < rows_; ++i) {
+    const double* src = RowPtr(i);
+    for (Index j = 0; j < cols_; ++j) t(j, i) = src[j];
+  }
+  return t;
+}
+
+DenseMatrix DenseMatrixView::ToMatrix() const {
+  return DenseMatrix::FromRawBuffer(rows_, cols_, data_);
+}
+
+bool DenseMatrixView::operator==(const DenseMatrixView& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  if (data_ == other.data_) return true;
+  return std::memcmp(data_, other.data_,
+                     static_cast<std::size_t>(PayloadBytes())) == 0;
+}
 
 DenseMatrix::DenseMatrix(
     std::initializer_list<std::initializer_list<double>> rows) {

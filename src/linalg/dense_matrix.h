@@ -1,9 +1,18 @@
-// Dense row-major matrix of doubles.
+// Dense row-major matrix of doubles, plus a non-owning const view.
 //
 // This is the workhorse for all small/skinny dense math in the library: the
 // SVD factors U, V (n x r), the r x r subspace matrices H and P of CSR+, and
 // the n x |Q| similarity blocks. Storage is a contiguous row-major buffer so
 // that sparse-times-dense products stream rows of the right-hand side.
+//
+// The API is split into an owning type (DenseMatrix) and a shared read
+// surface (DenseMatrixView). A view is 16 bytes of {pointer, rows, cols}
+// over *any* row-major double buffer — a DenseMatrix's heap storage or a
+// matrix section of an mmap'ed .cspc artifact — so read-only consumers
+// (GEMM/dot-rows kernels, SavePrecompute, fingerprinting, the cache scatter
+// path) never force a copy and never care who owns the bytes. A view does
+// not extend the lifetime of the memory it aliases: keep the owner (matrix
+// or core::ArtifactMapping) alive for as long as the view is used.
 
 #ifndef CSRPLUS_LINALG_DENSE_MATRIX_H_
 #define CSRPLUS_LINALG_DENSE_MATRIX_H_
@@ -20,18 +29,88 @@ namespace csrplus::linalg {
 /// Index type for matrix/graph dimensions.
 using Index = int64_t;
 
-/// Dense row-major matrix of doubles.
+class DenseMatrix;
+
+/// Non-owning const view of a rows x cols row-major double buffer.
+///
+/// Implicitly constructible from `const DenseMatrix&` so every read-only
+/// routine that takes a view accepts owning matrices unchanged; there is
+/// deliberately *no* implicit conversion back (materialising a view is a
+/// copy, and copies must be spelled out via ToMatrix()).
+class DenseMatrixView {
+ public:
+  /// An empty 0x0 view.
+  constexpr DenseMatrixView() : data_(nullptr), rows_(0), cols_(0) {}
+
+  /// A view over a foreign row-major buffer holding rows * cols doubles.
+  /// `data` may be null only when the view is empty.
+  DenseMatrixView(const double* data, Index rows, Index cols)
+      : data_(data), rows_(rows), cols_(cols) {
+    CSR_CHECK(rows >= 0 && cols >= 0);
+    CSR_CHECK(data != nullptr || rows * cols == 0);
+  }
+
+  /// Views an owning matrix (implicit: read-only call sites keep working).
+  /// Binding to a temporary is allowed — a temporary argument outlives the
+  /// full expression, which covers every read-only call — but *storing* a
+  /// view of a temporary dangles, exactly like std::string_view.
+  DenseMatrixView(const DenseMatrix& m);  // NOLINT(runtime/explicit)
+
+  /// Returns the transpose as a freshly allocated owning matrix.
+  DenseMatrix Transposed() const;
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  double operator()(Index i, Index j) const {
+    CSR_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  /// Pointer to the start of row i.
+  const double* RowPtr(Index i) const { return data_ + i * cols_; }
+
+  const double* data() const { return data_; }
+
+  /// Size in bytes of the row-major payload (rows * cols * sizeof(double)).
+  int64_t PayloadBytes() const {
+    return size() * static_cast<int64_t>(sizeof(double));
+  }
+
+  /// Copies row i into a new vector.
+  std::vector<double> Row(Index i) const;
+
+  /// Extracts the sub-block of the given rows (in order), all columns, into
+  /// a freshly allocated owning matrix.
+  DenseMatrix SelectRows(const std::vector<Index>& row_ids) const;
+
+  /// Materialises the viewed block as an owning matrix (the one explicit
+  /// view -> matrix conversion).
+  DenseMatrix ToMatrix() const;
+
+  /// Elementwise equality (same shape, bitwise-equal payload).
+  bool operator==(const DenseMatrixView& other) const;
+
+ private:
+  const double* data_;
+  Index rows_;
+  Index cols_;
+};
+
+/// Dense row-major matrix of doubles (the owning type).
 class DenseMatrix {
  public:
   /// An empty 0x0 matrix.
   DenseMatrix() : rows_(0), cols_(0) {}
 
-  /// A rows x cols matrix, zero-initialised.
+  /// A rows x cols matrix, zero-initialised. The element count is computed
+  /// with a checked multiply *before* any allocation, so hostile dimension
+  /// pairs (e.g. from a corrupt artifact header that slipped past
+  /// validation) die on a CHECK instead of overflowing Index.
   DenseMatrix(Index rows, Index cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<std::size_t>(rows * cols), 0.0) {
-    CSR_CHECK(rows >= 0 && cols >= 0);
-  }
+      : rows_(rows), cols_(cols), data_(CheckedCount(rows, cols), 0.0) {}
 
   /// Builds from nested initialiser lists; all rows must have equal length.
   /// Intended for tests and worked examples.
@@ -123,10 +202,23 @@ class DenseMatrix {
   }
 
  private:
+  // Validates the shape and returns the element count, CHECK-failing before
+  // the multiply can overflow (the count feeds a vector allocation).
+  static std::size_t CheckedCount(Index rows, Index cols) {
+    CSR_CHECK(rows >= 0 && cols >= 0);
+    Index count = 0;
+    CSR_CHECK(!__builtin_mul_overflow(rows, cols, &count))
+        << "matrix dimensions overflow: " << rows << " x " << cols;
+    return static_cast<std::size_t>(count);
+  }
+
   Index rows_;
   Index cols_;
   std::vector<double> data_;
 };
+
+inline DenseMatrixView::DenseMatrixView(const DenseMatrix& m)
+    : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
 
 }  // namespace csrplus::linalg
 

@@ -18,7 +18,7 @@ namespace {
 // thread count and every ISA. No zero-skip on A entries: 0 * NaN must stay
 // NaN so upstream numerical blowups in B propagate instead of being
 // silently masked.
-DenseMatrix GemmNoTrans(const DenseMatrix& a, const DenseMatrix& b) {
+DenseMatrix GemmNoTrans(DenseMatrixView a, DenseMatrixView b) {
   const Index m = a.rows(), k = a.cols(), n = b.cols();
   DenseMatrix c(m, n);
   const kernels::KernelTable<double>& kt = kernels::F64();
@@ -31,7 +31,7 @@ DenseMatrix GemmNoTrans(const DenseMatrix& a, const DenseMatrix& b) {
 
 }  // namespace
 
-DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b, Transpose ta,
+DenseMatrix Gemm(DenseMatrixView a, DenseMatrixView b, Transpose ta,
                  Transpose tb) {
   const Index a_rows = ta == Transpose::kNo ? a.rows() : a.cols();
   const Index a_cols = ta == Transpose::kNo ? a.cols() : a.rows();
@@ -89,7 +89,7 @@ DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b, Transpose ta,
   return Gemm(b, a).Transposed();
 }
 
-void GemmAccumulate(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+void GemmAccumulate(double alpha, DenseMatrixView a, DenseMatrixView b,
                     DenseMatrix* c) {
   CSR_CHECK_EQ(a.cols(), b.rows());
   CSR_CHECK_EQ(c->rows(), a.rows());
@@ -109,7 +109,7 @@ void GemmAccumulate(double alpha, const DenseMatrix& a, const DenseMatrix& b,
   });
 }
 
-std::vector<double> MatVec(const DenseMatrix& a, const std::vector<double>& x,
+std::vector<double> MatVec(DenseMatrixView a, const std::vector<double>& x,
                            Transpose ta) {
   if (ta == Transpose::kNo) {
     CSR_CHECK_EQ(a.cols(), static_cast<Index>(x.size()));
@@ -152,7 +152,7 @@ void Scale(double alpha, std::vector<double>* x) {
   kernels::F64().scale(x->data(), alpha, static_cast<int64_t>(x->size()));
 }
 
-void AddScaled(double alpha, const DenseMatrix& a, DenseMatrix* b) {
+void AddScaled(double alpha, DenseMatrixView a, DenseMatrix* b) {
   CSR_CHECK_EQ(a.rows(), b->rows());
   CSR_CHECK_EQ(a.cols(), b->cols());
   kernels::F64().axpy_row(b->data(), a.data(), alpha, a.size());
@@ -162,14 +162,14 @@ void ScaleInPlace(double alpha, DenseMatrix* a) {
   kernels::F64().scale(a->data(), alpha, a->size());
 }
 
-double FrobeniusNorm(const DenseMatrix& a) {
+double FrobeniusNorm(DenseMatrixView a) {
   double sum = 0.0;
   const double* p = a.data();
   for (Index i = 0; i < a.size(); ++i) sum += p[i] * p[i];
   return std::sqrt(sum);
 }
 
-double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+double MaxAbsDiff(DenseMatrixView a, DenseMatrixView b) {
   CSR_CHECK_EQ(a.rows(), b.rows());
   CSR_CHECK_EQ(a.cols(), b.cols());
   double maxd = 0.0;
@@ -181,14 +181,14 @@ double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
   return maxd;
 }
 
-double MaxAbs(const DenseMatrix& a) {
+double MaxAbs(DenseMatrixView a) {
   double maxv = 0.0;
   const double* p = a.data();
   for (Index i = 0; i < a.size(); ++i) maxv = std::max(maxv, std::fabs(p[i]));
   return maxv;
 }
 
-DenseMatrix DiagScale(const std::vector<double>& d1, const DenseMatrix& a,
+DenseMatrix DiagScale(const std::vector<double>& d1, DenseMatrixView a,
                       const std::vector<double>& d2) {
   if (!d1.empty()) CSR_CHECK_EQ(static_cast<Index>(d1.size()), a.rows());
   if (!d2.empty()) CSR_CHECK_EQ(static_cast<Index>(d2.size()), a.cols());
@@ -205,7 +205,7 @@ DenseMatrix DiagScale(const std::vector<double>& d1, const DenseMatrix& a,
   return out;
 }
 
-bool AllClose(const DenseMatrix& a, const DenseMatrix& b, double tol) {
+bool AllClose(DenseMatrixView a, DenseMatrixView b, double tol) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
   return MaxAbsDiff(a, b) <= tol;
 }

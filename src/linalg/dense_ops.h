@@ -3,6 +3,11 @@
 // All routines are cache-aware straight-line C++ (no SIMD intrinsics); the
 // matrices they touch in this library are skinny (n x r with r <= a few
 // hundred) or tiny (r x r), so simple ikj loops are near-optimal.
+//
+// Read-only operands are taken as DenseMatrixView, so the same routines run
+// over owning matrices (implicit conversion) and over mmap'ed artifact
+// sections without a copy. Outputs stay DenseMatrix* — only the caller owns
+// writable storage.
 
 #ifndef CSRPLUS_LINALG_DENSE_OPS_H_
 #define CSRPLUS_LINALG_DENSE_OPS_H_
@@ -18,15 +23,15 @@ enum class Transpose { kNo, kYes };
 
 /// C = A * B (with optional transposition of either operand).
 /// Shapes are checked; the result is freshly allocated.
-DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b,
+DenseMatrix Gemm(DenseMatrixView a, DenseMatrixView b,
                  Transpose ta = Transpose::kNo, Transpose tb = Transpose::kNo);
 
 /// C += alpha * A * B (no transposition). Shapes must already match.
-void GemmAccumulate(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+void GemmAccumulate(double alpha, DenseMatrixView a, DenseMatrixView b,
                     DenseMatrix* c);
 
 /// y = A * x  (or A^T * x when `ta` is kYes).
-std::vector<double> MatVec(const DenseMatrix& a, const std::vector<double>& x,
+std::vector<double> MatVec(DenseMatrixView a, const std::vector<double>& x,
                            Transpose ta = Transpose::kNo);
 
 /// Dot product of equally-sized vectors.
@@ -42,27 +47,27 @@ void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
 void Scale(double alpha, std::vector<double>* x);
 
 /// B += alpha * A (equal shapes).
-void AddScaled(double alpha, const DenseMatrix& a, DenseMatrix* b);
+void AddScaled(double alpha, DenseMatrixView a, DenseMatrix* b);
 
 /// A *= alpha.
 void ScaleInPlace(double alpha, DenseMatrix* a);
 
 /// Frobenius norm of A.
-double FrobeniusNorm(const DenseMatrix& a);
+double FrobeniusNorm(DenseMatrixView a);
 
 /// max_{i,j} |A_ij - B_ij| (equal shapes).
-double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b);
+double MaxAbsDiff(DenseMatrixView a, DenseMatrixView b);
 
 /// max_{i,j} |A_ij|.
-double MaxAbs(const DenseMatrix& a);
+double MaxAbs(DenseMatrixView a);
 
 /// D1 * A * D2 where D1, D2 are given as diagonal entry vectors. Either
 /// vector may be empty to mean the identity.
-DenseMatrix DiagScale(const std::vector<double>& d1, const DenseMatrix& a,
+DenseMatrix DiagScale(const std::vector<double>& d1, DenseMatrixView a,
                       const std::vector<double>& d2);
 
 /// True if max abs difference between A and B is at most `tol`.
-bool AllClose(const DenseMatrix& a, const DenseMatrix& b, double tol);
+bool AllClose(DenseMatrixView a, DenseMatrixView b, double tol);
 
 }  // namespace csrplus::linalg
 

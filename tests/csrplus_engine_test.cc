@@ -342,7 +342,7 @@ TEST(CsrPlusEngineTest, LoadPrecomputeChargesBudgetLikeTheComputePath) {
   const int64_t saved = MemoryBudget::Global().limit_bytes();
   MemoryBudget::Global().SetLimit(state_bytes - 1);
   auto cold = CsrPlusEngine::Precompute(g, options);
-  auto warm = CsrPlusEngine::LoadPrecompute(path);
+  auto warm = CsrPlusEngine::LoadPrecompute(path, LoadOptions{});
   MemoryBudget::Global().SetLimit(saved);
   ASSERT_FALSE(cold.ok());
   ASSERT_FALSE(warm.ok());
@@ -350,7 +350,7 @@ TEST(CsrPlusEngineTest, LoadPrecomputeChargesBudgetLikeTheComputePath) {
   EXPECT_EQ(warm.status().code(), StatusCode::kResourceExhausted);
 
   // With the cap restored both succeed and agree bit for bit.
-  auto retry = CsrPlusEngine::LoadPrecompute(path);
+  auto retry = CsrPlusEngine::LoadPrecompute(path, LoadOptions{});
   ASSERT_TRUE(retry.ok()) << retry.status().ToString();
   auto q_cold = engine->MultiSourceQuery({0, n / 2, n - 1});
   auto q_warm = retry->MultiSourceQuery({0, n / 2, n - 1});

@@ -462,11 +462,17 @@ TEST(ObsDocumentationTest, EveryEmittedMetricIsDocumented) {
 
   const std::string artifact = (dir / "doc_test.cspc").string();
   ASSERT_TRUE(engine->SavePrecompute(artifact).ok());
-  ASSERT_TRUE(core::CsrPlusEngine::LoadPrecompute(artifact).ok());
+  ASSERT_TRUE(
+      core::CsrPlusEngine::LoadPrecompute(artifact, core::LoadOptions{}).ok());
+  // Registers the mmap + verify-failure counters.
+  core::LoadOptions mapped_options;
+  mapped_options.mode = core::LoadMode::kMapped;
+  ASSERT_TRUE(
+      core::CsrPlusEngine::LoadPrecompute(artifact, mapped_options).ok());
   // Registers the load-failure counter.
-  EXPECT_FALSE(
-      core::CsrPlusEngine::LoadPrecompute((dir / "missing.cspc").string())
-          .ok());
+  EXPECT_FALSE(core::CsrPlusEngine::LoadPrecompute(
+                   (dir / "missing.cspc").string(), core::LoadOptions{})
+                   .ok());
 
   ASSERT_TRUE(engine->MultiSourceQuery({0, 1}).ok());
   ASSERT_TRUE(engine->SingleSourceQuery(0).ok());

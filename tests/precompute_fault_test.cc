@@ -27,8 +27,9 @@ namespace {
 constexpr Index kNodes = 40;
 constexpr Index kRank = 5;
 
-// On-disk layout for (n=40, r=5): 88-byte header, then five sections each
-// prefixed by a 24-byte descriptor, then the 32-byte version trailer.
+// On-disk layout for (n=40, r=5), format v2: 88-byte header, then five
+// sections each prefixed by a 24-byte descriptor plus zero padding up to
+// the next 64-byte file offset, then the 32-byte version trailer.
 // Payload sizes: U/V/Z = n*r*8 = 1600, Sigma = r*8 = 40, P = r*r*8 = 200.
 constexpr int64_t kHeaderBytes = 88;
 constexpr int64_t kDescriptorBytes = 24;
@@ -40,6 +41,7 @@ constexpr int64_t kRr = kRank * kRank * 8;
 struct SectionLayout {
   const char* name;
   int64_t descriptor_offset;
+  int64_t payload_offset;  // after the descriptor and the v2 padding
   int64_t payload_bytes;
 };
 
@@ -49,15 +51,22 @@ std::vector<SectionLayout> Layout() {
   for (const auto& [name, bytes] :
        std::vector<std::pair<const char*, int64_t>>{
            {"U", kNr}, {"Sigma", kR}, {"V", kNr}, {"P", kRr}, {"Z", kNr}}) {
-    sections.push_back({name, offset, bytes});
-    offset += kDescriptorBytes + bytes;
+    const int64_t descriptor_end = offset + kDescriptorBytes;
+    const int64_t payload = descriptor_end +
+        precompute_io::SectionPadBytes(precompute_io::kFormatVersion,
+                                       descriptor_end);
+    sections.push_back({name, offset, payload, bytes});
+    offset = payload + bytes;
   }
   return sections;
 }
 
-constexpr int64_t kSectionsEnd =
-    kHeaderBytes + 5 * kDescriptorBytes + 3 * kNr + kR + kRr;
-constexpr int64_t kFileBytes = kSectionsEnd + kTrailerBytes;
+int64_t SectionsEnd() {
+  const SectionLayout z = Layout().back();
+  return z.payload_offset + z.payload_bytes;
+}
+
+int64_t FileBytes() { return SectionsEnd() + kTrailerBytes; }
 
 class PrecomputeFaultTest : public ::testing::Test {
  protected:
@@ -117,7 +126,7 @@ class PrecomputeFaultTest : public ::testing::Test {
   // header (both go through the same validation).
   void ExpectLoadFails(const std::string& path, StatusCode code,
                        const std::string& needle) {
-    auto result = CsrPlusEngine::LoadPrecompute(path);
+    auto result = CsrPlusEngine::LoadPrecompute(path, LoadOptions{});
     ASSERT_FALSE(result.ok()) << path;
     EXPECT_EQ(result.status().code(), code) << result.status().ToString();
     EXPECT_NE(result.status().message().find(needle), std::string::npos)
@@ -131,12 +140,21 @@ class PrecomputeFaultTest : public ::testing::Test {
 };
 
 TEST_F(PrecomputeFaultTest, GoodArtifactHasTheExpectedSizeAndLoads) {
-  ASSERT_EQ(static_cast<int64_t>(ReadBytes(good_path_).size()), kFileBytes);
-  EXPECT_TRUE(CsrPlusEngine::LoadPrecompute(good_path_).ok());
+  ASSERT_EQ(static_cast<int64_t>(ReadBytes(good_path_).size()), FileBytes());
+  EXPECT_TRUE(CsrPlusEngine::LoadPrecompute(good_path_, LoadOptions{}).ok());
+}
+
+TEST_F(PrecomputeFaultTest, EveryV2PayloadIsSixtyFourByteAligned) {
+  for (const SectionLayout& s : Layout()) {
+    EXPECT_EQ(s.payload_offset % precompute_io::kSectionAlignment, 0)
+        << "section " << s.name;
+  }
 }
 
 TEST_F(PrecomputeFaultTest, MissingFileIsIOError) {
-  auto result = CsrPlusEngine::LoadPrecompute(Path("does_not_exist.cspc"));
+  auto result =
+      CsrPlusEngine::LoadPrecompute(Path("does_not_exist.cspc"),
+                                    LoadOptions{});
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsIOError());
 }
@@ -185,12 +203,21 @@ TEST_F(PrecomputeFaultTest, FlippedFingerprintByteIsChecksumDataLoss) {
 
 TEST_F(PrecomputeFaultTest, FlippedByteInEachSectionPayloadNamesTheSection) {
   for (const SectionLayout& s : Layout()) {
-    const int64_t mid =
-        s.descriptor_offset + kDescriptorBytes + s.payload_bytes / 2;
+    const int64_t mid = s.payload_offset + s.payload_bytes / 2;
     ExpectLoadFails(CorruptAt(mid, std::string("payload_") + s.name + ".cspc"),
                     StatusCode::kDataLoss,
                     std::string("checksum mismatch in section ") + s.name);
   }
+}
+
+TEST_F(PrecomputeFaultTest, NonZeroPaddingByteIsDataLoss) {
+  // v2 alignment padding must be zero: a flipped pad byte is corruption
+  // even though no checksum covers it (the load path checks it directly).
+  const SectionLayout u = Layout()[0];
+  ASSERT_GT(u.payload_offset, u.descriptor_offset + kDescriptorBytes)
+      << "fixture layout has no padding to corrupt";
+  ExpectLoadFails(CorruptAt(u.payload_offset - 1, "pad.cspc"),
+                  StatusCode::kDataLoss, "padding");
 }
 
 TEST_F(PrecomputeFaultTest, FlippedSectionIdIsDataLoss) {
@@ -210,8 +237,7 @@ TEST_F(PrecomputeFaultTest, CorruptedDescriptorSizeIsDataLoss) {
 
 TEST_F(PrecomputeFaultTest, TruncationInsideEachSectionIsDataLoss) {
   for (const SectionLayout& s : Layout()) {
-    const int64_t cut =
-        s.descriptor_offset + kDescriptorBytes + s.payload_bytes / 3;
+    const int64_t cut = s.payload_offset + s.payload_bytes / 3;
     ExpectLoadFails(
         TruncateTo(cut, std::string("cut_") + s.name + ".cspc"),
         StatusCode::kDataLoss,
@@ -236,8 +262,8 @@ TEST_F(PrecomputeFaultTest, TrailingBytesAreDataLoss) {
 TEST_F(PrecomputeFaultTest, LegacyArtifactWithoutTrailerStillLoads) {
   // Artifacts written before the version trailer existed end right after
   // section Z; they must keep loading, reporting builder version 0.
-  const std::string path = TruncateTo(kSectionsEnd, "legacy.cspc");
-  EXPECT_TRUE(CsrPlusEngine::LoadPrecompute(path).ok());
+  const std::string path = TruncateTo(SectionsEnd(), "legacy.cspc");
+  EXPECT_TRUE(CsrPlusEngine::LoadPrecompute(path, LoadOptions{}).ok());
   auto info = precompute_io::ReadArtifactInfo(path);
   ASSERT_TRUE(info.ok()) << info.status().ToString();
   EXPECT_EQ(info->builder_version, 0u);
@@ -251,26 +277,53 @@ TEST_F(PrecomputeFaultTest, TrailerRecordsTheBuilderVersion) {
 
 TEST_F(PrecomputeFaultTest, FlippedTrailerByteIsDataLoss) {
   // Offset +8 = first byte of the trailer's builder_version field.
-  ExpectLoadFails(CorruptAt(kSectionsEnd + 8, "trailer_flip.cspc"),
+  ExpectLoadFails(CorruptAt(SectionsEnd() + 8, "trailer_flip.cspc"),
                   StatusCode::kDataLoss, "version trailer corrupted");
 }
 
 TEST_F(PrecomputeFaultTest, TruncatedTrailerIsDataLoss) {
-  ExpectLoadFails(TruncateTo(kSectionsEnd + 10, "trailer_cut.cspc"),
+  ExpectLoadFails(TruncateTo(SectionsEnd() + 10, "trailer_cut.cspc"),
                   StatusCode::kDataLoss, "trailing bytes");
 }
 
 TEST_F(PrecomputeFaultTest, FingerprintMismatchIsFailedPrecondition) {
-  GraphFingerprint other = good_fingerprint_;
-  other.content_hash ^= 1;
-  auto result = CsrPlusEngine::LoadPrecompute(good_path_, other);
+  LoadOptions mismatch;
+  mismatch.expected_fingerprint = good_fingerprint_;
+  mismatch.expected_fingerprint->content_hash ^= 1;
+  auto result = CsrPlusEngine::LoadPrecompute(good_path_, mismatch);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsFailedPrecondition());
   EXPECT_NE(result.status().message().find("fingerprint mismatch"),
             std::string::npos);
 
   // The exact fingerprint still loads.
-  EXPECT_TRUE(CsrPlusEngine::LoadPrecompute(good_path_, good_fingerprint_).ok());
+  LoadOptions match;
+  match.expected_fingerprint = good_fingerprint_;
+  EXPECT_TRUE(CsrPlusEngine::LoadPrecompute(good_path_, match).ok());
+}
+
+TEST_F(PrecomputeFaultTest, AdversarialHeaderDimensionsAreDataLoss) {
+  // n and r individually in range but n*r*sizeof overflows int64: the
+  // loader must reject the header before computing any section size (the
+  // old code multiplied first and CHECKed later, a signed-overflow UB
+  // hazard that DenseMatrix::CheckedCount and ValidateHeader now close).
+  std::vector<char> bytes = ReadBytes(good_path_);
+  const int64_t huge = int64_t{1} << 31;  // 2^31 nodes x 2^31 rank
+  std::memcpy(bytes.data() + 32, &huge, sizeof(huge));  // rank
+  std::memcpy(bytes.data() + 40, &huge, sizeof(huge));  // num_nodes
+  // Re-seal the header checksum so the dimension check itself is reached.
+  uint64_t checksum = precompute_io::kFnvOffsetBasis;
+  checksum = precompute_io::FnvHash(checksum, bytes.data(), 80);
+  std::memcpy(bytes.data() + 80, &checksum, sizeof(checksum));
+  const std::string path = Path("overflow.cspc");
+  WriteBytes(path, bytes);
+  ExpectLoadFails(path, StatusCode::kDataLoss, "overflow");
+
+  LoadOptions mapped;
+  mapped.mode = LoadMode::kMapped;
+  auto mapped_result = CsrPlusEngine::LoadPrecompute(path, mapped);
+  ASSERT_FALSE(mapped_result.ok());
+  EXPECT_TRUE(mapped_result.status().IsDataLoss());
 }
 
 TEST_F(PrecomputeFaultTest, EveryFaultYieldsADistinctMessage) {
@@ -283,14 +336,14 @@ TEST_F(PrecomputeFaultTest, EveryFaultYieldsADistinctMessage) {
       CorruptAt(16, "d3.cspc"),
       CorruptAt(Layout()[0].descriptor_offset, "d4.cspc"),
       CorruptAt(Layout()[0].descriptor_offset + 8, "d5.cspc"),
-      CorruptAt(Layout()[3].descriptor_offset + kDescriptorBytes + 4,
-                "d6.cspc"),
-      TruncateTo(kFileBytes - 100, "d7.cspc"),
-      CorruptAt(kSectionsEnd + 8, "d8.cspc"),
+      CorruptAt(Layout()[3].payload_offset + 4, "d6.cspc"),
+      CorruptAt(Layout()[0].payload_offset - 1, "d7.cspc"),
+      TruncateTo(FileBytes() - 100, "d8.cspc"),
+      CorruptAt(SectionsEnd() + 8, "d9.cspc"),
   };
   std::vector<std::string> messages;
   for (const std::string& path : paths) {
-    auto result = CsrPlusEngine::LoadPrecompute(path);
+    auto result = CsrPlusEngine::LoadPrecompute(path, LoadOptions{});
     ASSERT_FALSE(result.ok()) << path;
     // Strip the path prefix so only the diagnostic text is compared.
     std::string message = std::string(result.status().message());
@@ -312,6 +365,93 @@ TEST_F(PrecomputeFaultTest, ReadArtifactInfoRejectsCorruptHeadersToo) {
                    CorruptAt(16, "info_flip.cspc")).ok());
   EXPECT_FALSE(precompute_io::ReadArtifactInfo(
                    TruncateTo(40, "info_cut.cspc")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Mapped-mode lifecycle faults: corruption that happens BEFORE the map is
+// deferred to VerifyMappedSections (the lazy-checksum contract); mutation
+// of the backing file AFTER a successful map must be detected there too,
+// and never crash the process.
+// ---------------------------------------------------------------------------
+
+LoadOptions MappedNoBackgroundVerify() {
+  LoadOptions options;
+  options.mode = LoadMode::kMapped;
+  // Deterministic timing: checksums settle only on the explicit Verify
+  // call, so each test controls exactly when detection happens.
+  options.background_verify = false;
+  return options;
+}
+
+TEST_F(PrecomputeFaultTest, MappedLoadDefersPayloadChecksumsToVerify) {
+  const std::string path =
+      CorruptAt(Layout()[4].payload_offset + 8, "lazy_z.cspc");
+  // Header and Sigma are verified eagerly, so the load itself succeeds...
+  auto engine = CsrPlusEngine::LoadPrecompute(path, MappedNoBackgroundVerify());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  // ...and the flipped Z byte surfaces as typed DataLoss on Verify.
+  Status verified = engine->VerifyMappedSections();
+  ASSERT_FALSE(verified.ok());
+  EXPECT_TRUE(verified.IsDataLoss()) << verified.ToString();
+  EXPECT_NE(verified.message().find("section Z"), std::string::npos)
+      << verified.ToString();
+  // Verification memoises: asking again reports the same failure.
+  EXPECT_TRUE(engine->VerifyMappedSections().IsDataLoss());
+}
+
+TEST_F(PrecomputeFaultTest, UnlinkAfterMapKeepsServing) {
+  std::filesystem::copy_file(good_path_, Path("unlink.cspc"));
+  auto heap = CsrPlusEngine::LoadPrecompute(good_path_, LoadOptions{});
+  ASSERT_TRUE(heap.ok());
+  auto mapped = CsrPlusEngine::LoadPrecompute(Path("unlink.cspc"),
+                                              MappedNoBackgroundVerify());
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  // POSIX keeps the inode alive while mapped: deleting the artifact out
+  // from under a serving process must not disturb it.
+  ASSERT_TRUE(std::filesystem::remove(Path("unlink.cspc")));
+  EXPECT_TRUE(mapped->VerifyMappedSections().ok());
+  std::vector<double> heap_col, mapped_col;
+  ASSERT_TRUE(heap->SingleSourceQueryInto(7, &heap_col).ok());
+  ASSERT_TRUE(mapped->SingleSourceQueryInto(7, &mapped_col).ok());
+  EXPECT_EQ(heap_col, mapped_col);
+}
+
+TEST_F(PrecomputeFaultTest, TruncationAfterMapIsDetectedWithoutACrash) {
+  std::filesystem::copy_file(good_path_, Path("shrink.cspc"));
+  auto mapped = CsrPlusEngine::LoadPrecompute(Path("shrink.cspc"),
+                                              MappedNoBackgroundVerify());
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  // Shrinking the file makes the tail pages SIGBUS on touch; the verifier
+  // probes the file size first and reports DataLoss instead of faulting.
+  std::filesystem::resize_file(Path("shrink.cspc"), 256);
+  Status verified = mapped->VerifyMappedSections();
+  ASSERT_FALSE(verified.ok());
+  EXPECT_TRUE(verified.IsDataLoss()) << verified.ToString();
+  EXPECT_NE(verified.message().find("truncated"), std::string::npos)
+      << verified.ToString();
+}
+
+TEST_F(PrecomputeFaultTest, ByteFlipAfterMapIsDetectedByVerify) {
+  std::filesystem::copy_file(good_path_, Path("flip.cspc"));
+  auto mapped = CsrPlusEngine::LoadPrecompute(Path("flip.cspc"),
+                                              MappedNoBackgroundVerify());
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  {
+    // Flip one U payload byte in place (same inode, so the MAP_SHARED
+    // mapping observes the write).
+    std::fstream f(Path("flip.cspc"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(Layout()[0].payload_offset + 16);
+    char b = 0;
+    f.get(b);
+    f.seekp(Layout()[0].payload_offset + 16);
+    f.put(static_cast<char>(b ^ 0x5A));
+  }
+  Status verified = mapped->VerifyMappedSections();
+  ASSERT_FALSE(verified.ok());
+  EXPECT_TRUE(verified.IsDataLoss()) << verified.ToString();
+  EXPECT_NE(verified.message().find("section U"), std::string::npos)
+      << verified.ToString();
 }
 
 }  // namespace

@@ -103,11 +103,22 @@ TEST_F(PrecomputeIoTest, RoundTripSweepIsBitIdentical) {
 
       const std::string path = Path("rt" + std::to_string(case_id++) + ".cspc");
       ASSERT_TRUE(engine->SavePrecompute(path).ok());
-      auto loaded = CsrPlusEngine::LoadPrecompute(path);
+      auto loaded = CsrPlusEngine::LoadPrecompute(path, LoadOptions{});
       ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
 
       ExpectEnginesBitIdentical(*engine, *loaded);
       ExpectQueriesBitIdentical(*engine, *loaded, queries);
+
+      // The mapped tier serves the same bytes through views; every result
+      // must still be bit-identical to the in-memory engine's.
+      LoadOptions mapped_options;
+      mapped_options.mode = LoadMode::kMapped;
+      auto mapped = CsrPlusEngine::LoadPrecompute(path, mapped_options);
+      ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+      EXPECT_TRUE(mapped->is_mapped());
+      ExpectEnginesBitIdentical(*engine, *mapped);
+      ExpectQueriesBitIdentical(*engine, *mapped, queries);
+      EXPECT_TRUE(mapped->VerifyMappedSections().ok());
     }
   }
 }
@@ -128,7 +139,7 @@ TEST_F(PrecomputeIoTest, ArtifactWrittenUnderTThreadsServesUnderOtherWidths) {
     ASSERT_TRUE(writer->SavePrecompute(path).ok());
 
     SetNumThreads(serve_threads);
-    auto served = CsrPlusEngine::LoadPrecompute(path);
+    auto served = CsrPlusEngine::LoadPrecompute(path, LoadOptions{});
     ASSERT_TRUE(served.ok()) << served.status().ToString();
     ExpectEnginesBitIdentical(*writer, *served);
     // Same serving width for both engines: results must be bit-equal.
@@ -152,10 +163,19 @@ TEST_F(PrecomputeIoTest, SaveIsDeterministicAndStableThroughReload) {
   EXPECT_EQ(ReadFileBytes(Path("a.cspc")), ReadFileBytes(Path("b.cspc")));
 
   // Saving a *loaded* engine reproduces the original file byte for byte.
-  auto loaded = CsrPlusEngine::LoadPrecompute(Path("a.cspc"));
+  auto loaded = CsrPlusEngine::LoadPrecompute(Path("a.cspc"), LoadOptions{});
   ASSERT_TRUE(loaded.ok());
   ASSERT_TRUE(loaded->SavePrecompute(Path("c.cspc")).ok());
   EXPECT_EQ(ReadFileBytes(Path("a.cspc")), ReadFileBytes(Path("c.cspc")));
+
+  // A *mapped* engine saves through the same view-based writer, so the
+  // round trip holds without ever materialising the factors on the heap.
+  LoadOptions mapped_options;
+  mapped_options.mode = LoadMode::kMapped;
+  auto mapped = CsrPlusEngine::LoadPrecompute(Path("a.cspc"), mapped_options);
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_TRUE(mapped->SavePrecompute(Path("d.cspc")).ok());
+  EXPECT_EQ(ReadFileBytes(Path("a.cspc")), ReadFileBytes(Path("d.cspc")));
 }
 
 TEST_F(PrecomputeIoTest, FingerprintGuardAcceptsSameGraphRejectsOthers) {
@@ -169,14 +189,25 @@ TEST_F(PrecomputeIoTest, FingerprintGuardAcceptsSameGraphRejectsOthers) {
   const GraphFingerprint same =
       FingerprintTransition(graph::ColumnNormalizedTransition(g));
   EXPECT_TRUE(same == engine->fingerprint());
-  EXPECT_TRUE(CsrPlusEngine::LoadPrecompute(Path("fp.cspc"), same).ok());
+  LoadOptions match;
+  match.expected_fingerprint = same;
+  EXPECT_TRUE(CsrPlusEngine::LoadPrecompute(Path("fp.cspc"), match).ok());
 
   const graph::Graph other = *graph::ErdosRenyi(80, 500, 0xD2);
-  const GraphFingerprint wrong =
+  LoadOptions mismatch;
+  mismatch.expected_fingerprint =
       FingerprintTransition(graph::ColumnNormalizedTransition(other));
-  auto rejected = CsrPlusEngine::LoadPrecompute(Path("fp.cspc"), wrong);
+  auto rejected = CsrPlusEngine::LoadPrecompute(Path("fp.cspc"), mismatch);
   ASSERT_FALSE(rejected.ok());
   EXPECT_TRUE(rejected.status().IsFailedPrecondition());
+
+  // The fingerprint guard is part of the eager (pre-map-publish) checks, so
+  // it rejects identically in mapped mode.
+  mismatch.mode = LoadMode::kMapped;
+  auto mapped_rejected =
+      CsrPlusEngine::LoadPrecompute(Path("fp.cspc"), mismatch);
+  ASSERT_FALSE(mapped_rejected.ok());
+  EXPECT_TRUE(mapped_rejected.status().IsFailedPrecondition());
 }
 
 TEST_F(PrecomputeIoTest, ArtifactInfoReportsHeaderFields) {
@@ -222,16 +253,27 @@ TEST_F(PrecomputeIoTest, GoldenArtifactLoadsAndMatchesItsGraph) {
   EXPECT_EQ(info->num_nodes, 34);
   EXPECT_EQ(info->damping, 0.6);
 
-  const GraphFingerprint fp =
+  LoadOptions options;
+  options.expected_fingerprint =
       FingerprintTransition(graph::ColumnNormalizedTransition(*g));
-  auto engine = CsrPlusEngine::LoadPrecompute(kGoldenArtifact, fp);
+  auto engine = CsrPlusEngine::LoadPrecompute(kGoldenArtifact, options);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_EQ(engine->rank(), 8);
   EXPECT_EQ(engine->num_nodes(), 34);
+
+  // The v1 golden (unpadded sections) must also load through the mmap
+  // path: alignment is a v2 luxury, not a mapped-mode requirement.
+  options.mode = LoadMode::kMapped;
+  auto mapped = CsrPlusEngine::LoadPrecompute(kGoldenArtifact, options);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->is_mapped());
+  EXPECT_EQ(mapped->rank(), 8);
+  EXPECT_EQ(mapped->num_nodes(), 34);
+  EXPECT_TRUE(mapped->VerifyMappedSections().ok());
 }
 
 TEST_F(PrecomputeIoTest, GoldenArtifactTopKMatchesRecordedValues) {
-  auto engine = CsrPlusEngine::LoadPrecompute(kGoldenArtifact);
+  auto engine = CsrPlusEngine::LoadPrecompute(kGoldenArtifact, LoadOptions{});
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
 
   // Expected values recorded when the golden was minted (see the note
@@ -265,6 +307,49 @@ TEST_F(PrecomputeIoTest, GoldenArtifactTopKMatchesRecordedValues) {
           << "query " << e.query << " rank " << i;
     }
   }
+}
+
+// Both load modes over the pinned golden artifact must agree bit for bit
+// on every query surface — the serving contract behind --artifact-mode=.
+TEST_F(PrecomputeIoTest, GoldenArtifactLoadModesAreBitIdentical) {
+  auto heap = CsrPlusEngine::LoadPrecompute(kGoldenArtifact, LoadOptions{});
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  LoadOptions mapped_options;
+  mapped_options.mode = LoadMode::kMapped;
+  auto mapped = CsrPlusEngine::LoadPrecompute(kGoldenArtifact, mapped_options);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  ExpectEnginesBitIdentical(*heap, *mapped);
+  const std::vector<Index> queries = {0, 17, 33};
+  ExpectQueriesBitIdentical(*heap, *mapped, queries);
+  auto topk_heap = heap->TopKQuery(queries, 5);
+  auto topk_mapped = mapped->TopKQuery(queries, 5);
+  ASSERT_TRUE(topk_heap.ok() && topk_mapped.ok());
+  EXPECT_EQ(*topk_heap, *topk_mapped);
+}
+
+// The deprecated LoadPrecompute overloads must keep forwarding correctly
+// until they are removed; new code cannot call them (the CI deprecation
+// canary promotes this warning to an error), hence the local suppression.
+TEST_F(PrecomputeIoTest, DeprecatedLoadOverloadsStillForward) {
+  const graph::Graph g = *graph::ErdosRenyi(60, 360, 0xF2);
+  CsrPlusOptions options;
+  options.rank = 4;
+  auto engine = CsrPlusEngine::Precompute(g, options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->SavePrecompute(Path("dep.cspc")).ok());
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto plain = CsrPlusEngine::LoadPrecompute(Path("dep.cspc"));
+  auto pinned =
+      CsrPlusEngine::LoadPrecompute(Path("dep.cspc"), engine->fingerprint());
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_FALSE(plain->is_mapped());
+  ExpectEnginesBitIdentical(*plain, *engine);
+  ExpectEnginesBitIdentical(*pinned, *engine);
 }
 
 }  // namespace

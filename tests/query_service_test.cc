@@ -5,12 +5,16 @@
 #include "service/query_service.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -372,9 +376,14 @@ TEST(QueryServiceTest, ShutdownCancelsQueuedAndRejectsNewSubmissions) {
 
 // Shared body for the multi-client hammers: when `cache` is non-null the
 // service serves through it, and every response is still verified against a
-// direct (uncached) engine call after the join.
-void RunMultiClientHammer(cache::ColumnCache* cache) {
-  auto engine = MakeEngine(120, 900, 5);
+// direct (uncached) engine call after the join. A caller-supplied engine
+// (e.g. one serving a mapped artifact) is hammered in place of the default
+// heap-backed one.
+void RunMultiClientHammer(cache::ColumnCache* cache,
+                          core::CsrPlusEngine* engine_override = nullptr) {
+  std::optional<core::CsrPlusEngine> owned;
+  if (engine_override == nullptr) owned.emplace(MakeEngine(120, 900, 5));
+  core::CsrPlusEngine& engine = engine_override ? *engine_override : *owned;
   ServiceOptions options;
   options.max_batch_queries = 16;
   options.cache = cache;
@@ -674,6 +683,28 @@ TEST(QueryServiceTierTest, MismatchedNodeCountsDieAtConstruction) {
   ServiceOptions options;
   options.approximate_engine = &smaller;
   EXPECT_DEATH(QueryService(&exact, options), "same node set");
+}
+
+TEST(QueryServiceTest, MultiClientHammerWithMappedEngine) {
+  // Same load, served zero-copy off a mapped artifact. The background
+  // verifier thread checksums the mapped sections while the client threads
+  // read them (the CI TSan job runs this file), and every batched result
+  // must match a direct call on the mapped engine bit for bit.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("csrplus_service_mapped_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "hammer.cspc").string();
+  auto writer = MakeEngine(120, 900, 5);
+  ASSERT_TRUE(writer.SavePrecompute(path).ok());
+
+  core::LoadOptions load_options;
+  load_options.mode = core::LoadMode::kMapped;  // background verify on
+  auto mapped = core::CsrPlusEngine::LoadPrecompute(path, load_options);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ForEachAvailableIsa([&] { RunMultiClientHammer(nullptr, &*mapped); });
+  EXPECT_TRUE(mapped->VerifyMappedSections().ok());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(QueryServiceTest, MultiClientHammerWithColumnCache) {

@@ -121,8 +121,9 @@ inline const std::vector<linalg::kernels::Isa>& AllKernelIsas() {
 }
 
 /// gtest predicate: max-abs difference between two matrices at most tol.
-inline ::testing::AssertionResult MatricesNear(const DenseMatrix& a,
-                                               const DenseMatrix& b,
+/// Takes views so owning matrices and engine factor views both work.
+inline ::testing::AssertionResult MatricesNear(linalg::DenseMatrixView a,
+                                               linalg::DenseMatrixView b,
                                                double tol) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) {
     return ::testing::AssertionFailure()

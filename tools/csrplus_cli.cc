@@ -123,6 +123,9 @@ struct CliOptions {
   eval::Method method = eval::Method::kCsrPlus;
   core::Precision precision = core::Precision::kF64;  // csr+ serving tier
   std::string artifact;   // warm-start path for `query` / `serve`
+  // How --artifact is brought into memory: checksummed heap load (verify)
+  // or zero-copy mmap with lazy section verification (mmap).
+  core::LoadMode artifact_mode = core::LoadMode::kHeapVerified;
   std::string stats_out;  // write SnapshotJson here after the command
   std::string trace_out;  // enable tracing; write DumpTraceJson here
   int clients = 8;        // serve: concurrent client threads
@@ -150,7 +153,8 @@ void PrintUsage() {
                "usage: csrplus [--rank=R] [--damping=C] [--topk=K] "
                "[--threads=N] [--method=M] [--symmetrize]\n"
                "               [--precision=f64|f32] [--artifact=P] "
-               "[--stats-out=P] [--trace-out=P] "
+               "[--artifact-mode=verify|mmap]\n"
+               "               [--stats-out=P] [--trace-out=P] "
                "[--version] <command> ...\n"
                "commands:\n"
                "  stats <graph>                  graph statistics\n"
@@ -281,6 +285,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->show_version = true;
     } else if (StartsWith(arg, "--artifact=")) {
       options->artifact = arg.substr(11);
+    } else if (StartsWith(arg, "--artifact-mode=")) {
+      const std::string mode = arg.substr(16);
+      if (mode == "verify" || mode == "heap") {
+        options->artifact_mode = core::LoadMode::kHeapVerified;
+      } else if (mode == "mmap") {
+        options->artifact_mode = core::LoadMode::kMapped;
+      } else {
+        std::fprintf(stderr,
+                     "unknown artifact mode: %s (want verify or mmap)\n",
+                     mode.c_str());
+        return false;
+      }
     } else if (StartsWith(arg, "--stats-out=")) {
       options->stats_out = arg.substr(12);
     } else if (StartsWith(arg, "--trace-out=")) {
@@ -404,18 +420,23 @@ Result<core::CsrPlusEngine> BuildEngine(const graph::Graph& g,
 /// embedded fingerprint against the graph we are about to serve.
 Result<core::CsrPlusEngine> LoadEngineFromArtifact(const graph::Graph& g,
                                                    const CliOptions& options) {
-  const core::GraphFingerprint expected =
+  core::LoadOptions load_options;
+  load_options.expected_fingerprint =
       core::FingerprintTransition(graph::ColumnNormalizedTransition(g));
+  load_options.mode = options.artifact_mode;
   WallTimer timer;
-  auto engine = core::CsrPlusEngine::LoadPrecompute(options.artifact, expected);
+  auto engine =
+      core::CsrPlusEngine::LoadPrecompute(options.artifact, load_options);
   if (engine.ok()) {
     // Artifacts always store double factors; the serving tier is applied
     // here, quantising U/Z once at load time.
     CSR_RETURN_IF_ERROR(engine->SetServingPrecision(options.precision));
     std::fprintf(stderr,
-                 "warm-started rank-%ld CSR+ state (%s tier) from %s in %s\n",
+                 "warm-started rank-%ld CSR+ state (%s tier, %s load) "
+                 "from %s in %s\n",
                  static_cast<long>(engine->rank()),
                  core::PrecisionName(engine->serving_precision()),
+                 core::LoadModeName(load_options.mode),
                  options.artifact.c_str(),
                  FormatSeconds(timer.ElapsedSeconds()).c_str());
   }
@@ -427,7 +448,24 @@ Result<core::CsrPlusEngine> LoadEngineFromArtifact(const graph::Graph& g,
 struct EngineBox {
   std::unique_ptr<linalg::CsrMatrix> transition;  // null for CSR+
   std::unique_ptr<core::QueryEngine> engine;
+  // Non-owning view of `engine` when it is a CSR+ engine, so commands can
+  // run the deferred mmap section verification before declaring success.
+  core::CsrPlusEngine* csrplus = nullptr;
 };
+
+/// Settles the lazy checksum verification of an mmap-loaded engine. Heap
+/// loads and non-CSR+ engines return 0 immediately; a mapped engine whose
+/// backing file was modified after mapping fails here with exit 1, which is
+/// what lets the CI corruption check drive the mmap path end to end.
+int FinishMappedVerification(const EngineBox& box) {
+  if (box.csrplus == nullptr || !box.csrplus->is_mapped()) return 0;
+  Status verified = box.csrplus->VerifyMappedSections();
+  if (!verified.ok()) {
+    std::fprintf(stderr, "error: %s\n", verified.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
 
 Result<EngineBox> BuildAnyEngine(const graph::Graph& g,
                                  const CliOptions& options) {
@@ -437,8 +475,9 @@ Result<EngineBox> BuildAnyEngine(const graph::Graph& g,
                       ? BuildEngine(g, options)
                       : LoadEngineFromArtifact(g, options);
     if (!engine.ok()) return engine.status();
-    box.engine =
-        std::make_unique<core::CsrPlusEngine>(std::move(*engine));
+    auto owned = std::make_unique<core::CsrPlusEngine>(std::move(*engine));
+    box.csrplus = owned.get();
+    box.engine = std::move(owned);
     return box;
   }
   if (!options.artifact.empty()) {
@@ -505,7 +544,7 @@ int RunQuery(const CliOptions& options) {
                   sn.score);
     }
   }
-  return 0;
+  return FinishMappedVerification(*box);
 }
 
 /// Prints the end-of-run cache summary shared by both serve modes.
@@ -677,7 +716,10 @@ int RunServe(const CliOptions& options) {
   service::QueryService service(box->engine.get(), service_options);
 
   if (socket_mode) {
-    return RunServeSocket(options, *g, &service, column_cache.get(), &sigs);
+    const int code =
+        RunServeSocket(options, *g, &service, column_cache.get(), &sigs);
+    const int verify_code = FinishMappedVerification(*box);
+    return code != 0 ? code : verify_code;
   }
 
   std::mutex agg_mu;
@@ -760,7 +802,8 @@ int RunServe(const CliOptions& options) {
                 static_cast<unsigned long long>(latencies_us.back()));
   }
   PrintCacheSummary(column_cache.get());
-  return other == 0 ? 0 : 1;
+  if (other != 0) return 1;
+  return FinishMappedVerification(*box);
 }
 
 int RunClient(const CliOptions& options) {
@@ -914,13 +957,29 @@ int RunArtifactInfo(const CliOptions& options) {
     std::printf("built by:     (pre-trailer artifact)\n");
   }
   // The header only proves itself; a full load verifies every section
-  // checksum so a flipped payload byte also fails here with exit 1.
-  auto engine = core::CsrPlusEngine::LoadPrecompute(path);
+  // checksum so a flipped payload byte also fails here with exit 1. Both
+  // load modes run, so artifact-info doubles as the CI corruption check
+  // for the heap AND the mmap read paths.
+  auto engine = core::CsrPlusEngine::LoadPrecompute(path, core::LoadOptions{});
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
   std::printf("sections:     all checksums OK\n");
+  core::LoadOptions mapped_options;
+  mapped_options.mode = core::LoadMode::kMapped;
+  mapped_options.background_verify = false;
+  auto mapped = core::CsrPlusEngine::LoadPrecompute(path, mapped_options);
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "error: %s\n", mapped.status().ToString().c_str());
+    return 1;
+  }
+  Status mapped_verified = mapped->VerifyMappedSections();
+  if (!mapped_verified.ok()) {
+    std::fprintf(stderr, "error: %s\n", mapped_verified.ToString().c_str());
+    return 1;
+  }
+  std::printf("mmap:         mapped load + section verify OK\n");
   return 0;
 }
 
