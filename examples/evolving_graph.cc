@@ -66,11 +66,13 @@ int main(int argc, char** argv) {
       --i;
       continue;
     }
+    const core::EdgeUpdate update = core::EdgeUpdate::Insert(u, v);
     timer.Restart();
-    Status inserted = dynamic->InsertEdge(u, v);
+    auto receipt = dynamic->ApplyUpdates({&update, 1});
     incremental_seconds += timer.ElapsedSeconds();
-    if (!inserted.ok()) {
-      std::fprintf(stderr, "insert failed: %s\n", inserted.ToString().c_str());
+    if (!receipt.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n",
+                   receipt.status().ToString().c_str());
       return 1;
     }
     mirror.AddEdge(u, v);

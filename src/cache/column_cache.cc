@@ -329,6 +329,46 @@ int64_t ColumnCache::EvictEngine(uint64_t fingerprint) {
   return dropped;
 }
 
+int64_t ColumnCache::EvictColumns(uint64_t fingerprint,
+                                  const std::vector<Index>& nodes) {
+  if (fingerprint == 0 || nodes.empty()) return 0;
+  int64_t dropped = 0;
+  int64_t dropped_bytes = 0;
+  // Point lookups, not a scan: the touched set is usually a small fraction
+  // of the resident columns (the whole point of delta-aware invalidation).
+  for (Index node : nodes) {
+    Shard& shard = ShardFor(fingerprint, node);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(Key{fingerprint, node});
+    if (it == shard.index.end()) continue;
+    const int64_t bytes =
+        static_cast<int64_t>(it->second->column.size() * sizeof(double));
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    shard.resident_bytes -= bytes;
+    dropped_bytes += bytes;
+    ++dropped;
+    ++shard.invalidations;
+  }
+  if (dropped > 0) {
+    const int64_t now_bytes =
+        resident_bytes_.fetch_sub(dropped_bytes, std::memory_order_relaxed) -
+        dropped_bytes;
+    const int64_t now_cols =
+        resident_columns_.fetch_sub(dropped, std::memory_order_relaxed) -
+        dropped;
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.cache.invalidations", "columns",
+                            "stale-fingerprint columns dropped eagerly",
+                            dropped);
+    CSRPLUS_OBS_GAUGE_SET("csrplus.cache.resident_bytes", "bytes",
+                          "bytes of answer columns resident in the cache",
+                          now_bytes);
+    CSRPLUS_OBS_GAUGE_SET("csrplus.cache.resident_columns", "columns",
+                          "answer columns resident in the cache", now_cols);
+  }
+  return dropped;
+}
+
 void ColumnCache::Clear() {
   int64_t dropped = 0;
   int64_t dropped_bytes = 0;

@@ -18,9 +18,13 @@
 //     whether the cache's total resident bytes plus the incoming column
 //     still fit; over budget the insert is rejected (never evicts on the
 //     budget's behalf — the budget is advisory and process-wide).
-//   * Invalidatable: keys embed QueryEngine::StateFingerprint(), so a
-//     mutated engine (e.g. DynamicCsrPlusEngine::InsertEdge) simply stops
-//     hitting; EvictEngine(fp) reclaims the stale bytes eagerly.
+//   * Invalidatable, at two granularities. EvictEngine(fp) drops a whole
+//     generation (an engine rebuilt from scratch rotates its fingerprint,
+//     so its old columns just stop hitting and are reclaimed eagerly).
+//     EvictColumns(fp, nodes) drops exactly the named columns — the
+//     delta-aware path: DynamicCsrPlusEngine::ApplyUpdates keeps its
+//     fingerprint stable and reports the touched columns in its
+//     UpdateReceipt, so everything else keeps hitting (docs/mutations.md).
 //
 // Fingerprint 0 is reserved as "engine cannot vouch for its state";
 // Lookup/Insert with fingerprint 0 are no-ops (miss / reject) by contract.
@@ -113,6 +117,12 @@ class ColumnCache {
   /// Drops every entry belonging to `fingerprint` (stale-engine reclaim).
   /// Fingerprint 0 is a no-op. Returns the number of entries dropped.
   int64_t EvictEngine(uint64_t fingerprint);
+
+  /// Drops exactly the entries (fingerprint, node) for the given nodes —
+  /// the delta-aware invalidation driven by UpdateReceipt::touched_support.
+  /// Absent keys and fingerprint 0 are no-ops. Returns the number of
+  /// entries dropped (counted as invalidations, like EvictEngine).
+  int64_t EvictColumns(uint64_t fingerprint, const std::vector<Index>& nodes);
 
   /// Drops everything.
   void Clear();

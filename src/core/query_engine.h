@@ -12,8 +12,10 @@
 //
 // Implementations must be safe for concurrent queries from multiple threads
 // between mutations (most engines hold immutable precomputed state; engines
-// with mutating members, like DynamicCsrPlusEngine::InsertEdge, require the
-// caller to externally serialise mutation against in-flight queries).
+// with mutating members, like DynamicCsrPlusEngine::ApplyUpdates, require
+// the caller to serialise mutation against in-flight queries — serving
+// stacks get that for free by mutating a clone and swapping it in through
+// QueryService::PublishEngine; see docs/mutations.md).
 
 #ifndef CSRPLUS_CORE_QUERY_ENGINE_H_
 #define CSRPLUS_CORE_QUERY_ENGINE_H_
@@ -91,10 +93,13 @@ class QueryEngine {
   /// non-zero fingerprint are guaranteed to return bit-identical results for
   /// every query, so their answer columns are interchangeable (the contract
   /// the service-layer column cache relies on). The value must change
-  /// whenever the answers could change — e.g. a dynamic engine bumps it on
-  /// every absorbed edge insertion. Returning 0 means "cannot vouch for my
-  /// state"; callers must never cache under fingerprint 0. The default is 0,
-  /// so engines opt *in* to cacheability.
+  /// whenever the answers could change wholesale — e.g. the dynamic engine
+  /// rotates it on every full rebuild, while across incremental update
+  /// batches it stays stable and the UpdateReceipt's touched support names
+  /// the columns that changed (delta invalidation; docs/mutations.md).
+  /// Returning 0 means "cannot vouch for my state"; callers must never
+  /// cache under fingerprint 0. The default is 0, so engines opt *in* to
+  /// cacheability.
   virtual uint64_t StateFingerprint() const { return 0; }
 
   /// Advertised cost of a `batch_queries`-wide multi-source call, in the

@@ -16,7 +16,8 @@
 //
 // Every engine (CSR+ and the baselines) implements core::QueryEngine,
 // service::QueryService turns any of them into a concurrent batching server,
-// and net::Server / net::Client expose that service over TCP.
+// service::EngineRegistry hosts many named graphs (tenants) in one process,
+// and net::Server / net::Client expose those services over TCP.
 // See README.md for the architecture overview and examples/ for runnable
 // programs.
 
@@ -68,6 +69,7 @@
 #include "net/wire_protocol.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
+#include "service/engine_registry.h"
 #include "service/query_service.h"
 #include "svd/truncated_svd.h"
 #include "svd/update.h"

@@ -1,13 +1,8 @@
 #include "eval/runner.h"
 
-#include "baselines/cosimmate.h"
-#include "baselines/iterative_allpairs.h"
-#include "baselines/rls.h"
-#include "baselines/rp_cosim.h"
 #include "common/memory.h"
 #include "common/timer.h"
-#include "core/csrplus_engine.h"
-#include "core/dynamic_engine.h"
+#include "service/engine_registry.h"
 
 namespace csrplus::eval {
 namespace {
@@ -28,11 +23,24 @@ auto Measure(PhaseMetrics* metrics, Fn&& fn) {
 
 using EnginePtr = std::unique_ptr<core::QueryEngine>;
 
-// Moves a by-value engine into the type-erased pointer the runner hands out.
-template <typename Engine>
-Result<EnginePtr> Erase(Result<Engine> engine) {
-  if (!engine.ok()) return engine.status();
-  return EnginePtr(std::make_unique<Engine>(std::move(*engine)));
+service::EngineKind ToEngineKind(Method method) {
+  switch (method) {
+    case Method::kCsrPlus:
+      return service::EngineKind::kCsrPlus;
+    case Method::kCsrNi:
+      return service::EngineKind::kCsrNi;
+    case Method::kCsrIt:
+      return service::EngineKind::kCsrIt;
+    case Method::kCsrRls:
+      return service::EngineKind::kCsrRls;
+    case Method::kCoSimMate:
+      return service::EngineKind::kCoSimMate;
+    case Method::kRpCoSim:
+      return service::EngineKind::kRpCoSim;
+    case Method::kDynamic:
+      return service::EngineKind::kDynamic;
+  }
+  return service::EngineKind::kCsrPlus;
 }
 
 }  // namespace
@@ -65,64 +73,14 @@ const std::vector<Method>& PaperMethods() {
 
 Result<EnginePtr> CreateEngine(Method method, const CsrMatrix& transition,
                                const RunConfig& config) {
-  switch (method) {
-    case Method::kCsrPlus: {
-      core::CsrPlusOptions options;
-      options.rank = config.rank;
-      options.damping = config.damping;
-      options.epsilon = config.epsilon;
-      options.precision = config.precision;
-      return Erase(
-          core::CsrPlusEngine::PrecomputeFromTransition(transition, options));
-    }
-    case Method::kCsrNi: {
-      baselines::NiSimOptions options;
-      options.rank = config.rank;
-      options.damping = config.damping;
-      options.fidelity = config.ni_fidelity;
-      return Erase(baselines::NiSimEngine::Precompute(transition, options));
-    }
-    case Method::kCsrIt: {
-      baselines::IterativeOptions options;
-      options.damping = config.damping;
-      options.iterations = static_cast<int>(config.rank);  // §4.1: k = r
-      return Erase(
-          baselines::IterativeAllPairsEngine::Precompute(transition, options));
-    }
-    case Method::kCsrRls: {
-      baselines::RlsOptions options;
-      options.damping = config.damping;
-      options.iterations = static_cast<int>(config.rank);  // §4.1: k = r
-      return EnginePtr(
-          std::make_unique<baselines::RlsEngine>(&transition, options));
-    }
-    case Method::kCoSimMate: {
-      baselines::CoSimMateOptions options;
-      options.damping = config.damping;
-      // 2^steps series terms >= the rank-matched iteration count.
-      int steps = 1;
-      while ((1 << steps) < config.rank) ++steps;
-      options.squaring_steps = steps;
-      return Erase(baselines::CoSimMateEngine::Precompute(transition, options));
-    }
-    case Method::kRpCoSim: {
-      baselines::RpCoSimOptions options;
-      options.damping = config.damping;
-      options.iterations = static_cast<int>(config.rank);
-      options.num_samples = config.rp_samples;
-      return EnginePtr(
-          std::make_unique<baselines::RpCosimEngine>(&transition, options));
-    }
-    case Method::kDynamic: {
-      core::DynamicOptions options;
-      options.base.rank = config.rank;
-      options.base.damping = config.damping;
-      options.base.epsilon = config.epsilon;
-      return Erase(
-          core::DynamicCsrPlusEngine::BuildFromTransition(transition, options));
-    }
-  }
-  return Status::Internal("unknown method");
+  service::EngineConfig engine_config;
+  engine_config.rank = config.rank;
+  engine_config.damping = config.damping;
+  engine_config.epsilon = config.epsilon;
+  engine_config.ni_fidelity = config.ni_fidelity;
+  engine_config.rp_samples = config.rp_samples;
+  engine_config.precision = config.precision;
+  return service::BuildEngine(ToEngineKind(method), transition, engine_config);
 }
 
 RunOutcome RunMethod(Method method, const CsrMatrix& transition,

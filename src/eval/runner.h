@@ -80,6 +80,8 @@ struct RunOutcome {
 /// the run. CSR+/NI/IT/CoSimMate do all their precomputation here; RLS and
 /// RP-CoSim keep no state, so their engines are thin wrappers that redo the
 /// work per query call. `transition` must outlive the returned engine.
+/// Thin forwarder onto service::BuildEngine (engine_registry.h), which owns
+/// the method -> constructor dispatch.
 Result<std::unique_ptr<core::QueryEngine>> CreateEngine(
     Method method, const CsrMatrix& transition, const RunConfig& config);
 

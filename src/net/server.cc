@@ -88,6 +88,9 @@ struct PendingReply {
   std::string ready;  ///< encoded frame; used when `ticket` is empty
   std::optional<service::QueryService::Ticket> ticket;
   bool wants_topk = false;  ///< request asked for top_k > 0
+  /// Routed requests only: the tenant this reply came from, for its
+  /// per-tenant to_external translation (null = use the server-level hook).
+  const ServerOptions::Route* route = nullptr;
 };
 
 struct Connection {
@@ -488,6 +491,37 @@ void Server::Impl::HandleRequestFrame(Worker& w, Connection& conn,
     return;
   }
 
+  // Multi-graph routing (wire v3). With a router, the graph_id picks the
+  // tenant; without one this is a single-service server and only the
+  // default (empty) graph_id is routable.
+  service::QueryService* target = service;
+  const ServerOptions::Route* route = nullptr;
+  if (options.router) {
+    route = options.router(request.graph_id);
+    if (route == nullptr || route->service == nullptr) {
+      CSRPLUS_OBS_COUNTER_ADD("csrplus.net.unknown_graph", "frames",
+                              "query frames naming an unknown graph_id", 1);
+      PendingReply reply;
+      AppendErrorResponseFrame(
+          Status::NotFound("unknown graph '" + request.graph_id + "'"),
+          &reply.ready);
+      conn.pending.push_back(std::move(reply));
+      return;
+    }
+    target = route->service;
+  } else if (!request.graph_id.empty()) {
+    CSRPLUS_OBS_COUNTER_ADD("csrplus.net.unknown_graph", "frames",
+                            "query frames naming an unknown graph_id", 1);
+    PendingReply reply;
+    AppendErrorResponseFrame(
+        Status::NotFound("this server serves a single unnamed graph; "
+                         "cannot route graph '" +
+                         request.graph_id + "'"),
+        &reply.ready);
+    conn.pending.push_back(std::move(reply));
+    return;
+  }
+
   // Backpressure: refuse (with a status frame, in order) rather than buffer
   // without bound. The pipeline cap bounds tickets per connection; the
   // write-buffer check bounds response bytes a slow reader can pin.
@@ -505,10 +539,11 @@ void Server::Impl::HandleRequestFrame(Worker& w, Connection& conn,
   }
 
   service::QueryRequest service_request;
-  if (options.to_internal) {
+  const auto& to_internal = route ? route->to_internal : options.to_internal;
+  if (to_internal) {
     service_request.queries.reserve(request.queries.size());
     for (const int64_t external : request.queries) {
-      Result<Index> mapped = options.to_internal(external);
+      Result<Index> mapped = to_internal(external);
       if (!mapped.ok()) {
         PendingReply reply;
         AppendErrorResponseFrame(mapped.status(), &reply.ready);
@@ -527,7 +562,7 @@ void Server::Impl::HandleRequestFrame(Worker& w, Connection& conn,
   service_request.quality = request.quality;
   service_request.tag = "net";
   auto wake = w.wake;  // shared: the callback may outlive the worker
-  Result<service::QueryService::Ticket> submitted = service->Submit(
+  Result<service::QueryService::Ticket> submitted = target->Submit(
       std::move(service_request), [wake] { wake->Notify(); });
   if (!submitted.ok()) {
     CountFrameRejected();
@@ -539,6 +574,7 @@ void Server::Impl::HandleRequestFrame(Worker& w, Connection& conn,
   PendingReply reply;
   reply.ticket = std::move(*submitted);
   reply.wants_topk = request.top_k > 0;
+  reply.route = route;
   conn.pending.push_back(std::move(reply));
 }
 
@@ -564,7 +600,9 @@ void Server::Impl::PumpConnection(Worker& w, Connection& conn) {
     wire.served_tier = response.served_tier;
     if (response.status.ok() && front.wants_topk) {
       wire.topk = response.topk;
-      if (options.to_external) MapTopKToExternal(options.to_external, &wire.topk);
+      const auto& to_external =
+          front.route ? front.route->to_external : options.to_external;
+      if (to_external) MapTopKToExternal(to_external, &wire.topk);
     }
     if (response.status.ok() && !front.wants_topk) {
       // Borrow the score block straight out of the ticket — copying an
@@ -659,8 +697,10 @@ void Server::Impl::DrainWorker(Worker& w) {
         wire.total_micros = response.total_micros;
         if (response.status.ok() && front.wants_topk) {
           wire.topk = response.topk;
-          if (options.to_external) {
-            MapTopKToExternal(options.to_external, &wire.topk);
+          const auto& to_external =
+              front.route ? front.route->to_external : options.to_external;
+          if (to_external) {
+            MapTopKToExternal(to_external, &wire.topk);
           }
         }
         if (response.status.ok() && !front.wants_topk) {

@@ -72,13 +72,37 @@ struct ServerOptions {
   /// bodies are positional (engine node order) and are never translated.
   std::function<Result<Index>(int64_t)> to_internal;
   std::function<int64_t(Index)> to_external;
+
+  /// One routing target for multi-graph serving: the tenant's service plus
+  /// its own id translation (tenants load different graphs, so the
+  /// compaction maps differ per tenant). Same thread-safety contract as the
+  /// top-level translation hooks.
+  struct Route {
+    service::QueryService* service = nullptr;
+    std::function<Result<Index>(int64_t)> to_internal;
+    std::function<int64_t(Index)> to_external;
+  };
+  /// Multi-graph routing hook (wire v3 `graph_id` -> tenant). When set, each
+  /// query request is dispatched to `router(graph_id)` — typically a thin
+  /// wrapper over service::EngineRegistry::Route — and the top-level
+  /// `to_internal`/`to_external` are ignored in favour of the route's own.
+  /// Returning null answers the request with kNotFound. The returned Route
+  /// must stay valid for the server's lifetime (tenant addresses are stable
+  /// in the registry). Pings are answered without routing. When unset the
+  /// server is single-service: every request goes to the constructor's
+  /// service, and a non-empty graph_id is answered with kNotFound.
+  std::function<const Route*(const std::string&)> router;
 };
 
-/// A TCP front end for one QueryService. The service must outlive the
-/// server. Start() spawns the threads; Shutdown() (or the destructor)
-/// cancels in-flight requests, flushes what it can and joins them.
+/// A TCP front end for one QueryService — or, with ServerOptions::router
+/// set, for many (one per registry tenant). Every routed service must
+/// outlive the server. Start() spawns the threads; Shutdown() (or the
+/// destructor) cancels in-flight requests, flushes what it can and joins
+/// them.
 class Server {
  public:
+  /// `service` is the single-service target; it may be null when
+  /// `options.router` is set (all query traffic is then routed).
   explicit Server(service::QueryService* service, ServerOptions options = {});
   ~Server();
 

@@ -160,6 +160,8 @@ Status WireResponse::ToStatus() const {
 }
 
 void AppendRequestFrame(const WireRequest& request, std::string* out) {
+  CSR_CHECK(request.graph_id.size() <= kMaxGraphIdBytes)
+      << "graph_id exceeds the wire bound";
   const std::size_t header_at = BeginFrame(out);
   PutU16(kProtocolVersion, out);
   out->push_back(static_cast<char>(request.method));
@@ -169,6 +171,8 @@ void AppendRequestFrame(const WireRequest& request, std::string* out) {
   out->push_back(static_cast<char>(request.quality));
   PutU32(static_cast<uint32_t>(request.top_k), out);
   PutU64(request.deadline_micros, out);
+  PutU16(static_cast<uint16_t>(request.graph_id.size()), out);
+  out->append(request.graph_id);
   PutU32(static_cast<uint32_t>(request.queries.size()), out);
   for (int64_t q : request.queries) PutI64(q, out);
   FinishFrame(header_at, out);
@@ -256,7 +260,7 @@ Result<WireRequest> DecodeRequest(const uint8_t* payload, std::size_t size) {
   Reader reader(payload, size);
   uint16_t version = 0;
   if (!reader.ReadU16(&version)) return Truncated("request header");
-  if (version != kProtocolVersion) {
+  if (version < kMinDecodableVersion || version > kProtocolVersion) {
     return Status::FailedPrecondition(
         "wire protocol version mismatch: peer speaks v" +
         std::to_string(version) + ", this build speaks v" +
@@ -267,10 +271,24 @@ Result<WireRequest> DecodeRequest(const uint8_t* payload, std::size_t size) {
   uint32_t top_k = 0, num_queries = 0;
   if (!reader.ReadU8(&method) || !reader.ReadU8(&flags) ||
       !reader.ReadU8(&quality) || !reader.ReadU32(&top_k) ||
-      !reader.ReadU64(&request.deadline_micros) ||
-      !reader.ReadU32(&num_queries)) {
+      !reader.ReadU64(&request.deadline_micros)) {
     return Truncated("request header");
   }
+  if (version >= 3) {
+    // v3: u16-length-prefixed graph name. v2 frames carry no graph field and
+    // keep the default (empty) graph_id, i.e. the server's default tenant.
+    uint16_t graph_bytes = 0;
+    if (!reader.ReadU16(&graph_bytes)) return Truncated("request graph id");
+    if (graph_bytes > kMaxGraphIdBytes) {
+      return Status::InvalidArgument("request graph id exceeds " +
+                                     std::to_string(kMaxGraphIdBytes) +
+                                     " bytes");
+    }
+    if (!reader.ReadBytes(graph_bytes, &request.graph_id)) {
+      return Truncated("request graph id");
+    }
+  }
+  if (!reader.ReadU32(&num_queries)) return Truncated("request header");
   if (method > static_cast<uint8_t>(Method::kQuery)) {
     return Status::InvalidArgument("unknown wire method " +
                                    std::to_string(method));
@@ -301,7 +319,8 @@ Result<WireResponse> DecodeResponse(const uint8_t* payload, std::size_t size) {
   Reader reader(payload, size);
   uint16_t version = 0;
   if (!reader.ReadU16(&version)) return Truncated("response header");
-  if (version != kProtocolVersion) {
+  // The response layout is unchanged between v2 and v3.
+  if (version < kMinDecodableVersion || version > kProtocolVersion) {
     return Status::FailedPrecondition(
         "wire protocol version mismatch: peer speaks v" +
         std::to_string(version) + ", this build speaks v" +

@@ -7,14 +7,19 @@
 //
 //   frame    := payload_bytes:u32 payload
 //   request  := version:u16 method:u8 flags:u8 quality:u8 top_k:i32
-//               deadline_micros:u64 num_queries:u32 query_id:i64 ...
+//               deadline_micros:u64 graph_bytes:u16 graph_char ...
+//               num_queries:u32 query_id:i64 ...
 //   response := version:u16 status_code:u16 message_bytes:u32 message
 //               batch_requests:u32 batch_queries:i64
 //               wait_micros:u64 total_micros:u64 tier:u8 body_kind:u8 body
 //
 // v2 added the request quality class (exact | approximate | best-effort)
 // and the response tier echo (which serving tier actually answered); see
-// docs/serving-tiers.md for the routing semantics.
+// docs/serving-tiers.md for the routing semantics. v3 added the request
+// graph_id (multi-graph tenancy; docs/mutations.md) — a u16-length-prefixed
+// UTF-8 name between the deadline and the query count. Decoders still
+// accept v2 frames, which carry no graph field and resolve to the default
+// tenant; the response layout is unchanged between v2 and v3.
 //
 // The response body is EITHER the full n x |Q| score block (body_kind 1:
 // n:i64 num_queries:u32 then n*|Q| row-major doubles — a raw copy of the
@@ -51,8 +56,16 @@ using linalg::Index;
 
 /// Protocol version carried in every request and response.
 /// v1: initial frame layout. v2: request quality:u8 after flags, response
-/// tier:u8 before body_kind (the serving-tier contract).
-inline constexpr uint16_t kProtocolVersion = 2;
+/// tier:u8 before body_kind (the serving-tier contract). v3: request
+/// graph_bytes:u16 + graph name before num_queries (multi-graph tenancy).
+inline constexpr uint16_t kProtocolVersion = 3;
+
+/// Oldest request/response version a decoder still accepts. v2 frames have
+/// no graph field; decode maps them to an empty graph_id (default tenant).
+inline constexpr uint16_t kMinDecodableVersion = 2;
+
+/// Wire bound on the graph name (u16 length prefix; generous in practice).
+inline constexpr std::size_t kMaxGraphIdBytes = 255;
 
 /// Frame header size: the u32 payload length prefix.
 inline constexpr std::size_t kFrameHeaderBytes = 4;
@@ -83,6 +96,10 @@ struct WireRequest {
   /// Requested serving quality (docs/serving-tiers.md). Encoded as u8 using
   /// the enum's fixed wire values; decoders reject anything > best-effort.
   service::QualityClass quality = service::QualityClass::kExact;
+  /// Which served graph this request targets (v3). Empty = the server's
+  /// default tenant — also what decoding a v2 frame yields. At most
+  /// kMaxGraphIdBytes bytes; the server answers kNotFound for unknown names.
+  std::string graph_id;
   std::vector<int64_t> queries;
 };
 

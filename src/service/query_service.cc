@@ -47,23 +47,79 @@ const char* ServedTierName(ServedTier tier) {
   return "unknown";
 }
 
-QueryService::QueryService(const core::QueryEngine* engine,
+QueryService::QueryService(std::shared_ptr<const core::QueryEngine> engine,
                            ServiceOptions options)
-    : engine_(engine), options_(options) {
+    : engine_(std::move(engine)), options_(options) {
+  const auto snapshot = engine_.load(std::memory_order_relaxed);
+  CSR_CHECK(snapshot != nullptr) << "QueryService needs an engine";
   if (options_.approximate_engine != nullptr) {
-    CSR_CHECK(options_.approximate_engine->NumNodes() == engine_->NumNodes())
+    CSR_CHECK(options_.approximate_engine->NumNodes() == snapshot->NumNodes())
         << "the approximate tier must serve the same node set as the exact "
            "engine";
   }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
-const core::QueryEngine* QueryService::EngineFor(ServedTier tier) const {
+QueryService::QueryService(const core::QueryEngine* engine,
+                           ServiceOptions options)
+    : QueryService(std::shared_ptr<const core::QueryEngine>(
+                       engine, [](const core::QueryEngine*) {}),
+                   options) {}
+
+const core::QueryEngine* QueryService::EngineFor(
+    const core::QueryEngine* exact, ServedTier tier) const {
   if (tier == ServedTier::kApproximate &&
       options_.approximate_engine != nullptr) {
     return options_.approximate_engine;
   }
-  return engine_;
+  return exact;
+}
+
+Status QueryService::PublishEngine(
+    std::shared_ptr<const core::QueryEngine> next,
+    const std::vector<Index>& touched_support) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("PublishEngine: engine must not be null");
+  }
+  std::lock_guard<std::mutex> lk(publish_mu_);
+  const auto old = engine_.load(std::memory_order_acquire);
+  if (next->NumNodes() != old->NumNodes()) {
+    return Status::InvalidArgument(
+        "PublishEngine: new generation serves a different node count");
+  }
+  if (next == old) return Status::OK();  // republishing the same snapshot
+  const uint64_t old_fp = old->StateFingerprint();
+  const uint64_t new_fp = next->StateFingerprint();
+  engine_.store(std::move(next), std::memory_order_release);
+
+  // RCU grace period: a micro-batch loads the snapshot inside its odd epoch
+  // window, so once the epoch observed *after* the swap leaves that window
+  // the old snapshot has drained — no in-flight evaluation can re-insert a
+  // stale column under a fingerprint we are about to reconcile below.
+  const uint64_t epoch = batch_epoch_.load(std::memory_order_acquire);
+  if (epoch & 1) {
+    while (batch_epoch_.load(std::memory_order_acquire) == epoch) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  cache::ColumnCache* cache = options_.cache;
+  if (cache != nullptr) {
+    if (old_fp != new_fp) {
+      // Generation rotated (full rebuild, engine swap): the old columns can
+      // never hit again — reclaim them eagerly.
+      if (old_fp != 0) cache->EvictEngine(old_fp);
+    } else if (old_fp != 0 && !touched_support.empty()) {
+      // Fingerprint stable across an incremental update: only the receipt's
+      // touched columns changed; everything else keeps hitting.
+      cache->EvictColumns(old_fp, touched_support);
+    }
+  }
+  CSRPLUS_OBS_COUNTER_ADD("csrplus.service.engine_publishes", "generations",
+                          "engine snapshots published over the service "
+                          "lifetime",
+                          1);
+  return Status::OK();
 }
 
 ServedTier QueryService::RouteTier(const QueryRequest& request,
@@ -102,8 +158,12 @@ Result<QueryService::Ticket> QueryService::Submit(
   if (request.top_k < 0) {
     return Status::InvalidArgument("top_k must be >= 0");
   }
-  CSR_RETURN_IF_ERROR(core::ValidateQueries(request.queries,
-                                            engine_->NumNodes(),
+  // One snapshot load for validation + admission sizing; PublishEngine
+  // guarantees every generation serves the same node count, so the charge
+  // stays right even if a publish lands between here and dispatch.
+  const Index num_nodes =
+      engine_.load(std::memory_order_acquire)->NumNodes();
+  CSR_RETURN_IF_ERROR(core::ValidateQueries(request.queries, num_nodes,
                                             core::QueryDuplicates::kReject));
   // The dispatcher never merges past max_batch_queries, but the first
   // request it pops used to be exempt — one oversized request would force
@@ -121,8 +181,7 @@ Result<QueryService::Ticket> QueryService::Submit(
   if (request.timeout_micros > 0) {
     state->deadline_micros = state->submit_micros + request.timeout_micros;
   }
-  state->admission_bytes =
-      AdmissionBytes(engine_->NumNodes(), request.queries.size());
+  state->admission_bytes = AdmissionBytes(num_nodes, request.queries.size());
   state->request = std::move(request);
 
   {
@@ -135,6 +194,18 @@ Result<QueryService::Ticket> QueryService::Submit(
                               "requests",
                               "submissions rejected: queue at capacity", 1);
       return Status::ResourceExhausted("service submission queue is full");
+    }
+    if (options_.max_outstanding_bytes > 0 &&
+        outstanding_bytes_ + state->admission_bytes >
+            options_.max_outstanding_bytes) {
+      CSRPLUS_OBS_COUNTER_ADD(
+          "csrplus.service.rejected_service_budget", "requests",
+          "submissions rejected: per-service outstanding-bytes cap "
+          "(tenant isolation)",
+          1);
+      return Status::ResourceExhausted(
+          "service outstanding-bytes cap reached (" +
+          std::to_string(options_.max_outstanding_bytes) + " bytes)");
     }
     const Status budget = MemoryBudget::Global().TryReserve(
         outstanding_bytes_ + state->admission_bytes,
@@ -373,15 +444,18 @@ QueryService::NextBatch() {
 }
 
 Result<DenseMatrix> QueryService::EvaluateBatch(
-    const std::vector<Index>& union_queries, ServedTier tier) {
-  const core::QueryEngine* engine = EngineFor(tier);
+    const core::QueryEngine* exact, const std::vector<Index>& union_queries,
+    ServedTier tier) {
+  const core::QueryEngine* engine = EngineFor(exact, tier);
   const std::size_t slot = tier == ServedTier::kApproximate ? 1 : 0;
   cache::ColumnCache* cache = options_.cache;
   const uint64_t fp = cache != nullptr ? engine->StateFingerprint() : 0;
   if (cache != nullptr && fp != served_fingerprint_[slot]) {
-    // The engine's answer function changed (edge insertion, engine swap to a
+    // The engine generation rotated (full rebuild, engine swap to a
     // different graph, ...): the previous generation's columns can never hit
     // again, so reclaim their bytes now instead of waiting for LRU pressure.
+    // (Incremental mutation keeps the fingerprint stable; its touched
+    // columns are evicted point-wise by PublishEngine instead.)
     // Per-tier slots: the tiers have distinct fingerprints by construction,
     // and alternating between them must not evict each other's columns.
     if (served_fingerprint_[slot] != 0) {
@@ -450,6 +524,15 @@ void QueryService::DispatcherLoop() {
     // are tier-homogeneous, so the front's tier is the batch's tier.
     const ServedTier tier = batch.front()->routed_tier;
 
+    // Open the grace-period window (odd epoch) *before* pinning the engine
+    // snapshot: PublishEngine waits for this window to close before it
+    // reconciles the cache, so everything this batch does — evaluate,
+    // cache-insert, scatter — happens against a generation the publisher
+    // has not yet invalidated.
+    batch_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    const std::shared_ptr<const core::QueryEngine> snapshot =
+        engine_.load(std::memory_order_acquire);
+
     // Union of the batch's query sets, first occurrence fixing the column.
     std::vector<Index> union_queries;
     std::unordered_map<Index, Index> col_of;
@@ -478,10 +561,10 @@ void QueryService::DispatcherLoop() {
                         static_cast<int64_t>(union_queries.size()));
       CSRPLUS_OBS_SCOPED_US("csrplus.service.batch_us",
                             "micro-batch engine execution wall time");
-      return EvaluateBatch(union_queries, tier);
+      return EvaluateBatch(snapshot.get(), union_queries, tier);
     }();
 
-    const Index n = engine_->NumNodes();
+    const Index n = snapshot->NumNodes();
     int64_t released_bytes = 0;
     for (const auto& state : batch) {
       QueryResponse response;
@@ -531,6 +614,9 @@ void QueryService::DispatcherLoop() {
       FinishLocked(state.get(), std::move(response));
       released_bytes += state->admission_bytes;
     }
+    // Close the grace-period window: the batch no longer holds the snapshot
+    // and all its cache inserts are done.
+    batch_epoch_.fetch_add(1, std::memory_order_acq_rel);
     {
       std::lock_guard<std::mutex> lk(mu_);
       outstanding_bytes_ -= released_bytes;

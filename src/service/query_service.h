@@ -22,10 +22,20 @@
 // Threading: one dispatcher thread owns batch assembly; the engine's own
 // kernels parallelise through the shared pool. Lock order is service mutex
 // before per-request mutex, everywhere.
+//
+// Live mutation (docs/mutations.md): the service serves an *engine
+// snapshot* held in an atomic shared_ptr. Queries pin the current snapshot
+// for the duration of one micro-batch; writers build the next generation
+// off-path (clone + ApplyUpdates) and hand it to PublishEngine, which swaps
+// the pointer, waits out the at-most-one in-flight batch on the old
+// snapshot (RCU grace period — readers never block on writers, writers wait
+// only for batches already running), and then drops exactly the cached
+// columns the update invalidated.
 
 #ifndef CSRPLUS_SERVICE_QUERY_SERVICE_H_
 #define CSRPLUS_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -104,6 +114,12 @@ struct ServiceOptions {
   /// deadline at assembly is below this is routed approximate regardless of
   /// queue depth. 0 = off.
   uint64_t shed_headroom_micros = 0;
+  /// Per-service cap on outstanding response-block bytes (admission charge),
+  /// checked in addition to the process-wide MemoryBudget. This is the
+  /// per-tenant isolation knob: the EngineRegistry gives each tenant's
+  /// service its own slice so one tenant's burst cannot exhaust the shared
+  /// budget for the others. 0 = no per-service cap.
+  int64_t max_outstanding_bytes = 0;
 };
 
 /// One client request.
@@ -142,10 +158,17 @@ struct QueryResponse {
   ServedTier served_tier = ServedTier::kUnspecified;
 };
 
-/// A concurrent, batching front-end for a QueryEngine. The engine must
-/// outlive the service; the service must outlive every Ticket it issued.
+/// A concurrent, batching front-end for a QueryEngine. The service must
+/// outlive every Ticket it issued.
 class QueryService {
  public:
+  /// Serves `engine` as the initial snapshot; later generations arrive via
+  /// PublishEngine. The service shares ownership, so the engine lives at
+  /// least until the snapshot is superseded and the last query drains.
+  explicit QueryService(std::shared_ptr<const core::QueryEngine> engine,
+                        ServiceOptions options = {});
+  /// Non-owning convenience overload: the caller guarantees `engine`
+  /// outlives the service (the original single-engine wiring).
   explicit QueryService(const core::QueryEngine* engine,
                         ServiceOptions options = {});
   ~QueryService();
@@ -174,13 +197,35 @@ class QueryService {
   /// Submit + Wait. On admission failure the status lands in the response.
   QueryResponse Query(QueryRequest request);
 
+  /// Atomically replaces the served engine snapshot with `next` (same node
+  /// count; built off-path by the writer) and reconciles the column cache:
+  /// after the RCU grace period — the at-most-one micro-batch still running
+  /// on the old snapshot, waited out so it cannot re-insert stale columns —
+  /// either the whole old generation is evicted (fingerprint rotated, e.g. a
+  /// full rebuild) or exactly `touched_support` is dropped (fingerprint
+  /// stable across an incremental ApplyUpdates; UpdateReceipt contract).
+  /// In-flight and future queries never block: they keep answering from
+  /// whichever snapshot they pinned. Concurrent publishers are serialised
+  /// internally; each tenant's writer typically holds its own lock anyway.
+  Status PublishEngine(std::shared_ptr<const core::QueryEngine> next,
+                       const std::vector<Index>& touched_support = {});
+
   /// Stops the dispatcher. Requests still queued complete with kCancelled;
   /// a batch already executing finishes normally. Idempotent; implied by
   /// the destructor. Submit afterwards returns kFailedPrecondition.
   void Shutdown();
 
   const ServiceOptions& options() const { return options_; }
-  const core::QueryEngine& engine() const { return *engine_; }
+  /// The current engine snapshot (pins the generation while held).
+  std::shared_ptr<const core::QueryEngine> engine_snapshot() const {
+    return engine_.load(std::memory_order_acquire);
+  }
+  /// Reference convenience — only safe when no PublishEngine can run
+  /// concurrently (tests, single-generation setups); the reference does not
+  /// pin the snapshot.
+  const core::QueryEngine& engine() const {
+    return *engine_.load(std::memory_order_acquire);
+  }
 
  private:
   struct RequestState;
@@ -229,19 +274,22 @@ class QueryService {
   };
 
   void DispatcherLoop();
-  /// The engine serving `tier` (the exact engine when no approximate tier
-  /// is configured).
-  const core::QueryEngine* EngineFor(ServedTier tier) const;
+  /// The engine serving `tier`: `exact` is the batch's pinned snapshot (the
+  /// approximate tier, when configured, is generation-invariant).
+  const core::QueryEngine* EngineFor(const core::QueryEngine* exact,
+                                     ServedTier tier) const;
   /// Routing decision for one request at batch assembly (deterministic in
   /// the observed controller state; docs/serving-tiers.md). `now` is the
   /// assembly timestamp shared by the whole batch.
   ServedTier RouteTier(const QueryRequest& request, uint64_t deadline_micros,
                        uint64_t now) const;
-  /// Evaluates one micro-batch's union query set on `tier`'s engine:
-  /// straight through when uncached, else scatter cached columns / evaluate
-  /// the miss set / insert fresh columns. Dispatcher thread only (touches
-  /// served_fingerprint_ without a lock).
-  Result<DenseMatrix> EvaluateBatch(const std::vector<Index>& union_queries,
+  /// Evaluates one micro-batch's union query set on `tier`'s engine (with
+  /// `exact` the batch's pinned snapshot): straight through when uncached,
+  /// else scatter cached columns / evaluate the miss set / insert fresh
+  /// columns. Dispatcher thread only (touches served_fingerprint_ without a
+  /// lock).
+  Result<DenseMatrix> EvaluateBatch(const core::QueryEngine* exact,
+                                    const std::vector<Index>& union_queries,
                                     ServedTier tier);
   /// Pops one micro-batch (holding mu_); finishes cancelled/expired
   /// requests in place; updates the shedding controller and routes every
@@ -252,8 +300,20 @@ class QueryService {
   void FinishLocked(RequestState* state, QueryResponse response);
   void CancelRequest(const std::shared_ptr<RequestState>& state);
 
-  const core::QueryEngine* engine_;  // not owned
+  /// The served engine snapshot. Readers (Submit, the dispatcher) load it
+  /// with acquire; PublishEngine swaps it. Never null.
+  std::atomic<std::shared_ptr<const core::QueryEngine>> engine_;
   const ServiceOptions options_;
+  /// Serialises concurrent PublishEngine calls (grace wait + eviction must
+  /// not interleave between two publishers).
+  std::mutex publish_mu_;
+  /// Seqlock-style grace-period marker: the dispatcher increments it when a
+  /// micro-batch starts (odd = evaluating) and again when the batch's
+  /// results are scattered (even = idle). The snapshot load happens inside
+  /// the odd window, so once PublishEngine has swapped the pointer and seen
+  /// the counter leave the window it observed, no batch can still be using
+  /// — or start using — the old snapshot.
+  std::atomic<uint64_t> batch_epoch_{0};
   /// Per-tier engine fingerprint the cache was last populated under (slot 0
   /// exact, slot 1 approximate — tiers alternating must not evict each
   /// other's generations). When a live fingerprint moves (e.g. a dynamic

@@ -1,12 +1,14 @@
 // Tests for cache::ColumnCache: hit/miss accounting, LRU eviction order,
-// budget-exhaustion rejection, fingerprint invalidation (including after
-// DynamicCsrPlusEngine::InsertEdge), and bit-identity of cached vs uncached
-// service results across thread counts.
+// budget-exhaustion rejection, fingerprint invalidation (including the
+// receipt-driven delta invalidation after DynamicCsrPlusEngine::ApplyUpdates
+// is published), and bit-identity of cached vs uncached service results
+// across thread counts.
 
 #include "cache/column_cache.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "common/memory.h"
+#include "common/rng.h"
 #include "core/csrplus_engine.h"
 #include "core/dynamic_engine.h"
 #include "graph/normalize.h"
@@ -420,48 +423,108 @@ TEST(ColumnCacheServiceTest, F32ColumnsAreNeverServedToF64Requests) {
 }
 
 TEST(ColumnCacheServiceTest, DynamicEngineMutationInvalidatesCachedColumns) {
-  auto graph = RandomGraph(40, 200, 23);
+  // The receipt-driven delta-invalidation contract (docs/mutations.md): an
+  // incremental ApplyUpdates batch keeps the fingerprint stable, publishing
+  // it evicts exactly the receipt's touched columns, untouched columns keep
+  // hitting, and post-publish serving is bit-identical to the new engine
+  // with no cache in front of it.
+  //
+  // Two disconnected 20-node halves guarantee a nonempty untouched set: an
+  // edge inserted in the second half can only touch its own component.
+  constexpr Index kNodes = 40;
+  graph::GraphBuilder builder(kNodes);
+  Rng rng(23);
+  for (int e = 0; e < 100; ++e) {
+    Index u = static_cast<Index>(rng.Below(20));
+    Index v = static_cast<Index>(rng.Below(20));
+    if (u != v) builder.AddEdge(u, v);
+    u = 20 + static_cast<Index>(rng.Below(20));
+    v = 20 + static_cast<Index>(rng.Below(20));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+
   core::DynamicOptions options;
   options.base.rank = 6;
-  auto dynamic = core::DynamicCsrPlusEngine::Build(graph, options);
-  ASSERT_TRUE(dynamic.ok()) << dynamic.status().ToString();
+  options.max_incremental_updates = 100;   // stay incremental: no rebuild
+  options.rebuild_touched_fraction = 1.0;  // (either trigger would rotate)
+  auto built = core::DynamicCsrPlusEngine::Build(*graph, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto engine =
+      std::make_shared<const core::DynamicCsrPlusEngine>(std::move(*built));
 
   ColumnCache cache;
   service::ServiceOptions service_options;
   service_options.cache = &cache;
-  service::QueryService service(&*dynamic, service_options);
-  const std::vector<Index> queries = {3, 9, 21};
+  service::QueryService service(engine, service_options);
 
+  std::vector<Index> all(kNodes);
+  for (Index i = 0; i < kNodes; ++i) all[static_cast<std::size_t>(i)] = i;
   auto serve = [&service](const std::vector<Index>& q) {
     service::QueryRequest request;
     request.queries = q;
     return service.Query(std::move(request));
   };
 
-  // Warm the cache, then serve the same set again from it.
-  ASSERT_TRUE(serve(queries).status.ok());
-  auto cached = serve(queries);
-  ASSERT_TRUE(cached.status.ok());
-  EXPECT_GT(cache.Stats().hits, 0);
-  const uint64_t fp_before = dynamic->StateFingerprint();
+  // Warm every column, then serve the set again purely from the cache.
+  ASSERT_TRUE(serve(all).status.ok());
+  ASSERT_TRUE(serve(all).status.ok());
+  EXPECT_EQ(cache.Stats().hits, kNodes);
 
-  // Mutate. The QueryEngine contract requires mutations to be externally
-  // serialised against queries; no requests are in flight here.
-  Index u = 0, v = 1;
-  while (dynamic->InsertEdge(u, v).ok() && dynamic->num_edges() == 200) {
-    ++v;  // first pair may already be an edge: find one that inserts
+  // Writer path: clone the served snapshot, mutate the clone off-path,
+  // publish the new generation together with the receipt's touched set.
+  const uint64_t fp = engine->StateFingerprint();
+  auto next = std::make_shared<core::DynamicCsrPlusEngine>(*engine);
+  const auto update = [&]() -> core::EdgeUpdate {
+    for (Index u = 20; u < kNodes; ++u) {
+      const auto& nbrs = graph->OutNeighbors(u);
+      for (Index v = 20; v < kNodes; ++v) {
+        if (u != v && std::find(nbrs.begin(), nbrs.end(),
+                                static_cast<int32_t>(v)) == nbrs.end()) {
+          return core::EdgeUpdate::Insert(u, v);
+        }
+      }
+    }
+    return core::EdgeUpdate::Insert(20, 21);
+  }();
+  auto receipt = next->ApplyUpdates({&update, 1});
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  ASSERT_EQ(receipt->effective_count, 1);
+  ASSERT_FALSE(receipt->rebuilt);
+  EXPECT_EQ(receipt->fingerprint, fp);  // incremental => fingerprint stable
+  ASSERT_FALSE(receipt->touched_support.empty());
+  // The perturbation cannot escape the second component.
+  for (Index q : receipt->touched_support) EXPECT_GE(q, 20);
+  ASSERT_TRUE(service.PublishEngine(next, receipt->touched_support).ok());
+
+  // Exactly the touched columns were dropped; the rest stayed resident.
+  const ColumnCacheStats after_publish = cache.Stats();
+  EXPECT_EQ(after_publish.invalidations,
+            static_cast<int64_t>(receipt->touched_support.size()));
+  EXPECT_EQ(after_publish.resident_columns,
+            kNodes - static_cast<int64_t>(receipt->touched_support.size()));
+
+  // Untouched columns keep hitting — no misses when serving only them.
+  std::vector<Index> untouched;
+  for (Index q : all) {
+    if (!std::binary_search(receipt->touched_support.begin(),
+                            receipt->touched_support.end(), q)) {
+      untouched.push_back(q);
+    }
   }
-  ASSERT_NE(dynamic->StateFingerprint(), fp_before);
+  const int64_t misses_before = cache.Stats().misses;
+  ASSERT_TRUE(serve(untouched).status.ok());
+  EXPECT_EQ(cache.Stats().misses, misses_before);
 
-  // Post-mutation serving must match the mutated engine, not the cache.
-  auto fresh = serve(queries);
+  // Soundness oracle: serving through the partially-retained cache is
+  // bit-identical to the published engine with no cache at all.
+  auto fresh = serve(all);
   ASSERT_TRUE(fresh.status.ok());
-  auto direct = dynamic->MultiSourceQuery(queries);
+  auto direct = next->MultiSourceQuery(all);
   ASSERT_TRUE(direct.ok());
   EXPECT_TRUE(fresh.scores == *direct)
-      << "stale cached columns served after InsertEdge";
-  // The service evicted the old generation when it saw the new fingerprint.
-  EXPECT_GT(cache.Stats().invalidations, 0);
+      << "stale cached columns served after a published ApplyUpdates";
 }
 
 }  // namespace

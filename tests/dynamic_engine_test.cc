@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "core/cosimrank.h"
 #include "eval/metrics.h"
 #include "graph/normalize.h"
@@ -19,6 +23,30 @@ DynamicOptions DefaultOptions(Index rank = 6) {
   options.base.epsilon = 1e-8;
   options.base.svd.power_iterations = 4;
   return options;
+}
+
+// Single-update convenience over the batched mutation API.
+Result<UpdateReceipt> ApplyOne(DynamicCsrPlusEngine* dynamic,
+                               const EdgeUpdate& update) {
+  return dynamic->ApplyUpdates({&update, 1});
+}
+
+// First `k` node pairs (u, v), u != v, with no edge u -> v in `g` — inserts
+// of these are guaranteed effective.
+std::vector<std::pair<Index, Index>> AbsentEdges(const graph::Graph& g,
+                                                 std::size_t k) {
+  std::vector<std::pair<Index, Index>> out;
+  for (Index u = 0; u < g.num_nodes() && out.size() < k; ++u) {
+    const auto& nbrs = g.OutNeighbors(u);
+    for (Index v = 0; v < g.num_nodes() && out.size() < k; ++v) {
+      if (u == v) continue;
+      if (std::find(nbrs.begin(), nbrs.end(), static_cast<int32_t>(v)) ==
+          nbrs.end()) {
+        out.emplace_back(u, v);
+      }
+    }
+  }
+  return out;
 }
 
 // Rebuilds a Graph equal to `dynamic`'s current edge set via a reference
@@ -53,7 +81,7 @@ TEST(DynamicEngineTest, BuildMatchesStaticEngine) {
   EXPECT_LT(eval::MaxDiff(*s_dynamic, *s_static), 5e-2);
 }
 
-TEST(DynamicEngineTest, InsertEdgeTracksFullRecompute) {
+TEST(DynamicEngineTest, InsertTracksFullRecompute) {
   graph::Graph g = RandomGraph(35, 200, 2);
   auto dynamic = DynamicCsrPlusEngine::Build(g, DefaultOptions(8));
   ASSERT_TRUE(dynamic.ok());
@@ -64,7 +92,7 @@ TEST(DynamicEngineTest, InsertEdgeTracksFullRecompute) {
     const Index u = static_cast<Index>(rng.Below(35));
     Index v = static_cast<Index>(rng.Below(35));
     while (v == u) v = static_cast<Index>(rng.Below(35));
-    ASSERT_TRUE(dynamic->InsertEdge(u, v).ok());
+    ASSERT_TRUE(ApplyOne(&*dynamic, EdgeUpdate::Insert(u, v)).ok());
     inserted.emplace_back(u, v);
   }
 
@@ -90,9 +118,11 @@ TEST(DynamicEngineTest, InsertAgainstExactCoSimRank) {
   ASSERT_TRUE(dynamic.ok());
 
   std::vector<std::pair<Index, Index>> inserted = {{0, 9}, {10, 3}, {17, 22}};
-  for (auto [u, v] : inserted) {
-    ASSERT_TRUE(dynamic->InsertEdge(u, v).ok());
-  }
+  std::vector<EdgeUpdate> batch;
+  for (auto [u, v] : inserted) batch.push_back(EdgeUpdate::Insert(u, v));
+  auto receipt = dynamic->ApplyUpdates(batch);
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  EXPECT_EQ(receipt->effective_count, 3);
   graph::Graph updated = WithExtraEdges(g, inserted);
   CsrMatrix transition = graph::ColumnNormalizedTransition(updated);
   CoSimRankOptions exact_options;
@@ -110,9 +140,174 @@ TEST(DynamicEngineTest, DuplicateInsertIsNoOp) {
   auto dynamic = DynamicCsrPlusEngine::Build(g, DefaultOptions(3));
   ASSERT_TRUE(dynamic.ok());
   const int64_t edges = dynamic->num_edges();
-  ASSERT_TRUE(dynamic->InsertEdge(0, 1).ok());  // a -> b already exists
+  const uint64_t fp = dynamic->StateFingerprint();
+  auto receipt =
+      ApplyOne(&*dynamic, EdgeUpdate::Insert(0, 1));  // a -> b already exists
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt->effective_count, 0);
+  EXPECT_TRUE(receipt->touched_support.empty());
+  EXPECT_EQ(receipt->fingerprint, fp);
   EXPECT_EQ(dynamic->num_edges(), edges);
   EXPECT_EQ(dynamic->updates_since_rebuild(), 0);
+}
+
+TEST(DynamicEngineTest, DeleteOfAbsentEdgeIsNoOp) {
+  graph::Graph g = Figure1Graph();
+  auto dynamic = DynamicCsrPlusEngine::Build(g, DefaultOptions(3));
+  ASSERT_TRUE(dynamic.ok());
+  const int64_t edges = dynamic->num_edges();
+  const auto [u, v] = AbsentEdges(g, 1).at(0);
+  auto receipt = ApplyOne(&*dynamic, EdgeUpdate::Delete(u, v));
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt->effective_count, 0);
+  EXPECT_EQ(dynamic->num_edges(), edges);
+}
+
+TEST(DynamicEngineTest, InsertThenDeleteRestoresAnswers) {
+  // An insert followed by its delete returns to the original edge set; the
+  // incrementally-maintained scores must track a recompute of that set.
+  graph::Graph g = RandomGraph(30, 160, 11);
+  auto dynamic = DynamicCsrPlusEngine::Build(g, DefaultOptions(8));
+  ASSERT_TRUE(dynamic.ok());
+
+  const auto [u, v] = AbsentEdges(g, 1).at(0);
+  const std::vector<EdgeUpdate> batch = {EdgeUpdate::Insert(u, v),
+                                         EdgeUpdate::Delete(u, v)};
+  auto receipt = dynamic->ApplyUpdates(batch);
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  EXPECT_EQ(receipt->effective_count, 2);
+  EXPECT_EQ(dynamic->num_edges(), g.num_edges());
+
+  auto fixed = CsrPlusEngine::Precompute(g, DefaultOptions(8).base);
+  ASSERT_TRUE(fixed.ok());
+  std::vector<Index> queries = {2, 17, 29};
+  auto s_dynamic = dynamic->engine().MultiSourceQuery(queries);
+  auto s_static = fixed->MultiSourceQuery(queries);
+  ASSERT_TRUE(s_dynamic.ok() && s_static.ok());
+  EXPECT_LT(eval::AvgDiff(*s_dynamic, *s_static), 5e-3);
+}
+
+TEST(DynamicEngineTest, DeleteTracksFullRecompute) {
+  graph::Graph g = RandomGraph(35, 220, 21);
+  auto dynamic = DynamicCsrPlusEngine::Build(g, DefaultOptions(8));
+  ASSERT_TRUE(dynamic.ok());
+
+  // Delete three existing edges and compare against a fresh engine on the
+  // reduced graph.
+  std::vector<std::pair<Index, Index>> removed;
+  std::vector<EdgeUpdate> batch;
+  for (Index u = 0; u < g.num_nodes() && removed.size() < 3; ++u) {
+    if (g.OutNeighbors(u).empty()) continue;
+    const Index v = static_cast<Index>(g.OutNeighbors(u)[0]);
+    removed.emplace_back(u, v);
+    batch.push_back(EdgeUpdate::Delete(u, v));
+  }
+  ASSERT_EQ(removed.size(), 3u);
+  auto receipt = dynamic->ApplyUpdates(batch);
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  EXPECT_EQ(receipt->effective_count, 3);
+  EXPECT_EQ(dynamic->num_edges(), g.num_edges() - 3);
+
+  graph::GraphBuilder builder(g.num_nodes());
+  for (Index u = 0; u < g.num_nodes(); ++u) {
+    for (int32_t v : g.OutNeighbors(u)) {
+      const auto edge = std::make_pair(u, static_cast<Index>(v));
+      if (std::find(removed.begin(), removed.end(), edge) == removed.end()) {
+        builder.AddEdge(u, v);
+      }
+    }
+  }
+  auto reduced = builder.Build();
+  ASSERT_TRUE(reduced.ok());
+  auto fixed = CsrPlusEngine::Precompute(*reduced, DefaultOptions(8).base);
+  ASSERT_TRUE(fixed.ok());
+
+  std::vector<Index> queries = {1, 12, 30};
+  auto s_dynamic = dynamic->engine().MultiSourceQuery(queries);
+  auto s_static = fixed->MultiSourceQuery(queries);
+  ASSERT_TRUE(s_dynamic.ok() && s_static.ok());
+  EXPECT_LT(eval::AvgDiff(*s_dynamic, *s_static), 5e-3);
+}
+
+TEST(DynamicEngineTest, FingerprintStableUntilRebuild) {
+  graph::Graph g = RandomGraph(30, 150, 31);
+  DynamicOptions options = DefaultOptions(6);
+  options.max_incremental_updates = 100;       // never rebuild incrementally
+  options.rebuild_touched_fraction = 1.0;      // nor by touched fraction
+  auto dynamic = DynamicCsrPlusEngine::Build(g, options);
+  ASSERT_TRUE(dynamic.ok());
+  const uint64_t fp = dynamic->StateFingerprint();
+  const auto edges = AbsentEdges(g, 2);
+
+  auto first =
+      ApplyOne(&*dynamic, EdgeUpdate::Insert(edges[0].first, edges[0].second));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->rebuilt);
+  // Incremental batches keep the fingerprint: untouched columns stay
+  // bitwise identical, so cached entries under this fingerprint remain
+  // valid — eviction is driven by touched_support instead.
+  EXPECT_EQ(first->fingerprint, fp);
+  EXPECT_FALSE(first->touched_support.empty());
+
+  // Touched support accumulates monotonically across batches.
+  auto second =
+      ApplyOne(&*dynamic, EdgeUpdate::Insert(edges[1].first, edges[1].second));
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(second->touched_support.size(), first->touched_support.size());
+}
+
+TEST(DynamicEngineTest, RebuildRotatesFingerprint) {
+  graph::Graph g = RandomGraph(30, 150, 37);
+  DynamicOptions options = DefaultOptions(6);
+  options.max_incremental_updates = 1;
+  auto dynamic = DynamicCsrPlusEngine::Build(g, options);
+  ASSERT_TRUE(dynamic.ok());
+  const uint64_t fp = dynamic->StateFingerprint();
+  const auto edges = AbsentEdges(g, 2);
+
+  // Two effective inserts: the second trips the budget and rebuilds.
+  const std::vector<EdgeUpdate> batch = {
+      EdgeUpdate::Insert(edges[0].first, edges[0].second),
+      EdgeUpdate::Insert(edges[1].first, edges[1].second)};
+  auto receipt = dynamic->ApplyUpdates(batch);
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  EXPECT_TRUE(receipt->rebuilt);
+  EXPECT_NE(receipt->fingerprint, fp);
+  EXPECT_EQ(receipt->fingerprint, dynamic->StateFingerprint());
+}
+
+TEST(DynamicEngineTest, TouchedFractionTriggerWaitsForHalfBudget) {
+  // Dense random graph: one update's reachability closure covers well over
+  // 75% of the nodes, so an ungated touched-fraction trigger would rebuild
+  // on every single batch. The trigger must wait until half of
+  // max_incremental_updates is absorbed, then fire.
+  graph::Graph g = RandomGraph(30, 150, 11);
+  DynamicOptions options = DefaultOptions(6);
+  options.max_incremental_updates = 8;  // fraction trigger armed at 4
+  auto dynamic = DynamicCsrPlusEngine::Build(g, options);
+  ASSERT_TRUE(dynamic.ok());
+
+  const auto edges = AbsentEdges(g, 6);
+  ASSERT_GE(edges.size(), 6u);
+  int rebuilds_before_half = 0;
+  bool fraction_fired = false;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    auto receipt =
+        ApplyOne(&*dynamic, EdgeUpdate::Insert(edges[i].first, edges[i].second));
+    ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+    ASSERT_EQ(receipt->effective_count, 1);
+    if (i < 3) {
+      rebuilds_before_half += receipt->rebuilt ? 1 : 0;
+    } else if (receipt->rebuilt) {
+      fraction_fired = true;
+      EXPECT_TRUE(receipt->touched_support.empty());
+      break;
+    }
+  }
+  EXPECT_EQ(rebuilds_before_half, 0)
+      << "fraction trigger fired before half the incremental budget";
+  EXPECT_TRUE(fraction_fired)
+      << "fraction trigger never fired on a near-fully-touched graph";
 }
 
 TEST(DynamicEngineTest, RebuildTriggersAfterBudget) {
@@ -129,9 +324,9 @@ TEST(DynamicEngineTest, RebuildTriggersAfterBudget) {
     const Index u = static_cast<Index>(rng.Below(30));
     Index v = static_cast<Index>(rng.Below(30));
     if (v == u) continue;
-    const int64_t before = dynamic->num_edges();
-    ASSERT_TRUE(dynamic->InsertEdge(u, v).ok());
-    if (dynamic->num_edges() > before) ++inserted;
+    auto receipt = ApplyOne(&*dynamic, EdgeUpdate::Insert(u, v));
+    ASSERT_TRUE(receipt.ok());
+    inserted += static_cast<int>(receipt->effective_count);
   }
   // The 4th insertion beyond budget forces a fresh SVD.
   EXPECT_GE(dynamic->rebuild_count(), 2);
@@ -141,9 +336,27 @@ TEST(DynamicEngineTest, RebuildTriggersAfterBudget) {
 TEST(DynamicEngineTest, RejectsBadEdges) {
   auto dynamic = DynamicCsrPlusEngine::Build(Figure1Graph(), DefaultOptions(3));
   ASSERT_TRUE(dynamic.ok());
-  EXPECT_TRUE(dynamic->InsertEdge(-1, 2).IsInvalidArgument());
-  EXPECT_TRUE(dynamic->InsertEdge(0, 6).IsInvalidArgument());
-  EXPECT_TRUE(dynamic->InsertEdge(2, 2).IsInvalidArgument());
+  EXPECT_TRUE(
+      ApplyOne(&*dynamic, EdgeUpdate::Insert(-1, 2)).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ApplyOne(&*dynamic, EdgeUpdate::Insert(0, 6)).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ApplyOne(&*dynamic, EdgeUpdate::Insert(2, 2)).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ApplyOne(&*dynamic, EdgeUpdate::Delete(6, 0)).status().IsInvalidArgument());
+}
+
+TEST(DynamicEngineTest, BadBatchLeavesEngineUntouched) {
+  // Validation is batch-wide and up-front: a bad update anywhere rejects
+  // the whole batch without applying the valid prefix.
+  auto dynamic = DynamicCsrPlusEngine::Build(Figure1Graph(), DefaultOptions(3));
+  ASSERT_TRUE(dynamic.ok());
+  const int64_t edges = dynamic->num_edges();
+  const std::vector<EdgeUpdate> batch = {EdgeUpdate::Insert(0, 3),
+                                         EdgeUpdate::Insert(0, 6)};
+  EXPECT_TRUE(dynamic->ApplyUpdates(batch).status().IsInvalidArgument());
+  EXPECT_EQ(dynamic->num_edges(), edges);
+  EXPECT_EQ(dynamic->updates_since_rebuild(), 0);
 }
 
 TEST(DynamicEngineTest, FirstInEdgeForIsolatedNode) {
@@ -157,11 +370,36 @@ TEST(DynamicEngineTest, FirstInEdgeForIsolatedNode) {
   ASSERT_TRUE(g.ok());
   auto dynamic = DynamicCsrPlusEngine::Build(*g, DefaultOptions(3));
   ASSERT_TRUE(dynamic.ok());
-  ASSERT_TRUE(dynamic->InsertEdge(0, 4).ok());  // node 4 had no in-edges
+  // Node 4 had no in-edges.
+  ASSERT_TRUE(ApplyOne(&*dynamic, EdgeUpdate::Insert(0, 4)).ok());
   EXPECT_EQ(dynamic->num_edges(), 4);
   auto scores = dynamic->engine().SingleSourceQuery(4);
   ASSERT_TRUE(scores.ok());
   EXPECT_GE((*scores)[4], 1.0 - 1e-6);
+}
+
+TEST(DynamicEngineTest, DeleteLastInEdgeZeroesColumn) {
+  // The mirror of FirstInEdgeForIsolatedNode: removing a node's only
+  // in-edge drives its transition column back to all-zero (the nbrs.empty()
+  // delete path), so its walk dies after step 0.
+  graph::GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(0, 4);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  auto dynamic = DynamicCsrPlusEngine::Build(*g, DefaultOptions(3));
+  ASSERT_TRUE(dynamic.ok());
+  auto receipt = ApplyOne(&*dynamic, EdgeUpdate::Delete(0, 4));
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt->effective_count, 1);
+  EXPECT_EQ(dynamic->num_edges(), 3);
+  auto scores = dynamic->engine().SingleSourceQuery(4);
+  ASSERT_TRUE(scores.ok());
+  // Only the k = 0 term survives: s(4, 4) = 1, s(4, x) = 0 elsewhere.
+  EXPECT_NEAR((*scores)[4], 1.0, 1e-6);
+  EXPECT_NEAR((*scores)[0], 0.0, 1e-6);
 }
 
 }  // namespace

@@ -106,10 +106,14 @@ TEST_F(IntegrationTest, StaticAndDynamicPipelinesConverge) {
   for (Index u = 0; u < g.num_nodes(); ++u) {
     for (int32_t v : g.OutNeighbors(u)) mirror.AddEdge(u, v);
   }
+  std::vector<core::EdgeUpdate> batch;
   for (auto [u, v] : extra) {
-    ASSERT_TRUE(dynamic->InsertEdge(u, v).ok());
+    batch.push_back(core::EdgeUpdate::Insert(u, v));
     mirror.AddEdge(u, v);
   }
+  auto receipt = dynamic->ApplyUpdates(batch);
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  EXPECT_TRUE(receipt->rebuilt);  // budget of 2 forces rebuilds mid-batch
   EXPECT_GE(dynamic->rebuild_count(), 2);
 
   auto final_graph = mirror.Build();

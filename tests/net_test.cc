@@ -14,6 +14,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -21,11 +23,14 @@
 #include <vector>
 
 #include "baselines/rp_cosim.h"
+#include "common/rng.h"
 #include "core/csrplus_engine.h"
+#include "core/dynamic_engine.h"
 #include "core/query_engine.h"
 #include "core/topk.h"
 #include "graph/normalize.h"
 #include "net/socket_util.h"
+#include "service/engine_registry.h"
 #include "service/query_service.h"
 #include "test_util.h"
 
@@ -267,6 +272,79 @@ TEST(WireProtocolTest, V2ServedTierRoundTripsInResponses) {
   patched[36] = static_cast<char>(0x7F);
   auto rejected = DecodeResponse(
       reinterpret_cast<const uint8_t*>(patched.data()), patched.size());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument())
+      << rejected.status().ToString();
+}
+
+TEST(WireProtocolTest, V3GraphIdRoundTripsInRequests) {
+  WireRequest request;
+  request.graph_id = "tenant-a";
+  request.queries = {1, 2};
+  std::string frame;
+  AppendRequestFrame(request, &frame);
+  auto decoded = DecodeRequest(
+      reinterpret_cast<const uint8_t*>(frame.data()) + kFrameHeaderBytes,
+      frame.size() - kFrameHeaderBytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->graph_id, "tenant-a");
+  EXPECT_EQ(decoded->queries, request.queries);
+
+  // The empty graph id (default tenant) round-trips too.
+  WireRequest unnamed;
+  unnamed.queries = {7};
+  std::string unnamed_frame;
+  AppendRequestFrame(unnamed, &unnamed_frame);
+  auto unnamed_decoded = DecodeRequest(
+      reinterpret_cast<const uint8_t*>(unnamed_frame.data()) +
+          kFrameHeaderBytes,
+      unnamed_frame.size() - kFrameHeaderBytes);
+  ASSERT_TRUE(unnamed_decoded.ok());
+  EXPECT_TRUE(unnamed_decoded->graph_id.empty());
+}
+
+TEST(WireProtocolTest, V2RequestsDecodeWithDefaultGraphId) {
+  // Rewrite a v3 frame as the v2 layout: patch the version word and splice
+  // out the (empty) u16 graph-length field that v2 never carried. A v2 peer
+  // must keep decoding, landing on the default tenant.
+  WireRequest request;
+  request.top_k = 3;
+  request.deadline_micros = 42;
+  request.queries = {4, 8, 15};
+  std::string frame;
+  AppendRequestFrame(request, &frame);
+  std::string payload(frame.begin() + kFrameHeaderBytes, frame.end());
+  payload[0] = 2;  // version = 2 (little endian; high byte already 0)
+  // Header prefix: version(2) method(1) flags(1) quality(1) top_k(4)
+  // deadline(8) = 17 bytes, then the v3-only graph length.
+  payload.erase(17, 2);
+  auto decoded = DecodeRequest(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->graph_id.empty());
+  EXPECT_EQ(decoded->top_k, 3);
+  EXPECT_EQ(decoded->deadline_micros, 42u);
+  EXPECT_EQ(decoded->queries, request.queries);
+
+  // Versions below the compatibility floor are still typed rejects.
+  payload[0] = 1;
+  auto ancient = DecodeRequest(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  ASSERT_FALSE(ancient.ok());
+  EXPECT_TRUE(ancient.status().IsFailedPrecondition());
+}
+
+TEST(WireProtocolTest, OversizedGraphIdDeclarationIsRejected) {
+  WireRequest request;
+  request.queries = {1};
+  std::string frame;
+  AppendRequestFrame(request, &frame);
+  std::string payload(frame.begin() + kFrameHeaderBytes, frame.end());
+  // Declare a 300-byte graph id (> kMaxGraphIdBytes) at payload offset 17.
+  payload[17] = static_cast<char>(0x2C);
+  payload[18] = static_cast<char>(0x01);
+  auto rejected = DecodeRequest(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
   ASSERT_FALSE(rejected.ok());
   EXPECT_TRUE(rejected.status().IsInvalidArgument())
       << rejected.status().ToString();
@@ -616,6 +694,216 @@ TEST(NetServerTest, MultiConnectionHammerStaysConsistent) {
 
   server.Shutdown();
   service.Shutdown();
+}
+
+TEST(NetServerTest, SingleServiceModeRejectsGraphIds) {
+  auto engine = MakeEngine();
+  service::QueryService service(&engine);
+  Server server(&service, {});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Without a router the server serves one unnamed graph: naming one is a
+  // typed error frame, and the connection survives it.
+  WireRequest named;
+  named.graph_id = "anything";
+  named.queries = {3};
+  auto named_response = client->Call(named);
+  ASSERT_TRUE(named_response.ok()) << named_response.status().ToString();
+  EXPECT_TRUE(named_response->ToStatus().IsNotFound())
+      << named_response->ToStatus().ToString();
+
+  WireRequest unnamed;
+  unnamed.queries = {3};
+  auto unnamed_response = client->Call(unnamed);
+  ASSERT_TRUE(unnamed_response.ok());
+  EXPECT_TRUE(unnamed_response->ok()) << unnamed_response->ToStatus().ToString();
+  EXPECT_TRUE(client->Ping().ok());
+
+  server.Shutdown();
+  service.Shutdown();
+}
+
+/// Builds the CLI-equivalent router over `registry`: name -> stable Route
+/// with identity id translation (tests use engine node ids directly).
+class RegistryRouter {
+ public:
+  explicit RegistryRouter(service::EngineRegistry* registry)
+      : registry_(registry) {
+    for (const std::string& name : registry->TenantNames()) {
+      routes_[name].service = registry->Find(name);
+    }
+  }
+
+  std::function<const ServerOptions::Route*(const std::string&)> hook() {
+    return [this](const std::string& graph_id) -> const ServerOptions::Route* {
+      if (registry_->Route(graph_id) == nullptr) return nullptr;
+      const auto it =
+          routes_.find(graph_id.empty() ? registry_->default_tenant()
+                                        : graph_id);
+      return it == routes_.end() ? nullptr : &it->second;
+    };
+  }
+
+ private:
+  service::EngineRegistry* registry_;
+  std::map<std::string, ServerOptions::Route> routes_;
+};
+
+TEST(NetServerTest, RouterDispatchesGraphIdToTenantServices) {
+  // Two tenants with different graphs behind one socket server; requests
+  // route by wire graph_id, the empty id lands on the default tenant, and
+  // unknown names come back as kNotFound frames on a surviving connection.
+  service::EngineRegistry registry;
+  auto graph_a = RandomGraph(60, 350, 5);
+  auto graph_b = RandomGraph(80, 500, 6);
+  service::TenantOptions tenant_options;
+  ASSERT_TRUE(registry
+                  .AddTenant("alpha", graph::ColumnNormalizedTransition(graph_a),
+                             tenant_options)
+                  .ok());
+  ASSERT_TRUE(registry
+                  .AddTenant("beta", graph::ColumnNormalizedTransition(graph_b),
+                             tenant_options)
+                  .ok());
+
+  RegistryRouter router(&registry);
+  ServerOptions server_options;
+  server_options.router = router.hook();
+  Server server(nullptr, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const std::vector<Index> queries = {3, 14};
+  const auto call = [&](const std::string& graph_id) {
+    WireRequest request;
+    request.graph_id = graph_id;
+    request.queries.assign(queries.begin(), queries.end());
+    return client->Call(request);
+  };
+
+  auto alpha = call("alpha");
+  ASSERT_TRUE(alpha.ok()) << alpha.status().ToString();
+  ASSERT_TRUE(alpha->ok()) << alpha->ToStatus().ToString();
+  auto alpha_direct = registry.TenantEngine("alpha")->MultiSourceQuery(queries);
+  ASSERT_TRUE(alpha_direct.ok());
+  EXPECT_TRUE(alpha->scores == *alpha_direct);
+
+  auto beta = call("beta");
+  ASSERT_TRUE(beta.ok()) << beta.status().ToString();
+  ASSERT_TRUE(beta->ok()) << beta->ToStatus().ToString();
+  auto beta_direct = registry.TenantEngine("beta")->MultiSourceQuery(queries);
+  ASSERT_TRUE(beta_direct.ok());
+  EXPECT_TRUE(beta->scores == *beta_direct);
+  EXPECT_EQ(beta->scores.rows(), 80);
+  EXPECT_NE(alpha->scores.rows(), beta->scores.rows());
+
+  // Empty graph id = the default (first-added) tenant.
+  auto unnamed = call("");
+  ASSERT_TRUE(unnamed.ok());
+  ASSERT_TRUE(unnamed->ok()) << unnamed->ToStatus().ToString();
+  EXPECT_TRUE(unnamed->scores == *alpha_direct);
+
+  auto ghost = call("ghost");
+  ASSERT_TRUE(ghost.ok()) << ghost.status().ToString();
+  EXPECT_TRUE(ghost->ToStatus().IsNotFound()) << ghost->ToStatus().ToString();
+  EXPECT_TRUE(client->Ping().ok());
+
+  server.Shutdown();
+  registry.Shutdown();
+}
+
+TEST(NetServerTest, MutateWhileServeHammerAcrossTenants) {
+  // The CI mutate-while-serve hammer (TSan job): concurrent writers stream
+  // mixed insert/delete batches into two dynamic tenants through
+  // EngineRegistry::ApplyUpdates while socket clients keep querying both.
+  // Every response must be a well-formed success frame of the right shape —
+  // queries never block on, or tear under, concurrent publication.
+  constexpr Index kNodesA = 60;
+  constexpr Index kNodesB = 45;
+  service::EngineRegistry registry;
+  service::TenantOptions tenant_options;
+  tenant_options.kind = service::EngineKind::kDynamic;
+  tenant_options.config.rank = 6;
+  tenant_options.config.max_incremental_updates = 8;
+  tenant_options.cache_capacity_bytes = 1 << 20;
+  ASSERT_TRUE(registry
+                  .AddTenant("alpha",
+                             graph::ColumnNormalizedTransition(
+                                 RandomGraph(kNodesA, 320, 17)),
+                             tenant_options)
+                  .ok());
+  ASSERT_TRUE(registry
+                  .AddTenant("beta",
+                             graph::ColumnNormalizedTransition(
+                                 RandomGraph(kNodesB, 220, 19)),
+                             tenant_options)
+                  .ok());
+
+  RegistryRouter router(&registry);
+  ServerOptions server_options;
+  server_options.router = router.hook();
+  server_options.num_workers = 2;
+  Server server(nullptr, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto writer = [&registry](const std::string& tenant, Index nodes,
+                                  uint64_t seed) {
+    Rng rng(seed);
+    for (int batch = 0; batch < 30; ++batch) {
+      std::vector<core::EdgeUpdate> updates;
+      while (updates.size() < 4) {
+        const Index u = static_cast<Index>(
+            rng.Below(static_cast<uint64_t>(nodes)));
+        const Index v = static_cast<Index>(
+            rng.Below(static_cast<uint64_t>(nodes)));
+        if (u == v) continue;
+        updates.push_back(updates.size() % 2 == 0
+                              ? core::EdgeUpdate::Insert(u, v)
+                              : core::EdgeUpdate::Delete(u, v));
+      }
+      auto receipt = registry.ApplyUpdates(tenant, updates);
+      ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+    }
+  };
+  std::thread writer_a(writer, "alpha", kNodesA, 0xA11CE);
+  std::thread writer_b(writer, "beta", kNodesB, 0xB0B);
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 25;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      const bool alpha = (c % 2 == 0);
+      const Index nodes = alpha ? kNodesA : kNodesB;
+      for (int r = 0; r < kRequests; ++r) {
+        WireRequest request;
+        request.graph_id = alpha ? "alpha" : "beta";
+        request.queries = {static_cast<int64_t>((c * 5 + r) % nodes),
+                           static_cast<int64_t>((c + r * 3) % nodes)};
+        if (request.queries[0] == request.queries[1]) continue;
+        auto response = client->Call(request);
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        ASSERT_TRUE(response->ok()) << response->ToStatus().ToString();
+        ASSERT_EQ(response->scores.rows(), nodes);
+        ASSERT_EQ(response->scores.cols(), 2);
+        ++ok_count;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  writer_a.join();
+  writer_b.join();
+  EXPECT_GT(ok_count.load(), 0);
+
+  server.Shutdown();
+  registry.Shutdown();
 }
 
 TEST(NetServerTest, ParseHostPortAcceptsAndRejects) {

@@ -597,8 +597,36 @@ TEST(ObsDocumentationTest, EveryEmittedMetricIsDocumented) {
     auto rejected = client->Call(dup);
     ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
     EXPECT_FALSE(rejected->ok());
+    net::WireRequest misrouted;
+    misrouted.queries = {0};
+    misrouted.graph_id = "ghost";  // single-service mode: NotFound +
+                                   // csrplus.net.unknown_graph registers
+    auto unknown = client->Call(misrouted);
+    ASSERT_TRUE(unknown.ok()) << unknown.status().ToString();
+    EXPECT_FALSE(unknown->ok());
     server.Shutdown();
     net_service.Shutdown();
+  }
+
+  // Multi-graph registry: adding a tenant registers the per-tenant
+  // csrplus.tenant.<graph>.* counters; one routed request and one update
+  // batch exercise them (and the engine_publishes counter) end to end.
+  {
+    service::EngineRegistry registry;
+    service::TenantOptions tenant_options;
+    tenant_options.kind = service::EngineKind::kDynamic;
+    tenant_options.config.rank = 4;
+    ASSERT_TRUE(registry
+                    .AddTenant("doc", graph::ColumnNormalizedTransition(g),
+                               tenant_options)
+                    .ok());
+    service::QueryRequest routed;
+    routed.queries = {0};
+    ASSERT_TRUE(registry.Route("doc")->Query(std::move(routed)).status.ok());
+    const core::EdgeUpdate update = core::EdgeUpdate::Insert(0, 9);
+    auto receipt = registry.ApplyUpdates("doc", {&update, 1});
+    ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+    registry.Shutdown();
   }
 
   // Budget paths: one granted, one rejected.
@@ -625,10 +653,19 @@ TEST(ObsDocumentationTest, EveryEmittedMetricIsDocumented) {
 
   for (const std::string& name : obs::StatsRegistry::Global().Names()) {
     if (name.rfind(kTestPrefix, 0) == 0) continue;  // test-only scratch
-    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+    // Per-tenant metrics embed the tenant name; the doc documents them once
+    // as the csrplus.tenant.<graph>.* template.
+    std::string doc_name = name;
+    const std::string tenant_prefix = "csrplus.tenant.";
+    if (doc_name.rfind(tenant_prefix, 0) == 0) {
+      const std::size_t suffix_dot = doc_name.find('.', tenant_prefix.size());
+      ASSERT_NE(suffix_dot, std::string::npos) << name;
+      doc_name = tenant_prefix + "<graph>" + doc_name.substr(suffix_dot);
+    }
+    EXPECT_NE(doc.find("`" + doc_name + "`"), std::string::npos)
         << "metric \"" << name
         << "\" is emitted at runtime but not documented in "
-           "docs/observability.md";
+           "docs/observability.md (as `" << doc_name << "`)";
   }
   for (const char* span : {obs::spans::kGraphLoad, obs::spans::kNormalize,
                            obs::spans::kFingerprint, obs::spans::kSvd,

@@ -29,12 +29,18 @@
 //       length-prefixed binary protocol (docs/wire-protocol.md). Runs until
 //       SIGINT/SIGTERM, then drains connections and shuts down cleanly.
 //
-//   csrplus client --server=HOST:PORT [<node> ...]
+//   csrplus serve --graphs=NAME=PATH[,NAME=PATH...] --listen=HOST:PORT
+//       Multi-graph socket server: one service::EngineRegistry tenant per
+//       named graph, each with its own engine, column-cache slice and
+//       admission budget. Clients pick a tenant with --graph=NAME (wire v3
+//       graph_id); requests without a graph go to the first-listed tenant.
+//
+//   csrplus client --server=HOST:PORT [--graph=NAME] [<node> ...]
 //       Talk to a running socket server. With query nodes, print the top-k
 //       most similar nodes per query in exactly the `csrplus query` output
 //       format (responses are bit-identical to an in-process query by the
 //       column-independence contract). With no nodes, ping the server and
-//       print "pong".
+//       print "pong". --graph targets one tenant of a --graphs server.
 //
 //   csrplus pair <graph> <a> <b>
 //       Single-pair CoSimRank score.
@@ -84,7 +90,14 @@
 //   --listen=H:P    (serve) run a real socket server on H:P instead of the
 //                   in-process stress demo (port 0 = ephemeral)
 //   --net-workers=N (serve --listen) epoll worker threads (default 2)
+//   --graphs=SPEC   (serve --listen) multi-graph tenancy: NAME=PATH pairs,
+//                   comma separated; --cache-mb is split evenly across
+//                   tenants and --tenant-budget-mb applies to each
+//   --tenant-budget-mb=M  (serve) per-tenant admission byte budget for
+//                   in-flight requests; 0 = unlimited (default 0)
 //   --server=H:P    (client) server address to connect to
+//   --graph=NAME    (client) target tenant on a --graphs server; empty =
+//                   the server's default tenant
 //   --stats-out=P   after the command finishes, write the stats registry
 //                   snapshot (counters/gauges/histograms) to P as JSON
 //   --trace-out=P   enable span tracing for the whole run and write a Chrome
@@ -143,7 +156,10 @@ struct CliOptions {
   bool no_cache = false;     // serve: disable the column cache
   std::string listen;        // serve: socket mode listen address
   int net_workers = 2;       // serve --listen: epoll worker threads
+  std::string graphs;        // serve: multi-graph NAME=PATH,... spec
+  int tenant_budget_mb = 0;  // serve: per-tenant admission budget (MiB)
   std::string server;        // client: server address
+  std::string graph;         // client: target tenant name (wire graph_id)
   bool show_version = false;
   std::vector<std::string> positional;
 };
@@ -178,8 +194,13 @@ void PrintUsage() {
                "[--approx-samples=D]\n"
                "                                 [--listen=H:P] "
                "[--net-workers=N]\n"
+               "                                 [--tenant-budget-mb=M]\n"
+               "  serve --graphs=N=P[,N=P..] --listen=H:P\n"
+               "                                 multi-graph socket server "
+               "(one tenant per name)\n"
                "  client --server=H:P [<node>..]  query (or ping) a socket "
-               "server [--quality=Q]\n");
+               "server [--quality=Q]\n"
+               "                                 [--graph=NAME]\n");
 }
 
 bool ParseMethod(const std::string& name, eval::Method* method) {
@@ -279,8 +300,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->listen = arg.substr(9);
     } else if (StartsWith(arg, "--net-workers=")) {
       options->net_workers = std::atoi(arg.c_str() + 14);
+    } else if (StartsWith(arg, "--graphs=")) {
+      options->graphs = arg.substr(9);
+    } else if (StartsWith(arg, "--tenant-budget-mb=")) {
+      options->tenant_budget_mb = std::atoi(arg.c_str() + 19);
     } else if (StartsWith(arg, "--server=")) {
       options->server = arg.substr(9);
+    } else if (StartsWith(arg, "--graph=")) {
+      options->graph = arg.substr(8);
     } else if (arg == "--version") {
       options->show_version = true;
     } else if (StartsWith(arg, "--artifact=")) {
@@ -547,6 +574,27 @@ int RunQuery(const CliOptions& options) {
   return FinishMappedVerification(*box);
 }
 
+/// The CLI's method names map onto the registry's engine kinds 1:1.
+service::EngineKind ToEngineKind(eval::Method method) {
+  switch (method) {
+    case eval::Method::kCsrPlus:
+      return service::EngineKind::kCsrPlus;
+    case eval::Method::kCsrNi:
+      return service::EngineKind::kCsrNi;
+    case eval::Method::kCsrIt:
+      return service::EngineKind::kCsrIt;
+    case eval::Method::kCsrRls:
+      return service::EngineKind::kCsrRls;
+    case eval::Method::kCoSimMate:
+      return service::EngineKind::kCoSimMate;
+    case eval::Method::kRpCoSim:
+      return service::EngineKind::kRpCoSim;
+    case eval::Method::kDynamic:
+      return service::EngineKind::kDynamic;
+  }
+  return service::EngineKind::kCsrPlus;
+}
+
 /// Prints the end-of-run cache summary shared by both serve modes.
 void PrintCacheSummary(const cache::ColumnCache* column_cache) {
   if (column_cache == nullptr) return;
@@ -565,12 +613,69 @@ void PrintCacheSummary(const cache::ColumnCache* column_cache) {
   }
 }
 
-/// `serve --listen`: run the socket front end until SIGINT/SIGTERM.
-/// Preconditions handled by the caller: signals already blocked (so every
-/// thread spawned below inherits the mask and sigwait gets the signal).
-int RunServeSocket(const CliOptions& options, const LoadedGraph& g,
-                   service::QueryService* service,
-                   const cache::ColumnCache* column_cache,
+/// Starts `server`, prints the listen line and blocks in sigwait until
+/// SIGINT/SIGTERM, then shuts the server down. Preconditions handled by the
+/// caller: signals already blocked (so every thread spawned below inherits
+/// the mask and sigwait gets the signal).
+int ServeUntilSignal(net::Server* server, const sigset_t* sigs) {
+  Status started = server->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // Scripts (and the CI smoke test) wait for this line before connecting.
+  std::printf("listening on %s\n", server->address().c_str());
+  std::fflush(stdout);
+  int sig = 0;
+  sigwait(sigs, &sig);
+  std::fprintf(stderr, "received signal %d, shutting down\n", sig);
+  server->Shutdown();
+  return 0;
+}
+
+/// Per-tenant wiring between the wire protocol and one served graph: the
+/// compact-id index (text inputs compact sparse original ids at load time;
+/// binary .csrg inputs are identity-mapped and skip the hooks) plus the
+/// routing entry the server dispatches to. Addresses must stay stable for
+/// the server's lifetime, so RunServe* keeps these behind unique_ptr.
+struct TenantWiring {
+  std::string name;
+  std::vector<int64_t> original_ids;  // empty == identity mapping
+  std::unordered_map<int64_t, Index> compact_index;
+  net::ServerOptions::Route route;
+};
+
+/// Fills `wiring->route` for a tenant: its service plus the id translation
+/// hooks so socket clients speak the same ids as `csrplus query` (and get
+/// the same bytes back). ToCompact is a linear scan, fine for a one-shot
+/// CLI query but not per-request — build a hash index once.
+void WireTenant(service::QueryService* service, TenantWiring* wiring) {
+  wiring->route.service = service;
+  if (wiring->original_ids.empty()) return;
+  wiring->compact_index.reserve(wiring->original_ids.size());
+  for (std::size_t i = 0; i < wiring->original_ids.size(); ++i) {
+    wiring->compact_index[wiring->original_ids[i]] = static_cast<Index>(i);
+  }
+  TenantWiring* w = wiring;
+  wiring->route.to_internal = [w](int64_t original) -> Result<Index> {
+    auto it = w->compact_index.find(original);
+    if (it == w->compact_index.end()) {
+      return Status::NotFound("node id " + std::to_string(original) +
+                              " does not appear in graph '" + w->name + "'");
+    }
+    return it->second;
+  };
+  wiring->route.to_external = [w](Index compact) {
+    return w->original_ids[static_cast<std::size_t>(compact)];
+  };
+}
+
+/// `serve --listen`: run the socket front end over a registry until
+/// SIGINT/SIGTERM. Every request is routed by its wire graph_id (empty =
+/// default tenant), including in single-graph mode, where the lone tenant
+/// is also reachable by name.
+int RunServeSocket(const CliOptions& options, service::EngineRegistry* registry,
+                   std::vector<std::unique_ptr<TenantWiring>>* wirings,
                    const sigset_t* sigs) {
   auto host_port = net::ParseHostPort(options.listen);
   if (!host_port.ok()) {
@@ -582,54 +687,115 @@ int RunServeSocket(const CliOptions& options, const LoadedGraph& g,
   server_options.host = host_port->first;
   server_options.port = host_port->second;
   server_options.num_workers = std::max(1, options.net_workers);
-  // Text inputs compact sparse original ids at load time; translate at the
-  // wire boundary so socket clients speak the same ids as `csrplus query`
-  // (and get the same bytes back). Binary .csrg inputs are identity-mapped
-  // and skip the hooks entirely. ToCompact is a linear scan, fine for a
-  // one-shot CLI query but not per-request — build a hash index once.
-  std::shared_ptr<std::unordered_map<int64_t, Index>> compact_index;
-  if (!g.original_ids.empty()) {
-    compact_index = std::make_shared<std::unordered_map<int64_t, Index>>();
-    compact_index->reserve(g.original_ids.size());
-    for (std::size_t i = 0; i < g.original_ids.size(); ++i) {
-      (*compact_index)[g.original_ids[i]] = static_cast<Index>(i);
-    }
-    server_options.to_internal =
-        [compact_index](int64_t original) -> Result<Index> {
-      auto it = compact_index->find(original);
-      if (it == compact_index->end()) {
-        return Status::NotFound("node id " + std::to_string(original) +
-                                " does not appear in the graph");
-      }
-      return it->second;
-    };
-    server_options.to_external = [&g](Index compact) {
-      return g.ToOriginal(compact);
-    };
+  std::unordered_map<std::string, const net::ServerOptions::Route*> routes;
+  for (const auto& wiring : *wirings) {
+    routes.emplace(wiring->name, &wiring->route);
   }
-  net::Server server(service, server_options);
-  Status started = server.Start();
-  if (!started.ok()) {
-    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
-    return 1;
+  const std::string default_name = registry->default_tenant();
+  server_options.router =
+      [registry, routes = std::move(routes),
+       default_name](const std::string& graph_id)
+      -> const net::ServerOptions::Route* {
+    // Route() resolves the default tenant and bumps the per-tenant request
+    // counter; the map adds the wire-id translation on top.
+    if (registry->Route(graph_id) == nullptr) return nullptr;
+    const auto it = routes.find(graph_id.empty() ? default_name : graph_id);
+    return it == routes.end() ? nullptr : it->second;
+  };
+  net::Server server(nullptr, server_options);
+  const int code = ServeUntilSignal(&server, sigs);
+  registry->Shutdown();
+  for (const auto& wiring : *wirings) {
+    if (wirings->size() > 1) std::printf("tenant %s:\n", wiring->name.c_str());
+    PrintCacheSummary(registry->TenantCache(wiring->name));
   }
-  // Scripts (and the CI smoke test) wait for this line before connecting.
-  std::printf("listening on %s\n", server.address().c_str());
-  std::fflush(stdout);
-  int sig = 0;
-  sigwait(sigs, &sig);
-  std::fprintf(stderr, "received signal %d, shutting down\n", sig);
-  server.Shutdown();
-  service->Shutdown();
-  PrintCacheSummary(column_cache);
-  return 0;
+  return code;
 }
 
-int RunServe(const CliOptions& options) {
-  if (options.positional.size() != 2) {
+/// `serve --graphs=a=p1,b=p2 --listen=H:P`: the multi-tenant socket server.
+/// One registry tenant per named graph; --cache-mb is split evenly into
+/// per-tenant cache slices and --tenant-budget-mb caps each tenant's
+/// in-flight request bytes independently (budget isolation).
+int RunServeMulti(const CliOptions& options, const sigset_t* sigs) {
+  if (options.positional.size() != 1) {
     PrintUsage();
     return 2;
   }
+  if (options.listen.empty()) {
+    std::fprintf(stderr, "error: --graphs requires --listen=HOST:PORT\n");
+    return 2;
+  }
+  if (!options.artifact.empty() || options.shed_depth > 0) {
+    std::fprintf(stderr,
+                 "error: --artifact and --shed-depth are not supported with "
+                 "--graphs\n");
+    return 2;
+  }
+  // Parse the NAME=PATH,... spec.
+  std::vector<std::pair<std::string, std::string>> specs;
+  std::size_t start = 0;
+  while (start <= options.graphs.size()) {
+    std::size_t end = options.graphs.find(',', start);
+    if (end == std::string::npos) end = options.graphs.size();
+    const std::string item = options.graphs.substr(start, end - start);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+      std::fprintf(stderr, "error: bad --graphs entry '%s' (want NAME=PATH)\n",
+                   item.c_str());
+      return 2;
+    }
+    specs.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    start = end + 1;
+  }
+
+  service::EngineRegistry registry;
+  std::vector<std::unique_ptr<TenantWiring>> wirings;
+  const int64_t cache_total =
+      (!options.no_cache && options.cache_mb > 0)
+          ? static_cast<int64_t>(options.cache_mb) << 20
+          : 0;
+  for (const auto& [name, path] : specs) {
+    auto g = LoadGraph(path, options);
+    if (!g.ok()) {
+      std::fprintf(stderr, "error: graph '%s': %s\n", name.c_str(),
+                   g.status().ToString().c_str());
+      return 1;
+    }
+    service::TenantOptions tenant_options;
+    tenant_options.kind = ToEngineKind(options.method);
+    tenant_options.config.rank =
+        std::min<Index>(options.rank, g->graph.num_nodes());
+    tenant_options.config.damping = options.damping;
+    tenant_options.config.precision = options.precision;
+    tenant_options.service.coalesce = !options.no_coalesce;
+    tenant_options.service.max_batch_queries = std::max<Index>(
+        tenant_options.service.max_batch_queries, options.qsize);
+    tenant_options.service.max_outstanding_bytes =
+        static_cast<int64_t>(options.tenant_budget_mb) << 20;
+    tenant_options.cache_capacity_bytes =
+        cache_total / static_cast<int64_t>(specs.size());
+    WallTimer timer;
+    Status added = registry.AddTenant(
+        name, graph::ColumnNormalizedTransition(g->graph), tenant_options);
+    if (!added.ok()) {
+      std::fprintf(stderr, "error: graph '%s': %s\n", name.c_str(),
+                   added.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "tenant %s: n=%ld m=%ld built in %s\n", name.c_str(),
+                 static_cast<long>(g->graph.num_nodes()),
+                 static_cast<long>(g->graph.num_edges()),
+                 FormatSeconds(timer.ElapsedSeconds()).c_str());
+    auto wiring = std::make_unique<TenantWiring>();
+    wiring->name = name;
+    wiring->original_ids = std::move(g->original_ids);
+    WireTenant(registry.Find(name), wiring.get());
+    wirings.push_back(std::move(wiring));
+  }
+  return RunServeSocket(options, &registry, &wirings, sigs);
+}
+
+int RunServe(const CliOptions& options) {
   // Socket mode waits for SIGINT/SIGTERM via sigwait; block the signals
   // before any thread (pool workers, dispatcher, epoll workers) is spawned
   // so they all inherit the mask and the signal lands in sigwait.
@@ -640,6 +806,11 @@ int RunServe(const CliOptions& options) {
     sigaddset(&sigs, SIGINT);
     sigaddset(&sigs, SIGTERM);
     pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+  }
+  if (!options.graphs.empty()) return RunServeMulti(options, &sigs);
+  if (options.positional.size() != 2) {
+    PrintUsage();
+    return 2;
   }
   auto g = LoadGraph(options.positional[1], options);
   if (!g.ok()) {
@@ -657,18 +828,10 @@ int RunServe(const CliOptions& options) {
   // coalescing pay: overlapping requests dedup inside the micro-batch).
   const Index hot = std::min<Index>(n, std::max<Index>(4 * qsize, 32));
 
-  // Column cache: on by default for engines that can vouch for their state
-  // (StateFingerprint != 0); --no-cache or --cache-mb=0 turns it off.
-  std::unique_ptr<cache::ColumnCache> column_cache;
-  if (!options.no_cache && options.cache_mb > 0) {
-    cache::ColumnCacheOptions cache_options;
-    cache_options.capacity_bytes = static_cast<int64_t>(options.cache_mb)
-                                   << 20;
-    column_cache = std::make_unique<cache::ColumnCache>(cache_options);
-  }
   service::ServiceOptions service_options;
   service_options.coalesce = !options.no_coalesce;
-  service_options.cache = column_cache.get();
+  service_options.max_outstanding_bytes =
+      static_cast<int64_t>(options.tenant_budget_mb) << 20;
   // Submit rejects requests wider than max_batch_queries (they could never
   // be batched); let --qsize raise the cap so large stress requests and
   // socket clients sized to --qsize stay admissible.
@@ -713,11 +876,40 @@ int RunServe(const CliOptions& options) {
     service_options.shed_headroom_micros =
         static_cast<uint64_t>(options.shed_headroom_ms) * 1000;
   }
-  service::QueryService service(box->engine.get(), service_options);
+
+  // Single-graph serving still goes through the registry (the lone tenant is
+  // named "default"), so the column cache becomes the tenant's own slice and
+  // socket clients can address the graph by name. Column cache: on by
+  // default for engines that can vouch for their state (StateFingerprint
+  // != 0); --no-cache or --cache-mb=0 turns it off.
+  static constexpr char kDefaultGraph[] = "default";
+  service::EngineRegistry registry;
+  service::TenantOptions tenant_options;
+  tenant_options.service = service_options;
+  tenant_options.cache_capacity_bytes =
+      (!options.no_cache && options.cache_mb > 0)
+          ? static_cast<int64_t>(options.cache_mb) << 20
+          : 0;
+  // The box keeps its raw CsrPlusEngine view for FinishMappedVerification;
+  // ownership of the type-erased engine moves to the registry tenant.
+  Status added = registry.AddTenantWithEngine(
+      kDefaultGraph,
+      std::shared_ptr<const core::QueryEngine>(std::move(box->engine)),
+      tenant_options);
+  if (!added.ok()) {
+    std::fprintf(stderr, "error: %s\n", added.ToString().c_str());
+    return 1;
+  }
+  service::QueryService* service = registry.Find(kDefaultGraph);
 
   if (socket_mode) {
-    const int code =
-        RunServeSocket(options, *g, &service, column_cache.get(), &sigs);
+    std::vector<std::unique_ptr<TenantWiring>> wirings;
+    auto wiring = std::make_unique<TenantWiring>();
+    wiring->name = kDefaultGraph;
+    wiring->original_ids = std::move(g->original_ids);
+    WireTenant(service, wiring.get());
+    wirings.push_back(std::move(wiring));
+    const int code = RunServeSocket(options, &registry, &wirings, &sigs);
     const int verify_code = FinishMappedVerification(*box);
     return code != 0 ? code : verify_code;
   }
@@ -749,7 +941,7 @@ int RunServe(const CliOptions& options) {
             request.queries.push_back(q);
           }
         }
-        service::QueryResponse response = service.Query(std::move(request));
+        service::QueryResponse response = service->Query(std::move(request));
         std::lock_guard<std::mutex> lk(agg_mu);
         if (response.status.ok()) {
           ++ok;
@@ -772,7 +964,7 @@ int RunServe(const CliOptions& options) {
   }
   for (auto& t : clients) t.join();
   const double seconds = timer.ElapsedSeconds();
-  service.Shutdown();
+  registry.Shutdown();
 
   const int total = options.clients * options.requests;
   std::printf("served %d requests (%d clients x %d) in %s\n", total,
@@ -801,7 +993,7 @@ int RunServe(const CliOptions& options) {
                 static_cast<unsigned long long>(pct(0.99)),
                 static_cast<unsigned long long>(latencies_us.back()));
   }
-  PrintCacheSummary(column_cache.get());
+  PrintCacheSummary(registry.TenantCache(kDefaultGraph));
   if (other != 0) return 1;
   return FinishMappedVerification(*box);
 }
@@ -834,6 +1026,7 @@ int RunClient(const CliOptions& options) {
   request.method = net::Method::kQuery;
   request.top_k = static_cast<int32_t>(options.topk);
   request.quality = options.quality;
+  request.graph_id = options.graph;  // empty = the server's default tenant
   request.deadline_micros = static_cast<uint64_t>(options.deadline_ms) * 1000;
   for (std::size_t i = 1; i < options.positional.size(); ++i) {
     request.queries.push_back(std::atoll(options.positional[i].c_str()));
